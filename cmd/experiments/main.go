@@ -1,0 +1,66 @@
+// Command experiments regenerates the paper's tables and figures as
+// plain-text tables. Each experiment is named after the paper artifact it
+// reproduces (fig4, table1, ... fig16); `all` runs everything.
+//
+// Usage:
+//
+//	experiments [-rows N] [-rounds N] [-convrounds N] [-workers N] [-seed S] [exp ...]
+//
+// Examples:
+//
+//	experiments table3 fig12
+//	experiments -rows 100000 -rounds 10 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"harpgbdt/internal/experiments"
+)
+
+func main() {
+	var (
+		rows       = flag.Int("rows", 0, "training rows per dataset (0 = default 20000)")
+		rounds     = flag.Int("rounds", 0, "trees per timing measurement (0 = default 3)")
+		convRounds = flag.Int("convrounds", 0, "trees per convergence run (0 = default 40)")
+		workers    = flag.Int("workers", 0, "worker threads (0 = 32 simulated, or GOMAXPROCS with -realthreads)")
+		seed       = flag.Uint64("seed", 0, "dataset seed (0 = default)")
+		real       = flag.Bool("realthreads", false, "run on real goroutines instead of the simulated parallel machine")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <experiment ...|all>")
+		fmt.Fprintln(os.Stderr, "experiments:", experiments.Names())
+		os.Exit(2)
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = experiments.Names()
+	}
+	sc := experiments.Scale{
+		Rows: *rows, Rounds: *rounds, ConvRounds: *convRounds,
+		Workers: *workers, Seed: *seed, RealThreads: *real,
+	}
+	for _, name := range names {
+		start := time.Now()
+		tables, err := experiments.Run(name, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, tb := range tables {
+			fmt.Println(tb.String())
+		}
+		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

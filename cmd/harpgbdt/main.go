@@ -1,0 +1,341 @@
+// Command harpgbdt trains, evaluates and applies GBDT models from the
+// command line.
+//
+// Subcommands:
+//
+//	train      train a model on libsvm/CSV/synthetic data and save it as JSON
+//	predict    load a model and write predictions for a dataset
+//	eval       load a model and report AUC / logloss / error on labeled data
+//	cv         k-fold cross-validation
+//	importance print per-feature importance of a trained model
+//	dump       print a human-readable model dump
+//	stats      print dataset shape statistics (Table III format)
+//
+// Examples:
+//
+//	harpgbdt train -data train.libsvm -model model.json -trees 100 -d 8
+//	harpgbdt train -synth higgs -rows 100000 -engine lightgbm -trees 50
+//	harpgbdt predict -data test.libsvm -model model.json -out preds.txt
+//	harpgbdt eval -data test.libsvm -model model.json
+//	harpgbdt cv -synth higgs -rows 50000 -folds 5 -trees 50
+//	harpgbdt importance -model model.json -type gain -top 20
+//	harpgbdt stats -data train.csv -format csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"harpgbdt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "importance":
+		err = cmdImportance(os.Args[2:])
+	case "cv":
+		err = cmdCV(os.Args[2:])
+	case "dump":
+		err = cmdDump(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: harpgbdt <train|predict|eval|stats|cv|importance|dump> [flags]")
+	fmt.Fprintln(os.Stderr, "run 'harpgbdt <subcommand> -h' for flags")
+}
+
+// dataFlags holds the common dataset-loading flags.
+type dataFlags struct {
+	data      string
+	format    string
+	features  int
+	maxBins   int
+	synthSpec string
+	rows      int
+	seed      uint64
+}
+
+func addDataFlags(fs *flag.FlagSet) *dataFlags {
+	df := &dataFlags{}
+	fs.StringVar(&df.data, "data", "", "input file (libsvm or CSV)")
+	fs.StringVar(&df.format, "format", "libsvm", "input format: libsvm, csv or cache")
+	fs.IntVar(&df.features, "features", 0, "feature count for libsvm (0 = infer)")
+	fs.IntVar(&df.maxBins, "bins", 256, "max histogram bins per feature")
+	fs.StringVar(&df.synthSpec, "synth", "", "generate synthetic data instead: synset, higgs, airline, criteo, yfcc")
+	fs.IntVar(&df.rows, "rows", 50000, "rows for synthetic data")
+	fs.Uint64Var(&df.seed, "seed", 42, "seed for synthetic data")
+	return df
+}
+
+func (df *dataFlags) load() (*harpgbdt.Dataset, error) {
+	switch {
+	case df.synthSpec != "":
+		return harpgbdt.Synthesize(harpgbdt.SynthConfig{
+			Spec: harpgbdt.SynthSpec(df.synthSpec), Rows: df.rows, Seed: df.seed,
+		}, df.maxBins)
+	case df.data == "":
+		return nil, fmt.Errorf("either -data or -synth is required")
+	case df.format == "csv":
+		return harpgbdt.LoadCSV(df.data, df.maxBins)
+	case df.format == "libsvm":
+		return harpgbdt.LoadLibSVM(df.data, df.features, df.maxBins)
+	default:
+		return nil, fmt.Errorf("unknown format %q", df.format)
+	}
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	df := addDataFlags(fs)
+	var (
+		modelPath = fs.String("model", "model.json", "output model path")
+		engineN   = fs.String("engine", "harp", "engine: harp, xgb-depth, xgb-leaf, xgb-approx, lightgbm")
+		trees     = fs.Int("trees", 100, "number of boosting rounds")
+		lr        = fs.Float64("lr", 0.1, "learning rate")
+		objective = fs.String("objective", "binary:logistic", "objective: binary:logistic or reg:squarederror")
+		d         = fs.Int("d", 8, "tree size D (2^(D-1) leaves)")
+		k         = fs.Int("k", 32, "TopK batch size (harp engine)")
+		mode      = fs.String("mode", "async", "harp parallel mode: dp, mp, sync, async")
+		fb        = fs.Int("feature-blk", 4, "feature block size (harp engine)")
+		nb        = fs.Int("node-blk", 32, "node block size (harp engine)")
+		workers   = fs.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
+		virtual   = fs.Bool("virtual", false, "run on the simulated 32-worker parallel machine")
+		evalEvery = fs.Int("eval-every", 10, "print train AUC every N trees (0 = never)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := df.load()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %s\n", harpgbdt.Stats(ds))
+	opts := harpgbdt.Options{
+		Engine: *engineN,
+		Harp: harpgbdt.HarpConfig{
+			Mode: parseMode(*mode), K: *k, Growth: harpgbdt.Leafwise, TreeSize: *d,
+			FeatureBlockSize: *fb, NodeBlockSize: *nb, UseMemBuf: true,
+			Workers: *workers, Virtual: *virtual,
+		},
+		Baseline: harpgbdt.BaselineConfig{TreeSize: *d, Workers: *workers, Virtual: *virtual},
+		Boost:    harpgbdt.BoostConfig{Rounds: *trees, LearningRate: *lr, Objective: *objective, EvalEvery: *evalEvery},
+	}
+	start := time.Now()
+	res, err := harpgbdt.Train(ds, opts, nil, nil)
+	if err != nil {
+		return err
+	}
+	for _, pt := range res.History {
+		fmt.Printf("tree %4d  trainAUC %.5f  elapsed %v\n", pt.Round, pt.TrainAUC, pt.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("trained %d trees in %v (%v/tree measured, %v wall), %d leaves, max depth %d\n",
+		res.Model.NumTrees(), res.TrainTime.Round(time.Millisecond),
+		res.AvgTreeTime().Round(time.Microsecond),
+		time.Since(start).Round(time.Millisecond), res.TotalLeaves, res.MaxDepth)
+	if err := res.Model.SaveFile(*modelPath); err != nil {
+		return err
+	}
+	fmt.Printf("model saved to %s\n", *modelPath)
+	return nil
+}
+
+func parseMode(s string) harpgbdt.Mode {
+	switch strings.ToLower(s) {
+	case "dp":
+		return harpgbdt.DP
+	case "mp":
+		return harpgbdt.MP
+	case "sync":
+		return harpgbdt.Sync
+	default:
+		return harpgbdt.Async
+	}
+}
+
+// loadRaw loads the raw (unbinned) matrix and labels for predict/eval.
+func loadRaw(df *dataFlags) (*harpgbdt.Dense, []float32, error) {
+	if df.data == "" {
+		return nil, nil, fmt.Errorf("-data is required")
+	}
+	f, err := os.Open(df.data)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	if df.format == "csv" {
+		return harpgbdt.ReadCSVRaw(f)
+	}
+	return harpgbdt.ReadLibSVMRaw(f, df.features)
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	df := addDataFlags(fs)
+	modelPath := fs.String("model", "model.json", "model path")
+	outPath := fs.String("out", "-", "output path (- = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := harpgbdt.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	x, _, err := loadRaw(df)
+	if err != nil {
+		return err
+	}
+	preds, err := m.PredictDense(x)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	for _, p := range preds {
+		fmt.Fprintf(w, "%.6f\n", p)
+	}
+	return w.Flush()
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	df := addDataFlags(fs)
+	modelPath := fs.String("model", "model.json", "model path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := harpgbdt.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	x, y, err := loadRaw(df)
+	if err != nil {
+		return err
+	}
+	preds, err := m.PredictDense(x)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rows %d  AUC %.5f  logloss %.5f  error %.5f\n",
+		x.N, harpgbdt.AUC(preds, y), harpgbdt.LogLoss(preds, y), harpgbdt.ErrorRate(preds, y))
+	return nil
+}
+
+func cmdCV(args []string) error {
+	fs := flag.NewFlagSet("cv", flag.ExitOnError)
+	df := addDataFlags(fs)
+	var (
+		folds   = fs.Int("folds", 5, "number of folds")
+		trees   = fs.Int("trees", 50, "trees per fold")
+		lr      = fs.Float64("lr", 0.1, "learning rate")
+		d       = fs.Int("d", 8, "tree size D")
+		engineN = fs.String("engine", "harp", "engine")
+		seed    = fs.Uint64("cv-seed", 1, "fold shuffle seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := df.load()
+	if err != nil {
+		return err
+	}
+	opts := harpgbdt.Options{
+		Engine:   *engineN,
+		Harp:     harpgbdt.HarpConfig{Mode: harpgbdt.Sync, K: 32, Growth: harpgbdt.Leafwise, TreeSize: *d, UseMemBuf: true, FeatureBlockSize: 4, NodeBlockSize: 32},
+		Baseline: harpgbdt.BaselineConfig{TreeSize: *d},
+		Boost:    harpgbdt.BoostConfig{Rounds: *trees, LearningRate: *lr},
+	}
+	res, err := harpgbdt.CrossValidate(ds, opts, *folds, *seed)
+	if err != nil {
+		return err
+	}
+	for i, auc := range res.FoldAUC {
+		fmt.Printf("fold %d: AUC %.5f\n", i+1, auc)
+	}
+	fmt.Printf("cv AUC %.5f +/- %.5f (%d trees total)\n", res.MeanAUC, res.StdAUC, res.Trees)
+	return nil
+}
+
+func cmdImportance(args []string) error {
+	fs := flag.NewFlagSet("importance", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "model path")
+	kind := fs.String("type", "gain", "importance type: gain, cover or frequency")
+	top := fs.Int("top", 20, "show the top-k features (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := harpgbdt.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	idx, vals, err := m.TopFeatures(harpgbdt.ImportanceType(*kind), *top)
+	if err != nil {
+		return err
+	}
+	for i, f := range idx {
+		fmt.Printf("f%-6d %12.4f\n", f, vals[i])
+	}
+	return nil
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "model path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := harpgbdt.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	return m.DumpText(os.Stdout)
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	df := addDataFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := df.load()
+	if err != nil {
+		return err
+	}
+	fmt.Println(harpgbdt.Stats(ds))
+	return nil
+}

@@ -1,0 +1,118 @@
+package main
+
+// CLI integration tests: the binary is built once per test run and driven
+// through a full train / eval / predict / importance / dump / cv / stats
+// workflow on generated data.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the command into dir and returns the binary path.
+func buildCLI(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "harpgbdt-cli")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build failed: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runCLI(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v failed: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	dir := t.TempDir()
+	bin := buildCLI(t, dir)
+	model := filepath.Join(dir, "model.json")
+	data := filepath.Join(dir, "train.libsvm")
+
+	// datagen is a separate command; generate via the train -synth path and
+	// a predict round trip instead. First write a small libsvm file by
+	// training on synthetic data and predicting on a file we create below.
+	out := runCLI(t, bin, "train", "-synth", "higgs", "-rows", "3000", "-trees", "8",
+		"-d", "5", "-model", model, "-eval-every", "4")
+	if !strings.Contains(out, "model saved") {
+		t.Fatalf("train output: %s", out)
+	}
+	if !strings.Contains(out, "trainAUC") {
+		t.Fatalf("no eval lines: %s", out)
+	}
+
+	// Handcrafted libsvm test file with the model's feature count (28).
+	lib := "1 0:0.5 1:1.2 5:0.3\n0 0:-0.5 2:2.0\n1 3:1\n"
+	if err := os.WriteFile(data, []byte(lib), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runCLI(t, bin, "eval", "-data", data, "-features", "28", "-model", model)
+	if !strings.Contains(out, "AUC") {
+		t.Fatalf("eval output: %s", out)
+	}
+
+	preds := filepath.Join(dir, "preds.txt")
+	runCLI(t, bin, "predict", "-data", data, "-features", "28", "-model", model, "-out", preds)
+	content, err := os.ReadFile(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(content), "\n"); lines != 3 {
+		t.Fatalf("predictions: %q", content)
+	}
+
+	out = runCLI(t, bin, "importance", "-model", model, "-top", "3")
+	if !strings.Contains(out, "f") {
+		t.Fatalf("importance output: %s", out)
+	}
+
+	out = runCLI(t, bin, "dump", "-model", model)
+	if !strings.Contains(out, "booster[0]:") {
+		t.Fatalf("dump output: %s", out)
+	}
+
+	out = runCLI(t, bin, "stats", "-synth", "airline", "-rows", "500")
+	if !strings.Contains(out, "M=8") {
+		t.Fatalf("stats output: %s", out)
+	}
+
+	out = runCLI(t, bin, "cv", "-synth", "higgs", "-rows", "1200", "-folds", "2", "-trees", "3", "-d", "4")
+	if !strings.Contains(out, "cv AUC") {
+		t.Fatalf("cv output: %s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	dir := t.TempDir()
+	bin := buildCLI(t, dir)
+	// Unknown subcommand exits non-zero.
+	if err := exec.Command(bin, "bogus").Run(); err == nil {
+		t.Fatal("unknown subcommand succeeded")
+	}
+	// Missing data exits non-zero.
+	if err := exec.Command(bin, "eval", "-model", "nope.json").Run(); err == nil {
+		t.Fatal("eval without data succeeded")
+	}
+	// No arguments prints usage and exits 2.
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Fatal("no-arg invocation succeeded")
+	}
+}

@@ -1,0 +1,86 @@
+package harpgbdt_test
+
+// Godoc examples. Examples without an Output comment are compiled but not
+// executed, so they document the API without pinning floating-point
+// results.
+
+import (
+	"fmt"
+	"log"
+
+	"harpgbdt"
+)
+
+func Example() {
+	// Generate a HIGGS-shaped dataset with a held-out test split.
+	train, testX, testY, err := harpgbdt.SynthesizeTrainTest(
+		harpgbdt.SynthConfig{Spec: harpgbdt.HiggsLike, Rows: 50000, Seed: 1}, 10000, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Train 100 trees with the paper's default HarpGBDT configuration.
+	res, err := harpgbdt.Train(train, harpgbdt.Options{
+		Boost: harpgbdt.BoostConfig{Rounds: 100, EvalEvery: 10},
+	}, testX, testY)
+	if err != nil {
+		log.Fatal(err)
+	}
+	preds, _ := res.Model.PredictDense(testX)
+	fmt.Printf("test AUC: %.3f\n", harpgbdt.AUC(preds, testY))
+}
+
+func ExampleNewBuilder() {
+	ds, _ := harpgbdt.Synthesize(harpgbdt.SynthConfig{Spec: harpgbdt.SynSet, Rows: 10000, Seed: 2}, 256)
+	// Configure the engine explicitly: ASYNC TopK-32 on the simulated
+	// 32-worker machine, with the paper's block sizes.
+	b, err := harpgbdt.NewBuilder(harpgbdt.Options{
+		Engine: "harp",
+		Harp: harpgbdt.HarpConfig{
+			Mode: harpgbdt.Async, K: 32, Growth: harpgbdt.Leafwise, TreeSize: 12,
+			FeatureBlockSize: 4, NodeBlockSize: 32, UseMemBuf: true,
+			Virtual: true, Workers: 32,
+		},
+	}, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _ := harpgbdt.TrainWith(b, ds, harpgbdt.BoostConfig{Rounds: 10}, nil, nil)
+	rep := res.Report(b)
+	fmt.Printf("utilization %.0f%%, %d synchronizations per tree\n",
+		100*rep.Utilization(), rep.Sched.Regions/10)
+}
+
+func ExampleCrossValidate() {
+	ds, _ := harpgbdt.Synthesize(harpgbdt.SynthConfig{Spec: harpgbdt.HiggsLike, Rows: 20000, Seed: 3}, 256)
+	cv, err := harpgbdt.CrossValidate(ds, harpgbdt.Options{
+		Boost: harpgbdt.BoostConfig{Rounds: 50},
+	}, 5, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("5-fold AUC %.3f ± %.3f\n", cv.MeanAUC, cv.StdAUC)
+}
+
+func ExampleModel_FeatureImportance() {
+	ds, _ := harpgbdt.Synthesize(harpgbdt.SynthConfig{Spec: harpgbdt.HiggsLike, Rows: 20000, Seed: 4}, 256)
+	res, _ := harpgbdt.Train(ds, harpgbdt.Options{Boost: harpgbdt.BoostConfig{Rounds: 20}}, nil, nil)
+	top, gains, _ := res.Model.TopFeatures(harpgbdt.ImportanceGain, 5)
+	for i, f := range top {
+		fmt.Printf("f%d: %.1f\n", f, gains[i])
+	}
+}
+
+func ExampleNewDistTrainer() {
+	ds, _ := harpgbdt.Synthesize(harpgbdt.SynthConfig{Spec: harpgbdt.HiggsLike, Rows: 40000, Seed: 5}, 256)
+	// Simulate an 8-node cluster on 10GbE.
+	dt, err := harpgbdt.NewDistTrainer(harpgbdt.DistConfig{
+		Nodes: 8, WorkersPerNode: 8, TreeSize: 8,
+		Params: harpgbdt.SplitParams{Lambda: 1, MinChildWeight: 1},
+	}, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _ := harpgbdt.TrainWith(dt, ds, harpgbdt.BoostConfig{Rounds: 10}, nil, nil)
+	fmt.Printf("simulated %v/tree, %.0f%% communication\n",
+		res.AvgTreeTime(), 100*float64(dt.CommNanos())/float64(res.TrainTime.Nanoseconds()))
+}

@@ -1,0 +1,3 @@
+module harpgbdt
+
+go 1.22

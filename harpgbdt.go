@@ -1,0 +1,311 @@
+// Package harpgbdt is a pure-Go reproduction of HarpGBDT (Peng et al.,
+// IEEE CLUSTER 2019): a gradient boosting decision tree trainer designed
+// for multicore parallel efficiency via TopK tree growth, block-wise
+// parallelism over ⟨row, node, bin, feature⟩ blocks, mixed DP/MP/SYNC/ASYNC
+// parallel modes, and memory-access optimizations (1-byte bins, MemBuf
+// gradient replicas, histogram subtraction).
+//
+// The package also ships faithful reimplementations of the paper's
+// baselines (XGBoost hist/approx and LightGBM parallel designs) behind the
+// same Builder interface, the synthetic dataset generators matching the
+// paper's Table III shapes, and the experiment harness regenerating every
+// table and figure of the evaluation (see cmd/experiments and
+// EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	ds, _ := harpgbdt.Synthesize(harpgbdt.SynthConfig{
+//		Spec: harpgbdt.SynSet, Rows: 100000, Seed: 1,
+//	}, 256)
+//	res, _ := harpgbdt.Train(ds, harpgbdt.Options{}, nil, nil)
+//	p := res.Model.Predict(features)
+package harpgbdt
+
+import (
+	"fmt"
+	"io"
+
+	"harpgbdt/internal/baseline"
+	"harpgbdt/internal/boost"
+	"harpgbdt/internal/core"
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/dist"
+	"harpgbdt/internal/engine"
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/metrics"
+	"harpgbdt/internal/profile"
+	"harpgbdt/internal/sched"
+	"harpgbdt/internal/synth"
+	"harpgbdt/internal/tree"
+)
+
+// Re-exported data types.
+type (
+	// Dataset is a binned training dataset (labels + 1-byte bins + cuts).
+	Dataset = dataset.Dataset
+	// Dense is a row-major float32 matrix with NaN as missing.
+	Dense = dataset.Dense
+	// CSR is a compressed sparse row matrix.
+	CSR = dataset.CSR
+	// DatasetStats are the Table III shape statistics (N, M, S, CV).
+	DatasetStats = dataset.Stats
+	// Model is a trained ensemble.
+	Model = boost.Model
+	// Tree is a single regression tree.
+	Tree = tree.Tree
+	// Builder grows one tree per boosting round.
+	Builder = engine.Builder
+	// BuiltTree is a grown tree plus its training-row leaf assignment.
+	BuiltTree = engine.BuiltTree
+	// HarpConfig is the HarpGBDT engine configuration (Table IV).
+	HarpConfig = core.Config
+	// BaselineConfig configures the XGBoost/LightGBM-style engines.
+	BaselineConfig = baseline.Config
+	// BoostConfig controls the boosting loop.
+	BoostConfig = boost.Config
+	// Result is a training run's model plus measurements.
+	Result = boost.Result
+	// RunReport is a training run's profiling record (utilization and
+	// barrier-overhead analogs, phase breakdown).
+	RunReport = profile.Report
+	// RunTable is a printable experiment result table.
+	RunTable = profile.Table
+	// EvalPoint is one convergence-curve sample.
+	EvalPoint = boost.EvalPoint
+	// SplitParams are the regularization hyper-parameters (λ, γ,
+	// min_child_weight).
+	SplitParams = tree.SplitParams
+	// SynthConfig configures the synthetic dataset generators.
+	SynthConfig = synth.Config
+	// SynthSpec names a synthetic dataset family.
+	SynthSpec = synth.Spec
+	// ImportanceType selects the feature-importance aggregation.
+	ImportanceType = boost.ImportanceType
+	// DistConfig configures the simulated distributed trainer.
+	DistConfig = dist.Config
+	// DistTrainer is the simulated distributed trainer (future-work
+	// extension; implements Builder).
+	DistTrainer = dist.Trainer
+	// Pool is a parallel worker pool (real or simulated).
+	Pool = sched.Pool
+	// CostModel parameterizes the simulated parallel machine.
+	CostModel = sched.CostModel
+	// Mode selects HarpGBDT's parallel design.
+	Mode = core.Mode
+	// GrowthMethod orders the candidate queue.
+	GrowthMethod = grow.Method
+)
+
+// Parallel modes (Table II).
+const (
+	DP    = core.DP
+	MP    = core.MP
+	Sync  = core.Sync
+	Async = core.Async
+)
+
+// Growth methods.
+const (
+	Depthwise = grow.Depthwise
+	Leafwise  = grow.Leafwise
+)
+
+// Feature-importance aggregation kinds.
+const (
+	ImportanceGain      = boost.ImportanceGain
+	ImportanceCover     = boost.ImportanceCover
+	ImportanceFrequency = boost.ImportanceFrequency
+)
+
+// Synthetic dataset families (Table III shapes).
+const (
+	SynSet      = synth.SynSet
+	HiggsLike   = synth.HiggsLike
+	AirlineLike = synth.AirlineLike
+	CriteoLike  = synth.CriteoLike
+	YFCCLike    = synth.YFCCLike
+)
+
+// Options selects and configures a training engine.
+type Options struct {
+	// Engine picks the trainer: "harp" (default), "xgb-depth", "xgb-leaf",
+	// "xgb-approx" or "lightgbm".
+	Engine string
+	// Harp configures the HarpGBDT engine (zero value = paper defaults).
+	Harp HarpConfig
+	// Baseline configures the baseline engines.
+	Baseline BaselineConfig
+	// Boost controls the boosting loop (zero value = 100 rounds, lr 0.1,
+	// logistic loss).
+	Boost BoostConfig
+}
+
+// NewBuilder constructs the configured tree builder for a dataset.
+func NewBuilder(opts Options, ds *Dataset) (Builder, error) {
+	switch opts.Engine {
+	case "", "harp":
+		cfg := opts.Harp
+		if cfg == (HarpConfig{}) {
+			cfg = core.DefaultConfig()
+		}
+		if cfg.Params == (SplitParams{}) {
+			cfg.Params = tree.DefaultSplitParams()
+		}
+		return core.NewBuilder(cfg, ds)
+	case "xgb-depth":
+		cfg := opts.Baseline
+		cfg.Growth = grow.Depthwise
+		if cfg.Params == (SplitParams{}) {
+			cfg.Params = tree.DefaultSplitParams()
+		}
+		return baseline.NewXGBHist(cfg, ds)
+	case "xgb-leaf":
+		cfg := opts.Baseline
+		cfg.Growth = grow.Leafwise
+		if cfg.Params == (SplitParams{}) {
+			cfg.Params = tree.DefaultSplitParams()
+		}
+		return baseline.NewXGBHist(cfg, ds)
+	case "xgb-approx":
+		cfg := opts.Baseline
+		cfg.Growth = grow.Depthwise
+		if cfg.Params == (SplitParams{}) {
+			cfg.Params = tree.DefaultSplitParams()
+		}
+		return baseline.NewXGBApprox(cfg, ds)
+	case "lightgbm":
+		cfg := opts.Baseline
+		cfg.Growth = grow.Leafwise
+		if cfg.Params == (SplitParams{}) {
+			cfg.Params = tree.DefaultSplitParams()
+		}
+		return baseline.NewLightGBM(cfg, ds)
+	default:
+		return nil, fmt.Errorf("harpgbdt: unknown engine %q", opts.Engine)
+	}
+}
+
+// Train builds the engine and runs the boosting loop. testX/testY are
+// optional (enable convergence evaluation on held-out data).
+func Train(ds *Dataset, opts Options, testX *Dense, testY []float32) (*Result, error) {
+	b, err := NewBuilder(opts, ds)
+	if err != nil {
+		return nil, err
+	}
+	return boost.Train(b, ds, opts.Boost, testX, testY)
+}
+
+// TrainWith runs the boosting loop with a pre-built engine, letting the
+// caller inspect the builder's scheduler statistics and phase breakdown
+// afterwards (see Result.Report).
+func TrainWith(b Builder, ds *Dataset, cfg BoostConfig, testX *Dense, testY []float32) (*Result, error) {
+	return boost.Train(b, ds, cfg, testX, testY)
+}
+
+// Synthesize generates a deterministic synthetic dataset (see SynthConfig).
+func Synthesize(cfg SynthConfig, maxBins int) (*Dataset, error) {
+	return synth.Make(cfg, maxBins)
+}
+
+// SynthesizeTrainTest generates train and held-out test splits.
+func SynthesizeTrainTest(cfg SynthConfig, testRows, maxBins int) (*Dataset, *Dense, []float32, error) {
+	return synth.MakeTrainTest(cfg, testRows, maxBins)
+}
+
+// LoadLibSVM reads a libsvm file into a Dataset.
+func LoadLibSVM(path string, numFeatures, maxBins int) (*Dataset, error) {
+	return dataset.LoadLibSVMFile(path, numFeatures, maxBins)
+}
+
+// LoadCSV reads a label-first CSV file into a Dataset.
+func LoadCSV(path string, maxBins int) (*Dataset, error) {
+	return dataset.LoadCSVFile(path, maxBins)
+}
+
+// NewDataset bins a dense matrix with labels.
+func NewDataset(name string, d *Dense, labels []float32, maxBins int) (*Dataset, error) {
+	return dataset.FromDense(name, d, labels, maxBins)
+}
+
+// NewDenseMatrix allocates an n x m raw feature matrix (NaN = missing).
+func NewDenseMatrix(n, m int) *Dense { return dataset.NewDense(n, m) }
+
+// NewPool returns a real worker pool of the given width (0 = GOMAXPROCS).
+func NewPool(workers int) *Pool { return sched.NewPool(workers) }
+
+// NewVirtualPool returns a simulated parallel machine of the given width
+// (0 = 32, the paper's thread count). Zero cost model selects defaults.
+func NewVirtualPool(workers int, cost CostModel) *Pool {
+	return sched.NewVirtualPool(workers, cost)
+}
+
+// Stats computes the Table III shape statistics of a dataset.
+func Stats(ds *Dataset) DatasetStats { return dataset.ComputeStats(ds) }
+
+// AUC computes the area under the ROC curve.
+func AUC(scores []float64, labels []float32) float64 { return metrics.AUC(scores, labels) }
+
+// LogLoss computes mean binary cross-entropy of probability predictions.
+func LogLoss(probs []float64, labels []float32) float64 { return metrics.LogLoss(probs, labels) }
+
+// RMSE computes root mean squared error.
+func RMSE(preds []float64, labels []float32) float64 { return metrics.RMSE(preds, labels) }
+
+// ErrorRate computes the 0.5-threshold misclassification rate.
+func ErrorRate(probs []float64, labels []float32) float64 { return metrics.ErrorRate(probs, labels) }
+
+// LoadModel reads a model saved with Model.SaveFile.
+func LoadModel(path string) (*Model, error) { return boost.LoadFile(path) }
+
+// NewDistTrainer builds the simulated distributed trainer (histogram
+// allreduce over a simulated cluster; see internal/dist).
+func NewDistTrainer(cfg DistConfig, ds *Dataset) (*DistTrainer, error) {
+	return dist.NewTrainer(cfg, ds)
+}
+
+// CVResult summarizes a k-fold cross-validation.
+type CVResult = boost.CVResult
+
+// Multiclass (softmax) training.
+type (
+	// MulticlassConfig controls softmax training (labels = class ids).
+	MulticlassConfig = boost.MulticlassConfig
+	// MulticlassModel is a trained softmax ensemble.
+	MulticlassModel = boost.MulticlassModel
+	// MulticlassResult bundles a softmax model with measurements.
+	MulticlassResult = boost.MulticlassResult
+)
+
+// TrainMulticlass trains a softmax ensemble with the configured engine.
+func TrainMulticlass(ds *Dataset, opts Options, cfg MulticlassConfig) (*MulticlassResult, error) {
+	b, err := NewBuilder(opts, ds)
+	if err != nil {
+		return nil, err
+	}
+	return boost.TrainMulticlass(b, ds, cfg)
+}
+
+// CrossValidate runs k-fold cross-validation with the configured engine.
+func CrossValidate(ds *Dataset, opts Options, folds int, seed uint64) (*CVResult, error) {
+	factory := func(fold *Dataset) (Builder, error) { return NewBuilder(opts, fold) }
+	return boost.CrossValidate(factory, ds, opts.Boost, folds, seed)
+}
+
+// SubsetDataset extracts the given rows into a new dataset sharing the
+// original's bin cuts.
+func SubsetDataset(ds *Dataset, rows []int32) (*Dataset, error) {
+	return dataset.Subset(ds, rows)
+}
+
+// ReadCSVRaw parses label-first CSV into a raw matrix and labels (for
+// prediction on unbinned data).
+func ReadCSVRaw(r io.Reader) (*Dense, []float32, error) { return dataset.ReadCSV(r) }
+
+// ReadLibSVMRaw parses libsvm text into a raw dense matrix and labels.
+func ReadLibSVMRaw(r io.Reader, numFeatures int) (*Dense, []float32, error) {
+	csr, labels, err := dataset.ReadLibSVM(r, numFeatures)
+	if err != nil {
+		return nil, nil, err
+	}
+	return csr.ToDense(), labels, nil
+}

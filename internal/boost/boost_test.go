@@ -1,0 +1,301 @@
+package boost
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"harpgbdt/internal/baseline"
+	"harpgbdt/internal/core"
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/metrics"
+	"harpgbdt/internal/synth"
+	"harpgbdt/internal/tree"
+)
+
+func trainTest(t *testing.T) (*dataset.Dataset, *dataset.Dense, []float32) {
+	t.Helper()
+	ds, x, y, err := synth.MakeTrainTest(synth.Config{Spec: synth.HiggsLike, Rows: 4000, Seed: 5}, 1500, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, x, y
+}
+
+func harpBuilder(t *testing.T, ds *dataset.Dataset) *core.Builder {
+	t.Helper()
+	b, err := core.NewBuilder(core.Config{Mode: core.Sync, K: 8, Growth: grow.Leafwise,
+		TreeSize: 5, UseMemBuf: true, FeatureBlockSize: 4,
+		Params: tree.DefaultSplitParams()}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestTrainImprovesAUC(t *testing.T) {
+	ds, x, y := trainTest(t)
+	res, err := Train(harpBuilder(t, ds), ds, Config{Rounds: 30, EvalEvery: 1}, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 30 {
+		t.Fatalf("history %d points", len(res.History))
+	}
+	first, last := res.History[0], res.History[len(res.History)-1]
+	bestTest := first.TestAUC
+	for _, pt := range res.History {
+		if pt.TestAUC > bestTest {
+			bestTest = pt.TestAUC
+		}
+	}
+	if bestTest <= first.TestAUC+0.005 {
+		t.Fatalf("test AUC never improved past round 1: %f -> best %f", first.TestAUC, bestTest)
+	}
+	if last.TrainAUC <= first.TrainAUC {
+		t.Fatalf("train AUC did not improve: %f -> %f", first.TrainAUC, last.TrainAUC)
+	}
+	if last.TrainAUC < last.TestAUC {
+		t.Fatalf("train AUC %f below test AUC %f (suspicious)", last.TrainAUC, last.TestAUC)
+	}
+	if res.TrainTime <= 0 || len(res.PerTree) != 30 {
+		t.Fatal("timing not recorded")
+	}
+	if res.AvgTreeTime() <= 0 {
+		t.Fatal("avg tree time")
+	}
+}
+
+func TestMarginsMatchModelPrediction(t *testing.T) {
+	// The incrementally-maintained test margins must equal a from-scratch
+	// model prediction: leaf-assignment bookkeeping is consistent with tree
+	// walking.
+	ds, x, y := trainTest(t)
+	res, err := Train(harpBuilder(t, ds), ds, Config{Rounds: 10}, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Model
+	for i := 0; i < x.N; i += 97 {
+		margin := m.PredictMargin(x.Row(i), 0)
+		p := m.Predict(x.Row(i))
+		want := 1 / (1 + math.Exp(-margin))
+		if math.Abs(p-want) > 1e-12 {
+			t.Fatalf("row %d: transform mismatch", i)
+		}
+	}
+	// Batch prediction agrees with row prediction.
+	preds, err := m.PredictDense(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < x.N; i += 89 {
+		if math.Abs(preds[i]-m.Predict(x.Row(i))) > 1e-12 {
+			t.Fatalf("batch/row prediction mismatch at %d", i)
+		}
+	}
+	auc := metrics.AUC(preds, y)
+	if auc < 0.65 {
+		t.Fatalf("model AUC %f too low", auc)
+	}
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	ds, x, _ := trainTest(t)
+	res, err := Train(harpBuilder(t, ds), ds, Config{Rounds: 5}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Model.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumTrees() != res.Model.NumTrees() {
+		t.Fatal("tree count changed")
+	}
+	for i := 0; i < x.N; i += 131 {
+		a, b := res.Model.Predict(x.Row(i)), m2.Predict(x.Row(i))
+		if a != b {
+			t.Fatalf("prediction changed after round trip: %v vs %v", a, b)
+		}
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte(`{"trees":[{"nodes":[]}]}`))); err == nil {
+		t.Fatal("model with empty tree accepted")
+	}
+}
+
+func TestModelSaveLoadFile(t *testing.T) {
+	ds, x, _ := trainTest(t)
+	res, err := Train(harpBuilder(t, ds), ds, Config{Rounds: 3}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := res.Model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Predict(x.Row(0)) != res.Model.Predict(x.Row(0)) {
+		t.Fatal("prediction changed after save/load")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPredictMarginPrefix(t *testing.T) {
+	ds, x, _ := trainTest(t)
+	res, err := Train(harpBuilder(t, ds), ds, Config{Rounds: 6}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Model
+	row := x.Row(3)
+	full := m.PredictMargin(row, 0)
+	if m.PredictMargin(row, 100) != full {
+		t.Fatal("k beyond tree count should use all trees")
+	}
+	partial := m.PredictMargin(row, 2)
+	sum := m.BaseScore
+	for _, tr := range m.Trees[:2] {
+		sum += tr.PredictRowRaw(row)
+	}
+	if math.Abs(partial-sum) > 1e-12 {
+		t.Fatal("prefix prediction wrong")
+	}
+}
+
+func TestPredictDenseDimensionCheck(t *testing.T) {
+	ds, _, _ := trainTest(t)
+	res, err := Train(harpBuilder(t, ds), ds, Config{Rounds: 2}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := dataset.NewDense(3, ds.NumFeatures()+1)
+	if _, err := res.Model.PredictDense(bad); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestSquaredErrorRegression(t *testing.T) {
+	// Regression on a deterministic target: RMSE must drop well below the
+	// baseline standard deviation.
+	n := 3000
+	d := dataset.NewDense(n, 4)
+	labels := make([]float32, n)
+	s := uint64(3)
+	for i := 0; i < n; i++ {
+		var x [4]float64
+		for f := 0; f < 4; f++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			x[f] = float64(s>>40) / float64(1<<24)
+			d.Set(i, f, float32(x[f]))
+		}
+		labels[i] = float32(2*x[0] - x[1] + 0.5*x[2]*x[3])
+	}
+	ds, err := dataset.FromDense("reg", d, labels, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.NewBuilder(core.Config{Mode: core.Sync, K: 8, Growth: grow.Leafwise,
+		TreeSize: 6, Params: tree.SplitParams{Lambda: 1, Gamma: 0, MinChildWeight: 1}}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(b, ds, Config{Rounds: 40, Objective: "reg:squarederror", LearningRate: 0.3}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := res.Model.PredictDense(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse := metrics.RMSE(preds, labels)
+	if rmse > 0.2 {
+		t.Fatalf("regression RMSE %f too high", rmse)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	ds, _, _ := trainTest(t)
+	b := harpBuilder(t, ds)
+	if _, err := Train(b, ds, Config{Rounds: 1, Objective: "nope"}, nil, nil); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+	if _, err := Train(b, ds, Config{Rounds: -1}, nil, nil); err == nil {
+		t.Fatal("negative rounds accepted")
+	}
+	bad := dataset.NewDense(3, ds.NumFeatures())
+	if _, err := Train(b, ds, Config{Rounds: 1}, bad, []float32{1}); err == nil {
+		t.Fatal("test label mismatch accepted")
+	}
+}
+
+func TestResultReport(t *testing.T) {
+	ds, _, _ := trainTest(t)
+	b := harpBuilder(t, ds)
+	res, err := Train(b, ds, Config{Rounds: 3}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report(b)
+	if rep.Trainer != b.Name() || rep.Trees != 3 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.Utilization() <= 0 {
+		t.Fatal("utilization missing")
+	}
+	if rep.Breakdown.Total() == 0 {
+		t.Fatal("breakdown missing")
+	}
+	if rep.String() == "" {
+		t.Fatal("report string")
+	}
+}
+
+func TestBoostWithBaselineEngine(t *testing.T) {
+	ds, x, y := trainTest(t)
+	b, err := baseline.NewLightGBM(baseline.Config{TreeSize: 5, Params: tree.DefaultSplitParams()}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(b, ds, Config{Rounds: 15, EvalEvery: 15}, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := res.History[len(res.History)-1].TestAUC; auc < 0.65 {
+		t.Fatalf("baseline engine AUC %f", auc)
+	}
+}
+
+func TestScaleTreeOnlyLeaves(t *testing.T) {
+	tr := tree.New(1, 2, 10)
+	l, r := tr.AddChildren(0, 0, 0, 0, false, 1)
+	tr.Nodes[0].Weight = 99 // internal weight must be cleared
+	tr.Nodes[l].Weight = 2
+	tr.Nodes[r].Weight = -4
+	tr.Nodes[l].Count, tr.Nodes[r].Count = 5, 5
+	scaleTree(tr, 0.5)
+	if tr.Nodes[l].Weight != 1 || tr.Nodes[r].Weight != -2 {
+		t.Fatal("leaf weights not scaled")
+	}
+	if tr.Nodes[0].Weight != 0 {
+		t.Fatal("internal weight not cleared")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Rounds != 100 || cfg.LearningRate != 0.1 || cfg.Objective != "binary:logistic" {
+		t.Fatalf("defaults %+v", cfg)
+	}
+}

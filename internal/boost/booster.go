@@ -1,0 +1,263 @@
+package boost
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/engine"
+	"harpgbdt/internal/gh"
+	"harpgbdt/internal/metrics"
+	"harpgbdt/internal/objective"
+	"harpgbdt/internal/profile"
+	"harpgbdt/internal/synth"
+	"harpgbdt/internal/tree"
+)
+
+// Config controls the boosting loop. The defaults mirror the paper's
+// training parameters (learning_rate = 0.1, logistic loss).
+type Config struct {
+	// Rounds is the number of trees to train.
+	Rounds int
+	// LearningRate is the shrinkage factor applied to every leaf.
+	LearningRate float64
+	// Objective names the loss ("binary:logistic", "reg:squarederror").
+	Objective string
+	// EvalEvery records an evaluation point every that many rounds
+	// (0 disables evaluation; 1 evaluates after every tree).
+	EvalEvery int
+	// EarlyStopRounds stops training when the monitored AUC (test AUC when
+	// a test set is supplied, train AUC otherwise) has not improved over
+	// the best seen for that many consecutive evaluation points
+	// (0 disables). Requires EvalEvery > 0.
+	EarlyStopRounds int
+	// Subsample in (0, 1) trains each tree on a random row fraction
+	// (stochastic gradient boosting; excluded rows contribute zero
+	// gradients to that tree). 0 or 1 disables.
+	Subsample float64
+	// Weights optionally assigns a non-negative instance weight per
+	// training row (scales both gradient components).
+	Weights []float32
+	// Seed drives the subsampling RNG.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds == 0 {
+		c.Rounds = 100
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.1
+	}
+	if c.Objective == "" {
+		c.Objective = "binary:logistic"
+	}
+	return c
+}
+
+// EvalPoint is one convergence-curve sample.
+type EvalPoint struct {
+	Round    int
+	Elapsed  time.Duration
+	TrainAUC float64
+	TestAUC  float64
+}
+
+// Result bundles the trained model with the measurements the experiments
+// consume.
+type Result struct {
+	Model *Model
+	// History holds the recorded evaluation points.
+	History []EvalPoint
+	// TrainTime is the total tree-building wall time (data loading and
+	// evaluation excluded, per the paper's metric).
+	TrainTime time.Duration
+	// PerTree holds each round's tree-building time.
+	PerTree []time.Duration
+	// TotalLeaves and MaxDepth summarize the grown trees.
+	TotalLeaves int
+	MaxDepth    int
+	// StoppedEarly reports whether early stopping ended training before
+	// Rounds trees.
+	StoppedEarly bool
+}
+
+// AvgTreeTime is the paper's efficiency metric: mean training time per tree.
+func (r *Result) AvgTreeTime() time.Duration {
+	if len(r.PerTree) == 0 {
+		return 0
+	}
+	return r.TrainTime / time.Duration(len(r.PerTree))
+}
+
+// Report assembles the profiling report for the run.
+func (r *Result) Report(b engine.Builder) profile.Report {
+	return profile.Report{
+		Trainer:   b.Name(),
+		Workers:   b.Pool().Workers(),
+		Elapsed:   r.TrainTime,
+		Breakdown: b.Profile(),
+		Sched:     b.Pool().Stats(),
+		Trees:     len(r.PerTree),
+		Leaves:    r.TotalLeaves,
+		MaxDepth:  r.MaxDepth,
+	}
+}
+
+// Train runs the boosting loop with the given tree builder. testX/testY are
+// optional (nil disables test evaluation).
+func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Dense, testY []float32) (*Result, error) {
+	cfg = cfg.withDefaults()
+	obj, err := objective.New(cfg.Objective)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Rounds < 0 {
+		return nil, fmt.Errorf("boost: negative rounds %d", cfg.Rounds)
+	}
+	if cfg.Subsample < 0 || cfg.Subsample > 1 {
+		return nil, fmt.Errorf("boost: subsample %g out of (0, 1]", cfg.Subsample)
+	}
+	if cfg.EarlyStopRounds > 0 && cfg.EvalEvery <= 0 {
+		return nil, fmt.Errorf("boost: early stopping requires EvalEvery > 0")
+	}
+	n := ds.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("boost: empty dataset")
+	}
+	if len(cfg.Weights) > 0 {
+		if len(cfg.Weights) != n {
+			return nil, fmt.Errorf("boost: %d weights for %d rows", len(cfg.Weights), n)
+		}
+		for i, w := range cfg.Weights {
+			if w < 0 || w != w {
+				return nil, fmt.Errorf("boost: invalid weight %v at row %d", w, i)
+			}
+		}
+		obj = Weighted{Inner: obj, Weights: cfg.Weights}
+	}
+	base := obj.BaseScore(ds.Labels)
+	model := &Model{
+		Objective:    cfg.Objective,
+		BaseScore:    base,
+		LearningRate: cfg.LearningRate,
+		NumFeatures:  ds.NumFeatures(),
+	}
+	margins := make([]float64, n)
+	for i := range margins {
+		margins[i] = base
+	}
+	var testMargins []float64
+	if testX != nil {
+		if len(testY) != testX.N {
+			return nil, fmt.Errorf("boost: %d test labels for %d rows", len(testY), testX.N)
+		}
+		testMargins = make([]float64, testX.N)
+		for i := range testMargins {
+			testMargins[i] = base
+		}
+	}
+	grad := gh.NewBuffer(n)
+	res := &Result{Model: model}
+	pool := b.Pool()
+	virtual := pool.Virtual()
+	subsampling := cfg.Subsample > 0 && cfg.Subsample < 1
+	var rng *synth.RNG
+	if subsampling {
+		rng = synth.NewRNG(cfg.Seed ^ 0x42535453)
+	}
+	bestMetric := math.Inf(-1)
+	sinceBest := 0
+	for round := 0; round < cfg.Rounds; round++ {
+		start := time.Now()
+		s0 := pool.Stats()
+		obj.Gradients(margins, ds.Labels, grad)
+		if subsampling {
+			// Stochastic gradient boosting: excluded rows contribute no
+			// gradient mass to this tree (they still flow through splits,
+			// carrying zero weight).
+			for i := range grad {
+				if rng.Float64() >= cfg.Subsample {
+					grad[i] = gh.Pair{}
+				}
+			}
+		}
+		bt, err := b.BuildTree(grad)
+		if err != nil {
+			return nil, fmt.Errorf("boost: round %d: %w", round, err)
+		}
+		scaleTree(bt.Tree, cfg.LearningRate)
+		for i, leaf := range bt.LeafOf {
+			if leaf >= 0 {
+				margins[i] += bt.Tree.Nodes[leaf].Weight
+			}
+		}
+		dur := time.Since(start)
+		if virtual {
+			// On the simulated parallel machine, replace the serial
+			// in-region execution time with the simulated parallel wall
+			// time; code outside parallel regions stays at its real cost.
+			s1 := pool.Stats()
+			serial := s1.SerialNanos - s0.SerialNanos
+			vwall := s1.WallNanos - s0.WallNanos
+			adj := dur.Nanoseconds() - serial + vwall
+			if adj < vwall {
+				adj = vwall
+			}
+			dur = time.Duration(adj)
+		}
+		res.TrainTime += dur
+		res.PerTree = append(res.PerTree, dur)
+		res.TotalLeaves += bt.Tree.NumLeaves()
+		if d := bt.Tree.MaxDepth(); d > res.MaxDepth {
+			res.MaxDepth = d
+		}
+		model.Trees = append(model.Trees, bt.Tree)
+		if testMargins != nil {
+			for i := 0; i < testX.N; i++ {
+				testMargins[i] += bt.Tree.PredictRowRaw(testX.Row(i))
+			}
+		}
+		if cfg.EvalEvery > 0 && ((round+1)%cfg.EvalEvery == 0 || round == cfg.Rounds-1) {
+			pt := EvalPoint{Round: round + 1, Elapsed: res.TrainTime}
+			pt.TrainAUC = marginAUC(margins, ds.Labels)
+			monitored := pt.TrainAUC
+			if testMargins != nil {
+				pt.TestAUC = marginAUC(testMargins, testY)
+				monitored = pt.TestAUC
+			}
+			res.History = append(res.History, pt)
+			if cfg.EarlyStopRounds > 0 {
+				if monitored > bestMetric {
+					bestMetric = monitored
+					sinceBest = 0
+				} else {
+					sinceBest++
+					if sinceBest >= cfg.EarlyStopRounds {
+						res.StoppedEarly = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// scaleTree applies the learning rate to every leaf weight in place.
+func scaleTree(t *tree.Tree, lr float64) {
+	for i := range t.Nodes {
+		if t.Nodes[i].IsLeaf() {
+			t.Nodes[i].Weight *= lr
+		} else {
+			t.Nodes[i].Weight = 0
+		}
+	}
+}
+
+// marginAUC computes AUC directly on margins (AUC is invariant under the
+// monotone sigmoid, so no transform is needed).
+func marginAUC(margins []float64, labels []float32) float64 {
+	return metrics.AUC(margins, labels)
+}

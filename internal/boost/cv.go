@@ -1,0 +1,157 @@
+package boost
+
+import (
+	"fmt"
+	"math"
+
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/engine"
+	"harpgbdt/internal/gh"
+	"harpgbdt/internal/metrics"
+	"harpgbdt/internal/objective"
+	"harpgbdt/internal/synth"
+)
+
+// PredictDataset scores every row of a binned dataset (probabilities for
+// logistic, raw values for regression), walking trees by bin ids — the
+// fast path when the data were binned with the same cuts the model was
+// trained on.
+func (m *Model) PredictDataset(ds *dataset.Dataset) ([]float64, error) {
+	if ds.NumFeatures() != m.NumFeatures {
+		return nil, fmt.Errorf("boost: model expects %d features, dataset has %d", m.NumFeatures, ds.NumFeatures())
+	}
+	obj, err := objective.New(m.Objective)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, ds.NumRows())
+	for i := range out {
+		bins := ds.Binned.Row(i)
+		margin := m.BaseScore
+		for _, t := range m.Trees {
+			leaf := t.PredictRowBinned(bins)
+			margin += t.Nodes[leaf].Weight
+		}
+		out[i] = obj.Transform(margin)
+	}
+	return out, nil
+}
+
+// CVResult summarizes a k-fold cross-validation.
+type CVResult struct {
+	// FoldAUC holds the held-out AUC of each fold.
+	FoldAUC []float64
+	// MeanAUC and StdAUC aggregate the folds.
+	MeanAUC float64
+	StdAUC  float64
+	// Trees is the total number of trees trained.
+	Trees int
+}
+
+// BuilderFactory constructs a tree builder for a (fold) dataset.
+type BuilderFactory func(ds *dataset.Dataset) (engine.Builder, error)
+
+// CrossValidate runs k-fold cross-validation: for each fold, a model is
+// trained on the remaining rows and evaluated (AUC) on the held-out fold.
+// Rows are shuffled deterministically by seed before folding.
+func CrossValidate(factory BuilderFactory, ds *dataset.Dataset, cfg Config, folds int, seed uint64) (*CVResult, error) {
+	if folds < 2 {
+		return nil, fmt.Errorf("boost: need at least 2 folds, got %d", folds)
+	}
+	n := ds.NumRows()
+	if n < folds {
+		return nil, fmt.Errorf("boost: %d rows cannot split into %d folds", n, folds)
+	}
+	rng := synth.NewRNG(seed ^ 0x43564346)
+	perm := rng.Perm(n)
+	rows := make([]int32, n)
+	for i, p := range perm {
+		rows[i] = int32(p)
+	}
+	foldIdx := dataset.Split(n, folds)
+	res := &CVResult{}
+	for f := 0; f < folds; f++ {
+		var trainRows, testRows []int32
+		for g := 0; g < folds; g++ {
+			for _, i := range foldIdx[g] {
+				if g == f {
+					testRows = append(testRows, rows[i])
+				} else {
+					trainRows = append(trainRows, rows[i])
+				}
+			}
+		}
+		trainDS, err := dataset.Subset(ds, trainRows)
+		if err != nil {
+			return nil, err
+		}
+		testDS, err := dataset.Subset(ds, testRows)
+		if err != nil {
+			return nil, err
+		}
+		b, err := factory(trainDS)
+		if err != nil {
+			return nil, err
+		}
+		run, err := Train(b, trainDS, cfg, nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("boost: fold %d: %w", f, err)
+		}
+		preds, err := run.Model.PredictDataset(testDS)
+		if err != nil {
+			return nil, err
+		}
+		auc := metrics.AUC(preds, testDS.Labels)
+		res.FoldAUC = append(res.FoldAUC, auc)
+		res.Trees += run.Model.NumTrees()
+	}
+	sum := 0.0
+	valid := 0
+	for _, a := range res.FoldAUC {
+		if !math.IsNaN(a) {
+			sum += a
+			valid++
+		}
+	}
+	if valid > 0 {
+		res.MeanAUC = sum / float64(valid)
+		varsum := 0.0
+		for _, a := range res.FoldAUC {
+			if !math.IsNaN(a) {
+				d := a - res.MeanAUC
+				varsum += d * d
+			}
+		}
+		res.StdAUC = math.Sqrt(varsum / float64(valid))
+	}
+	return res, nil
+}
+
+// Weighted wraps an objective with per-row instance weights: both gradient
+// components are scaled, so weighted rows influence splits and leaf values
+// proportionally.
+type Weighted struct {
+	Inner   objective.Objective
+	Weights []float32
+}
+
+// Name implements objective.Objective.
+func (w Weighted) Name() string { return w.Inner.Name() }
+
+// BaseScore implements objective.Objective (weighted base score is
+// approximated by the inner unweighted one; the first boosting rounds
+// correct any offset).
+func (w Weighted) BaseScore(labels []float32) float64 { return w.Inner.BaseScore(labels) }
+
+// Gradients implements objective.Objective.
+func (w Weighted) Gradients(preds []float64, labels []float32, grad gh.Buffer) {
+	w.Inner.Gradients(preds, labels, grad)
+	for i := range grad {
+		wi := float64(w.Weights[i])
+		grad[i].G *= wi
+		grad[i].H *= wi
+	}
+}
+
+// Transform implements objective.Objective.
+func (w Weighted) Transform(margin float64) float64 { return w.Inner.Transform(margin) }

@@ -1,0 +1,184 @@
+package boost
+
+import (
+	"math"
+	"testing"
+
+	"harpgbdt/internal/core"
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/engine"
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/tree"
+)
+
+func cvFactory() BuilderFactory {
+	return func(ds *dataset.Dataset) (engine.Builder, error) {
+		return core.NewBuilder(core.Config{Mode: core.Sync, K: 8, Growth: grow.Leafwise,
+			TreeSize: 5, UseMemBuf: true, Params: tree.DefaultSplitParams()}, ds)
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	ds, _, _ := trainTest(t)
+	res, err := CrossValidate(cvFactory(), ds, Config{Rounds: 10}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldAUC) != 4 {
+		t.Fatalf("folds %d", len(res.FoldAUC))
+	}
+	if res.MeanAUC < 0.6 {
+		t.Fatalf("CV mean AUC %f", res.MeanAUC)
+	}
+	if res.StdAUC < 0 || res.StdAUC > 0.2 {
+		t.Fatalf("CV std AUC %f", res.StdAUC)
+	}
+	if res.Trees != 40 {
+		t.Fatalf("trees %d, want 40", res.Trees)
+	}
+	for _, a := range res.FoldAUC {
+		if math.IsNaN(a) {
+			t.Fatal("NaN fold AUC")
+		}
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	ds, _, _ := trainTest(t)
+	if _, err := CrossValidate(cvFactory(), ds, Config{Rounds: 1}, 1, 1); err == nil {
+		t.Fatal("single fold accepted")
+	}
+	tiny := &dataset.Dataset{Labels: []float32{1}, Binned: &dataset.BinnedMatrix{N: 1, M: 1, Bins: []uint8{0}}, Cuts: ds.Cuts}
+	if _, err := CrossValidate(cvFactory(), tiny, Config{Rounds: 1}, 5, 1); err == nil {
+		t.Fatal("more folds than rows accepted")
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	ds, _, _ := trainTest(t)
+	a, err := CrossValidate(cvFactory(), ds, Config{Rounds: 3}, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(cvFactory(), ds, Config{Rounds: 3}, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.FoldAUC {
+		if a.FoldAUC[i] != b.FoldAUC[i] {
+			t.Fatal("same seed produced different folds")
+		}
+	}
+}
+
+func TestPredictDatasetMatchesRaw(t *testing.T) {
+	// On the training data, binned prediction must match raw prediction
+	// when raw values are reconstructed from the dataset generation — here
+	// we check consistency between PredictDataset and margins instead.
+	ds, _, _ := trainTest(t)
+	res, err := Train(harpBuilder(t, ds), ds, Config{Rounds: 5}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := res.Model.PredictDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != ds.NumRows() {
+		t.Fatal("length mismatch")
+	}
+	for _, p := range preds {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %f out of range", p)
+		}
+	}
+	// Dimension check.
+	bad := &dataset.Dataset{Labels: ds.Labels,
+		Binned: &dataset.BinnedMatrix{N: ds.NumRows(), M: ds.NumFeatures() + 1,
+			Bins: make([]uint8, ds.NumRows()*(ds.NumFeatures()+1))},
+		Cuts: ds.Cuts}
+	if _, err := res.Model.PredictDataset(bad); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestWeightedTraining(t *testing.T) {
+	ds, x, y := trainTest(t)
+	n := ds.NumRows()
+	uniform := make([]float32, n)
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	// Uniform weights must reproduce unweighted training exactly.
+	plain, err := Train(harpBuilder(t, ds), ds, Config{Rounds: 5, EvalEvery: 5}, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Train(harpBuilder(t, ds), ds, Config{Rounds: 5, EvalEvery: 5, Weights: uniform}, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.History[0].TestAUC-weighted.History[0].TestAUC) > 1e-12 {
+		t.Fatal("uniform weights changed the model")
+	}
+	// Zeroing out the positive class's weights should destroy the signal.
+	zeroPos := make([]float32, n)
+	for i := range zeroPos {
+		if ds.Labels[i] < 0.5 {
+			zeroPos[i] = 1
+		}
+	}
+	degenerate, err := Train(harpBuilder(t, ds), ds, Config{Rounds: 5, EvalEvery: 5, Weights: zeroPos}, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degenerate.History[0].TestAUC > plain.History[0].TestAUC-0.01 {
+		t.Fatalf("removing positive-class weight did not hurt: %f vs %f",
+			degenerate.History[0].TestAUC, plain.History[0].TestAUC)
+	}
+}
+
+func TestWeightValidation(t *testing.T) {
+	ds, _, _ := trainTest(t)
+	if _, err := Train(harpBuilder(t, ds), ds, Config{Rounds: 1, Weights: []float32{1, 2}}, nil, nil); err == nil {
+		t.Fatal("wrong weight length accepted")
+	}
+	bad := make([]float32, ds.NumRows())
+	bad[3] = -1
+	if _, err := Train(harpBuilder(t, ds), ds, Config{Rounds: 1, Weights: bad}, nil, nil); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestSubsetAndSplit(t *testing.T) {
+	ds, _, _ := trainTest(t)
+	sub, err := dataset.Subset(ds, []int32{5, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumRows() != 3 {
+		t.Fatal("subset size")
+	}
+	if sub.Labels[0] != ds.Labels[5] || sub.Labels[1] != ds.Labels[1] || sub.Labels[2] != ds.Labels[5] {
+		t.Fatal("subset labels wrong")
+	}
+	for f := 0; f < ds.NumFeatures(); f++ {
+		if sub.Binned.At(0, f) != ds.Binned.At(5, f) {
+			t.Fatal("subset bins wrong")
+		}
+	}
+	if _, err := dataset.Subset(ds, []int32{-1}); err == nil {
+		t.Fatal("negative row accepted")
+	}
+	if _, err := dataset.Subset(ds, []int32{int32(ds.NumRows())}); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	folds := dataset.Split(10, 3)
+	total := 0
+	for _, f := range folds {
+		total += len(f)
+	}
+	if total != 10 || len(folds) != 3 {
+		t.Fatalf("split %v", folds)
+	}
+}

@@ -1,0 +1,114 @@
+package boost
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"harpgbdt/internal/tree"
+)
+
+// ImportanceType selects how feature importance is aggregated across the
+// ensemble.
+type ImportanceType string
+
+const (
+	// ImportanceGain sums the loss reduction of every split using the
+	// feature (the default and usually most informative measure).
+	ImportanceGain ImportanceType = "gain"
+	// ImportanceCover sums the hessian mass (number of weighted instances)
+	// flowing through splits of the feature.
+	ImportanceCover ImportanceType = "cover"
+	// ImportanceFrequency counts how many splits use the feature.
+	ImportanceFrequency ImportanceType = "frequency"
+)
+
+// FeatureImportance aggregates per-feature importance over all trees.
+// The returned slice has NumFeatures entries.
+func (m *Model) FeatureImportance(kind ImportanceType) ([]float64, error) {
+	imp := make([]float64, m.NumFeatures)
+	for _, t := range m.Trees {
+		for i := range t.Nodes {
+			n := &t.Nodes[i]
+			if n.IsLeaf() {
+				continue
+			}
+			f := int(n.Feature)
+			if f < 0 || f >= len(imp) {
+				return nil, fmt.Errorf("boost: split feature %d out of range", f)
+			}
+			switch kind {
+			case ImportanceGain:
+				imp[f] += n.Gain
+			case ImportanceCover:
+				imp[f] += n.SumH
+			case ImportanceFrequency:
+				imp[f]++
+			default:
+				return nil, fmt.Errorf("boost: unknown importance type %q", kind)
+			}
+		}
+	}
+	return imp, nil
+}
+
+// TopFeatures returns the k most important feature indices in descending
+// importance order (k <= 0 returns all non-zero features).
+func (m *Model) TopFeatures(kind ImportanceType, k int) ([]int, []float64, error) {
+	imp, err := m.FeatureImportance(kind)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx := make([]int, 0, len(imp))
+	for f, v := range imp {
+		if v > 0 {
+			idx = append(idx, f)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if imp[idx[a]] != imp[idx[b]] {
+			return imp[idx[a]] > imp[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > 0 && k < len(idx) {
+		idx = idx[:k]
+	}
+	vals := make([]float64, len(idx))
+	for i, f := range idx {
+		vals[i] = imp[f]
+	}
+	return idx, vals, nil
+}
+
+// DumpText writes a human-readable representation of the ensemble, one
+// indented block per tree (the format mirrors xgboost's text dump).
+func (m *Model) DumpText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "model: objective=%s base_score=%g trees=%d features=%d\n",
+		m.Objective, m.BaseScore, len(m.Trees), m.NumFeatures)
+	for i, t := range m.Trees {
+		fmt.Fprintf(bw, "booster[%d]:\n", i)
+		dumpNode(bw, t, 0, 0)
+	}
+	return bw.Flush()
+}
+
+func dumpNode(w *bufio.Writer, t *tree.Tree, id int32, depth int) {
+	n := &t.Nodes[id]
+	indent := strings.Repeat("\t", depth)
+	if n.IsLeaf() {
+		fmt.Fprintf(w, "%s%d:leaf=%g,cover=%g\n", indent, id, n.Weight, n.SumH)
+		return
+	}
+	miss := n.Right
+	if n.DefaultLeft {
+		miss = n.Left
+	}
+	fmt.Fprintf(w, "%s%d:[f%d<=%g] yes=%d,no=%d,missing=%d,gain=%g,cover=%g\n",
+		indent, id, n.Feature, n.SplitValue, n.Left, n.Right, miss, n.Gain, n.SumH)
+	dumpNode(w, t, n.Left, depth+1)
+	dumpNode(w, t, n.Right, depth+1)
+}

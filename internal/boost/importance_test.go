@@ -1,0 +1,201 @@
+package boost
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/metrics"
+)
+
+// importanceModel trains a model where feature 0 carries the entire signal.
+func importanceModel(t *testing.T) (*Model, *dataset.Dense, []float32) {
+	t.Helper()
+	n := 2000
+	d := dataset.NewDense(n, 5)
+	labels := make([]float32, n)
+	s := uint64(9)
+	for i := 0; i < n; i++ {
+		for f := 0; f < 5; f++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			d.Set(i, f, float32(s>>40)/float32(1<<24))
+		}
+		if d.At(i, 0) > 0.5 {
+			labels[i] = 1
+		}
+	}
+	ds, err := dataset.FromDense("imp", d, labels, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(harpBuilder(t, ds), ds, Config{Rounds: 10}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Model, d, labels
+}
+
+func TestFeatureImportanceGain(t *testing.T) {
+	m, _, _ := importanceModel(t)
+	imp, err := m.FeatureImportance(ImportanceGain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != 5 {
+		t.Fatalf("importance length %d", len(imp))
+	}
+	for f := 1; f < 5; f++ {
+		if imp[0] <= imp[f] {
+			t.Fatalf("signal feature 0 (%.2f) not dominant over feature %d (%.2f)", imp[0], f, imp[f])
+		}
+	}
+}
+
+func TestFeatureImportanceKinds(t *testing.T) {
+	m, _, _ := importanceModel(t)
+	for _, kind := range []ImportanceType{ImportanceGain, ImportanceCover, ImportanceFrequency} {
+		imp, err := m.FeatureImportance(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, v := range imp {
+			if v < 0 {
+				t.Fatalf("%s: negative importance", kind)
+			}
+			total += v
+		}
+		if total <= 0 {
+			t.Fatalf("%s: no importance recorded", kind)
+		}
+	}
+	if _, err := m.FeatureImportance("banana"); err == nil {
+		t.Fatal("unknown importance type accepted")
+	}
+}
+
+func TestTopFeatures(t *testing.T) {
+	m, _, _ := importanceModel(t)
+	idx, vals, err := m.TopFeatures(ImportanceGain, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) == 0 || idx[0] != 0 {
+		t.Fatalf("top feature %v, want 0 first", idx)
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1] {
+			t.Fatal("top features not sorted")
+		}
+	}
+	all, _, err := m.TopFeatures(ImportanceGain, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < len(idx) {
+		t.Fatal("k=0 returned fewer features than k=3")
+	}
+}
+
+func TestDumpText(t *testing.T) {
+	m, _, _ := importanceModel(t)
+	var buf bytes.Buffer
+	if err := m.DumpText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"booster[0]:", "leaf=", "[f0<=", "gain="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("dump missing %q:\n%s", want, s[:min(len(s), 400)])
+		}
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	ds, x, y := trainTest(t)
+	res, err := Train(harpBuilder(t, ds), ds,
+		Config{Rounds: 200, EvalEvery: 1, EarlyStopRounds: 5}, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StoppedEarly {
+		t.Fatal("noisy small dataset should trigger early stopping within 200 rounds")
+	}
+	if len(res.Model.Trees) >= 200 {
+		t.Fatalf("early stop did not shorten training: %d trees", len(res.Model.Trees))
+	}
+	// The last EarlyStopRounds evaluations must not beat the best before
+	// them.
+	h := res.History
+	cut := len(h) - 5
+	best := 0.0
+	for _, pt := range h[:cut] {
+		if pt.TestAUC > best {
+			best = pt.TestAUC
+		}
+	}
+	for _, pt := range h[cut:] {
+		if pt.TestAUC > best {
+			t.Fatal("stopped while still improving")
+		}
+	}
+}
+
+func TestEarlyStoppingRequiresEval(t *testing.T) {
+	ds, _, _ := trainTest(t)
+	if _, err := Train(harpBuilder(t, ds), ds, Config{Rounds: 5, EarlyStopRounds: 2}, nil, nil); err == nil {
+		t.Fatal("early stopping without EvalEvery accepted")
+	}
+}
+
+func TestSubsampleTrainsAndLearns(t *testing.T) {
+	ds, x, y := trainTest(t)
+	res, err := Train(harpBuilder(t, ds), ds,
+		Config{Rounds: 30, EvalEvery: 30, Subsample: 0.5, Seed: 3}, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := res.History[len(res.History)-1].TestAUC; auc < 0.65 {
+		t.Fatalf("subsampled model AUC %f too low", auc)
+	}
+	preds, err := res.Model.PredictDense(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := metrics.AUC(preds, y); a < 0.65 {
+		t.Fatalf("prediction AUC %f", a)
+	}
+}
+
+func TestSubsampleDeterministic(t *testing.T) {
+	ds, _, _ := trainTest(t)
+	run := func() float64 {
+		res, err := Train(harpBuilder(t, ds), ds,
+			Config{Rounds: 5, EvalEvery: 5, Subsample: 0.7, Seed: 11}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.History[0].TrainAUC
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different subsampled models")
+	}
+}
+
+func TestSubsampleValidation(t *testing.T) {
+	ds, _, _ := trainTest(t)
+	if _, err := Train(harpBuilder(t, ds), ds, Config{Rounds: 1, Subsample: -0.5}, nil, nil); err == nil {
+		t.Fatal("negative subsample accepted")
+	}
+	if _, err := Train(harpBuilder(t, ds), ds, Config{Rounds: 1, Subsample: 1.5}, nil, nil); err == nil {
+		t.Fatal("subsample > 1 accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+// Package boost implements the gradient boosting driver: the round loop
+// that turns any tree builder (HarpGBDT or a baseline) into a trained
+// ensemble, with shrinkage, margin bookkeeping via leaf assignments,
+// convergence recording (metric versus round and versus wall time, for
+// Figs. 8, 9, 14 and 16), and a serializable model.
+package boost
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/objective"
+	"harpgbdt/internal/sched"
+	"harpgbdt/internal/tree"
+)
+
+// Model is a trained GBDT ensemble. Leaf weights already include the
+// learning rate, so a prediction is base score plus the sum of leaf values.
+type Model struct {
+	Objective    string       `json:"objective"`
+	BaseScore    float64      `json:"base_score"`
+	LearningRate float64      `json:"learning_rate"`
+	NumFeatures  int          `json:"num_features"`
+	Trees        []*tree.Tree `json:"trees"`
+}
+
+// NumTrees returns the ensemble size.
+func (m *Model) NumTrees() int { return len(m.Trees) }
+
+// PredictMargin returns the raw margin for one row of raw feature values
+// (NaN = missing), using at most the first k trees (k <= 0 uses all).
+func (m *Model) PredictMargin(values []float32, k int) float64 {
+	if k <= 0 || k > len(m.Trees) {
+		k = len(m.Trees)
+	}
+	s := m.BaseScore
+	for _, t := range m.Trees[:k] {
+		s += t.PredictRowRaw(values)
+	}
+	return s
+}
+
+// Predict returns the transformed prediction (probability for logistic) for
+// one row.
+func (m *Model) Predict(values []float32) float64 {
+	obj, err := objective.New(m.Objective)
+	if err != nil {
+		return m.PredictMargin(values, 0)
+	}
+	return obj.Transform(m.PredictMargin(values, 0))
+}
+
+// PredictDense returns transformed predictions for every row of the matrix.
+func (m *Model) PredictDense(d *dataset.Dense) ([]float64, error) {
+	if d.M != m.NumFeatures {
+		return nil, fmt.Errorf("boost: model expects %d features, matrix has %d", m.NumFeatures, d.M)
+	}
+	obj, err := objective.New(m.Objective)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, d.N)
+	for i := 0; i < d.N; i++ {
+		out[i] = obj.Transform(m.PredictMargin(d.Row(i), 0))
+	}
+	return out, nil
+}
+
+// PredictDenseParallel is PredictDense with the rows spread across a worker
+// pool (prediction is embarrassingly parallel over rows).
+func (m *Model) PredictDenseParallel(d *dataset.Dense, pool *sched.Pool) ([]float64, error) {
+	if pool == nil || pool.Workers() == 1 {
+		return m.PredictDense(d)
+	}
+	if d.M != m.NumFeatures {
+		return nil, fmt.Errorf("boost: model expects %d features, matrix has %d", m.NumFeatures, d.M)
+	}
+	obj, err := objective.New(m.Objective)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, d.N)
+	pool.ParallelFor(d.N, 0, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			out[i] = obj.Transform(m.PredictMargin(d.Row(i), 0))
+		}
+	})
+	return out, nil
+}
+
+// WriteJSON serializes the model.
+func (m *Model) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(m)
+}
+
+// ReadJSON deserializes a model written by WriteJSON.
+func ReadJSON(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, err
+	}
+	for i, t := range m.Trees {
+		if t == nil || len(t.Nodes) == 0 {
+			return nil, fmt.Errorf("boost: model tree %d empty", i)
+		}
+	}
+	return &m, nil
+}
+
+// SaveFile writes the model to a file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from a file.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

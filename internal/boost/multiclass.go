@@ -1,0 +1,237 @@
+package boost
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/engine"
+	"harpgbdt/internal/gh"
+	"harpgbdt/internal/tree"
+)
+
+// MulticlassConfig controls multiclass (softmax) training. Labels must be
+// class ids in [0, NumClass).
+type MulticlassConfig struct {
+	// NumClass is the number of classes (>= 2).
+	NumClass int
+	// Rounds is the number of boosting rounds; each round trains NumClass
+	// trees (one-vs-rest on softmax gradients).
+	Rounds int
+	// LearningRate is the shrinkage factor (default 0.1).
+	LearningRate float64
+	// EvalEvery records training accuracy every that many rounds (0 = off).
+	EvalEvery int
+}
+
+func (c MulticlassConfig) withDefaults() MulticlassConfig {
+	if c.Rounds == 0 {
+		c.Rounds = 50
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.1
+	}
+	return c
+}
+
+// MulticlassModel is a trained softmax ensemble: Trees[r][c] is round r's
+// tree for class c.
+type MulticlassModel struct {
+	NumClass     int            `json:"num_class"`
+	NumFeatures  int            `json:"num_features"`
+	LearningRate float64        `json:"learning_rate"`
+	BaseScores   []float64      `json:"base_scores"`
+	Trees        [][]*tree.Tree `json:"trees"`
+}
+
+// PredictProba returns the softmax class probabilities for one row of raw
+// feature values.
+func (m *MulticlassModel) PredictProba(values []float32) []float64 {
+	margins := make([]float64, m.NumClass)
+	copy(margins, m.BaseScores)
+	for _, round := range m.Trees {
+		for c, t := range round {
+			margins[c] += t.PredictRowRaw(values)
+		}
+	}
+	return softmax(margins)
+}
+
+// PredictClass returns the argmax class for one row.
+func (m *MulticlassModel) PredictClass(values []float32) int {
+	p := m.PredictProba(values)
+	best := 0
+	for c := 1; c < len(p); c++ {
+		if p[c] > p[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// WriteJSON serializes the model.
+func (m *MulticlassModel) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(m)
+}
+
+// ReadMulticlassJSON deserializes a model written by WriteJSON.
+func ReadMulticlassJSON(r io.Reader) (*MulticlassModel, error) {
+	var m MulticlassModel
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, err
+	}
+	if m.NumClass < 2 || len(m.BaseScores) != m.NumClass {
+		return nil, fmt.Errorf("boost: corrupt multiclass model")
+	}
+	return &m, nil
+}
+
+// SaveFile writes the model to a file.
+func (m *MulticlassModel) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// MulticlassResult bundles the model with training measurements.
+type MulticlassResult struct {
+	Model *MulticlassModel
+	// Accuracy holds (round, training accuracy) samples.
+	Accuracy  []EvalPoint
+	TrainTime time.Duration
+}
+
+// TrainMulticlass trains a softmax ensemble: per round, NumClass trees are
+// grown with the same builder, one on each class's softmax gradients. The
+// builder must be bound to ds.
+func TrainMulticlass(b engine.Builder, ds *dataset.Dataset, cfg MulticlassConfig) (*MulticlassResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumClass < 2 {
+		return nil, fmt.Errorf("boost: multiclass needs >= 2 classes, got %d", cfg.NumClass)
+	}
+	n := ds.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("boost: empty dataset")
+	}
+	counts := make([]float64, cfg.NumClass)
+	for _, y := range ds.Labels {
+		c := int(y)
+		if float32(c) != y || c < 0 || c >= cfg.NumClass {
+			return nil, fmt.Errorf("boost: label %v is not a class id in [0, %d)", y, cfg.NumClass)
+		}
+		counts[c]++
+	}
+	model := &MulticlassModel{
+		NumClass:     cfg.NumClass,
+		NumFeatures:  ds.NumFeatures(),
+		LearningRate: cfg.LearningRate,
+		BaseScores:   make([]float64, cfg.NumClass),
+	}
+	for c := range model.BaseScores {
+		p := counts[c] / float64(n)
+		if p < 1e-6 {
+			p = 1e-6
+		}
+		model.BaseScores[c] = math.Log(p)
+	}
+	// margins[c][i] is row i's raw score for class c.
+	margins := make([][]float64, cfg.NumClass)
+	for c := range margins {
+		margins[c] = make([]float64, n)
+		for i := range margins[c] {
+			margins[c][i] = model.BaseScores[c]
+		}
+	}
+	grad := gh.NewBuffer(n)
+	probs := make([]float64, cfg.NumClass)
+	res := &MulticlassResult{Model: model}
+	for round := 0; round < cfg.Rounds; round++ {
+		start := time.Now()
+		roundTrees := make([]*tree.Tree, cfg.NumClass)
+		// Per-row softmax probabilities drive every class's gradients.
+		allProbs := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			for c := 0; c < cfg.NumClass; c++ {
+				probs[c] = margins[c][i]
+			}
+			allProbs[i] = softmax(probs)
+		}
+		for c := 0; c < cfg.NumClass; c++ {
+			for i := 0; i < n; i++ {
+				p := allProbs[i][c]
+				y := 0.0
+				if int(ds.Labels[i]) == c {
+					y = 1
+				}
+				h := p * (1 - p)
+				if h < 1e-16 {
+					h = 1e-16
+				}
+				grad[i] = gh.Pair{G: p - y, H: h}
+			}
+			bt, err := b.BuildTree(grad)
+			if err != nil {
+				return nil, fmt.Errorf("boost: round %d class %d: %w", round, c, err)
+			}
+			scaleTree(bt.Tree, cfg.LearningRate)
+			for i, leaf := range bt.LeafOf {
+				if leaf >= 0 {
+					margins[c][i] += bt.Tree.Nodes[leaf].Weight
+				}
+			}
+			roundTrees[c] = bt.Tree
+		}
+		model.Trees = append(model.Trees, roundTrees)
+		res.TrainTime += time.Since(start)
+		if cfg.EvalEvery > 0 && ((round+1)%cfg.EvalEvery == 0 || round == cfg.Rounds-1) {
+			correct := 0
+			for i := 0; i < n; i++ {
+				best := 0
+				for c := 1; c < cfg.NumClass; c++ {
+					if margins[c][i] > margins[best][i] {
+						best = c
+					}
+				}
+				if int(ds.Labels[i]) == best {
+					correct++
+				}
+			}
+			res.Accuracy = append(res.Accuracy, EvalPoint{
+				Round: round + 1, Elapsed: res.TrainTime,
+				TrainAUC: float64(correct) / float64(n), // accuracy in the AUC slot
+			})
+		}
+	}
+	return res, nil
+}
+
+// softmax returns the normalized exponentials of the margins (numerically
+// stabilized).
+func softmax(margins []float64) []float64 {
+	maxM := margins[0]
+	for _, m := range margins[1:] {
+		if m > maxM {
+			maxM = m
+		}
+	}
+	out := make([]float64, len(margins))
+	sum := 0.0
+	for i, m := range margins {
+		out[i] = math.Exp(m - maxM)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package boost
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"harpgbdt/internal/core"
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/tree"
+)
+
+// blobs3 builds a 3-class dataset of Gaussian-ish blobs.
+func blobs3(t *testing.T, n int) (*dataset.Dataset, *dataset.Dense) {
+	t.Helper()
+	d := dataset.NewDense(n, 2)
+	labels := make([]float32, n)
+	centers := [3][2]float32{{0, 0}, {4, 0}, {2, 4}}
+	s := uint64(11)
+	next := func() float32 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float32(int16(s>>48)) / 32768 // ~U(-1, 1)
+	}
+	for i := 0; i < n; i++ {
+		c := i % 3
+		labels[i] = float32(c)
+		d.Set(i, 0, centers[c][0]+next())
+		d.Set(i, 1, centers[c][1]+next())
+	}
+	ds, err := dataset.FromDense("blobs", d, labels, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, d
+}
+
+func mcBuilder(t *testing.T, ds *dataset.Dataset) *core.Builder {
+	t.Helper()
+	b, err := core.NewBuilder(core.Config{Mode: core.Sync, K: 8, Growth: grow.Leafwise,
+		TreeSize: 5, UseMemBuf: true, Params: tree.SplitParams{Lambda: 1, Gamma: 0, MinChildWeight: 1}}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestMulticlassLearnsBlobs(t *testing.T) {
+	ds, raw := blobs3(t, 1500)
+	res, err := TrainMulticlass(mcBuilder(t, ds), ds, MulticlassConfig{NumClass: 3, Rounds: 15, EvalEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Model.Trees) != 15 || len(res.Model.Trees[0]) != 3 {
+		t.Fatalf("tree grid %dx%d", len(res.Model.Trees), len(res.Model.Trees[0]))
+	}
+	correct := 0
+	for i := 0; i < raw.N; i++ {
+		if res.Model.PredictClass(raw.Row(i)) == int(ds.Labels[i]) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(raw.N)
+	if acc < 0.95 {
+		t.Fatalf("blob accuracy %f, separable classes should be near-perfect", acc)
+	}
+	// Training-accuracy history recorded and improving.
+	if len(res.Accuracy) == 0 {
+		t.Fatal("no accuracy history")
+	}
+	last := res.Accuracy[len(res.Accuracy)-1].TrainAUC
+	if last < 0.95 {
+		t.Fatalf("train accuracy %f", last)
+	}
+}
+
+func TestMulticlassProbabilities(t *testing.T) {
+	ds, raw := blobs3(t, 600)
+	res, err := TrainMulticlass(mcBuilder(t, ds), ds, MulticlassConfig{NumClass: 3, Rounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Model.PredictProba(raw.Row(0))
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability %f out of range", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %f", sum)
+	}
+}
+
+func TestMulticlassValidation(t *testing.T) {
+	ds, _ := blobs3(t, 300)
+	if _, err := TrainMulticlass(mcBuilder(t, ds), ds, MulticlassConfig{NumClass: 1, Rounds: 1}); err == nil {
+		t.Fatal("single class accepted")
+	}
+	// Labels outside [0, NumClass) rejected.
+	if _, err := TrainMulticlass(mcBuilder(t, ds), ds, MulticlassConfig{NumClass: 2, Rounds: 1}); err == nil {
+		t.Fatal("out-of-range labels accepted")
+	}
+}
+
+func TestMulticlassSerialization(t *testing.T) {
+	ds, raw := blobs3(t, 500)
+	res, err := TrainMulticlass(mcBuilder(t, ds), ds, MulticlassConfig{NumClass: 3, Rounds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Model.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadMulticlassJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if m2.PredictClass(raw.Row(i)) != res.Model.PredictClass(raw.Row(i)) {
+			t.Fatal("prediction changed after round trip")
+		}
+	}
+	if _, err := ReadMulticlassJSON(bytes.NewReader([]byte(`{"num_class":1}`))); err == nil {
+		t.Fatal("corrupt model accepted")
+	}
+	path := filepath.Join(t.TempDir(), "mc.json")
+	if err := res.Model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := softmax([]float64{0, 0, 0})
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("uniform softmax %v", p)
+		}
+	}
+	// Numerical stability at extreme margins.
+	p = softmax([]float64{1000, 0, -1000})
+	if math.Abs(p[0]-1) > 1e-9 || p[2] > 1e-9 {
+		t.Fatalf("extreme softmax %v", p)
+	}
+	// Shift invariance.
+	a := softmax([]float64{1, 2, 3})
+	b := softmax([]float64{101, 102, 103})
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatal("softmax not shift invariant")
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"harpgbdt/internal/engine"
+	"harpgbdt/internal/gh"
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/profile"
+	"harpgbdt/internal/sched"
+	"harpgbdt/internal/tree"
+)
+
+// buildAsync runs the loosely-coupled TopK mode: a short barrier-mode
+// warm-up until the queue holds enough candidates to feed every worker,
+// then a single parallel region in which each worker repeatedly pops a
+// candidate from the spin-mutex-guarded shared queue and processes the
+// whole node (partition, child histograms, splits) privately. The only
+// barrier is at the end of the tree; this is the paper's "mix mode
+// (X, node parallelism, X)".
+func (b *Builder) buildAsync(st *buildState) {
+	maxLeaves := b.cfg.MaxLeaves()
+	workers := b.pool.Workers()
+	// Beginning phase: node parallelism cannot use the cores while the
+	// queue is shorter than the worker count, so run barrier-mode batches
+	// (buildHistBatch picks DP for small batches).
+	for st.queue.Len() > 0 && st.queue.Len() < workers && st.leaves < maxLeaves {
+		k := b.cfg.EffectiveK()
+		if rem := maxLeaves - st.leaves; k > rem {
+			k = rem
+		}
+		batch := st.queue.PopBatch(k)
+		b.processBatch(st, batch)
+	}
+	if st.queue.Len() == 0 || st.leaves >= maxLeaves {
+		b.drainQueue(st)
+		return
+	}
+
+	var mu sched.SpinMutex
+	outstanding := 0
+	b.pool.RunWorkers(func(int) {
+		for {
+			mu.Lock()
+			if st.leaves >= maxLeaves {
+				for {
+					c, ok := st.queue.Pop()
+					if !ok {
+						break
+					}
+					b.releaseHist(st.nodes[c.NodeID])
+				}
+				mu.Unlock()
+				return
+			}
+			c, ok := st.queue.Pop()
+			if !ok {
+				done := outstanding == 0
+				mu.Unlock()
+				if done {
+					return
+				}
+				runtime.Gosched()
+				continue
+			}
+			outstanding++
+			st.leaves++
+			parent := st.nodes[c.NodeID]
+			s := parent.split
+			l, r := st.t.AddChildren(c.NodeID, s.Feature, s.Bin,
+				b.ds.Cuts.UpperBound(int(s.Feature), s.Bin), s.DefaultLeft, s.Gain)
+			left := &nodeState{sum: gh.Pair{G: s.LeftG, H: s.LeftH}, split: tree.InvalidSplit()}
+			right := &nodeState{sum: gh.Pair{G: s.RightG, H: s.RightH}, split: tree.InvalidSplit()}
+			st.nodes = append(st.nodes, left, right)
+			childDepth := c.Depth + 1
+			mu.Unlock()
+
+			b.asyncProcessNode(st, parent, left, right, childDepth)
+
+			mu.Lock()
+			for i, ns := range []*nodeState{left, right} {
+				id := l
+				if i == 1 {
+					id = r
+				}
+				tn := &st.t.Nodes[id]
+				tn.SumG, tn.SumH, tn.Count = ns.sum.G, ns.sum.H, ns.count
+				tn.Weight = b.cfg.Params.CalcWeight(ns.sum.G, ns.sum.H)
+				if ns.split.Valid() {
+					st.queue.Push(grow.Candidate{NodeID: id, Gain: ns.split.Gain, Depth: childDepth, Count: ns.count})
+				} else {
+					b.releaseHist(ns)
+				}
+			}
+			outstanding--
+			mu.Unlock()
+		}
+	})
+	b.drainQueue(st)
+}
+
+// asyncProcessNode does the whole per-node pipeline privately inside one
+// worker: partition the parent's rows, build the needed child histograms
+// (smaller child + subtraction), and evaluate the children's splits.
+func (b *Builder) asyncProcessNode(st *buildState, parent, left, right *nodeState, childDepth int32) {
+	t0 := time.Now()
+	goLeft := engine.GoLeftFunc(b.ds.Binned, parent.split)
+	lrs, rrs := engine.Partition(parent.rows, goLeft, nil)
+	left.rows, right.rows = lrs, rrs
+	left.count, right.count = int32(lrs.Len()), int32(rrs.Len())
+	parent.rows = engine.RowSet{}
+	t1 := time.Now()
+	b.prof.Add(profile.ApplySplit, t1.Sub(t0))
+
+	lNeed := b.canSplitAsync(left, childDepth)
+	rNeed := b.canSplitAsync(right, childDepth)
+	if !lNeed && !rNeed {
+		b.releaseHist(parent)
+		return
+	}
+	small, big := left, right
+	if left.count > right.count {
+		small, big = right, left
+	}
+	useSub := !b.cfg.DisableSubtraction && parent.hist != nil
+	m := b.ds.NumFeatures()
+	buildFull := func(ns *nodeState) {
+		ns.hist = b.hpool.Get()
+		for fb := 0; fb < b.blocks.NumBlocks(); fb++ {
+			b.accumulate(ns.hist, st, ns, 0, ns.rows.Len(), fb, fullBinRange)
+		}
+	}
+	var evals []*nodeState
+	switch {
+	case lNeed && rNeed:
+		if useSub {
+			buildFull(small)
+			parent.hist.SubHist(small.hist)
+			big.hist = parent.hist
+			parent.hist = nil
+		} else {
+			buildFull(left)
+			buildFull(right)
+			b.releaseHist(parent)
+		}
+		evals = []*nodeState{left, right}
+	default:
+		need := left
+		if rNeed {
+			need = right
+		}
+		if useSub && need == big {
+			buildFull(small)
+			parent.hist.SubHist(small.hist)
+			big.hist = parent.hist
+			parent.hist = nil
+			b.releaseHist(small)
+		} else {
+			buildFull(need)
+			b.releaseHist(parent)
+		}
+		evals = []*nodeState{need}
+	}
+	t2 := time.Now()
+	b.prof.Add(profile.BuildHist, t2.Sub(t1))
+	for _, ns := range evals {
+		ns.split = ns.hist.FindBestSplitMasked(b.cfg.Params, ns.sum, 0, m, b.colMask)
+	}
+	b.prof.Add(profile.FindSplit, time.Since(t2))
+}
+
+// canSplitAsync is canSplit with the depth passed explicitly (the tree must
+// not be read outside the queue lock).
+func (b *Builder) canSplitAsync(ns *nodeState, depth int32) bool {
+	if ns.count < 2 {
+		return false
+	}
+	if ns.sum.H < 2*b.cfg.Params.MinChildWeight {
+		return false
+	}
+	if lim := b.cfg.DepthLimit(); lim > 0 && int(depth) >= lim {
+		return false
+	}
+	return true
+}

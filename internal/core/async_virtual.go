@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"harpgbdt/internal/gh"
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/tree"
+)
+
+// buildAsyncVirtual is the ASYNC mode on the simulated parallel machine: a
+// discrete-event simulation of K workers popping from the shared candidate
+// queue. Each node's pipeline (partition, child histograms, splits) runs
+// serially and its measured duration advances the owning virtual worker's
+// clock; children become poppable at the simulated time their parent
+// finished; every pop/update/push charges the cost model's spin-lock price.
+// The result is the exact tree the real ASYNC mode would grow under that
+// schedule, plus deterministic busy/wait/wall statistics.
+func (b *Builder) buildAsyncVirtual(st *buildState) {
+	maxLeaves := b.cfg.MaxLeaves()
+	workers := b.pool.Workers()
+	// Beginning phase: barrier-mode batches until the queue can feed every
+	// virtual worker (the "X" phases of the paper's mix mode).
+	for st.queue.Len() > 0 && st.queue.Len() < workers && st.leaves < maxLeaves {
+		k := b.cfg.EffectiveK()
+		if rem := maxLeaves - st.leaves; k > rem {
+			k = rem
+		}
+		batch := st.queue.PopBatch(k)
+		b.processBatch(st, batch)
+	}
+	if st.queue.Len() == 0 || st.leaves >= maxLeaves {
+		b.drainQueue(st)
+		return
+	}
+
+	type pendItem struct {
+		c     grow.Candidate
+		ready int64
+	}
+	var pending []pendItem
+	for {
+		c, ok := st.queue.Pop()
+		if !ok {
+			break
+		}
+		pending = append(pending, pendItem{c: c})
+	}
+	clocks := make([]int64, workers)
+	busy := make([]int64, workers)
+	lock := b.pool.Cost().SpinLock.Nanoseconds()
+	var serial, tasks int64
+	for len(pending) > 0 && st.leaves < maxLeaves {
+		// The earliest-free virtual worker pops next.
+		w := 0
+		for j := 1; j < workers; j++ {
+			if clocks[j] < clocks[w] {
+				w = j
+			}
+		}
+		t := clocks[w]
+		// Best candidate already pushed by time t (loose TopK: each worker
+		// grabs the best it can see).
+		best := -1
+		var minReady int64 = math.MaxInt64
+		for i := range pending {
+			if pending[i].ready <= t {
+				if best < 0 || betterCandidate(pending[i].c, pending[best].c) {
+					best = i
+				}
+			}
+			if pending[i].ready < minReady {
+				minReady = pending[i].ready
+			}
+		}
+		if best < 0 {
+			// Idle until the next candidate arrives.
+			clocks[w] = minReady
+			continue
+		}
+		it := pending[best]
+		pending = append(pending[:best], pending[best+1:]...)
+		st.leaves++
+		tasks++
+
+		start := time.Now()
+		parent := st.nodes[it.c.NodeID]
+		s := parent.split
+		l, r := st.t.AddChildren(it.c.NodeID, s.Feature, s.Bin,
+			b.ds.Cuts.UpperBound(int(s.Feature), s.Bin), s.DefaultLeft, s.Gain)
+		left := &nodeState{sum: gh.Pair{G: s.LeftG, H: s.LeftH}, split: tree.InvalidSplit()}
+		right := &nodeState{sum: gh.Pair{G: s.RightG, H: s.RightH}, split: tree.InvalidSplit()}
+		st.nodes = append(st.nodes, left, right)
+		childDepth := it.c.Depth + 1
+		b.asyncProcessNode(st, parent, left, right, childDepth)
+		d := time.Since(start).Nanoseconds()
+		serial += d
+
+		dur := d + 3*lock // pop + tree update + push acquisitions
+		done := t + dur
+		clocks[w] = done
+		busy[w] += dur
+		for i, ns := range []*nodeState{left, right} {
+			id := l
+			if i == 1 {
+				id = r
+			}
+			tn := &st.t.Nodes[id]
+			tn.SumG, tn.SumH, tn.Count = ns.sum.G, ns.sum.H, ns.count
+			tn.Weight = b.cfg.Params.CalcWeight(ns.sum.G, ns.sum.H)
+			if ns.split.Valid() {
+				pending = append(pending, pendItem{
+					c:     grow.Candidate{NodeID: id, Gain: ns.split.Gain, Depth: childDepth, Count: ns.count},
+					ready: done,
+				})
+			} else {
+				b.releaseHist(ns)
+			}
+		}
+	}
+	for _, it := range pending {
+		b.releaseHist(st.nodes[it.c.NodeID])
+	}
+	var wall int64
+	for _, c := range clocks {
+		if c > wall {
+			wall = c
+		}
+	}
+	var busySum, wait int64
+	for w := 0; w < workers; w++ {
+		busySum += busy[w]
+		wait += wall - busy[w]
+	}
+	b.pool.RecordExternalRegion(tasks, serial, busySum, wait, wall)
+}
+
+// betterCandidate orders loose-TopK pops: higher gain first, then lower
+// node id (insertion order proxy) for determinism.
+func betterCandidate(a, b grow.Candidate) bool {
+	if a.Gain != b.Gain {
+		return a.Gain > b.Gain
+	}
+	return a.NodeID < b.NodeID
+}

@@ -1,0 +1,81 @@
+package core
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// benchmark isolates one optimization (MemBuf, histogram subtraction,
+// feature blocks, node blocks, TopK batching, parallel mode) so its effect
+// on single-tree build time can be measured directly.
+
+import (
+	"testing"
+
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/synth"
+	"harpgbdt/internal/tree"
+)
+
+func newBenchData(rows, features int) (*dataset.Dataset, error) {
+	return synth.Make(synth.Config{Spec: synth.SynSet, Rows: rows, Features: features, Seed: 77}, 64)
+}
+
+func benchBuild(b *testing.B, cfg Config) {
+	b.Helper()
+	ds, err := newBenchData(8000, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grad := dyadicGradients(8000, 1)
+	cfg.Growth = grow.Leafwise
+	cfg.Params = tree.DefaultSplitParams()
+	builder, err := NewBuilder(cfg, ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := builder.BuildTree(grad); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBaselineConfig(b *testing.B) {
+	benchBuild(b, Config{Mode: Sync, K: 32, TreeSize: 7, FeatureBlockSize: 4, NodeBlockSize: 32, UseMemBuf: true})
+}
+
+func BenchmarkAblationNoMemBuf(b *testing.B) {
+	benchBuild(b, Config{Mode: Sync, K: 32, TreeSize: 7, FeatureBlockSize: 4, NodeBlockSize: 32})
+}
+
+func BenchmarkAblationNoSubtraction(b *testing.B) {
+	benchBuild(b, Config{Mode: Sync, K: 32, TreeSize: 7, FeatureBlockSize: 4, NodeBlockSize: 32, UseMemBuf: true, DisableSubtraction: true})
+}
+
+func BenchmarkAblationK1(b *testing.B) {
+	benchBuild(b, Config{Mode: Sync, K: 1, TreeSize: 7, FeatureBlockSize: 4, NodeBlockSize: 1, UseMemBuf: true})
+}
+
+func BenchmarkAblationFeatureBlock1(b *testing.B) {
+	benchBuild(b, Config{Mode: Sync, K: 32, TreeSize: 7, FeatureBlockSize: 1, NodeBlockSize: 32, UseMemBuf: true})
+}
+
+func BenchmarkAblationFeatureBlockAll(b *testing.B) {
+	benchBuild(b, Config{Mode: Sync, K: 32, TreeSize: 7, FeatureBlockSize: 0, NodeBlockSize: 32, UseMemBuf: true})
+}
+
+func BenchmarkAblationModeDP(b *testing.B) {
+	benchBuild(b, Config{Mode: DP, K: 32, TreeSize: 7, FeatureBlockSize: 32, NodeBlockSize: 4, UseMemBuf: true})
+}
+
+func BenchmarkAblationModeMP(b *testing.B) {
+	benchBuild(b, Config{Mode: MP, K: 32, TreeSize: 7, FeatureBlockSize: 4, NodeBlockSize: 32, UseMemBuf: true})
+}
+
+func BenchmarkAblationModeAsync(b *testing.B) {
+	benchBuild(b, Config{Mode: Async, K: 32, TreeSize: 7, FeatureBlockSize: 4, NodeBlockSize: 32, UseMemBuf: true})
+}
+
+func BenchmarkAblationBinBlock(b *testing.B) {
+	benchBuild(b, Config{Mode: MP, K: 32, TreeSize: 7, FeatureBlockSize: 4, NodeBlockSize: 32, BinBlockSize: 64, UseMemBuf: true})
+}

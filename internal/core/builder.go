@@ -1,0 +1,441 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/engine"
+	"harpgbdt/internal/gh"
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/histogram"
+	"harpgbdt/internal/profile"
+	"harpgbdt/internal/sched"
+	"harpgbdt/internal/synth"
+	"harpgbdt/internal/tree"
+)
+
+// Builder is the HarpGBDT tree builder. It is bound to one dataset and one
+// scheduler and may be reused across boosting rounds. It is not safe for
+// concurrent BuildTree calls.
+type Builder struct {
+	cfg    Config
+	ds     *dataset.Dataset
+	pool   *sched.Pool
+	layout *histogram.Layout
+	hpool  *histogram.Pool
+	blocks *dataset.ColumnBlocks
+	prof   *profile.Breakdown
+
+	// round counts BuildTree calls (drives per-tree column sampling).
+	round int
+	// colMask marks the features eligible for splits this tree (nil = all).
+	colMask []bool
+}
+
+// NewBuilder validates the configuration and prepares the block layout.
+func NewBuilder(cfg Config, ds *dataset.Dataset) (*Builder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TreeSize == 0 {
+		cfg.TreeSize = 8
+	}
+	fbs := cfg.FeatureBlockSize
+	if fbs <= 0 || fbs > ds.NumFeatures() {
+		fbs = ds.NumFeatures()
+	}
+	if fbs < 1 {
+		fbs = 1
+	}
+	cfg.FeatureBlockSize = fbs
+	if cfg.NodeBlockSize <= 0 {
+		cfg.NodeBlockSize = 1
+	}
+	layout := histogram.NewLayout(ds.Cuts)
+	pool := sched.NewPool(cfg.Workers)
+	if cfg.Virtual {
+		pool = sched.NewVirtualPool(cfg.Workers, cfg.Cost)
+	}
+	b := &Builder{
+		cfg:    cfg,
+		ds:     ds,
+		pool:   pool,
+		layout: layout,
+		hpool:  histogram.NewPool(layout),
+		blocks: dataset.NewColumnBlocks(ds.Binned, fbs),
+		prof:   &profile.Breakdown{},
+	}
+	return b, nil
+}
+
+// Name implements engine.Builder.
+func (b *Builder) Name() string { return "harp-" + b.cfg.Mode.String() }
+
+// Pool implements engine.Builder.
+func (b *Builder) Pool() *sched.Pool { return b.pool }
+
+// Profile implements engine.Builder.
+func (b *Builder) Profile() *profile.Breakdown { return b.prof }
+
+// Config returns the builder's configuration (after defaulting).
+func (b *Builder) Config() Config { return b.cfg }
+
+// HistogramsAllocated reports the peak histogram count, a model-memory
+// footprint metric.
+func (b *Builder) HistogramsAllocated() int { return b.hpool.Allocated() }
+
+// nodeState is the per-node training state: the node's row set, gradient
+// totals, histogram (while alive) and chosen split.
+type nodeState struct {
+	rows  engine.RowSet
+	sum   gh.Pair
+	count int32
+	hist  *histogram.Hist
+	split tree.SplitInfo
+}
+
+// buildState is the per-tree state.
+type buildState struct {
+	grad   gh.Buffer
+	t      *tree.Tree
+	nodes  []*nodeState
+	queue  *grow.Queue
+	leaves int
+}
+
+// BuildTree implements engine.Builder.
+func (b *Builder) BuildTree(grad gh.Buffer) (*engine.BuiltTree, error) {
+	if len(grad) != b.ds.NumRows() {
+		return nil, fmt.Errorf("core: %d gradients for %d rows", len(grad), b.ds.NumRows())
+	}
+	if b.ds.NumRows() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	b.sampleColumns()
+	st := b.newBuildState(grad)
+	switch {
+	case b.cfg.Mode == Async && b.pool.Virtual():
+		b.buildAsyncVirtual(st)
+	case b.cfg.Mode == Async:
+		b.buildAsync(st)
+	default:
+		b.buildBarrier(st)
+	}
+	return b.finish(st), nil
+}
+
+// newBuildState prepares the root node, its histogram and its split.
+func (b *Builder) newBuildState(grad gh.Buffer) *buildState {
+	n := b.ds.NumRows()
+	rootRows := engine.RootRowSet(n, grad, b.cfg.UseMemBuf)
+	rootSum := rootRows.Sum(grad)
+	t := tree.New(rootSum.G, rootSum.H, int32(n))
+	t.Nodes[0].Weight = b.cfg.Params.CalcWeight(rootSum.G, rootSum.H)
+	st := &buildState{
+		grad:   grad,
+		t:      t,
+		nodes:  []*nodeState{{rows: rootRows, sum: rootSum, count: int32(n), split: tree.InvalidSplit()}},
+		queue:  grow.NewQueue(b.cfg.Growth),
+		leaves: 1,
+	}
+	b.buildHistBatch(st, []int32{0})
+	b.findSplitBatch(st, []int32{0})
+	b.pushOrFinalize(st, 0)
+	return st
+}
+
+// buildBarrier runs the batched barrier-mode main loop (DP, MP and SYNC).
+func (b *Builder) buildBarrier(st *buildState) {
+	maxLeaves := b.cfg.MaxLeaves()
+	for st.queue.Len() > 0 && st.leaves < maxLeaves {
+		k := b.cfg.EffectiveK()
+		if rem := maxLeaves - st.leaves; k > rem {
+			k = rem
+		}
+		batch := st.queue.PopBatch(k)
+		b.processBatch(st, batch)
+	}
+	b.drainQueue(st)
+}
+
+// processBatch applies the splits of a popped batch and prepares its
+// children: the three barrier phases of one TopK step.
+func (b *Builder) processBatch(st *buildState, batch []grow.Candidate) {
+	pairs := b.applySplitBatch(st, batch)
+	st.leaves += len(batch)
+	buildIDs, subs, evalIDs := b.planHists(st, pairs)
+	b.buildHistBatch(st, buildIDs)
+	b.applySubtractions(st, subs)
+	b.findSplitBatch(st, evalIDs)
+	for _, id := range evalIDs {
+		b.pushOrFinalize(st, id)
+	}
+}
+
+// sampleColumns draws this tree's feature mask when column subsampling is
+// enabled, guaranteeing at least one eligible feature.
+func (b *Builder) sampleColumns() {
+	cs := b.cfg.ColSampleByTree
+	b.round++
+	if cs <= 0 || cs >= 1 {
+		b.colMask = nil
+		return
+	}
+	m := b.ds.NumFeatures()
+	rng := synth.NewRNG(b.cfg.Seed ^ (uint64(b.round) * 0x9e3779b97f4a7c15))
+	mask := make([]bool, m)
+	any := false
+	for f := 0; f < m; f++ {
+		if rng.Float64() < cs {
+			mask[f] = true
+			any = true
+		}
+	}
+	if !any {
+		mask[rng.Intn(m)] = true
+	}
+	b.colMask = mask
+}
+
+// childPair records one applied split.
+type childPair struct {
+	parent, left, right int32
+}
+
+// applySplitBatch expands the tree for every candidate and partitions their
+// row sets (ApplySplit). Tree mutation is serial; partitions run in
+// parallel.
+func (b *Builder) applySplitBatch(st *buildState, batch []grow.Candidate) []childPair {
+	start := time.Now()
+	pairs := make([]childPair, len(batch))
+	for i, c := range batch {
+		ns := st.nodes[c.NodeID]
+		s := ns.split
+		l, r := st.t.AddChildren(c.NodeID, s.Feature, s.Bin,
+			b.ds.Cuts.UpperBound(int(s.Feature), s.Bin), s.DefaultLeft, s.Gain)
+		left := &nodeState{sum: gh.Pair{G: s.LeftG, H: s.LeftH}, split: tree.InvalidSplit()}
+		right := &nodeState{sum: gh.Pair{G: s.RightG, H: s.RightH}, split: tree.InvalidSplit()}
+		st.nodes = append(st.nodes, left, right)
+		pairs[i] = childPair{parent: c.NodeID, left: l, right: r}
+	}
+	// Partition phase: one parallel region for the whole batch.
+	if len(batch) == 1 {
+		b.partitionNode(st, pairs[0], b.pool)
+	} else {
+		tasks := make([]func(int), len(pairs))
+		for i := range pairs {
+			p := pairs[i]
+			tasks[i] = func(int) { b.partitionNode(st, p, nil) }
+		}
+		b.pool.RunTasks(tasks)
+	}
+	for _, p := range pairs {
+		ln, rn := st.nodes[p.left], st.nodes[p.right]
+		lw, rw := &st.t.Nodes[p.left], &st.t.Nodes[p.right]
+		lw.SumG, lw.SumH, lw.Count = ln.sum.G, ln.sum.H, ln.count
+		rw.SumG, rw.SumH, rw.Count = rn.sum.G, rn.sum.H, rn.count
+		lw.Weight = b.cfg.Params.CalcWeight(ln.sum.G, ln.sum.H)
+		rw.Weight = b.cfg.Params.CalcWeight(rn.sum.G, rn.sum.H)
+	}
+	b.prof.Add(profile.ApplySplit, time.Since(start))
+	return pairs
+}
+
+// partitionNode splits the parent's row set between the two children and
+// releases the parent's rows.
+func (b *Builder) partitionNode(st *buildState, p childPair, pool *sched.Pool) {
+	parent := st.nodes[p.parent]
+	goLeft := engine.GoLeftFunc(b.ds.Binned, parent.split)
+	l, r := engine.Partition(parent.rows, goLeft, pool)
+	ln, rn := st.nodes[p.left], st.nodes[p.right]
+	ln.rows, rn.rows = l, r
+	ln.count, rn.count = int32(l.Len()), int32(r.Len())
+	parent.rows = engine.RowSet{}
+}
+
+// planHists decides which children need histograms and how to obtain them.
+// It returns the nodes to build directly, the subtraction steps to apply
+// after building, and the nodes whose splits must then be evaluated.
+// Parent histograms are released here when they will not be consumed by a
+// subtraction.
+func (b *Builder) planHists(st *buildState, pairs []childPair) (buildIDs []int32, subs []subTask, evalIDs []int32) {
+	for _, p := range pairs {
+		ln, rn := st.nodes[p.left], st.nodes[p.right]
+		lNeed := b.canSplit(st, p.left)
+		rNeed := b.canSplit(st, p.right)
+		parent := st.nodes[p.parent]
+		if !lNeed && !rNeed {
+			b.releaseHist(parent)
+			continue
+		}
+		small, big := p.left, p.right
+		if ln.count > rn.count {
+			small, big = p.right, p.left
+		}
+		useSub := !b.cfg.DisableSubtraction && parent.hist != nil
+		switch {
+		case lNeed && rNeed:
+			if useSub {
+				buildIDs = append(buildIDs, small)
+				subs = append(subs, subTask{parent: p.parent, built: small, sibling: big})
+			} else {
+				buildIDs = append(buildIDs, p.left, p.right)
+				b.releaseHist(parent)
+			}
+			evalIDs = append(evalIDs, p.left, p.right)
+		default:
+			need := p.left
+			if rNeed {
+				need = p.right
+			}
+			if useSub && need == big {
+				// Building the smaller child and subtracting is cheaper
+				// than scanning the bigger child's rows.
+				buildIDs = append(buildIDs, small)
+				subs = append(subs, subTask{parent: p.parent, built: small, sibling: big, dropBuilt: true})
+			} else {
+				buildIDs = append(buildIDs, need)
+				b.releaseHist(parent)
+			}
+			evalIDs = append(evalIDs, need)
+		}
+	}
+	return buildIDs, subs, evalIDs
+}
+
+// subTask is one histogram subtraction: sibling = parent - built.
+type subTask struct {
+	parent, built, sibling int32
+	// dropBuilt releases the built child's histogram after subtracting
+	// (the built child itself did not need a histogram).
+	dropBuilt bool
+}
+
+// applySubtractions performs the planned subtractions, transferring the
+// parent histogram to the sibling.
+func (b *Builder) applySubtractions(st *buildState, subs []subTask) {
+	if len(subs) == 0 {
+		return
+	}
+	start := time.Now()
+	tasks := make([]func(int), len(subs))
+	for i := range subs {
+		s := subs[i]
+		tasks[i] = func(int) {
+			parent := st.nodes[s.parent]
+			built := st.nodes[s.built]
+			sib := st.nodes[s.sibling]
+			parent.hist.SubHist(built.hist)
+			sib.hist = parent.hist
+			parent.hist = nil
+			if s.dropBuilt {
+				b.hpool.Put(built.hist)
+				built.hist = nil
+			}
+		}
+	}
+	b.pool.RunTasks(tasks)
+	b.prof.Add(profile.BuildHist, time.Since(start))
+}
+
+// canSplit reports whether node id can possibly be split further.
+func (b *Builder) canSplit(st *buildState, id int32) bool {
+	ns := st.nodes[id]
+	if ns.count < 2 {
+		return false
+	}
+	if ns.sum.H < 2*b.cfg.Params.MinChildWeight {
+		return false
+	}
+	if lim := b.cfg.DepthLimit(); lim > 0 && int(st.t.Nodes[id].Depth) >= lim {
+		return false
+	}
+	return true
+}
+
+// pushOrFinalize queues node id as a split candidate, or finalizes it as a
+// leaf (releasing its histogram) when its best split is invalid.
+func (b *Builder) pushOrFinalize(st *buildState, id int32) {
+	ns := st.nodes[id]
+	if !ns.split.Valid() {
+		b.releaseHist(ns)
+		return
+	}
+	st.queue.Push(grow.Candidate{
+		NodeID: id,
+		Gain:   ns.split.Gain,
+		Depth:  st.t.Nodes[id].Depth,
+		Count:  ns.count,
+	})
+}
+
+// drainQueue finalizes all still-queued candidates as leaves.
+func (b *Builder) drainQueue(st *buildState) {
+	for {
+		c, ok := st.queue.Pop()
+		if !ok {
+			return
+		}
+		b.releaseHist(st.nodes[c.NodeID])
+	}
+}
+
+func (b *Builder) releaseHist(ns *nodeState) {
+	if ns.hist != nil {
+		b.hpool.Put(ns.hist)
+		ns.hist = nil
+	}
+}
+
+// findSplitBatch evaluates the best split of every listed node: one
+// parallel region of (node x feature block) tasks followed by a
+// deterministic serial reduction.
+func (b *Builder) findSplitBatch(st *buildState, ids []int32) {
+	if len(ids) == 0 {
+		return
+	}
+	start := time.Now()
+	nb := b.blocks.NumBlocks()
+	results := make([]tree.SplitInfo, len(ids)*nb)
+	tasks := make([]func(int), 0, len(ids)*nb)
+	for i := range ids {
+		ns := st.nodes[ids[i]]
+		for fb := 0; fb < nb; fb++ {
+			i, fb := i, fb
+			tasks = append(tasks, func(int) {
+				fLo, fHi, _ := b.blocks.Block(fb)
+				results[i*nb+fb] = ns.hist.FindBestSplitMasked(b.cfg.Params, ns.sum, fLo, fHi, b.colMask)
+			})
+		}
+	}
+	b.pool.RunTasks(tasks)
+	for i, id := range ids {
+		best := tree.InvalidSplit()
+		for fb := 0; fb < nb; fb++ {
+			if r := results[i*nb+fb]; r.Better(best) {
+				best = r
+			}
+		}
+		st.nodes[id].split = best
+	}
+	b.prof.Add(profile.FindSplit, time.Since(start))
+}
+
+// finish assembles the BuiltTree and releases remaining resources.
+func (b *Builder) finish(st *buildState) *engine.BuiltTree {
+	leafRows := make(map[int32]engine.RowSet)
+	for id := range st.nodes {
+		ns := st.nodes[id]
+		b.releaseHist(ns)
+		if st.t.Nodes[id].IsLeaf() {
+			leafRows[int32(id)] = ns.rows
+		}
+		ns.rows = engine.RowSet{}
+	}
+	leafOf := engine.ScatterLeaves(b.ds.NumRows(), leafRows)
+	return &engine.BuiltTree{Tree: st.t, LeafOf: leafOf}
+}

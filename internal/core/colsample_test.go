@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/tree"
+)
+
+func TestColSampleRestrictsSplitFeatures(t *testing.T) {
+	ds := testDataset(t, 2000, 16)
+	grad := dyadicGradients(2000, 201)
+	b, err := NewBuilder(Config{Mode: Sync, K: 8, Growth: grow.Leafwise, TreeSize: 5,
+		ColSampleByTree: 0.25, Seed: 5, Params: tree.DefaultSplitParams()}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := b.BuildTree(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.colMask == nil {
+		t.Fatal("no column mask drawn")
+	}
+	allowedCount := 0
+	for _, a := range b.colMask {
+		if a {
+			allowedCount++
+		}
+	}
+	if allowedCount == 0 || allowedCount == 16 {
+		t.Fatalf("mask allows %d of 16 features", allowedCount)
+	}
+	for i := range bt.Tree.Nodes {
+		n := &bt.Tree.Nodes[i]
+		if n.IsLeaf() {
+			continue
+		}
+		if !b.colMask[n.Feature] {
+			t.Fatalf("split on masked feature %d", n.Feature)
+		}
+	}
+}
+
+func TestColSampleMaskChangesPerTree(t *testing.T) {
+	ds := testDataset(t, 1000, 16)
+	grad := dyadicGradients(1000, 203)
+	b, err := NewBuilder(Config{Mode: Sync, K: 4, Growth: grow.Leafwise, TreeSize: 4,
+		ColSampleByTree: 0.5, Seed: 7, Params: tree.DefaultSplitParams()}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.BuildTree(grad); err != nil {
+		t.Fatal(err)
+	}
+	mask1 := append([]bool(nil), b.colMask...)
+	if _, err := b.BuildTree(grad); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for f := range mask1 {
+		if mask1[f] != b.colMask[f] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("mask identical across trees (sampling not advancing)")
+	}
+}
+
+func TestColSampleDisabledEqualsBaseline(t *testing.T) {
+	ds := testDataset(t, 1500, 8)
+	grad := dyadicGradients(1500, 205)
+	ref := buildWith(t, Config{Mode: DP, K: 4, Growth: grow.Leafwise, TreeSize: 5,
+		Params: tree.DefaultSplitParams()}, ds, grad)
+	for _, cs := range []float64{0, 1} {
+		got := buildWith(t, Config{Mode: DP, K: 4, Growth: grow.Leafwise, TreeSize: 5,
+			ColSampleByTree: cs, Params: tree.DefaultSplitParams()}, ds, grad)
+		if !treesEquivalent(ref, got) {
+			t.Fatalf("colsample=%g changed the tree", cs)
+		}
+	}
+}
+
+func TestColSampleAsync(t *testing.T) {
+	ds := testDataset(t, 1500, 12)
+	grad := dyadicGradients(1500, 207)
+	b, err := NewBuilder(Config{Mode: Async, K: 8, Growth: grow.Leafwise, TreeSize: 5,
+		ColSampleByTree: 0.3, Seed: 9, Params: tree.DefaultSplitParams()}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := b.BuildTree(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range bt.Tree.Nodes {
+		n := &bt.Tree.Nodes[i]
+		if !n.IsLeaf() && !b.colMask[n.Feature] {
+			t.Fatalf("async split on masked feature %d", n.Feature)
+		}
+	}
+}
+
+func TestColSampleValidation(t *testing.T) {
+	if err := (Config{ColSampleByTree: -0.1}).Validate(); err == nil {
+		t.Fatal("negative colsample accepted")
+	}
+	if err := (Config{ColSampleByTree: 1.5}).Validate(); err == nil {
+		t.Fatal("colsample > 1 accepted")
+	}
+}

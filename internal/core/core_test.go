@@ -1,0 +1,568 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/gh"
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/synth"
+	"harpgbdt/internal/tree"
+)
+
+// testDataset builds a deterministic synthetic dataset.
+func testDataset(t *testing.T, rows, features int) *dataset.Dataset {
+	t.Helper()
+	ds, err := synth.Make(synth.Config{Spec: synth.SynSet, Rows: rows, Features: features, Seed: 99}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// dyadicGradients produces gradients whose sums are exact in any order, so
+// every parallel schedule builds bit-identical histograms.
+func dyadicGradients(n int, seed uint64) gh.Buffer {
+	grad := gh.NewBuffer(n)
+	s := seed
+	for i := range grad {
+		s = s*6364136223846793005 + 1442695040888963407
+		g := float64(int64(s>>40)%4097-2048) / 1024
+		s = s*6364136223846793005 + 1442695040888963407
+		h := float64((s>>40)%1024+64) / 1024
+		grad[i] = gh.Pair{G: g, H: h}
+	}
+	return grad
+}
+
+// treesEquivalent compares two trees structurally from the root, ignoring
+// node numbering (children may be appended in different batch orders).
+func treesEquivalent(a, b *tree.Tree) bool {
+	var eq func(ai, bi int32) bool
+	eq = func(ai, bi int32) bool {
+		an, bn := a.Nodes[ai], b.Nodes[bi]
+		if an.IsLeaf() != bn.IsLeaf() {
+			return false
+		}
+		if an.Count != bn.Count || math.Abs(an.SumG-bn.SumG) > 1e-9 || math.Abs(an.SumH-bn.SumH) > 1e-9 {
+			return false
+		}
+		if an.IsLeaf() {
+			return math.Abs(an.Weight-bn.Weight) < 1e-9
+		}
+		if an.Feature != bn.Feature || an.SplitBin != bn.SplitBin || an.DefaultLeft != bn.DefaultLeft {
+			return false
+		}
+		if math.Abs(an.Gain-bn.Gain) > 1e-9 {
+			return false
+		}
+		return eq(an.Left, bn.Left) && eq(an.Right, bn.Right)
+	}
+	return eq(0, 0)
+}
+
+func buildWith(t *testing.T, cfg Config, ds *dataset.Dataset, grad gh.Buffer) *tree.Tree {
+	t.Helper()
+	b, err := NewBuilder(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := b.BuildTree(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Tree.Validate(); err != nil {
+		t.Fatalf("invalid tree: %v", err)
+	}
+	return bt.Tree
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Mode: Mode(9)},
+		{K: -1},
+		{TreeSize: 31},
+		{TreeSize: -1},
+		{RowBlockSize: -1},
+		{NodeBlockSize: -2},
+		{FeatureBlockSize: -1},
+		{BinBlockSize: -1},
+		{MaxDepth: -1},
+		{Params: tree.SplitParams{Lambda: -1}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestConfigDerived(t *testing.T) {
+	c := Config{TreeSize: 8}
+	if c.MaxLeaves() != 128 {
+		t.Fatalf("maxleaves %d", c.MaxLeaves())
+	}
+	c.Growth = grow.Depthwise
+	if c.DepthLimit() != 7 {
+		t.Fatalf("depthwise depth limit %d", c.DepthLimit())
+	}
+	if c.EffectiveK() <= 1000 {
+		t.Fatalf("depthwise default K should be whole level: %d", c.EffectiveK())
+	}
+	c.Growth = grow.Leafwise
+	if c.DepthLimit() != 0 {
+		t.Fatalf("leafwise depth limit %d", c.DepthLimit())
+	}
+	if c.EffectiveK() != 1 {
+		t.Fatalf("leafwise default K %d", c.EffectiveK())
+	}
+	c.K = 16
+	if c.EffectiveK() != 16 {
+		t.Fatalf("explicit K %d", c.EffectiveK())
+	}
+	c.MaxDepth = 5
+	if c.DepthLimit() != 5 {
+		t.Fatalf("leafwise max depth %d", c.DepthLimit())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if DP.String() != "DP" || MP.String() != "MP" || Sync.String() != "SYNC" || Async.String() != "ASYNC" {
+		t.Fatal("mode names")
+	}
+	if Mode(7).String() == "" {
+		t.Fatal("unknown mode")
+	}
+}
+
+// TestBarrierModesBuildIdenticalTrees is the central determinism test: at
+// a FIXED K, every barrier mode, block configuration and memory option must
+// build the exact same tree from the same (dyadic) gradients. (Different K
+// legitimately grows a different leafwise tree once the leaf budget binds —
+// that is the paper's TopK trade-off, covered by the convergence tests.)
+func TestBarrierModesBuildIdenticalTrees(t *testing.T) {
+	ds := testDataset(t, 3000, 12)
+	grad := dyadicGradients(3000, 5)
+	ref := buildWith(t, Config{Mode: DP, K: 8, Growth: grow.Leafwise, TreeSize: 6,
+		Params: tree.DefaultSplitParams()}, ds, grad)
+	configs := []Config{
+		{Mode: DP, K: 8, TreeSize: 6, NodeBlockSize: 8},
+		{Mode: DP, K: 8, TreeSize: 6, FeatureBlockSize: 3, RowBlockSize: 100},
+		{Mode: DP, K: 8, TreeSize: 6, UseMemBuf: true},
+		{Mode: MP, K: 8, TreeSize: 6, FeatureBlockSize: 1},
+		{Mode: MP, K: 8, TreeSize: 6, FeatureBlockSize: 4, NodeBlockSize: 4},
+		{Mode: MP, K: 8, TreeSize: 6, FeatureBlockSize: 2, BinBlockSize: 8, UseMemBuf: true},
+		{Mode: Sync, K: 8, TreeSize: 6, FeatureBlockSize: 4, UseMemBuf: true},
+		{Mode: DP, K: 8, TreeSize: 6, DisableSubtraction: true},
+		{Mode: MP, K: 8, TreeSize: 6, FeatureBlockSize: 4, DisableSubtraction: true, UseMemBuf: true},
+		{Mode: DP, K: 8, TreeSize: 6, Workers: 1},
+		{Mode: MP, K: 8, TreeSize: 6, Workers: 1, FeatureBlockSize: 4},
+	}
+	for i, cfg := range configs {
+		cfg.Growth = grow.Leafwise
+		cfg.Params = tree.DefaultSplitParams()
+		got := buildWith(t, cfg, ds, grad)
+		if !treesEquivalent(ref, got) {
+			t.Errorf("config %d (%+v) built a different tree: %d vs %d nodes",
+				i, cfg, got.NumNodes(), ref.NumNodes())
+		}
+	}
+}
+
+// TestK1ModesMatchAcrossKernels pins the K=1 (standard leafwise) case
+// separately: DP, MP and SYNC kernels must agree at K=1 too.
+func TestK1ModesMatchAcrossKernels(t *testing.T) {
+	ds := testDataset(t, 2000, 8)
+	grad := dyadicGradients(2000, 6)
+	ref := buildWith(t, Config{Mode: DP, K: 1, Growth: grow.Leafwise, TreeSize: 5,
+		Params: tree.DefaultSplitParams()}, ds, grad)
+	for _, cfg := range []Config{
+		{Mode: MP, K: 1, TreeSize: 5, FeatureBlockSize: 1},
+		{Mode: MP, K: 1, TreeSize: 5, FeatureBlockSize: 4, UseMemBuf: true},
+		{Mode: Sync, K: 1, TreeSize: 5, FeatureBlockSize: 2},
+	} {
+		cfg.Growth = grow.Leafwise
+		cfg.Params = tree.DefaultSplitParams()
+		if got := buildWith(t, cfg, ds, grad); !treesEquivalent(ref, got) {
+			t.Errorf("K=1 config %+v built a different tree", cfg)
+		}
+	}
+}
+
+func TestDepthwiseKSubsetEqualsFullLevel(t *testing.T) {
+	// Paper Sec. IV-B: depthwise TopK with any K builds the same tree as
+	// full depthwise.
+	ds := testDataset(t, 2000, 8)
+	grad := dyadicGradients(2000, 9)
+	full := buildWith(t, Config{Mode: DP, Growth: grow.Depthwise, TreeSize: 5,
+		Params: tree.DefaultSplitParams()}, ds, grad)
+	for _, k := range []int{1, 2, 3, 7} {
+		got := buildWith(t, Config{Mode: DP, Growth: grow.Depthwise, K: k, TreeSize: 5,
+			Params: tree.DefaultSplitParams()}, ds, grad)
+		if !treesEquivalent(full, got) {
+			t.Errorf("depthwise K=%d differs from full depthwise", k)
+		}
+	}
+}
+
+func TestLeafBudgetRespected(t *testing.T) {
+	ds := testDataset(t, 4000, 8)
+	grad := dyadicGradients(4000, 11)
+	for _, d := range []int{2, 3, 5, 7} {
+		for _, mode := range []Mode{DP, MP, Sync, Async} {
+			cfg := Config{Mode: mode, K: 8, Growth: grow.Leafwise, TreeSize: d,
+				FeatureBlockSize: 4, UseMemBuf: true, Params: tree.DefaultSplitParams()}
+			tr := buildWith(t, cfg, ds, grad)
+			if got, max := tr.NumLeaves(), 1<<(d-1); got > max {
+				t.Errorf("mode %v D=%d: %d leaves > budget %d", mode, d, got, max)
+			}
+		}
+	}
+}
+
+func TestDepthCapRespected(t *testing.T) {
+	ds := testDataset(t, 3000, 8)
+	grad := dyadicGradients(3000, 13)
+	for _, mode := range []Mode{DP, Async} {
+		cfg := Config{Mode: mode, K: 4, Growth: grow.Leafwise, TreeSize: 10, MaxDepth: 3,
+			Params: tree.DefaultSplitParams()}
+		tr := buildWith(t, cfg, ds, grad)
+		if tr.MaxDepth() > 3 {
+			t.Errorf("mode %v: depth %d > cap 3", mode, tr.MaxDepth())
+		}
+	}
+	// Depthwise D implies depth D-1.
+	cfg := Config{Mode: DP, Growth: grow.Depthwise, TreeSize: 4, Params: tree.DefaultSplitParams()}
+	tr := buildWith(t, cfg, ds, grad)
+	if tr.MaxDepth() > 3 {
+		t.Errorf("depthwise D=4: depth %d > 3", tr.MaxDepth())
+	}
+}
+
+func TestAsyncTreeValidAndComplete(t *testing.T) {
+	ds := testDataset(t, 5000, 12)
+	grad := dyadicGradients(5000, 17)
+	b, err := NewBuilder(Config{Mode: Async, K: 32, Growth: grow.Leafwise, TreeSize: 7,
+		FeatureBlockSize: 4, NodeBlockSize: 4, UseMemBuf: true,
+		Params: tree.DefaultSplitParams()}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := b.BuildTree(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every row must land in a leaf, and leaf counts must match.
+	leafCount := map[int32]int32{}
+	for _, leaf := range bt.LeafOf {
+		if leaf < 0 {
+			t.Fatal("row without leaf assignment")
+		}
+		if !bt.Tree.Nodes[leaf].IsLeaf() {
+			t.Fatal("row assigned to internal node")
+		}
+		leafCount[leaf]++
+	}
+	for id, cnt := range leafCount {
+		if bt.Tree.Nodes[id].Count != cnt {
+			t.Fatalf("leaf %d count %d, assigned %d", id, bt.Tree.Nodes[id].Count, cnt)
+		}
+	}
+	if bt.Tree.NumLeaves() > 64 {
+		t.Fatalf("leaf budget exceeded: %d", bt.Tree.NumLeaves())
+	}
+}
+
+func TestAsyncMatchesBarrierTotals(t *testing.T) {
+	// ASYNC may grow a different tree shape (loose TopK), but the root
+	// split and the grand totals must agree with the barrier modes.
+	ds := testDataset(t, 3000, 8)
+	grad := dyadicGradients(3000, 19)
+	sync := buildWith(t, Config{Mode: Sync, K: 8, Growth: grow.Leafwise, TreeSize: 6,
+		Params: tree.DefaultSplitParams()}, ds, grad)
+	async := buildWith(t, Config{Mode: Async, K: 8, Growth: grow.Leafwise, TreeSize: 6,
+		Params: tree.DefaultSplitParams()}, ds, grad)
+	sr, ar := sync.Root(), async.Root()
+	if sr.Feature != ar.Feature || sr.SplitBin != ar.SplitBin {
+		t.Fatalf("root split differs: (%d,%d) vs (%d,%d)", sr.Feature, sr.SplitBin, ar.Feature, ar.SplitBin)
+	}
+	if sr.SumG != ar.SumG || sr.SumH != ar.SumH || sr.Count != ar.Count {
+		t.Fatal("root totals differ")
+	}
+}
+
+func TestLeafOfConsistencyAllModes(t *testing.T) {
+	ds := testDataset(t, 2000, 8)
+	grad := dyadicGradients(2000, 23)
+	for _, mode := range []Mode{DP, MP, Sync, Async} {
+		for _, mem := range []bool{false, true} {
+			cfg := Config{Mode: mode, K: 8, Growth: grow.Leafwise, TreeSize: 5,
+				FeatureBlockSize: 4, UseMemBuf: mem, Params: tree.DefaultSplitParams()}
+			b, err := NewBuilder(cfg, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bt, err := b.BuildTree(grad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// LeafOf must agree with walking the tree on binned rows.
+			for i := 0; i < ds.NumRows(); i += 37 {
+				want := bt.Tree.PredictRowBinned(ds.Binned.Row(i))
+				if bt.LeafOf[i] != want {
+					t.Fatalf("mode %v mem=%v: row %d leaf %d, tree walk says %d",
+						mode, mem, i, bt.LeafOf[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestRegionCountDropsWithKAndNodeBlock(t *testing.T) {
+	// The paper's core claim (Sec. IV-D): batching K candidates with
+	// node_blk_size H cuts the number of parallel regions (barriers) from
+	// O(L) to O(L/H).
+	ds := testDataset(t, 4000, 8)
+	grad := dyadicGradients(4000, 29)
+	run := func(k, nodeBlk int) int64 {
+		b, err := NewBuilder(Config{Mode: DP, K: k, NodeBlockSize: nodeBlk,
+			Growth: grow.Leafwise, TreeSize: 7, Params: tree.DefaultSplitParams()}, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.BuildTree(grad); err != nil {
+			t.Fatal(err)
+		}
+		return b.Pool().Stats().Regions
+	}
+	leafByLeaf := run(1, 1)
+	batched := run(32, 32)
+	if batched*2 >= leafByLeaf {
+		t.Fatalf("batched regions %d not much smaller than leaf-by-leaf %d", batched, leafByLeaf)
+	}
+}
+
+func TestAsyncFewerRegionsThanSync(t *testing.T) {
+	ds := testDataset(t, 4000, 8)
+	grad := dyadicGradients(4000, 31)
+	run := func(mode Mode) int64 {
+		b, err := NewBuilder(Config{Mode: mode, K: 8, Growth: grow.Leafwise, TreeSize: 7,
+			FeatureBlockSize: 4, UseMemBuf: true, Params: tree.DefaultSplitParams()}, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.BuildTree(grad); err != nil {
+			t.Fatal(err)
+		}
+		return b.Pool().Stats().Regions
+	}
+	if a, s := run(Async), run(Sync); a >= s {
+		t.Fatalf("ASYNC regions %d >= SYNC regions %d", a, s)
+	}
+}
+
+func TestBuilderRejectsBadInput(t *testing.T) {
+	ds := testDataset(t, 100, 4)
+	b, err := NewBuilder(DefaultConfig(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.BuildTree(gh.NewBuffer(50)); err == nil {
+		t.Fatal("wrong gradient length accepted")
+	}
+	if _, err := NewBuilder(Config{Mode: Mode(5)}, ds); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestZeroGradientsSingleLeaf(t *testing.T) {
+	// All-zero gradients: no split can gain, tree stays a single root leaf.
+	ds := testDataset(t, 500, 4)
+	grad := gh.NewBuffer(500)
+	for i := range grad {
+		grad[i] = gh.Pair{G: 0, H: 1}
+	}
+	for _, mode := range []Mode{DP, MP, Sync, Async} {
+		cfg := Config{Mode: mode, K: 8, Growth: grow.Leafwise, TreeSize: 6,
+			Params: tree.DefaultSplitParams()}
+		tr := buildWith(t, cfg, ds, grad)
+		if tr.NumNodes() != 1 {
+			t.Errorf("mode %v: %d nodes, want 1", mode, tr.NumNodes())
+		}
+		if w := tr.Root().Weight; w != 0 {
+			t.Errorf("mode %v: root weight %v", mode, w)
+		}
+	}
+}
+
+func TestConstantFeaturesSingleLeaf(t *testing.T) {
+	d := dataset.NewDense(200, 3)
+	for i := 0; i < 200; i++ {
+		for f := 0; f < 3; f++ {
+			d.Set(i, f, 1.0)
+		}
+	}
+	ds, err := dataset.FromDense("const", d, make([]float32, 200), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := dyadicGradients(200, 3)
+	tr := buildWith(t, Config{Mode: DP, K: 4, Growth: grow.Leafwise, TreeSize: 6,
+		Params: tree.DefaultSplitParams()}, ds, grad)
+	if tr.NumNodes() != 1 {
+		t.Fatalf("constant features grew %d nodes", tr.NumNodes())
+	}
+}
+
+func TestTinyDataset(t *testing.T) {
+	d := dataset.NewDense(2, 1)
+	d.Set(0, 0, 0)
+	d.Set(1, 0, 1)
+	ds, err := dataset.FromDense("tiny", d, []float32{0, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := gh.Buffer{{G: 1, H: 1}, {G: -1, H: 1}}
+	params := tree.SplitParams{Lambda: 1, Gamma: 0.01, MinChildWeight: 0.5}
+	for _, mode := range []Mode{DP, MP, Sync, Async} {
+		tr := buildWith(t, Config{Mode: mode, K: 2, Growth: grow.Leafwise, TreeSize: 3,
+			Params: params}, ds, grad)
+		if tr.NumLeaves() != 2 {
+			t.Errorf("mode %v: tiny dataset leaves %d, want 2", mode, tr.NumLeaves())
+		}
+	}
+}
+
+func TestSingleRowDataset(t *testing.T) {
+	d := dataset.NewDense(1, 2)
+	ds, err := dataset.FromDense("one", d, []float32{1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := buildWith(t, Config{Mode: Async, TreeSize: 4, Params: tree.DefaultSplitParams()},
+		ds, gh.Buffer{{G: -0.5, H: 0.25}})
+	if tr.NumNodes() != 1 {
+		t.Fatalf("single row grew %d nodes", tr.NumNodes())
+	}
+}
+
+func TestMissingHeavyDataset(t *testing.T) {
+	// 80% missing values: splits must still be found and default directions
+	// route rows correctly.
+	d := dataset.NewDense(1000, 4)
+	s := uint64(7)
+	for i := 0; i < 1000; i++ {
+		for f := 0; f < 4; f++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			if s>>60 < 13 { // ~80%
+				d.SetMissing(i, f)
+			} else {
+				d.Set(i, f, float32(s>>56))
+			}
+		}
+	}
+	ds, err := dataset.FromDense("sparse", d, make([]float32, 1000), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := dyadicGradients(1000, 41)
+	for _, mode := range []Mode{DP, MP, Async} {
+		cfg := Config{Mode: mode, K: 4, Growth: grow.Leafwise, TreeSize: 5,
+			FeatureBlockSize: 2, UseMemBuf: true, Params: tree.SplitParams{Lambda: 1, Gamma: 0.01, MinChildWeight: 0.1}}
+		b, err := NewBuilder(cfg, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bt, err := b.BuildTree(grad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bt.Tree.Validate(); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		for i := 0; i < 1000; i += 83 {
+			if want := bt.Tree.PredictRowBinned(ds.Binned.Row(i)); bt.LeafOf[i] != want {
+				t.Fatalf("mode %v: missing-heavy routing mismatch at row %d", mode, i)
+			}
+		}
+	}
+}
+
+func TestBinBlockSizesAgree(t *testing.T) {
+	ds := testDataset(t, 2000, 6)
+	grad := dyadicGradients(2000, 43)
+	ref := buildWith(t, Config{Mode: MP, K: 8, Growth: grow.Leafwise, TreeSize: 5,
+		FeatureBlockSize: 2, Params: tree.DefaultSplitParams()}, ds, grad)
+	for _, bb := range []int{1, 4, 16, 100, 255} {
+		got := buildWith(t, Config{Mode: MP, K: 8, Growth: grow.Leafwise, TreeSize: 5,
+			FeatureBlockSize: 2, BinBlockSize: bb, Params: tree.DefaultSplitParams()}, ds, grad)
+		if !treesEquivalent(ref, got) {
+			t.Errorf("bin block size %d built a different tree", bb)
+		}
+	}
+}
+
+func TestBuilderReusableAcrossRounds(t *testing.T) {
+	ds := testDataset(t, 1000, 6)
+	b, err := NewBuilder(Config{Mode: Sync, K: 8, Growth: grow.Leafwise, TreeSize: 5,
+		Params: tree.DefaultSplitParams()}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := dyadicGradients(1000, 47)
+	g2 := dyadicGradients(1000, 53)
+	t1a, err := b.BuildTree(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.BuildTree(g2); err != nil {
+		t.Fatal(err)
+	}
+	t1b, err := b.BuildTree(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !treesEquivalent(t1a.Tree, t1b.Tree) {
+		t.Fatal("builder state leaked across rounds")
+	}
+}
+
+func TestHistogramPoolBounded(t *testing.T) {
+	// The histogram pool must stay bounded by the active set, not the tree
+	// size: the memory-footprint claim of model parallelism.
+	ds := testDataset(t, 3000, 8)
+	grad := dyadicGradients(3000, 59)
+	b, err := NewBuilder(Config{Mode: MP, K: 8, Growth: grow.Leafwise, TreeSize: 8,
+		FeatureBlockSize: 4, Params: tree.DefaultSplitParams()}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := b.BuildTree(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc, nodes := b.HistogramsAllocated(), bt.Tree.NumNodes(); alloc > nodes/2+16 {
+		t.Fatalf("histogram pool unbounded: %d allocations for %d nodes", alloc, nodes)
+	}
+}
+
+func TestBuilderName(t *testing.T) {
+	ds := testDataset(t, 100, 4)
+	for mode, want := range map[Mode]string{DP: "harp-DP", MP: "harp-MP", Sync: "harp-SYNC", Async: "harp-ASYNC"} {
+		b, err := NewBuilder(Config{Mode: mode, TreeSize: 4, Params: tree.DefaultSplitParams()}, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name() != want {
+			t.Errorf("name %q want %q", b.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"time"
+
+	"harpgbdt/internal/histogram"
+	"harpgbdt/internal/profile"
+)
+
+// binRange is one bin-block of the MP kernel.
+type binRange struct {
+	lo, hi uint8
+}
+
+// fullBinRange covers every real bin (255 is the missing sentinel and never
+// accumulated).
+var fullBinRange = binRange{0, 255}
+
+// binRanges expands the configured bin block size into task ranges.
+func (b *Builder) binRanges() []binRange {
+	blk := b.cfg.BinBlockSize
+	if blk <= 0 || blk >= 255 {
+		return []binRange{fullBinRange}
+	}
+	var out []binRange
+	for lo := 0; lo < 255; lo += blk {
+		hi := lo + blk
+		if hi > 255 {
+			hi = 255
+		}
+		out = append(out, binRange{uint8(lo), uint8(hi)})
+	}
+	return out
+}
+
+// buildHistBatch builds the histograms of the listed nodes using the
+// configured mode's kernel. In SYNC (and the ASYNC warm-up phase) the
+// kernel is chosen per batch: few nodes => DP (row parallelism), many
+// nodes => MP (block parallelism).
+func (b *Builder) buildHistBatch(st *buildState, ids []int32) {
+	if len(ids) == 0 {
+		return
+	}
+	start := time.Now()
+	mode := b.cfg.Mode
+	if mode == Sync || mode == Async {
+		// Mixed mode (DP, MP, DP): model parallelism needs enough
+		// ⟨node, feature block⟩ tasks to feed every worker; below that
+		// (the beginning phase: few nodes, many rows each) data
+		// parallelism's row blocks keep the workers busy.
+		if len(ids)*b.blocks.NumBlocks() < b.pool.Workers() {
+			mode = DP
+		} else {
+			mode = MP
+		}
+	}
+	if mode == DP {
+		b.buildHistDP(st, ids)
+	} else {
+		b.buildHistMP(st, ids)
+	}
+	b.prof.Add(profile.BuildHist, time.Since(start))
+}
+
+// accumulate adds rows [lo, hi) of node state ns into h for feature block fb
+// and bin range br, selecting the MemBuf / gathered-gradient kernel variant.
+func (b *Builder) accumulate(h *histogram.Hist, st *buildState, ns *nodeState, lo, hi, fb int, br binRange) {
+	fLo, fHi, panel := b.blocks.Block(fb)
+	w := fHi - fLo
+	filtered := br.lo > 0 || br.hi < 255
+	if ns.rows.Mem != nil {
+		mb := ns.rows.Mem[lo:hi]
+		if filtered {
+			h.AccumulatePanelRowsBinRange(panel, w, mb, fLo, fHi, br.lo, br.hi)
+		} else {
+			h.AccumulatePanelRows(panel, w, mb, fLo, fHi)
+		}
+		return
+	}
+	rows := ns.rows.Rows[lo:hi]
+	if filtered {
+		h.AccumulatePanelRowsGradBinRange(panel, w, rows, st.grad, fLo, fHi, br.lo, br.hi)
+	} else {
+		h.AccumulatePanelRowsGrad(panel, w, rows, st.grad, fLo, fHi)
+	}
+}
+
+// buildHistDP is the data-parallel kernel: per-worker histogram replicas
+// accumulated over ⟨node, row block, feature block⟩ tasks, then reduced.
+// node_blk_size nodes share one parallel region, so the region (barrier)
+// count is ceil(len(ids)/node_blk_size) accumulation regions plus as many
+// reduction regions.
+func (b *Builder) buildHistDP(st *buildState, ids []int32) {
+	nodeBlk := b.cfg.NodeBlockSize
+	workers := b.pool.Workers()
+	rowBlk := b.cfg.RowBlockSize
+	if rowBlk <= 0 {
+		rowBlk = (b.ds.NumRows() + workers - 1) / workers
+	}
+	nb := b.blocks.NumBlocks()
+	totalBins := b.layout.TotalBins()
+	for g := 0; g < len(ids); g += nodeBlk {
+		end := g + nodeBlk
+		if end > len(ids) {
+			end = len(ids)
+		}
+		group := ids[g:end]
+		for _, id := range group {
+			st.nodes[id].hist = b.hpool.Get()
+		}
+		replicas := make([][]*histogram.Hist, workers)
+		for w := range replicas {
+			replicas[w] = make([]*histogram.Hist, len(group))
+		}
+		var tasks []func(int)
+		for gi, id := range group {
+			ns := st.nodes[id]
+			nRows := ns.rows.Len()
+			for lo := 0; lo < nRows; lo += rowBlk {
+				hi := lo + rowBlk
+				if hi > nRows {
+					hi = nRows
+				}
+				for fb := 0; fb < nb; fb++ {
+					gi, lo, hi, fb, ns := gi, lo, hi, fb, ns
+					tasks = append(tasks, func(w int) {
+						rep := replicas[w][gi]
+						if rep == nil {
+							rep = b.hpool.Get()
+							replicas[w][gi] = rep
+						}
+						b.accumulate(rep, st, ns, lo, hi, fb, fullBinRange)
+					})
+				}
+			}
+		}
+		b.pool.RunTasks(tasks)
+		// Replica reduction, parallel over (node, histogram range). The
+		// cost of this region grows with the number of nodes — the DP
+		// scaling limit of Fig. 11.
+		const reduceChunk = 16384
+		var rtasks []func(int)
+		for gi, id := range group {
+			target := st.nodes[id].hist
+			for lo := 0; lo < totalBins; lo += reduceChunk {
+				hi := lo + reduceChunk
+				if hi > totalBins {
+					hi = totalBins
+				}
+				gi, lo, hi, target := gi, lo, hi, target
+				rtasks = append(rtasks, func(int) {
+					for w := 0; w < workers; w++ {
+						if rep := replicas[w][gi]; rep != nil {
+							target.AddRange(rep, lo, hi)
+						}
+					}
+				})
+			}
+		}
+		b.pool.RunTasks(rtasks)
+		for w := range replicas {
+			for _, rep := range replicas[w] {
+				if rep != nil {
+					b.hpool.Put(rep)
+				}
+			}
+		}
+	}
+}
+
+// buildHistMP is the model-parallel kernel: ⟨node group, feature block, bin
+// block⟩ tasks write directly into the owning node's GHSum region, so no
+// replicas and no reduction are needed and the whole batch is one parallel
+// region. node_blk_size controls task granularity (write-region size versus
+// schedulable task count).
+func (b *Builder) buildHistMP(st *buildState, ids []int32) {
+	nodeBlk := b.cfg.NodeBlockSize
+	nb := b.blocks.NumBlocks()
+	ranges := b.binRanges()
+	for _, id := range ids {
+		st.nodes[id].hist = b.hpool.Get()
+	}
+	var tasks []func(int)
+	for g := 0; g < len(ids); g += nodeBlk {
+		end := g + nodeBlk
+		if end > len(ids) {
+			end = len(ids)
+		}
+		group := ids[g:end]
+		for fb := 0; fb < nb; fb++ {
+			for _, br := range ranges {
+				group, fb, br := group, fb, br
+				tasks = append(tasks, func(int) {
+					for _, id := range group {
+						ns := st.nodes[id]
+						b.accumulate(ns.hist, st, ns, 0, ns.rows.Len(), fb, br)
+					}
+				})
+			}
+		}
+	}
+	b.pool.RunTasks(tasks)
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/tree"
+)
+
+// TestRandomConfigsBuildSameTree is the configuration-space property test:
+// for ANY random block configuration (mode, blocks, MemBuf, subtraction,
+// workers) at a fixed K, the barrier engines must produce the reference
+// tree from dyadic gradients.
+func TestRandomConfigsBuildSameTree(t *testing.T) {
+	ds := testDataset(t, 1500, 9)
+	grad := dyadicGradients(1500, 101)
+	ref := buildWith(t, Config{Mode: DP, K: 4, Growth: grow.Leafwise, TreeSize: 5,
+		Params: tree.DefaultSplitParams()}, ds, grad)
+	f := func(modeRaw, fb, nb, rb, bb uint8, memBuf, noSub bool, workersRaw uint8) bool {
+		cfg := Config{
+			Mode:               Mode(int(modeRaw) % 3), // DP, MP, Sync
+			K:                  4,
+			Growth:             grow.Leafwise,
+			TreeSize:           5,
+			FeatureBlockSize:   int(fb % 12),
+			NodeBlockSize:      int(nb % 9),
+			RowBlockSize:       int(rb) * 16,
+			BinBlockSize:       int(bb),
+			UseMemBuf:          memBuf,
+			DisableSubtraction: noSub,
+			Workers:            int(workersRaw%8) + 1,
+			Params:             tree.DefaultSplitParams(),
+		}
+		b, err := NewBuilder(cfg, ds)
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return false
+		}
+		bt, err := b.BuildTree(grad)
+		if err != nil {
+			t.Logf("build failed: %v", err)
+			return false
+		}
+		if err := bt.Tree.Validate(); err != nil {
+			t.Logf("invalid tree: %v", err)
+			return false
+		}
+		return treesEquivalent(ref, bt.Tree)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomConfigsAsyncValid: ASYNC under random configurations always
+// produces structurally valid trees within budget, with consistent leaf
+// assignment.
+func TestRandomConfigsAsyncValid(t *testing.T) {
+	ds := testDataset(t, 1500, 9)
+	grad := dyadicGradients(1500, 103)
+	f := func(k, fb, nb uint8, memBuf, virtual bool, workersRaw uint8) bool {
+		cfg := Config{
+			Mode:             Async,
+			K:                int(k%40) + 1,
+			Growth:           grow.Leafwise,
+			TreeSize:         5,
+			FeatureBlockSize: int(fb % 12),
+			NodeBlockSize:    int(nb % 9),
+			UseMemBuf:        memBuf,
+			Virtual:          virtual,
+			Workers:          int(workersRaw%8) + 1,
+			Params:           tree.DefaultSplitParams(),
+		}
+		b, err := NewBuilder(cfg, ds)
+		if err != nil {
+			return false
+		}
+		bt, err := b.BuildTree(grad)
+		if err != nil {
+			return false
+		}
+		if err := bt.Tree.Validate(); err != nil {
+			t.Logf("invalid tree: %v", err)
+			return false
+		}
+		if bt.Tree.NumLeaves() > 16 {
+			return false
+		}
+		for i := 0; i < ds.NumRows(); i += 211 {
+			if bt.LeafOf[i] != bt.Tree.PredictRowBinned(ds.Binned.Row(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

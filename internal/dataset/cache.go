@@ -1,0 +1,154 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// cacheMagic identifies the binary dataset cache format.
+const cacheMagic = uint32(0x48475244) // "HGRD"
+
+const cacheVersion = uint32(1)
+
+// WriteCache serializes a Dataset in a compact binary format so that binning
+// (the one-time initialization the paper excludes from training time) can be
+// skipped on subsequent runs.
+func WriteCache(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	var hdr [4]uint32
+	hdr[0], hdr[1] = cacheMagic, cacheVersion
+	hdr[2], hdr[3] = uint32(ds.Binned.N), uint32(ds.Binned.M)
+	for _, v := range hdr {
+		if err := binary.Write(bw, le, v); err != nil {
+			return err
+		}
+	}
+	if err := writeString(bw, ds.Name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, int32(ds.Cuts.MaxBins)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, int32(len(ds.Cuts.Vals))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, ds.Cuts.Ptr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, ds.Cuts.Vals); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, ds.Labels); err != nil {
+		return err
+	}
+	if _, err := bw.Write(ds.Binned.Bins); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCache deserializes a Dataset written by WriteCache.
+func ReadCache(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var hdr [4]uint32
+	for i := range hdr {
+		if err := binary.Read(br, le, &hdr[i]); err != nil {
+			return nil, err
+		}
+	}
+	if hdr[0] != cacheMagic {
+		return nil, fmt.Errorf("dataset cache: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != cacheVersion {
+		return nil, fmt.Errorf("dataset cache: unsupported version %d", hdr[1])
+	}
+	n, m := int(hdr[2]), int(hdr[3])
+	if n < 0 || m < 0 || uint64(n)*uint64(m) > math.MaxInt32*uint64(256) {
+		return nil, fmt.Errorf("dataset cache: implausible dimensions %dx%d", n, m)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	var maxBins, nCutVals int32
+	if err := binary.Read(br, le, &maxBins); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, le, &nCutVals); err != nil {
+		return nil, err
+	}
+	cuts := &Cuts{M: m, MaxBins: int(maxBins),
+		Ptr: make([]int32, m+1), Vals: make([]float32, nCutVals)}
+	if err := binary.Read(br, le, cuts.Ptr); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, le, cuts.Vals); err != nil {
+		return nil, err
+	}
+	labels := make([]float32, n)
+	if err := binary.Read(br, le, labels); err != nil {
+		return nil, err
+	}
+	bins := make([]uint8, n*m)
+	if _, err := io.ReadFull(br, bins); err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Name: name, Labels: labels, Cuts: cuts,
+		Binned: &BinnedMatrix{N: n, M: m, Bins: bins}}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset cache: %w", err)
+	}
+	return ds, nil
+}
+
+// SaveCacheFile writes the dataset cache to a file.
+func SaveCacheFile(path string, ds *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCache(f, ds); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCacheFile reads a dataset cache from a file.
+func LoadCacheFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCache(f)
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, int32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n int32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n < 0 || n > 1<<20 {
+		return "", fmt.Errorf("dataset cache: bad string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,250 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDenseBasics(t *testing.T) {
+	d := NewDense(3, 2)
+	d.Set(1, 1, 4.5)
+	if d.At(1, 1) != 4.5 {
+		t.Fatal("set/get mismatch")
+	}
+	d.SetMissing(0, 0)
+	if !d.IsMissing(0, 0) {
+		t.Fatal("missing not detected")
+	}
+	if d.IsMissing(1, 1) {
+		t.Fatal("present value reported missing")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Row(2)) != 2 {
+		t.Fatal("row length")
+	}
+}
+
+func TestDenseValidateCatchesBadLength(t *testing.T) {
+	d := &Dense{N: 2, M: 2, Values: make([]float32, 3)}
+	if err := d.Validate(); err == nil {
+		t.Fatal("bad length passed validation")
+	}
+}
+
+func TestCSRBuilderAndValidate(t *testing.T) {
+	b := NewCSRBuilder(4)
+	if err := b.AddRow([]int32{0, 2}, []float32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRow(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRow([]int32{3}, []float32{5}); err != nil {
+		t.Fatal(err)
+	}
+	c := b.Build()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 3 || c.N != 3 || c.M != 4 {
+		t.Fatalf("dims nnz=%d n=%d m=%d", c.NNZ(), c.N, c.M)
+	}
+	cols, vals := c.Row(0)
+	if len(cols) != 2 || cols[1] != 2 || vals[1] != 2 {
+		t.Fatalf("row 0: %v %v", cols, vals)
+	}
+	if cols, _ := c.Row(1); len(cols) != 0 {
+		t.Fatal("empty row not empty")
+	}
+}
+
+func TestCSRBuilderRejectsBadRows(t *testing.T) {
+	b := NewCSRBuilder(3)
+	if err := b.AddRow([]int32{1, 1}, []float32{1, 2}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if err := b.AddRow([]int32{2, 1}, []float32{1, 2}); err == nil {
+		t.Fatal("decreasing columns accepted")
+	}
+	if err := b.AddRow([]int32{5}, []float32{1}); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	if err := b.AddRow([]int32{1}, []float32{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestCSRToDense(t *testing.T) {
+	b := NewCSRBuilder(3)
+	_ = b.AddRow([]int32{1}, []float32{7})
+	_ = b.AddRow([]int32{0, 2}, []float32{1, 2})
+	d := b.Build().ToDense()
+	if d.At(0, 1) != 7 || d.At(1, 0) != 1 || d.At(1, 2) != 2 {
+		t.Fatal("values wrong")
+	}
+	if !d.IsMissing(0, 0) || !d.IsMissing(0, 2) || !d.IsMissing(1, 1) {
+		t.Fatal("absent entries should be missing")
+	}
+}
+
+func TestBinDenseAndValidate(t *testing.T) {
+	d := NewDense(10, 3)
+	for i := 0; i < 10; i++ {
+		d.Set(i, 0, float32(i))
+		d.Set(i, 1, float32(i%2))
+		if i%3 == 0 {
+			d.SetMissing(i, 2)
+		} else {
+			d.Set(i, 2, float32(i))
+		}
+	}
+	c := BuildCuts(d, 8)
+	bm := BinDense(d, c)
+	if err := bm.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if (bm.At(i, 2) == MissingBin) != (i%3 == 0) {
+			t.Fatalf("row %d missing flag wrong", i)
+		}
+	}
+	// Binary feature maps to 2 bins.
+	if c.NumBins(1) != 2 {
+		t.Fatalf("binary feature bins = %d", c.NumBins(1))
+	}
+}
+
+func TestBinCSRMissingEverywhereAbsent(t *testing.T) {
+	b := NewCSRBuilder(2)
+	_ = b.AddRow([]int32{0}, []float32{1})
+	_ = b.AddRow([]int32{1}, []float32{2})
+	csr := b.Build()
+	c := BuildCutsCSR(csr, 8)
+	bm := BinCSR(csr, c)
+	if bm.At(0, 1) != MissingBin || bm.At(1, 0) != MissingBin {
+		t.Fatal("absent entries must bin as missing")
+	}
+	if bm.At(0, 0) == MissingBin || bm.At(1, 1) == MissingBin {
+		t.Fatal("present entries binned as missing")
+	}
+}
+
+func TestColumnBlocksRoundTrip(t *testing.T) {
+	d := NewDense(7, 5)
+	for i := 0; i < 7; i++ {
+		for f := 0; f < 5; f++ {
+			d.Set(i, f, float32(i*5+f))
+		}
+	}
+	c := BuildCuts(d, 255)
+	bm := BinDense(d, c)
+	for _, width := range []int{1, 2, 3, 5, 100} {
+		cb := NewColumnBlocks(bm, width)
+		for b := 0; b < cb.NumBlocks(); b++ {
+			lo, hi, _ := cb.Block(b)
+			for i := 0; i < 7; i++ {
+				row := cb.RowSlice(b, i)
+				for j := 0; j < hi-lo; j++ {
+					if row[j] != bm.At(i, lo+j) {
+						t.Fatalf("width=%d block=%d row=%d feat=%d mismatch", width, b, i, lo+j)
+					}
+				}
+			}
+		}
+		// Blocks must tile [0, M).
+		if cb.Starts[0] != 0 || cb.Starts[cb.NumBlocks()] != 5 {
+			t.Fatalf("width=%d: blocks do not tile: %v", width, cb.Starts)
+		}
+	}
+}
+
+func TestFromDenseAndStats(t *testing.T) {
+	d := NewDense(100, 4)
+	for i := 0; i < 100; i++ {
+		d.Set(i, 0, float32(i))   // many bins
+		d.Set(i, 1, float32(i%2)) // 2 bins
+		d.Set(i, 2, 1.0)          // constant: 1 bin
+		if i%4 == 0 {
+			d.SetMissing(i, 3)
+		} else {
+			d.Set(i, 3, float32(i%10))
+		}
+	}
+	labels := make([]float32, 100)
+	ds, err := FromDense("test", d, labels, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeStats(ds)
+	if st.N != 100 || st.M != 4 {
+		t.Fatalf("stats dims %+v", st)
+	}
+	wantS := (100.0*3 + 75) / 400.0
+	if math.Abs(st.S-wantS) > 1e-9 {
+		t.Fatalf("S = %f, want %f", st.S, wantS)
+	}
+	if st.BinsPerFeature[1] != 2 || st.BinsPerFeature[2] != 1 {
+		t.Fatalf("bins per feature %v", st.BinsPerFeature)
+	}
+	if st.CV <= 0 {
+		t.Fatalf("CV should be positive for uneven features: %f", st.CV)
+	}
+	if !strings.Contains(st.String(), "N=100") {
+		t.Fatalf("stats string: %s", st.String())
+	}
+}
+
+func TestStatsEvenFeaturesLowCV(t *testing.T) {
+	d := NewDense(200, 3)
+	for i := 0; i < 200; i++ {
+		for f := 0; f < 3; f++ {
+			d.Set(i, f, float32((i*7+f*3)%50))
+		}
+	}
+	labels := make([]float32, 200)
+	ds, err := FromDense("even", d, labels, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeStats(ds)
+	if st.CV > 0.05 {
+		t.Fatalf("CV for identical distributions should be ~0: %f", st.CV)
+	}
+	if st.S != 1 {
+		t.Fatalf("dense dataset S = %f", st.S)
+	}
+}
+
+func TestFromDenseLabelMismatch(t *testing.T) {
+	d := NewDense(5, 1)
+	if _, err := FromDense("x", d, make([]float32, 4), 8); err == nil {
+		t.Fatal("label count mismatch accepted")
+	}
+}
+
+func TestDatasetValidateCatchesLabelMismatch(t *testing.T) {
+	d := NewDense(3, 1)
+	ds, err := FromDense("x", d, make([]float32, 3), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Labels = ds.Labels[:2]
+	if err := ds.Validate(); err == nil {
+		t.Fatal("truncated labels passed validation")
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	d := NewDense(0, 0)
+	ds := &Dataset{Labels: nil, Binned: BinDense(d, BuildCuts(d, 8)), Cuts: BuildCuts(d, 8)}
+	st := ComputeStats(ds)
+	if st.S != 0 || st.CV != 0 {
+		t.Fatalf("empty stats %+v", st)
+	}
+}

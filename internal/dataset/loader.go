@@ -1,0 +1,189 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadLibSVM parses the libsvm text format ("label idx:val idx:val ...",
+// zero-based or one-based indices auto-detected as zero-based here; comments
+// starting with '#' and blank lines are skipped). numFeatures <= 0 infers
+// the feature count from the data.
+func ReadLibSVM(r io.Reader, numFeatures int) (*CSR, []float32, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var (
+		labels []float32
+		rows   [][]int32
+		vrows  [][]float32
+		maxCol int32 = -1
+	)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		lab, err := strconv.ParseFloat(fields[0], 32)
+		if err != nil {
+			return nil, nil, fmt.Errorf("libsvm line %d: bad label %q: %w", lineNo, fields[0], err)
+		}
+		cols := make([]int32, 0, len(fields)-1)
+		vals := make([]float32, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			k := strings.IndexByte(f, ':')
+			if k <= 0 {
+				return nil, nil, fmt.Errorf("libsvm line %d: bad pair %q", lineNo, f)
+			}
+			idx, err := strconv.Atoi(f[:k])
+			if err != nil || idx < 0 {
+				return nil, nil, fmt.Errorf("libsvm line %d: bad index %q", lineNo, f[:k])
+			}
+			v, err := strconv.ParseFloat(f[k+1:], 32)
+			if err != nil {
+				return nil, nil, fmt.Errorf("libsvm line %d: bad value %q: %w", lineNo, f[k+1:], err)
+			}
+			cols = append(cols, int32(idx))
+			vals = append(vals, float32(v))
+			if int32(idx) > maxCol {
+				maxCol = int32(idx)
+			}
+		}
+		labels = append(labels, float32(lab))
+		rows = append(rows, cols)
+		vrows = append(vrows, vals)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	m := numFeatures
+	if m <= 0 {
+		m = int(maxCol) + 1
+	}
+	b := NewCSRBuilder(m)
+	for i := range rows {
+		if err := b.AddRow(rows[i], vrows[i]); err != nil {
+			return nil, nil, fmt.Errorf("libsvm row %d: %w", i, err)
+		}
+	}
+	return b.Build(), labels, nil
+}
+
+// LoadLibSVMFile reads a libsvm file from disk and builds a Dataset.
+func LoadLibSVMFile(path string, numFeatures, maxBins int) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	csr, labels, err := ReadLibSVM(f, numFeatures)
+	if err != nil {
+		return nil, err
+	}
+	return FromCSR(path, csr, labels, maxBins)
+}
+
+// WriteLibSVM writes a dense matrix with labels in libsvm format. Missing
+// (NaN) values are omitted.
+func WriteLibSVM(w io.Writer, d *Dense, labels []float32) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < d.N; i++ {
+		if _, err := fmt.Fprintf(bw, "%g", labels[i]); err != nil {
+			return err
+		}
+		row := d.Row(i)
+		for f, v := range row {
+			if v != v {
+				continue
+			}
+			if _, err := fmt.Fprintf(bw, " %d:%g", f, v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses simple numeric CSV with the label in the first column and
+// no header. Empty fields become missing values.
+func ReadCSV(r io.Reader) (*Dense, []float32, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var (
+		labels []float32
+		data   [][]float32
+		m      = -1
+	)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if m == -1 {
+			m = len(fields) - 1
+		} else if len(fields)-1 != m {
+			return nil, nil, fmt.Errorf("csv line %d: %d features, want %d", lineNo, len(fields)-1, m)
+		}
+		lab, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 32)
+		if err != nil {
+			return nil, nil, fmt.Errorf("csv line %d: bad label %q: %w", lineNo, fields[0], err)
+		}
+		row := make([]float32, m)
+		for j := 1; j <= m; j++ {
+			s := strings.TrimSpace(fields[j])
+			if s == "" {
+				row[j-1] = nanF32()
+				continue
+			}
+			v, err := strconv.ParseFloat(s, 32)
+			if err != nil {
+				return nil, nil, fmt.Errorf("csv line %d col %d: %w", lineNo, j, err)
+			}
+			row[j-1] = float32(v)
+		}
+		labels = append(labels, float32(lab))
+		data = append(data, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if m < 0 {
+		m = 0
+	}
+	d := NewDense(len(data), m)
+	for i, row := range data {
+		copy(d.Row(i), row)
+	}
+	return d, labels, nil
+}
+
+// LoadCSVFile reads a CSV file from disk and builds a Dataset.
+func LoadCSVFile(path string, maxBins int) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, labels, err := ReadCSV(f)
+	if err != nil {
+		return nil, err
+	}
+	return FromDense(path, d, labels, maxBins)
+}
+
+func nanF32() float32 {
+	v := float32(0)
+	return v / v
+}

@@ -1,0 +1,282 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadLibSVM(t *testing.T) {
+	in := `1 0:1.5 2:3
+# comment line
+
+0 1:2.5
+1
+`
+	csr, labels, err := ReadLibSVM(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 3 || labels[0] != 1 || labels[1] != 0 || labels[2] != 1 {
+		t.Fatalf("labels %v", labels)
+	}
+	if csr.N != 3 || csr.M != 3 {
+		t.Fatalf("dims %dx%d", csr.N, csr.M)
+	}
+	cols, vals := csr.Row(0)
+	if len(cols) != 2 || cols[0] != 0 || vals[1] != 3 {
+		t.Fatalf("row 0: %v %v", cols, vals)
+	}
+	if cols, _ := csr.Row(2); len(cols) != 0 {
+		t.Fatal("label-only row should be empty")
+	}
+}
+
+func TestReadLibSVMExplicitFeatureCount(t *testing.T) {
+	csr, _, err := ReadLibSVM(strings.NewReader("1 0:1\n"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csr.M != 10 {
+		t.Fatalf("M = %d, want 10", csr.M)
+	}
+}
+
+func TestReadLibSVMErrors(t *testing.T) {
+	cases := []string{
+		"x 0:1\n",     // bad label
+		"1 0:abc\n",   // bad value
+		"1 :1\n",      // missing index
+		"1 -1:2\n",    // negative index
+		"1 0:1 0:2\n", // duplicate column
+	}
+	for _, in := range cases {
+		if _, _, err := ReadLibSVM(strings.NewReader(in), 0); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestLibSVMWriteReadRoundTrip(t *testing.T) {
+	d := NewDense(5, 3)
+	labels := make([]float32, 5)
+	for i := 0; i < 5; i++ {
+		labels[i] = float32(i % 2)
+		for f := 0; f < 3; f++ {
+			if (i+f)%4 == 0 {
+				d.SetMissing(i, f)
+			} else {
+				d.Set(i, f, float32(i)+float32(f)*0.5)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteLibSVM(&buf, d, labels); err != nil {
+		t.Fatal(err)
+	}
+	csr, labels2, err := ReadLibSVM(bytes.NewReader(buf.Bytes()), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := csr.ToDense()
+	for i := 0; i < 5; i++ {
+		if labels[i] != labels2[i] {
+			t.Fatalf("label %d mismatch", i)
+		}
+		for f := 0; f < 3; f++ {
+			a, b := d.At(i, f), d2.At(i, f)
+			if (a != a) != (b != b) {
+				t.Fatalf("missing flag mismatch at %d,%d", i, f)
+			}
+			if a == a && a != b {
+				t.Fatalf("value mismatch at %d,%d: %v vs %v", i, f, a, b)
+			}
+		}
+	}
+}
+
+func TestReadCSV(t *testing.T) {
+	in := "1,0.5,,3\n0,1.5,2.5,\n"
+	d, labels, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 2 || d.M != 3 {
+		t.Fatalf("dims %dx%d", d.N, d.M)
+	}
+	if labels[0] != 1 || labels[1] != 0 {
+		t.Fatalf("labels %v", labels)
+	}
+	if !d.IsMissing(0, 1) || !d.IsMissing(1, 2) {
+		t.Fatal("empty fields should be missing")
+	}
+	if d.At(0, 0) != 0.5 || d.At(1, 1) != 2.5 {
+		t.Fatal("values wrong")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, _, err := ReadCSV(strings.NewReader("a,1\n")); err == nil {
+		t.Fatal("bad label accepted")
+	}
+	if _, _, err := ReadCSV(strings.NewReader("1,2\n1,2,3\n")); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, _, err := ReadCSV(strings.NewReader("1,x\n")); err == nil {
+		t.Fatal("bad value accepted")
+	}
+}
+
+func TestLoadFilesEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	libsvmPath := filepath.Join(dir, "data.libsvm")
+	csvPath := filepath.Join(dir, "data.csv")
+
+	d := NewDense(20, 2)
+	labels := make([]float32, 20)
+	for i := 0; i < 20; i++ {
+		labels[i] = float32(i % 2)
+		d.Set(i, 0, float32(i))
+		d.Set(i, 1, float32(20-i))
+	}
+	// Write libsvm.
+	{
+		var buf bytes.Buffer
+		if err := WriteLibSVM(&buf, d, labels); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFile(libsvmPath, buf.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Write CSV.
+	{
+		var sb strings.Builder
+		for i := 0; i < 20; i++ {
+			sb.WriteString("1,")
+			sb.WriteString("2.5,")
+			sb.WriteString("3.5\n")
+		}
+		if err := writeFile(csvPath, []byte(sb.String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds1, err := LoadLibSVMFile(libsvmPath, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds1.NumRows() != 20 || ds1.NumFeatures() != 2 {
+		t.Fatalf("libsvm dims %dx%d", ds1.NumRows(), ds1.NumFeatures())
+	}
+	ds2, err := LoadCSVFile(csvPath, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.NumRows() != 20 || ds2.NumFeatures() != 2 {
+		t.Fatalf("csv dims %dx%d", ds2.NumRows(), ds2.NumFeatures())
+	}
+	if _, err := LoadLibSVMFile(filepath.Join(dir, "nope"), 0, 32); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	d := NewDense(30, 4)
+	labels := make([]float32, 30)
+	for i := 0; i < 30; i++ {
+		labels[i] = float32(i%2) + 0.25
+		for f := 0; f < 4; f++ {
+			if (i+f)%7 == 0 {
+				d.SetMissing(i, f)
+			} else {
+				d.Set(i, f, float32(i*f)*0.1)
+			}
+		}
+	}
+	ds, err := FromDense("cache-me", d, labels, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCache(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := ReadCache(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Name != "cache-me" {
+		t.Fatalf("name %q", ds2.Name)
+	}
+	if ds2.NumRows() != 30 || ds2.NumFeatures() != 4 {
+		t.Fatal("dims mismatch")
+	}
+	for i := range ds.Labels {
+		if ds.Labels[i] != ds2.Labels[i] {
+			t.Fatalf("label %d mismatch", i)
+		}
+	}
+	if !bytes.Equal(ds.Binned.Bins, ds2.Binned.Bins) {
+		t.Fatal("bins mismatch")
+	}
+	for f := 0; f <= 4; f++ {
+		if ds.Cuts.Ptr[f] != ds2.Cuts.Ptr[f] {
+			t.Fatal("cut ptr mismatch")
+		}
+	}
+	for k := range ds.Cuts.Vals {
+		if ds.Cuts.Vals[k] != ds2.Cuts.Vals[k] {
+			t.Fatal("cut vals mismatch")
+		}
+	}
+}
+
+func TestCacheRejectsGarbage(t *testing.T) {
+	if _, err := ReadCache(bytes.NewReader([]byte("not a cache file at all........"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadCache(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestCacheFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ds.bin")
+	d := NewDense(5, 2)
+	for i := 0; i < 5; i++ {
+		d.Set(i, 0, float32(i))
+		d.Set(i, 1, float32(i*i))
+	}
+	ds, err := FromDense("f", d, make([]float32, 5), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCacheFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := LoadCacheFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ds.Binned.Bins, ds2.Binned.Bins) {
+		t.Fatal("bins mismatch after file round trip")
+	}
+}
+
+func TestNanF32(t *testing.T) {
+	if v := nanF32(); !math.IsNaN(float64(v)) {
+		t.Fatalf("nanF32() = %v", v)
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return osWriteFile(path, data)
+}
+
+func osWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,122 @@
+package dataset
+
+import (
+	"testing"
+
+	"harpgbdt/internal/sched"
+)
+
+func randomDense(n, m int, seed uint64) *Dense {
+	d := NewDense(n, m)
+	s := seed
+	for i := 0; i < n; i++ {
+		for f := 0; f < m; f++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			if s>>60 == 0 {
+				d.SetMissing(i, f)
+			} else {
+				d.Set(i, f, float32(int16(s>>44))/128)
+			}
+		}
+	}
+	return d
+}
+
+func TestBuildCutsParallelMatchesSerial(t *testing.T) {
+	d := randomDense(3000, 7, 5)
+	serial := BuildCuts(d, 64)
+	for _, workers := range []int{2, 4, 8} {
+		par := BuildCutsParallel(d, 64, sched.NewPool(workers))
+		if err := par.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(par.Vals) != len(serial.Vals) {
+			t.Fatalf("workers=%d: %d cuts vs %d serial", workers, len(par.Vals), len(serial.Vals))
+		}
+		for k := range serial.Vals {
+			if par.Vals[k] != serial.Vals[k] {
+				t.Fatalf("workers=%d: cut %d differs", workers, k)
+			}
+		}
+		for f := 0; f <= 7; f++ {
+			if par.Ptr[f] != serial.Ptr[f] {
+				t.Fatalf("workers=%d: ptr %d differs", workers, f)
+			}
+		}
+	}
+}
+
+func TestBuildCutsParallelNilPoolFallsBack(t *testing.T) {
+	d := randomDense(100, 3, 7)
+	a := BuildCutsParallel(d, 16, nil)
+	b := BuildCuts(d, 16)
+	if len(a.Vals) != len(b.Vals) {
+		t.Fatal("nil-pool fallback differs")
+	}
+}
+
+func TestBinDenseParallelMatchesSerial(t *testing.T) {
+	d := randomDense(2000, 5, 9)
+	c := BuildCuts(d, 32)
+	serial := BinDense(d, c)
+	par := BinDenseParallel(d, c, sched.NewPool(4))
+	for i := range serial.Bins {
+		if serial.Bins[i] != par.Bins[i] {
+			t.Fatalf("bin %d differs", i)
+		}
+	}
+}
+
+func TestBinDenseParallelVirtualPool(t *testing.T) {
+	d := randomDense(500, 4, 11)
+	c := BuildCuts(d, 16)
+	serial := BinDense(d, c)
+	par := BinDenseParallel(d, c, sched.NewVirtualPool(8, sched.CostModel{}))
+	for i := range serial.Bins {
+		if serial.Bins[i] != par.Bins[i] {
+			t.Fatalf("bin %d differs under virtual pool", i)
+		}
+	}
+}
+
+func TestFromDenseParallel(t *testing.T) {
+	d := randomDense(1000, 6, 13)
+	labels := make([]float32, 1000)
+	pool := sched.NewPool(4)
+	ds, err := FromDenseParallel("par", d, labels, 32, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := FromDense("ref", d, labels, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Binned.Bins {
+		if ref.Binned.Bins[i] != ds.Binned.Bins[i] {
+			t.Fatalf("bin %d differs", i)
+		}
+	}
+	if _, err := FromDenseParallel("bad", d, labels[:10], 32, pool); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+}
+
+func BenchmarkBuildCutsSerial(b *testing.B) {
+	d := randomDense(20000, 32, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildCuts(d, 255)
+	}
+}
+
+func BenchmarkBuildCutsParallel(b *testing.B) {
+	d := randomDense(20000, 32, 1)
+	pool := sched.NewPool(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildCutsParallel(d, 255, pool)
+	}
+}

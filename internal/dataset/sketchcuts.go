@@ -1,0 +1,48 @@
+package dataset
+
+import (
+	"harpgbdt/internal/sched"
+	"harpgbdt/internal/sketch"
+)
+
+// BuildCutsSketched computes per-feature cut points with streaming quantile
+// sketches instead of exact sorts. One pass over the data, O(resolution)
+// memory per feature: the initialization path for out-of-core or sharded
+// data (per-shard sketches merge; see sketch.Sketch.Merge). resolution <= 0
+// picks 8x maxBins. A non-nil pool parallelizes over features.
+func BuildCutsSketched(d *Dense, maxBins, resolution int, pool *sched.Pool) *Cuts {
+	if maxBins <= 1 || maxBins > MaxAllowedBins {
+		maxBins = MaxAllowedBins
+	}
+	if resolution <= 0 {
+		resolution = 8 * maxBins
+	}
+	perFeature := make([][]float32, d.M)
+	build := func(f int) {
+		s := sketch.New(resolution)
+		for i := 0; i < d.N; i++ {
+			v := d.Values[i*d.M+f]
+			if v == v {
+				s.Push(v, 1)
+			}
+		}
+		perFeature[f] = s.Cuts(maxBins)
+	}
+	if pool != nil && pool.Workers() > 1 {
+		pool.ParallelFor(d.M, 1, func(lo, hi, _ int) {
+			for f := lo; f < hi; f++ {
+				build(f)
+			}
+		})
+	} else {
+		for f := 0; f < d.M; f++ {
+			build(f)
+		}
+	}
+	c := &Cuts{M: d.M, Ptr: make([]int32, d.M+1), MaxBins: maxBins}
+	for f := 0; f < d.M; f++ {
+		c.Vals = append(c.Vals, perFeature[f]...)
+		c.Ptr[f+1] = int32(len(c.Vals))
+	}
+	return c
+}

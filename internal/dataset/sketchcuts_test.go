@@ -1,0 +1,76 @@
+package dataset
+
+import (
+	"testing"
+
+	"harpgbdt/internal/sched"
+)
+
+func TestBuildCutsSketchedApproximatesExact(t *testing.T) {
+	d := randomDense(20000, 5, 21)
+	exact := BuildCuts(d, 64)
+	sk := BuildCutsSketched(d, 64, 0, nil)
+	if err := sk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per feature: the sketched cuts must distribute the data over bins
+	// with roughly even mass, like the exact cuts do. Compare the
+	// empirical CDF positions of corresponding cut indices.
+	for f := 0; f < 5; f++ {
+		ec := exact.FeatureCuts(f)
+		sc := sk.FeatureCuts(f)
+		if len(sc) == 0 || len(ec) == 0 {
+			t.Fatalf("feature %d: empty cuts", f)
+		}
+		// Count rows falling at or below each sketched cut; the largest
+		// bin must not hold more than ~4x the even share.
+		prevCount := 0
+		maxShare := 0.0
+		for _, cut := range sc {
+			count := 0
+			for i := 0; i < d.N; i++ {
+				v := d.At(i, f)
+				if v == v && v <= cut {
+					count++
+				}
+			}
+			share := float64(count-prevCount) / float64(d.N)
+			if share > maxShare {
+				maxShare = share
+			}
+			prevCount = count
+		}
+		even := 1.0 / float64(len(sc))
+		if maxShare > 4*even {
+			t.Fatalf("feature %d: largest sketched bin holds %.3f of mass (even share %.3f)", f, maxShare, even)
+		}
+	}
+}
+
+func TestBuildCutsSketchedParallelMatchesSerial(t *testing.T) {
+	d := randomDense(5000, 6, 23)
+	serial := BuildCutsSketched(d, 32, 512, nil)
+	par := BuildCutsSketched(d, 32, 512, sched.NewPool(4))
+	if len(serial.Vals) != len(par.Vals) {
+		t.Fatalf("cut counts differ: %d vs %d", len(serial.Vals), len(par.Vals))
+	}
+	for k := range serial.Vals {
+		if serial.Vals[k] != par.Vals[k] {
+			t.Fatalf("cut %d differs", k)
+		}
+	}
+}
+
+func TestBuildCutsSketchedUsableForTraining(t *testing.T) {
+	// Cuts from the sketch must produce a valid binned dataset.
+	d := randomDense(3000, 4, 25)
+	cuts := BuildCutsSketched(d, 32, 0, nil)
+	bm := BinDense(d, cuts)
+	if err := bm.Validate(cuts); err != nil {
+		t.Fatal(err)
+	}
+	ds := &Dataset{Name: "sk", Labels: make([]float32, 3000), Binned: bm, Cuts: cuts}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

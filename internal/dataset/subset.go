@@ -1,0 +1,44 @@
+package dataset
+
+import "fmt"
+
+// Subset extracts the given rows (in order, duplicates allowed) into a new
+// Dataset sharing the original's cuts. Binned values are copied, so the
+// subset is independent of the source's lifetime. Used by cross-validation
+// and bagging.
+func Subset(ds *Dataset, rows []int32) (*Dataset, error) {
+	n, m := len(rows), ds.NumFeatures()
+	bins := make([]uint8, n*m)
+	labels := make([]float32, n)
+	src := ds.Binned
+	for i, r := range rows {
+		if r < 0 || int(r) >= ds.NumRows() {
+			return nil, fmt.Errorf("dataset: subset row %d out of range [0, %d)", r, ds.NumRows())
+		}
+		copy(bins[i*m:(i+1)*m], src.Bins[int(r)*m:(int(r)+1)*m])
+		labels[i] = ds.Labels[r]
+	}
+	return &Dataset{
+		Name:   ds.Name + "-subset",
+		Labels: labels,
+		Binned: &BinnedMatrix{N: n, M: m, Bins: bins},
+		Cuts:   ds.Cuts,
+	}, nil
+}
+
+// Split partitions the dataset's row indices into k contiguous folds of
+// near-equal size. Use with a prior shuffle for random folds.
+func Split(n, k int) [][]int32 {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	folds := make([][]int32, k)
+	for i := 0; i < n; i++ {
+		f := i * k / n
+		folds[f] = append(folds[f], int32(i))
+	}
+	return folds
+}

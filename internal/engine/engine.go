@@ -1,0 +1,261 @@
+// Package engine defines the tree-builder contract shared by HarpGBDT and
+// the baseline trainers, plus the row-set and partitioning machinery
+// (ApplySplit) every engine needs: stable serial and parallel partitions of
+// a node's row list by a split predicate, with or without MemBuf gradient
+// replicas.
+package engine
+
+import (
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/gh"
+	"harpgbdt/internal/profile"
+	"harpgbdt/internal/sched"
+	"harpgbdt/internal/tree"
+)
+
+// BuiltTree is the result of building one tree: the model plus the leaf
+// assignment of every training row, which lets the booster update margins
+// without re-walking the tree.
+type BuiltTree struct {
+	Tree *tree.Tree
+	// LeafOf[i] is the node id of the leaf containing row i.
+	LeafOf []int32
+}
+
+// Builder grows one regression tree from per-row gradients. A Builder is
+// bound to a dataset and a scheduler at construction and may be reused
+// across boosting rounds.
+type Builder interface {
+	// Name identifies the engine for reports ("harp-async", "xgb-hist", ...).
+	Name() string
+	// BuildTree grows a tree for the given gradients.
+	BuildTree(grad gh.Buffer) (*BuiltTree, error)
+	// Pool exposes the scheduler for instrumentation.
+	Pool() *sched.Pool
+	// Profile exposes the phase breakdown accumulated so far.
+	Profile() *profile.Breakdown
+}
+
+// RowSet is the set of training rows in one tree node, in stable order. When
+// the engine enables the MemBuf optimization, Mem carries (rowid, g, h)
+// entries and Rows is nil; otherwise Rows carries bare ids and gradients are
+// gathered from the gradient buffer on every histogram pass.
+type RowSet struct {
+	Rows []int32
+	Mem  gh.MemBuf
+}
+
+// Len returns the number of rows in the set.
+func (rs RowSet) Len() int {
+	if rs.Mem != nil {
+		return len(rs.Mem)
+	}
+	return len(rs.Rows)
+}
+
+// Sum returns the gradient total of the set.
+func (rs RowSet) Sum(grad gh.Buffer) gh.Pair {
+	if rs.Mem != nil {
+		return rs.Mem.Sum()
+	}
+	return grad.SumRows(rs.Rows)
+}
+
+// ForEachRow calls fn for every row id in order.
+func (rs RowSet) ForEachRow(fn func(r int32)) {
+	if rs.Mem != nil {
+		for _, e := range rs.Mem {
+			fn(e.Row)
+		}
+		return
+	}
+	for _, r := range rs.Rows {
+		fn(r)
+	}
+}
+
+// RootRowSet builds the row set of the root node (all rows).
+func RootRowSet(n int, grad gh.Buffer, memBuf bool) RowSet {
+	if memBuf {
+		mb := make(gh.MemBuf, n)
+		for i := 0; i < n; i++ {
+			p := grad[i]
+			mb[i] = gh.Entry{Row: int32(i), G: p.G, H: p.H}
+		}
+		return RowSet{Mem: mb}
+	}
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	return RowSet{Rows: rows}
+}
+
+// GoLeftFunc returns the split predicate of s over the binned matrix:
+// missing values follow the default direction, others go left iff their bin
+// id is <= the split bin.
+func GoLeftFunc(bm *dataset.BinnedMatrix, s tree.SplitInfo) func(r int32) bool {
+	f := int(s.Feature)
+	m := bm.M
+	bins := bm.Bins
+	sb := s.Bin
+	dl := s.DefaultLeft
+	return func(r int32) bool {
+		b := bins[int(r)*m+f]
+		if b == dataset.MissingBin {
+			return dl
+		}
+		return b <= sb
+	}
+}
+
+// Partition stably splits the row set by the predicate. When pool is
+// non-nil and the set is large, the partition runs in parallel (count /
+// prefix / scatter) and still produces the exact stable order of the serial
+// path.
+func Partition(rs RowSet, goLeft func(int32) bool, pool *sched.Pool) (left, right RowSet) {
+	if rs.Mem != nil {
+		l, r := partitionMem(rs.Mem, goLeft, pool)
+		return RowSet{Mem: l}, RowSet{Mem: r}
+	}
+	l, r := partitionRows(rs.Rows, goLeft, pool)
+	return RowSet{Rows: l}, RowSet{Rows: r}
+}
+
+// parallelPartitionThreshold is the row count above which partitioning
+// fans out.
+const parallelPartitionThreshold = 1 << 15
+
+func partitionRows(rows []int32, goLeft func(int32) bool, pool *sched.Pool) (left, right []int32) {
+	n := len(rows)
+	if pool == nil || pool.Workers() == 1 || n < parallelPartitionThreshold {
+		left = make([]int32, 0, n/2+1)
+		right = make([]int32, 0, n/2+1)
+		for _, r := range rows {
+			if goLeft(r) {
+				left = append(left, r)
+			} else {
+				right = append(right, r)
+			}
+		}
+		return left, right
+	}
+	chunk := (n + pool.Workers() - 1) / pool.Workers()
+	nChunks := (n + chunk - 1) / chunk
+	leftCnt := make([]int, nChunks)
+	pool.ParallelFor(n, chunk, func(lo, hi, _ int) {
+		c := lo / chunk
+		cnt := 0
+		for _, r := range rows[lo:hi] {
+			if goLeft(r) {
+				cnt++
+			}
+		}
+		leftCnt[c] = cnt
+	})
+	totalLeft := 0
+	leftOff := make([]int, nChunks)
+	rightOff := make([]int, nChunks)
+	for c := 0; c < nChunks; c++ {
+		leftOff[c] = totalLeft
+		totalLeft += leftCnt[c]
+	}
+	ro := 0
+	for c := 0; c < nChunks; c++ {
+		rightOff[c] = ro
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		ro += (hi - lo) - leftCnt[c]
+	}
+	left = make([]int32, totalLeft)
+	right = make([]int32, n-totalLeft)
+	pool.ParallelFor(n, chunk, func(lo, hi, _ int) {
+		c := lo / chunk
+		li, ri := leftOff[c], rightOff[c]
+		for _, r := range rows[lo:hi] {
+			if goLeft(r) {
+				left[li] = r
+				li++
+			} else {
+				right[ri] = r
+				ri++
+			}
+		}
+	})
+	return left, right
+}
+
+func partitionMem(mb gh.MemBuf, goLeft func(int32) bool, pool *sched.Pool) (left, right gh.MemBuf) {
+	n := len(mb)
+	if pool == nil || pool.Workers() == 1 || n < parallelPartitionThreshold {
+		left = make(gh.MemBuf, 0, n/2+1)
+		right = make(gh.MemBuf, 0, n/2+1)
+		for _, e := range mb {
+			if goLeft(e.Row) {
+				left = append(left, e)
+			} else {
+				right = append(right, e)
+			}
+		}
+		return left, right
+	}
+	chunk := (n + pool.Workers() - 1) / pool.Workers()
+	nChunks := (n + chunk - 1) / chunk
+	leftCnt := make([]int, nChunks)
+	pool.ParallelFor(n, chunk, func(lo, hi, _ int) {
+		c := lo / chunk
+		cnt := 0
+		for _, e := range mb[lo:hi] {
+			if goLeft(e.Row) {
+				cnt++
+			}
+		}
+		leftCnt[c] = cnt
+	})
+	totalLeft := 0
+	leftOff := make([]int, nChunks)
+	rightOff := make([]int, nChunks)
+	for c := 0; c < nChunks; c++ {
+		leftOff[c] = totalLeft
+		totalLeft += leftCnt[c]
+	}
+	ro := 0
+	for c := 0; c < nChunks; c++ {
+		rightOff[c] = ro
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		ro += (hi - lo) - leftCnt[c]
+	}
+	left = make(gh.MemBuf, totalLeft)
+	right = make(gh.MemBuf, n-totalLeft)
+	pool.ParallelFor(n, chunk, func(lo, hi, _ int) {
+		c := lo / chunk
+		li, ri := leftOff[c], rightOff[c]
+		for _, e := range mb[lo:hi] {
+			if goLeft(e.Row) {
+				left[li] = e
+				li++
+			} else {
+				right[ri] = e
+				ri++
+			}
+		}
+	})
+	return left, right
+}
+
+// ScatterLeaves fills leafOf (length n) given the final leaf row sets.
+func ScatterLeaves(n int, leaves map[int32]RowSet) []int32 {
+	leafOf := make([]int32, n)
+	for i := range leafOf {
+		leafOf[i] = tree.NoNode
+	}
+	for id, rs := range leaves {
+		rs.ForEachRow(func(r int32) { leafOf[r] = id })
+	}
+	return leafOf
+}

@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/gh"
+	"harpgbdt/internal/sched"
+	"harpgbdt/internal/tree"
+)
+
+func TestRootRowSet(t *testing.T) {
+	grad := gh.Buffer{{G: 1, H: 1}, {G: 2, H: 2}, {G: 3, H: 3}}
+	rs := RootRowSet(3, grad, false)
+	if rs.Len() != 3 || rs.Mem != nil {
+		t.Fatalf("plain rowset %+v", rs)
+	}
+	if s := rs.Sum(grad); s.G != 6 || s.H != 6 {
+		t.Fatalf("sum %+v", s)
+	}
+	rs = RootRowSet(3, grad, true)
+	if rs.Len() != 3 || rs.Mem == nil {
+		t.Fatalf("membuf rowset %+v", rs)
+	}
+	if s := rs.Sum(grad); s.G != 6 || s.H != 6 {
+		t.Fatalf("membuf sum %+v", s)
+	}
+}
+
+func TestForEachRowOrder(t *testing.T) {
+	grad := gh.NewBuffer(5)
+	for _, mem := range []bool{false, true} {
+		rs := RootRowSet(5, grad, mem)
+		var got []int32
+		rs.ForEachRow(func(r int32) { got = append(got, r) })
+		for i, r := range got {
+			if r != int32(i) {
+				t.Fatalf("mem=%v: order %v", mem, got)
+			}
+		}
+	}
+}
+
+func TestGoLeftFunc(t *testing.T) {
+	bm := &dataset.BinnedMatrix{N: 3, M: 2, Bins: []uint8{
+		1, 5,
+		3, dataset.MissingBin,
+		dataset.MissingBin, 0,
+	}}
+	s := tree.SplitInfo{Feature: 0, Bin: 2, DefaultLeft: false}
+	goLeft := GoLeftFunc(bm, s)
+	if !goLeft(0) {
+		t.Fatal("bin 1 <= 2 should go left")
+	}
+	if goLeft(1) {
+		t.Fatal("bin 3 > 2 should go right")
+	}
+	if goLeft(2) {
+		t.Fatal("missing with default right should go right")
+	}
+	s.DefaultLeft = true
+	if !GoLeftFunc(bm, s)(2) {
+		t.Fatal("missing with default left should go left")
+	}
+}
+
+// partitionFixture builds a row set over n rows and a pseudo-random
+// predicate.
+func partitionFixture(n int, mem bool, seed uint64) (RowSet, func(int32) bool) {
+	grad := gh.NewBuffer(n)
+	for i := range grad {
+		grad[i] = gh.Pair{G: float64(i), H: 1}
+	}
+	rs := RootRowSet(n, grad, mem)
+	return rs, func(r int32) bool {
+		x := uint64(r) * 2654435761
+		x ^= x >> 16
+		x *= seed | 1
+		return x&7 < 3
+	}
+}
+
+func checkPartition(t *testing.T, rs RowSet, left, right RowSet, goLeft func(int32) bool) {
+	t.Helper()
+	if left.Len()+right.Len() != rs.Len() {
+		t.Fatalf("size mismatch: %d + %d != %d", left.Len(), right.Len(), rs.Len())
+	}
+	// Every left row satisfies the predicate; rights don't; order stable.
+	var wantLeft, wantRight []int32
+	rs.ForEachRow(func(r int32) {
+		if goLeft(r) {
+			wantLeft = append(wantLeft, r)
+		} else {
+			wantRight = append(wantRight, r)
+		}
+	})
+	i := 0
+	left.ForEachRow(func(r int32) {
+		if i >= len(wantLeft) || wantLeft[i] != r {
+			t.Fatalf("left row %d: got %d", i, r)
+		}
+		i++
+	})
+	i = 0
+	right.ForEachRow(func(r int32) {
+		if i >= len(wantRight) || wantRight[i] != r {
+			t.Fatalf("right row %d: got %d", i, r)
+		}
+		i++
+	})
+}
+
+func TestPartitionSerial(t *testing.T) {
+	for _, mem := range []bool{false, true} {
+		rs, goLeft := partitionFixture(1000, mem, 7)
+		l, r := Partition(rs, goLeft, nil)
+		checkPartition(t, rs, l, r, goLeft)
+	}
+}
+
+func TestPartitionParallelMatchesSerial(t *testing.T) {
+	pool := sched.NewPool(4)
+	for _, mem := range []bool{false, true} {
+		// Above the parallel threshold.
+		rs, goLeft := partitionFixture(100000, mem, 13)
+		l, r := Partition(rs, goLeft, pool)
+		checkPartition(t, rs, l, r, goLeft)
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	// Empty.
+	l, r := Partition(RowSet{Rows: []int32{}}, func(int32) bool { return true }, nil)
+	if l.Len() != 0 || r.Len() != 0 {
+		t.Fatal("empty partition")
+	}
+	// All left.
+	rs, _ := partitionFixture(100, false, 1)
+	l, r = Partition(rs, func(int32) bool { return true }, nil)
+	if l.Len() != 100 || r.Len() != 0 {
+		t.Fatal("all-left partition")
+	}
+	// All right.
+	l, r = Partition(rs, func(int32) bool { return false }, nil)
+	if l.Len() != 0 || r.Len() != 100 {
+		t.Fatal("all-right partition")
+	}
+}
+
+func TestPartitionMemPreservesGradients(t *testing.T) {
+	grad := gh.NewBuffer(50)
+	for i := range grad {
+		grad[i] = gh.Pair{G: float64(i) * 0.5, H: float64(i)}
+	}
+	rs := RootRowSet(50, grad, true)
+	goLeft := func(r int32) bool { return r%3 == 0 }
+	l, r := Partition(rs, goLeft, nil)
+	check := func(set RowSet) {
+		for _, e := range set.Mem {
+			if e.G != grad[e.Row].G || e.H != grad[e.Row].H {
+				t.Fatalf("gradient replica corrupted for row %d", e.Row)
+			}
+		}
+	}
+	check(l)
+	check(r)
+}
+
+func TestPartitionProperty(t *testing.T) {
+	pool := sched.NewPool(3)
+	f := func(seed uint64, nRaw uint16, mem bool) bool {
+		n := int(nRaw)%5000 + 1
+		rs, goLeft := partitionFixture(n, mem, seed)
+		ls, rss := Partition(rs, goLeft, nil)
+		lp, rp := Partition(rs, goLeft, pool)
+		if ls.Len() != lp.Len() || rss.Len() != rp.Len() {
+			return false
+		}
+		ok := true
+		i := 0
+		var serialLeft []int32
+		ls.ForEachRow(func(r int32) { serialLeft = append(serialLeft, r) })
+		lp.ForEachRow(func(r int32) {
+			if serialLeft[i] != r {
+				ok = false
+			}
+			i++
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterLeaves(t *testing.T) {
+	grad := gh.NewBuffer(6)
+	leaves := map[int32]RowSet{
+		3: {Rows: []int32{0, 2, 4}},
+		5: RowSet{Mem: gh.BuildMemBuf([]int32{1, 3}, grad)},
+	}
+	leafOf := ScatterLeaves(6, leaves)
+	want := []int32{3, 5, 3, 5, 3, tree.NoNode}
+	for i, w := range want {
+		if leafOf[i] != w {
+			t.Fatalf("row %d: leaf %d want %d", i, leafOf[i], w)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"time"
+
+	"harpgbdt/internal/core"
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/profile"
+	"harpgbdt/internal/synth"
+)
+
+// ExtAblation is the controlled single-switch ablation study DESIGN.md
+// calls out: starting from the tuned HarpGBDT configuration, each row turns
+// exactly one design choice off (or moves one knob) and reports the
+// per-tree slowdown, so the contribution of every optimization is isolated
+// (Table V shows the paper's additive ordering; this shows independence).
+func ExtAblation(sc Scale) ([]*profile.Table, error) {
+	sc = sc.withDefaults()
+	ds, err := makeData(sc, synth.SynSet)
+	if err != nil {
+		return nil, err
+	}
+	base := core.Config{
+		Mode: core.Async, K: 32, TreeSize: 10,
+		FeatureBlockSize: 4, NodeBlockSize: 32, UseMemBuf: true,
+	}
+	variants := []struct {
+		name   string
+		mutate func(core.Config) core.Config
+	}{
+		{"tuned (ASYNC K=32 fb=4 nb=32 membuf subtract)", func(c core.Config) core.Config { return c }},
+		{"-TopK (K=1)", func(c core.Config) core.Config { c.K = 1; return c }},
+		{"-MemBuf", func(c core.Config) core.Config { c.UseMemBuf = false; return c }},
+		{"-Subtraction", func(c core.Config) core.Config { c.DisableSubtraction = true; return c }},
+		{"-FeatureBlocks (fb=all)", func(c core.Config) core.Config { c.FeatureBlockSize = 0; return c }},
+		{"fb=1 (feature-wise)", func(c core.Config) core.Config { c.FeatureBlockSize = 1; return c }},
+		{"-NodeBlocks (nb=1)", func(c core.Config) core.Config { c.NodeBlockSize = 1; return c }},
+		{"-ASYNC (SYNC)", func(c core.Config) core.Config { c.Mode = core.Sync; return c }},
+		{"-ASYNC (DP)", func(c core.Config) core.Config { c.Mode = core.DP; return c }},
+	}
+	tb := profile.NewTable("Extension: single-switch ablations (SYNSET, D10)",
+		"variant", "ms/tree", "slowdown vs tuned")
+	var tuned time.Duration
+	for i, v := range variants {
+		cfg := v.mutate(base)
+		b, err := newHarp(sc, ds, cfg.Mode, cfg.K, cfg.TreeSize, cfg.FeatureBlockSize, cfg.NodeBlockSize, cfg.UseMemBuf)
+		if err != nil {
+			return nil, err
+		}
+		// newHarp does not carry DisableSubtraction; rebuild directly when
+		// needed.
+		if cfg.DisableSubtraction {
+			cfg.Params = params()
+			cfg.Workers = sc.Workers
+			cfg.Virtual = !sc.RealThreads
+			cfg.Growth = grow.Leafwise
+			b, err = core.NewBuilder(cfg, ds)
+			if err != nil {
+				return nil, err
+			}
+		}
+		m, err := run(b, ds, sc.Rounds)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			tuned = m.perTree
+		}
+		tb.AddRow(v.name, ms(m.perTree), ratio(m.perTree, tuned))
+	}
+	return []*profile.Table{tb}, nil
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"harpgbdt/internal/boost"
+	"harpgbdt/internal/core"
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/engine"
+	"harpgbdt/internal/profile"
+	"harpgbdt/internal/synth"
+)
+
+// convTrain runs a convergence measurement: ConvRounds trees with
+// evaluation after every tree.
+func convTrain(b engine.Builder, ds *dataset.Dataset, testX *dataset.Dense, testY []float32, rounds int) (*boost.Result, error) {
+	return boost.Train(b, ds, boost.Config{Rounds: rounds, EvalEvery: 1}, testX, testY)
+}
+
+// sampleHistory reduces an every-round history to ~10 evenly spaced points.
+func sampleHistory(h []boost.EvalPoint) []boost.EvalPoint {
+	if len(h) <= 10 {
+		return h
+	}
+	step := (len(h) + 9) / 10
+	var out []boost.EvalPoint
+	for i := 0; i < len(h); i += step {
+		out = append(out, h[i])
+	}
+	if out[len(out)-1].Round != h[len(h)-1].Round {
+		out = append(out, h[len(h)-1])
+	}
+	return out
+}
+
+// Fig8 reproduces "Convergence Rate of Leafwise Growth" on HIGGS-like and
+// AIRLINE-like data: test AUC versus tree count for XGB-Leaf, LightGBM and
+// HarpGBDT's TopK (K=32). Expected shape: TopK starts slightly lower but
+// catches up within tens of trees.
+func Fig8(sc Scale) ([]*profile.Table, error) {
+	sc = sc.withDefaults()
+	var tables []*profile.Table
+	for _, spec := range []synth.Spec{synth.HiggsLike, synth.AirlineLike} {
+		ds, testX, testY, err := makeDataTT(sc, spec)
+		if err != nil {
+			return nil, err
+		}
+		tb := profile.NewTable(fmt.Sprintf("Fig 8: test AUC vs trees (%s, D8 leafwise)", spec),
+			"trainer", "trees", "testAUC")
+		for _, tr := range []struct {
+			name string
+			mk   func() (engine.Builder, error)
+		}{
+			{"xgb-leaf", func() (engine.Builder, error) { return newXGBLeaf(sc, ds, 8) }},
+			{"lightgbm", func() (engine.Builder, error) { return newLightGBM(sc, ds, 8) }},
+			{"harp-topk32", func() (engine.Builder, error) { return newHarp(sc, ds, core.Sync, 32, 8, 4, 32, true) }},
+		} {
+			b, err := tr.mk()
+			if err != nil {
+				return nil, err
+			}
+			res, err := convTrain(b, ds, testX, testY, sc.ConvRounds)
+			if err != nil {
+				return nil, err
+			}
+			for _, pt := range sampleHistory(res.History) {
+				tb.AddRow(tr.name, pt.Round, pt.TestAUC)
+			}
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
+// Fig9 reproduces "Influences of K on Convergence Rate": test AUC versus
+// tree count for K in {1, 2, 4, 8, 16, 32}, ASYNC mode, D8 — the paper's
+// worst case for large K. Expected shape: K <= 16 indistinguishable from
+// K = 1 after enough trees; K = 32 starts lower and catches up slowly.
+func Fig9(sc Scale) ([]*profile.Table, error) {
+	sc = sc.withDefaults()
+	ds, testX, testY, err := makeDataTT(sc, synth.HiggsLike)
+	if err != nil {
+		return nil, err
+	}
+	tb := profile.NewTable("Fig 9: influence of K on convergence (HIGGS-like, D8, ASYNC)",
+		"K", "trees", "testAUC")
+	for _, k := range []int{1, 2, 4, 8, 16, 32} {
+		b, err := newHarp(sc, ds, core.Async, k, 8, 4, 8, true)
+		if err != nil {
+			return nil, err
+		}
+		res, err := convTrain(b, ds, testX, testY, sc.ConvRounds)
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range sampleHistory(res.History) {
+			tb.AddRow(k, pt.Round, pt.TestAUC)
+		}
+	}
+	return []*profile.Table{tb}, nil
+}
+
+// Fig14 reproduces "Convergence Speed over Time": test AUC versus wall
+// time for the three systems at D8 and D12. Expected shape: HarpGBDT
+// reaches any given AUC level earlier, and the gap widens at D12.
+func Fig14(sc Scale) ([]*profile.Table, error) {
+	sc = sc.withDefaults()
+	ds, testX, testY, err := makeDataTT(sc, synth.HiggsLike)
+	if err != nil {
+		return nil, err
+	}
+	var tables []*profile.Table
+	for _, d := range []int{8, 12} {
+		tb := profile.NewTable(fmt.Sprintf("Fig 14: test AUC vs training time (HIGGS-like, D%d)", d),
+			"trainer", "trees", "time(ms)", "testAUC")
+		for _, tr := range []struct {
+			name string
+			mk   func() (engine.Builder, error)
+		}{
+			{"xgb-leaf", func() (engine.Builder, error) { return newXGBLeaf(sc, ds, d) }},
+			{"lightgbm", func() (engine.Builder, error) { return newLightGBM(sc, ds, d) }},
+			{"harpgbdt", func() (engine.Builder, error) { return newHarpAuto(sc, ds, d) }},
+		} {
+			b, err := tr.mk()
+			if err != nil {
+				return nil, err
+			}
+			res, err := convTrain(b, ds, testX, testY, sc.ConvRounds)
+			if err != nil {
+				return nil, err
+			}
+			for _, pt := range sampleHistory(res.History) {
+				tb.AddRow(tr.name, pt.Round, ms(pt.Elapsed), pt.TestAUC)
+			}
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
+// timeToAUC returns the first elapsed time at which the history reaches the
+// target AUC (0 if never).
+func timeToAUC(h []boost.EvalPoint, target float64) time.Duration {
+	for _, pt := range h {
+		if pt.TestAUC >= target {
+			return pt.Elapsed
+		}
+	}
+	return 0
+}
+
+// bestAUC returns the maximum test AUC in a history.
+func bestAUC(h []boost.EvalPoint) float64 {
+	best := 0.0
+	for _, pt := range h {
+		if pt.TestAUC > best {
+			best = pt.TestAUC
+		}
+	}
+	return best
+}
+
+// Fig16 reproduces "Convergence Speedup on four datasets": the ratio of
+// time-to-common-accuracy between the baselines and HarpGBDT. The common
+// target is the highest AUC every system reaches, so every speedup is
+// well-defined. Expected shape: HarpGBDT >= 1x everywhere, larger on fat
+// (YFCC-like) input.
+func Fig16(sc Scale) ([]*profile.Table, error) {
+	sc = sc.withDefaults()
+	const d = 8
+	tb := profile.NewTable("Fig 16: convergence speedup of HarpGBDT (D8)",
+		"dataset", "target AUC", "vs xgb-leaf", "vs lightgbm")
+	for _, spec := range []synth.Spec{synth.HiggsLike, synth.AirlineLike, synth.CriteoLike, synth.YFCCLike} {
+		ds, testX, testY, err := makeDataTT(sc, spec)
+		if err != nil {
+			return nil, err
+		}
+		histories := map[string][]boost.EvalPoint{}
+		for _, tr := range []struct {
+			name string
+			mk   func() (engine.Builder, error)
+		}{
+			{"xgb-leaf", func() (engine.Builder, error) { return newXGBLeaf(sc, ds, d) }},
+			{"lightgbm", func() (engine.Builder, error) { return newLightGBM(sc, ds, d) }},
+			{"harpgbdt", func() (engine.Builder, error) { return newHarpAuto(sc, ds, d) }},
+		} {
+			b, err := tr.mk()
+			if err != nil {
+				return nil, err
+			}
+			res, err := convTrain(b, ds, testX, testY, sc.ConvRounds)
+			if err != nil {
+				return nil, err
+			}
+			histories[tr.name] = res.History
+		}
+		target := bestAUC(histories["harpgbdt"])
+		for _, h := range histories {
+			if b := bestAUC(h); b < target {
+				target = b
+			}
+		}
+		target *= 0.999 // tolerance against evaluation jitter
+		harpT := timeToAUC(histories["harpgbdt"], target)
+		xgbT := timeToAUC(histories["xgb-leaf"], target)
+		lgbT := timeToAUC(histories["lightgbm"], target)
+		tb.AddRow(string(spec), target, ratio(xgbT, harpT), ratio(lgbT, harpT))
+	}
+	return []*profile.Table{tb}, nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"harpgbdt/internal/dist"
+	"harpgbdt/internal/profile"
+	"harpgbdt/internal/synth"
+	"harpgbdt/internal/tree"
+)
+
+// ExtDist is the distributed-training extension study (the paper's first
+// future-work item): simulated-time scaling of histogram-allreduce
+// distributed GBDT over cluster sizes, for a fast and a slow interconnect.
+// Expected shape: near-linear compute scaling while the allreduce volume is
+// small relative to bandwidth, communication-bound flattening on the slow
+// network.
+func ExtDist(sc Scale) ([]*profile.Table, error) {
+	sc = sc.withDefaults()
+	ds, err := makeData(sc, synth.HiggsLike)
+	if err != nil {
+		return nil, err
+	}
+	tb := profile.NewTable("Extension: distributed scaling (HIGGS-like, D8, ring allreduce)",
+		"network", "nodes", "sim ms/tree", "comm ms/tree", "comm %")
+	for _, net := range []struct {
+		name string
+		bw   float64
+		lat  float64
+	}{
+		{"10GbE", 1180, 25},
+		{"1GbE", 118, 50},
+	} {
+		for _, nodes := range []int{1, 2, 4, 8, 16} {
+			dt, err := dist.NewTrainer(dist.Config{
+				Nodes: nodes, WorkersPerNode: 8,
+				BandwidthMBps: net.bw, LatencyMicros: net.lat,
+				TreeSize: 8, K: 32,
+				Params: tree.SplitParams{Lambda: 1, Gamma: 0, MinChildWeight: 1},
+			}, ds)
+			if err != nil {
+				return nil, err
+			}
+			m, err := run(dt, ds, sc.Rounds)
+			if err != nil {
+				return nil, err
+			}
+			commPerTree := float64(dt.CommNanos()) / float64(sc.Rounds) / 1e6
+			simPerTree := ms(m.perTree)
+			commPct := 0.0
+			if simPerTree > 0 {
+				commPct = 100 * commPerTree / simPerTree
+			}
+			tb.AddRow(net.name, nodes, simPerTree, commPerTree, commPct)
+		}
+	}
+	return []*profile.Table{tb}, nil
+}

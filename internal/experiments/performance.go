@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/engine"
+	"harpgbdt/internal/profile"
+	"harpgbdt/internal/synth"
+)
+
+func poolWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Fig12 reproduces "Trend of Training Time over the Tree Size" on the
+// HIGGS-like dataset: per-tree time versus D for the baselines and
+// HarpGBDT. Expected shape: HarpGBDT grows far more slowly with D.
+func Fig12(sc Scale) ([]*profile.Table, error) {
+	sc = sc.withDefaults()
+	ds, err := makeData(sc, synth.HiggsLike)
+	if err != nil {
+		return nil, err
+	}
+	tb := profile.NewTable("Fig 12: per-tree training time vs tree size (HIGGS-like)",
+		"trainer", "D", "ms/tree")
+	for _, tr := range []struct {
+		name string
+		mk   func(d int) (engine.Builder, error)
+	}{
+		{"xgb-depth", func(d int) (engine.Builder, error) { return newXGBDepth(sc, ds, d) }},
+		{"xgb-leaf", func(d int) (engine.Builder, error) { return newXGBLeaf(sc, ds, d) }},
+		{"lightgbm", func(d int) (engine.Builder, error) { return newLightGBM(sc, ds, d) }},
+		{"harpgbdt", func(d int) (engine.Builder, error) { return newHarpAuto(sc, ds, d) }},
+	} {
+		for _, d := range []int{6, 8, 10, 12} {
+			b, err := tr.mk(d)
+			if err != nil {
+				return nil, err
+			}
+			m, err := run(b, ds, sc.Rounds)
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(tr.name, fmt.Sprintf("D%d", d), ms(m.perTree))
+		}
+	}
+	return []*profile.Table{tb}, nil
+}
+
+// duplicateDataset concatenates a dataset with itself `times` times (the
+// paper's weak-scaling workload construction).
+func duplicateDataset(ds *dataset.Dataset, times int) *dataset.Dataset {
+	n, m := ds.NumRows(), ds.NumFeatures()
+	bins := make([]uint8, 0, n*m*times)
+	labels := make([]float32, 0, n*times)
+	for i := 0; i < times; i++ {
+		bins = append(bins, ds.Binned.Bins...)
+		labels = append(labels, ds.Labels...)
+	}
+	return &dataset.Dataset{
+		Name:   ds.Name + "-dup",
+		Labels: labels,
+		Binned: &dataset.BinnedMatrix{N: n * times, M: m, Bins: bins},
+		Cuts:   ds.Cuts,
+	}
+}
+
+// Fig13 reproduces "Parallel Efficiency": strong scaling
+// (T1 / (n x Tn)) on a fixed dataset, and weak scaling (T1 / Tn) with the
+// dataset duplicated in proportion to the worker count, for the three
+// systems at D8. Expected shape: nobody scales perfectly on the
+// memory-bound workload, HarpGBDT retains the highest efficiency, and weak
+// scaling separates the systems more cleanly than strong scaling.
+func Fig13(sc Scale) ([]*profile.Table, error) {
+	sc = sc.withDefaults()
+	base, err := makeData(sc, synth.HiggsLike)
+	if err != nil {
+		return nil, err
+	}
+	maxW := 32 // simulated machine width
+	if sc.RealThreads {
+		maxW = poolWorkers()
+	}
+	var threads []int
+	for w := 1; w <= maxW && w <= 32; w *= 2 {
+		threads = append(threads, w)
+	}
+	const d = 8
+	mkTrainers := func(ds *dataset.Dataset, workers int) []struct {
+		name string
+		mk   func() (engine.Builder, error)
+	} {
+		scW := sc
+		scW.Workers = workers
+		return []struct {
+			name string
+			mk   func() (engine.Builder, error)
+		}{
+			{"xgb-leaf", func() (engine.Builder, error) { return newXGBLeaf(scW, ds, d) }},
+			{"lightgbm", func() (engine.Builder, error) { return newLightGBM(scW, ds, d) }},
+			{"harpgbdt", func() (engine.Builder, error) { return newHarpAuto(scW, ds, d) }},
+		}
+	}
+	strong := profile.NewTable("Fig 13a: strong scaling efficiency (HIGGS-like, D8)",
+		"trainer", "threads", "ms/tree", "efficiency%")
+	t1 := map[string]time.Duration{}
+	for _, w := range threads {
+		for _, tr := range mkTrainers(base, w) {
+			b, err := tr.mk()
+			if err != nil {
+				return nil, err
+			}
+			m, err := run(b, base, sc.Rounds)
+			if err != nil {
+				return nil, err
+			}
+			if w == 1 {
+				t1[tr.name] = m.perTree
+			}
+			eff := 100 * ratio(t1[tr.name], m.perTree) / float64(w)
+			strong.AddRow(tr.name, w, ms(m.perTree), eff)
+		}
+	}
+	weak := profile.NewTable("Fig 13b: weak scaling efficiency (HIGGS-like x threads, D8)",
+		"trainer", "threads", "rows", "ms/tree", "efficiency%")
+	w1 := map[string]time.Duration{}
+	for _, w := range threads {
+		ds := base
+		if w > 1 {
+			ds = duplicateDataset(base, w)
+		}
+		for _, tr := range mkTrainers(ds, w) {
+			b, err := tr.mk()
+			if err != nil {
+				return nil, err
+			}
+			m, err := run(b, ds, sc.Rounds)
+			if err != nil {
+				return nil, err
+			}
+			if w == 1 {
+				w1[tr.name] = m.perTree
+			}
+			// Weak-scaling efficiency = T1 / Tn.
+			eff := 100 * float64(w1[tr.name]) / float64(m.perTree)
+			weak.AddRow(tr.name, w, ds.NumRows(), ms(m.perTree), eff)
+		}
+	}
+	return []*profile.Table{strong, weak}, nil
+}
+
+// Fig15 reproduces "Training Time Speedup on four datasets": HarpGBDT's
+// per-tree-time speedup over XGB (best of depth/leaf) and LightGBM at
+// D8 and D12. Expected shape: >1x everywhere, largest on the fat
+// YFCC-like matrix against XGBoost.
+func Fig15(sc Scale) ([]*profile.Table, error) {
+	sc = sc.withDefaults()
+	tb := profile.NewTable("Fig 15: training-time speedup of HarpGBDT",
+		"dataset", "D", "harp ms/tree", "xgb ms/tree", "lgbm ms/tree", "vs xgb", "vs lightgbm")
+	for _, spec := range []synth.Spec{synth.HiggsLike, synth.AirlineLike, synth.CriteoLike, synth.YFCCLike} {
+		scSpec := sc
+		if spec == synth.YFCCLike {
+			// Fat matrix: fewer rows, many features (matches the paper's
+			// N:M shape and keeps runtime bounded).
+			scSpec.Rows = sc.Rows / 8
+			if scSpec.Rows < 500 {
+				scSpec.Rows = 500
+			}
+		}
+		ds, err := makeData(scSpec, spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range []int{8, 12} {
+			harpB, err := newHarpAuto(sc, ds, d)
+			if err != nil {
+				return nil, err
+			}
+			harp, err := run(harpB, ds, sc.Rounds)
+			if err != nil {
+				return nil, err
+			}
+			xgbDepthB, err := newXGBDepth(sc, ds, d)
+			if err != nil {
+				return nil, err
+			}
+			xgbDepth, err := run(xgbDepthB, ds, sc.Rounds)
+			if err != nil {
+				return nil, err
+			}
+			xgbLeafB, err := newXGBLeaf(sc, ds, d)
+			if err != nil {
+				return nil, err
+			}
+			xgbLeaf, err := run(xgbLeafB, ds, sc.Rounds)
+			if err != nil {
+				return nil, err
+			}
+			xgb := xgbDepth.perTree
+			if xgbLeaf.perTree < xgb {
+				xgb = xgbLeaf.perTree
+			}
+			lgbB, err := newLightGBM(sc, ds, d)
+			if err != nil {
+				return nil, err
+			}
+			lgb, err := run(lgbB, ds, sc.Rounds)
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(string(spec), fmt.Sprintf("D%d", d),
+				ms(harp.perTree), ms(xgb), ms(lgb.perTree),
+				ratio(xgb, harp.perTree), ratio(lgb.perTree, harp.perTree))
+		}
+	}
+	return []*profile.Table{tb}, nil
+}

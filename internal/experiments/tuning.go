@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"harpgbdt/internal/core"
+	"harpgbdt/internal/engine"
+	"harpgbdt/internal/profile"
+	"harpgbdt/internal/synth"
+)
+
+// Fig10 reproduces "Training Time Speedup over Standard Model Parallelism"
+// on SYNSET: the speedup heatmap over (feature_blk_size x node_blk_size)
+// for Model Parallelism and Data Parallelism at K=32, normalized to
+// standard MP (feature_blk=1, node_blk=1, K=1). Expected shape: medium
+// feature blocks win; in MP, large node blocks help only when feature
+// blocks are small (best configurations along the secondary diagonal).
+func Fig10(sc Scale) ([]*profile.Table, error) {
+	sc = sc.withDefaults()
+	ds, err := makeData(sc, synth.SynSet)
+	if err != nil {
+		return nil, err
+	}
+	const d = 8
+	featBlks := []int{1, 4, 16, 64}
+	nodeBlks := []int{1, 4, 16, 32}
+	// Baseline: standard model parallelism.
+	baseB, err := newHarp(sc, ds, core.MP, 1, d, 1, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	base, err := run(baseB, ds, sc.Rounds)
+	if err != nil {
+		return nil, err
+	}
+	var tables []*profile.Table
+	for _, mode := range []core.Mode{core.MP, core.DP} {
+		tb := profile.NewTable(
+			fmt.Sprintf("Fig 10: speedup over standard MP, %s K=32 D%d (SYNSET)", mode, d),
+			"feature_blk", "node_blk", "speedup")
+		for _, fb := range featBlks {
+			for _, nb := range nodeBlks {
+				b, err := newHarp(sc, ds, mode, 32, d, fb, nb, false)
+				if err != nil {
+					return nil, err
+				}
+				m, err := run(b, ds, sc.Rounds)
+				if err != nil {
+					return nil, err
+				}
+				tb.AddRow(fb, nb, ratio(base.perTree, m.perTree))
+			}
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
+// Fig11 reproduces "Performance of Parallelism Modes over Tree Size" on
+// SYNSET: per-tree time of DP, MP, SYNC and ASYNC at increasing D, for two
+// row-block settings. Expected shape: DP best at small trees and degrading
+// with D (replica reduction grows with the node count); MP scales better;
+// SYNC between; ASYNC best at large D; enlarging row blocks helps DP and
+// ASYNC at the largest D (fewer tiny tasks).
+func Fig11(sc Scale) ([]*profile.Table, error) {
+	sc = sc.withDefaults()
+	ds, err := makeData(sc, synth.SynSet)
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{6, 8, 10, 12}
+	workers := sc.Workers
+	if workers == 0 {
+		workers = poolWorkers()
+	}
+	rowBlks := []struct {
+		name string
+		size int
+	}{
+		{"row_blk=N/T", 0},
+		{"row_blk=4N/T", 4 * sc.Rows / workers},
+	}
+	var tables []*profile.Table
+	for _, rb := range rowBlks {
+		tb := profile.NewTable(
+			fmt.Sprintf("Fig 11: parallel modes over tree size, %s (SYNSET, K=32)", rb.name),
+			"mode", "D", "ms/tree")
+		for _, mode := range []core.Mode{core.DP, core.MP, core.Sync, core.Async} {
+			for _, d := range sizes {
+				// Paper Sec. V-C: <feature_blk, node_blk> = <32, 4> for DP,
+				// <4, 32> for the other modes.
+				fb, nb := 4, 32
+				if mode == core.DP {
+					fb, nb = 32, 4
+				}
+				b, err := core.NewBuilder(core.Config{
+					Mode: mode, K: 32, TreeSize: d,
+					FeatureBlockSize: fb, NodeBlockSize: nb,
+					RowBlockSize: rb.size, UseMemBuf: true,
+					Params: params(), Workers: sc.Workers, Virtual: !sc.RealThreads,
+				}, ds)
+				if err != nil {
+					return nil, err
+				}
+				m, err := run(b, ds, sc.Rounds)
+				if err != nil {
+					return nil, err
+				}
+				tb.AddRow(mode.String(), fmt.Sprintf("D%d", d), ms(m.perTree))
+			}
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
+// Table5 reproduces "Performance Gain with Itemized Optimizations" on
+// SYNSET: starting from standard MP (feature_blk=1, K=1) and standard DP
+// (feature_blk=M, K=1), the incremental speedup of +Block (tuned feature
+// block), +MemBuf, +K32 (with node blocks), and +MixMode (SYNC at D8,
+// ASYNC at D12). Gains are percentages over the previous step, like the
+// paper's table.
+func Table5(sc Scale) ([]*profile.Table, error) {
+	sc = sc.withDefaults()
+	ds, err := makeData(sc, synth.SynSet)
+	if err != nil {
+		return nil, err
+	}
+	m := ds.NumFeatures()
+	type step struct {
+		name string
+		mk   func(mode core.Mode, d int) (engine.Builder, error)
+	}
+	steps := []step{
+		{"base", func(mode core.Mode, d int) (engine.Builder, error) {
+			fb := 1
+			if mode == core.DP {
+				fb = m
+			}
+			return newHarp(sc, ds, mode, 1, d, fb, 1, false)
+		}},
+		{"+Block", func(mode core.Mode, d int) (engine.Builder, error) {
+			fb := 4
+			if mode == core.DP {
+				fb = 32
+			}
+			return newHarp(sc, ds, mode, 1, d, fb, 1, false)
+		}},
+		{"+MemBuf", func(mode core.Mode, d int) (engine.Builder, error) {
+			fb := 4
+			if mode == core.DP {
+				fb = 32
+			}
+			return newHarp(sc, ds, mode, 1, d, fb, 1, true)
+		}},
+		{"+K32", func(mode core.Mode, d int) (engine.Builder, error) {
+			fb := 4
+			if mode == core.DP {
+				fb = 32
+			}
+			return newHarp(sc, ds, mode, 32, d, fb, 32, true)
+		}},
+		{"+MixMode", func(mode core.Mode, d int) (engine.Builder, error) {
+			fb := 4
+			if mode == core.DP {
+				fb = 32
+			}
+			mix := core.Sync
+			if d > 8 {
+				mix = core.Async
+			}
+			return newHarp(sc, ds, mix, 32, d, fb, 32, true)
+		}},
+	}
+	tb := profile.NewTable("Table V: itemized optimization gains (SYNSET, % over previous step)",
+		"mode", "D", "+Block%", "+MemBuf%", "+K32%", "+MixMode%", "base ms/tree", "final ms/tree")
+	for _, mode := range []core.Mode{core.MP, core.DP} {
+		for _, d := range []int{8, 12} {
+			var times []time.Duration
+			for _, st := range steps {
+				b, err := st.mk(mode, d)
+				if err != nil {
+					return nil, err
+				}
+				meas, err := run(b, ds, sc.Rounds)
+				if err != nil {
+					return nil, err
+				}
+				times = append(times, meas.perTree)
+			}
+			gain := func(i int) float64 {
+				return (ratio(times[i-1], times[i]) - 1) * 100
+			}
+			tb.AddRow(mode.String(), fmt.Sprintf("D%d", d),
+				gain(1), gain(2), gain(3), gain(4), ms(times[0]), ms(times[len(times)-1]))
+		}
+	}
+	return []*profile.Table{tb}, nil
+}

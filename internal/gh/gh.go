@@ -1,0 +1,114 @@
+// Package gh provides gradient/hessian pair types and buffers shared by all
+// GBDT training engines.
+//
+// GBDT training with a second-order objective needs, for every training row
+// i, the first-order gradient g_i and second-order gradient (hessian) h_i of
+// the loss at the current prediction. BuildHist accumulates these per
+// (feature, bin) into GHSum cells, and FindSplit consumes the sums. The
+// paper's MemBuf optimization (Sec. IV-E) replicates the gradients next to
+// the row ids of each tree node so that BuildHist streams (rowid, g, h)
+// contiguously instead of gathering gradients with random access.
+package gh
+
+// Pair holds a first-order gradient G and a second-order gradient
+// (hessian) H. It is both the per-row gradient element and the accumulator
+// cell of a histogram.
+type Pair struct {
+	G float64
+	H float64
+}
+
+// Add accumulates o into p.
+func (p *Pair) Add(o Pair) {
+	p.G += o.G
+	p.H += o.H
+}
+
+// Sub subtracts o from p. Used by the histogram subtraction trick
+// (sibling = parent - built child).
+func (p *Pair) Sub(o Pair) {
+	p.G -= o.G
+	p.H -= o.H
+}
+
+// IsZero reports whether both components are exactly zero.
+func (p Pair) IsZero() bool {
+	return p.G == 0 && p.H == 0
+}
+
+// Buffer is a flat slice of per-row gradient pairs, indexed by row id.
+type Buffer []Pair
+
+// NewBuffer allocates a gradient buffer for n rows.
+func NewBuffer(n int) Buffer { return make(Buffer, n) }
+
+// Reset zeroes every pair in the buffer.
+func (b Buffer) Reset() {
+	for i := range b {
+		b[i] = Pair{}
+	}
+}
+
+// Sum returns the total gradient pair over the whole buffer.
+func (b Buffer) Sum() Pair {
+	var s Pair
+	for _, p := range b {
+		s.Add(p)
+	}
+	return s
+}
+
+// SumRows returns the total gradient pair over the given row ids.
+func (b Buffer) SumRows(rows []int32) Pair {
+	var s Pair
+	for _, r := range rows {
+		s.Add(b[r])
+	}
+	return s
+}
+
+// Entry is one element of a MemBuf row list: a row id together with a
+// replica of that row's gradient pair.
+type Entry struct {
+	Row int32
+	// Pad keeps the struct at 24 bytes so entries stay aligned; it also
+	// mirrors the C layout the paper describes (rowid plus two doubles).
+	_ int32
+	G float64
+	H float64
+}
+
+// MemBuf is the paper's extended NodeMap entry list: the ordered set of rows
+// belonging to one tree node, each carrying a gradient replica. BuildHist
+// over a MemBuf touches memory strictly sequentially.
+type MemBuf []Entry
+
+// BuildMemBuf materializes a MemBuf for the given rows from the gradient
+// buffer.
+func BuildMemBuf(rows []int32, grad Buffer) MemBuf {
+	m := make(MemBuf, len(rows))
+	for i, r := range rows {
+		p := grad[r]
+		m[i] = Entry{Row: r, G: p.G, H: p.H}
+	}
+	return m
+}
+
+// Rows extracts the bare row ids of the MemBuf.
+func (m MemBuf) Rows() []int32 {
+	rows := make([]int32, len(m))
+	for i, e := range m {
+		rows[i] = e.Row
+	}
+	return rows
+}
+
+// Sum returns the total gradient pair of the MemBuf.
+func (m MemBuf) Sum() Pair {
+	var s Pair
+	for _, e := range m {
+		s.G += e.G
+		s.H += e.H
+	}
+	return s
+}

@@ -1,0 +1,150 @@
+package gh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPairAddSub(t *testing.T) {
+	p := Pair{G: 1.5, H: 2.5}
+	p.Add(Pair{G: 0.5, H: 0.25})
+	if p.G != 2.0 || p.H != 2.75 {
+		t.Fatalf("after Add: %+v", p)
+	}
+	p.Sub(Pair{G: 2.0, H: 2.75})
+	if !p.IsZero() {
+		t.Fatalf("after Sub should be zero: %+v", p)
+	}
+}
+
+func TestPairIsZero(t *testing.T) {
+	if !(Pair{}).IsZero() {
+		t.Fatal("zero pair not zero")
+	}
+	if (Pair{G: 1e-300}).IsZero() {
+		t.Fatal("tiny G treated as zero")
+	}
+	if (Pair{H: -1e-300}).IsZero() {
+		t.Fatal("tiny H treated as zero")
+	}
+}
+
+func TestPairAddSubInverseProperty(t *testing.T) {
+	f := func(g1, h1, g2, h2 float64) bool {
+		if math.IsNaN(g1) || math.IsNaN(h1) || math.IsNaN(g2) || math.IsNaN(h2) ||
+			math.IsInf(g1, 0) || math.IsInf(h1, 0) || math.IsInf(g2, 0) || math.IsInf(h2, 0) {
+			return true
+		}
+		p := Pair{G: g1, H: h1}
+		q := Pair{G: g2, H: h2}
+		r := p
+		r.Add(q)
+		r.Sub(q)
+		// Exact for dyadic-friendly magnitudes; allow FP cancellation noise
+		// elsewhere.
+		return math.Abs(r.G-p.G) <= 1e-9*(1+math.Abs(p.G)+math.Abs(q.G)) &&
+			math.Abs(r.H-p.H) <= 1e-9*(1+math.Abs(p.H)+math.Abs(q.H))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferSum(t *testing.T) {
+	b := NewBuffer(4)
+	for i := range b {
+		b[i] = Pair{G: float64(i + 1), H: float64(2 * (i + 1))}
+	}
+	s := b.Sum()
+	if s.G != 10 || s.H != 20 {
+		t.Fatalf("sum %+v", s)
+	}
+}
+
+func TestBufferSumRows(t *testing.T) {
+	b := NewBuffer(5)
+	for i := range b {
+		b[i] = Pair{G: float64(i), H: 1}
+	}
+	s := b.SumRows([]int32{1, 3})
+	if s.G != 4 || s.H != 2 {
+		t.Fatalf("sum rows %+v", s)
+	}
+	if s := b.SumRows(nil); !s.IsZero() {
+		t.Fatalf("empty row sum %+v", s)
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	b := NewBuffer(3)
+	b[1] = Pair{G: 1, H: 2}
+	b.Reset()
+	for i, p := range b {
+		if !p.IsZero() {
+			t.Fatalf("index %d not reset: %+v", i, p)
+		}
+	}
+}
+
+func TestBuildMemBuf(t *testing.T) {
+	grad := Buffer{{G: 1, H: 10}, {G: 2, H: 20}, {G: 3, H: 30}}
+	mb := BuildMemBuf([]int32{2, 0}, grad)
+	if len(mb) != 2 {
+		t.Fatalf("len %d", len(mb))
+	}
+	if mb[0].Row != 2 || mb[0].G != 3 || mb[0].H != 30 {
+		t.Fatalf("entry 0: %+v", mb[0])
+	}
+	if mb[1].Row != 0 || mb[1].G != 1 || mb[1].H != 10 {
+		t.Fatalf("entry 1: %+v", mb[1])
+	}
+}
+
+func TestMemBufRowsAndSum(t *testing.T) {
+	grad := Buffer{{G: 1, H: 1}, {G: 2, H: 2}, {G: 4, H: 4}}
+	mb := BuildMemBuf([]int32{0, 1, 2}, grad)
+	rows := mb.Rows()
+	if len(rows) != 3 || rows[0] != 0 || rows[2] != 2 {
+		t.Fatalf("rows %v", rows)
+	}
+	s := mb.Sum()
+	if s.G != 7 || s.H != 7 {
+		t.Fatalf("sum %+v", s)
+	}
+}
+
+func TestMemBufSumMatchesBufferSumRowsProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		nn := int(n%50) + 1
+		grad := NewBuffer(nn)
+		s := seed
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(int16(s>>48)) / 1024
+		}
+		rows := make([]int32, 0, nn)
+		for i := 0; i < nn; i++ {
+			grad[i] = Pair{G: next(), H: next()}
+			if i%2 == 0 {
+				rows = append(rows, int32(i))
+			}
+		}
+		mb := BuildMemBuf(rows, grad)
+		a, b := mb.Sum(), grad.SumRows(rows)
+		return a.G == b.G && a.H == b.H
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemBufEmpty(t *testing.T) {
+	var mb MemBuf
+	if !mb.Sum().IsZero() {
+		t.Fatal("empty MemBuf sum should be zero")
+	}
+	if len(mb.Rows()) != 0 {
+		t.Fatal("empty MemBuf rows should be empty")
+	}
+}

@@ -1,0 +1,115 @@
+package histogram
+
+// Kernel micro-benchmarks: the accumulate variants of Sec. IV-E (gathered
+// gradients versus MemBuf replicas, full bins versus bin blocks), replica
+// reduction, subtraction and split enumeration.
+
+import (
+	"testing"
+
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/gh"
+	"harpgbdt/internal/tree"
+)
+
+func benchFixture(b *testing.B, n, m int) (*dataset.BinnedMatrix, *dataset.ColumnBlocks, *Layout, gh.Buffer, gh.MemBuf) {
+	b.Helper()
+	bm, layout, grad := makeFixture(n, m, 64, 3)
+	rows := allRows(n)
+	return bm, dataset.NewColumnBlocks(bm, 8), layout, grad, gh.BuildMemBuf(rows, grad)
+}
+
+func BenchmarkAccumulateRowsGathered(b *testing.B) {
+	bm, _, layout, grad, _ := benchFixture(b, 20000, 16)
+	rows := allRows(20000)
+	h := NewHist(layout)
+	b.SetBytes(int64(20000 * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+		h.AccumulateRows(bm, grad, rows, 0, 16)
+	}
+}
+
+func BenchmarkAccumulateMemBuf(b *testing.B) {
+	bm, _, layout, _, mb := benchFixture(b, 20000, 16)
+	h := NewHist(layout)
+	b.SetBytes(int64(20000 * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+		h.AccumulateMemBuf(bm, mb, 0, 16)
+	}
+}
+
+func BenchmarkAccumulatePanelMemBuf(b *testing.B) {
+	_, blocks, layout, _, mb := benchFixture(b, 20000, 16)
+	h := NewHist(layout)
+	b.SetBytes(int64(20000 * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+		for blk := 0; blk < blocks.NumBlocks(); blk++ {
+			lo, hi, panel := blocks.Block(blk)
+			h.AccumulatePanelRows(panel, hi-lo, mb, lo, hi)
+		}
+	}
+}
+
+func BenchmarkAccumulatePanelBinRange(b *testing.B) {
+	_, blocks, layout, _, mb := benchFixture(b, 20000, 16)
+	h := NewHist(layout)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+		for blk := 0; blk < blocks.NumBlocks(); blk++ {
+			lo, hi, panel := blocks.Block(blk)
+			h.AccumulatePanelRowsBinRange(panel, hi-lo, mb, lo, hi, 0, 32)
+			h.AccumulatePanelRowsBinRange(panel, hi-lo, mb, lo, hi, 32, 255)
+		}
+	}
+}
+
+func BenchmarkReplicaReduce(b *testing.B) {
+	_, _, layout, _, _ := benchFixture(b, 100, 64)
+	target := NewHist(layout)
+	replicas := make([]*Hist, 8)
+	for i := range replicas {
+		replicas[i] = NewHist(layout)
+		for j := range replicas[i].Data {
+			replicas[i].Data[j] = gh.Pair{G: 1, H: 1}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target.Reset()
+		for _, r := range replicas {
+			target.AddHist(r)
+		}
+	}
+}
+
+func BenchmarkSubtraction(b *testing.B) {
+	_, _, layout, _, _ := benchFixture(b, 100, 64)
+	parent := NewHist(layout)
+	child := NewHist(layout)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parent.SubHist(child)
+	}
+}
+
+func BenchmarkFindBestSplit(b *testing.B) {
+	bm, _, layout, grad, _ := benchFixture(b, 20000, 16)
+	h := NewHist(layout)
+	h.AccumulateRows(bm, grad, allRows(20000), 0, 16)
+	var total gh.Pair
+	for _, p := range grad {
+		total.Add(p)
+	}
+	params := tree.DefaultSplitParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.FindBestSplit(params, total, 0, 16)
+	}
+}

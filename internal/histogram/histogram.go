@@ -1,0 +1,290 @@
+// Package histogram implements the model side of GBDT training: the GHSum
+// gradient-statistics cubes of the paper's Figure 5. A node's histogram
+// holds one gh.Pair per (feature, bin); the package provides a compact
+// per-feature-offset layout, a reusable histogram pool (hot-loop
+// allocations are the enemy), replica reduction for data parallelism, the
+// parent-minus-child subtraction trick, and the FindSplit enumeration of
+// Eq. (3).
+package histogram
+
+import (
+	"fmt"
+
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/gh"
+	"harpgbdt/internal/tree"
+)
+
+// Layout maps (feature, bin) to a flat histogram index. Feature f occupies
+// [Off[f], Off[f+1]) with NBins(f) = Off[f+1]-Off[f] cells.
+type Layout struct {
+	M   int
+	Off []int32 // length M+1
+}
+
+// NewLayout derives the histogram layout from the dataset cuts.
+func NewLayout(cuts *dataset.Cuts) *Layout {
+	l := &Layout{M: cuts.M, Off: make([]int32, cuts.M+1)}
+	for f := 0; f < cuts.M; f++ {
+		l.Off[f+1] = l.Off[f] + int32(cuts.NumBins(f))
+	}
+	return l
+}
+
+// TotalBins returns the number of histogram cells per node.
+func (l *Layout) TotalBins() int { return int(l.Off[l.M]) }
+
+// NBins returns the number of bins of feature f.
+func (l *Layout) NBins(f int) int { return int(l.Off[f+1] - l.Off[f]) }
+
+// Index returns the flat index of (feature, bin).
+func (l *Layout) Index(f int, bin uint8) int { return int(l.Off[f]) + int(bin) }
+
+// FeatureRange returns the flat index range [lo, hi) of the features in
+// [fLo, fHi).
+func (l *Layout) FeatureRange(fLo, fHi int) (lo, hi int) {
+	return int(l.Off[fLo]), int(l.Off[fHi])
+}
+
+// Hist is one node's gradient-statistics histogram: a flat slice of
+// gh.Pair indexed through a Layout.
+type Hist struct {
+	Layout *Layout
+	Data   []gh.Pair
+}
+
+// NewHist allocates a zeroed histogram for the layout.
+func NewHist(l *Layout) *Hist {
+	return &Hist{Layout: l, Data: make([]gh.Pair, l.TotalBins())}
+}
+
+// Reset zeroes the histogram.
+func (h *Hist) Reset() {
+	for i := range h.Data {
+		h.Data[i] = gh.Pair{}
+	}
+}
+
+// ResetRange zeroes the flat index range [lo, hi).
+func (h *Hist) ResetRange(lo, hi int) {
+	d := h.Data[lo:hi]
+	for i := range d {
+		d[i] = gh.Pair{}
+	}
+}
+
+// At returns the accumulated pair of (feature, bin).
+func (h *Hist) At(f int, bin uint8) gh.Pair { return h.Data[h.Layout.Index(f, bin)] }
+
+// Feature returns the bins of feature f (aliases internal storage).
+func (h *Hist) Feature(f int) []gh.Pair {
+	return h.Data[h.Layout.Off[f]:h.Layout.Off[f+1]]
+}
+
+// FeatureSum returns the total pair over the bins of feature f (excludes
+// missing rows, which never enter any bin).
+func (h *Hist) FeatureSum(f int) gh.Pair {
+	var s gh.Pair
+	for _, p := range h.Feature(f) {
+		s.Add(p)
+	}
+	return s
+}
+
+// AddHist accumulates o into h cell-wise (replica reduction of data
+// parallelism).
+func (h *Hist) AddHist(o *Hist) {
+	for i := range h.Data {
+		h.Data[i].Add(o.Data[i])
+	}
+}
+
+// AddRange accumulates o's flat index range [lo, hi) into h.
+func (h *Hist) AddRange(o *Hist, lo, hi int) {
+	hd, od := h.Data[lo:hi], o.Data[lo:hi]
+	for i := range hd {
+		hd[i].Add(od[i])
+	}
+}
+
+// SubHist computes h -= o cell-wise: the histogram subtraction trick
+// (sibling = parent − built child).
+func (h *Hist) SubHist(o *Hist) {
+	for i := range h.Data {
+		h.Data[i].Sub(o.Data[i])
+	}
+}
+
+// Clone returns a deep copy.
+func (h *Hist) Clone() *Hist {
+	c := &Hist{Layout: h.Layout, Data: make([]gh.Pair, len(h.Data))}
+	copy(c.Data, h.Data)
+	return c
+}
+
+// AccumulateRows adds the gradient pairs of the given rows into the
+// histogram for features [fLo, fHi), reading bins from the row-major binned
+// matrix. Rows with MissingBin are skipped (default-direction handling).
+func (h *Hist) AccumulateRows(bm *dataset.BinnedMatrix, grad gh.Buffer, rows []int32, fLo, fHi int) {
+	m := bm.M
+	off := h.Layout.Off
+	for _, r := range rows {
+		bins := bm.Bins[int(r)*m : int(r)*m+m]
+		p := grad[r]
+		for f := fLo; f < fHi; f++ {
+			b := bins[f]
+			if b == dataset.MissingBin {
+				continue
+			}
+			c := &h.Data[int(off[f])+int(b)]
+			c.G += p.G
+			c.H += p.H
+		}
+	}
+}
+
+// AccumulateMemBuf is AccumulateRows reading (rowid, g, h) from a MemBuf —
+// the paper's gradient-replica optimization that makes the gradient stream
+// sequential.
+func (h *Hist) AccumulateMemBuf(bm *dataset.BinnedMatrix, mb gh.MemBuf, fLo, fHi int) {
+	m := bm.M
+	off := h.Layout.Off
+	for _, e := range mb {
+		bins := bm.Bins[int(e.Row)*m : int(e.Row)*m+m]
+		for f := fLo; f < fHi; f++ {
+			b := bins[f]
+			if b == dataset.MissingBin {
+				continue
+			}
+			c := &h.Data[int(off[f])+int(b)]
+			c.G += e.G
+			c.H += e.H
+		}
+	}
+}
+
+// AccumulatePanelRows adds rows into the histogram reading bins from a
+// feature-block panel (block covering features [fLo, fHi)), using MemBuf
+// gradients. panel is the block's row-major N x (fHi-fLo) storage. The
+// write region is confined to the block's bins — this is the block-wise
+// kernel of Sec. IV-A.
+func (h *Hist) AccumulatePanelRows(panel []uint8, width int, mb gh.MemBuf, fLo, fHi int) {
+	off := h.Layout.Off
+	w := width
+	for _, e := range mb {
+		bins := panel[int(e.Row)*w : int(e.Row)*w+w]
+		for j, b := range bins[:fHi-fLo] {
+			if b == dataset.MissingBin {
+				continue
+			}
+			c := &h.Data[int(off[fLo+j])+int(b)]
+			c.G += e.G
+			c.H += e.H
+		}
+	}
+}
+
+// Total returns the sum over all cells of features [fLo, fHi).
+func (h *Hist) Total(fLo, fHi int) gh.Pair {
+	lo, hi := h.Layout.FeatureRange(fLo, fHi)
+	var s gh.Pair
+	for _, p := range h.Data[lo:hi] {
+		s.Add(p)
+	}
+	return s
+}
+
+// FindBestSplit enumerates all (feature, bin) split candidates of features
+// [fLo, fHi) against the node total ⟨G,H⟩ (which includes rows whose value
+// is missing for any given feature) and returns the best admissible split.
+// Missing rows are tried in both directions (sparsity-aware enumeration);
+// DefaultLeft records the winning direction.
+func (h *Hist) FindBestSplit(p tree.SplitParams, total gh.Pair, fLo, fHi int) tree.SplitInfo {
+	return h.FindBestSplitMasked(p, total, fLo, fHi, nil)
+}
+
+// FindBestSplitMasked is FindBestSplit restricted to features whose mask
+// entry is true (nil mask = all features). Column subsampling evaluates
+// splits only on the tree's sampled feature set.
+func (h *Hist) FindBestSplitMasked(p tree.SplitParams, total gh.Pair, fLo, fHi int, allowed []bool) tree.SplitInfo {
+	best := tree.InvalidSplit()
+	for f := fLo; f < fHi; f++ {
+		if allowed != nil && !allowed[f] {
+			continue
+		}
+		bins := h.Feature(f)
+		if len(bins) <= 1 {
+			continue
+		}
+		featSum := gh.Pair{}
+		for _, b := range bins {
+			featSum.Add(b)
+		}
+		missG := total.G - featSum.G
+		missH := total.H - featSum.H
+		var gl, hl float64
+		for b := 0; b < len(bins)-1; b++ {
+			gl += bins[b].G
+			hl += bins[b].H
+			// Missing goes right.
+			grr := total.G - gl
+			hrr := total.H - hl
+			if p.Admissible(hl, hrr) {
+				if g := p.SplitGain(gl, hl, grr, hrr); g > 0 {
+					cand := tree.SplitInfo{Feature: int32(f), Bin: uint8(b), DefaultLeft: false,
+						Gain: g, LeftG: gl, LeftH: hl, RightG: grr, RightH: hrr}
+					if cand.Better(best) {
+						best = cand
+					}
+				}
+			}
+			// Missing goes left.
+			if missH != 0 || missG != 0 {
+				gll := gl + missG
+				hll := hl + missH
+				grl := total.G - gll
+				hrl := total.H - hll
+				if p.Admissible(hll, hrl) {
+					if g := p.SplitGain(gll, hll, grl, hrl); g > 0 {
+						cand := tree.SplitInfo{Feature: int32(f), Bin: uint8(b), DefaultLeft: true,
+							Gain: g, LeftG: gll, LeftH: hll, RightG: grl, RightH: hrl}
+						if cand.Better(best) {
+							best = cand
+						}
+					}
+				}
+			}
+		}
+		// Split "all non-missing left, missing right" at the last bin.
+		if missH > 0 || missG != 0 {
+			gl, hl := featSum.G, featSum.H
+			if p.Admissible(hl, missH) {
+				if g := p.SplitGain(gl, hl, missG, missH); g > 0 {
+					cand := tree.SplitInfo{Feature: int32(f), Bin: uint8(len(bins) - 1), DefaultLeft: false,
+						Gain: g, LeftG: gl, LeftH: hl, RightG: missG, RightH: missH}
+					if cand.Better(best) {
+						best = cand
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// CheckTotal verifies that the histogram's grand total over all features
+// within [fLo, fHi) equals expected (used by invariant tests).
+func (h *Hist) CheckTotal(expected gh.Pair, fLo, fHi int, tol float64) error {
+	got := h.Total(fLo, fHi)
+	if diff := abs(got.G-expected.G) + abs(got.H-expected.H); diff > tol {
+		return fmt.Errorf("histogram: total mismatch got=%+v want=%+v", got, expected)
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

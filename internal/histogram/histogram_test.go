@@ -1,0 +1,454 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/gh"
+	"harpgbdt/internal/tree"
+)
+
+// makeFixture builds a small binned dataset plus dyadic gradients (exact
+// under any summation order) for kernel tests.
+func makeFixture(n, m, bins int, seed uint64) (*dataset.BinnedMatrix, *Layout, gh.Buffer) {
+	d := dataset.NewDense(n, m)
+	s := seed
+	next := func() uint64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return s >> 33
+	}
+	for i := 0; i < n; i++ {
+		for f := 0; f < m; f++ {
+			if next()%10 == 0 {
+				d.SetMissing(i, f)
+			} else {
+				d.Set(i, f, float32(next()%uint64(bins)))
+			}
+		}
+	}
+	cuts := dataset.BuildCuts(d, bins)
+	bm := dataset.BinDense(d, cuts)
+	layout := NewLayout(cuts)
+	grad := gh.NewBuffer(n)
+	for i := range grad {
+		grad[i] = gh.Pair{
+			G: float64(int64(next()%4097)-2048) / 1024,
+			H: float64(next()%1024+1) / 1024,
+		}
+	}
+	return bm, layout, grad
+}
+
+func allRows(n int) []int32 {
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	return rows
+}
+
+func TestLayout(t *testing.T) {
+	d := dataset.NewDense(10, 3)
+	for i := 0; i < 10; i++ {
+		d.Set(i, 0, float32(i))   // 10 bins
+		d.Set(i, 1, float32(i%2)) // 2 bins
+		d.Set(i, 2, 1)            // 1 bin
+	}
+	cuts := dataset.BuildCuts(d, 255)
+	l := NewLayout(cuts)
+	if l.TotalBins() != 13 {
+		t.Fatalf("total bins %d, want 13", l.TotalBins())
+	}
+	if l.NBins(0) != 10 || l.NBins(1) != 2 || l.NBins(2) != 1 {
+		t.Fatalf("per-feature bins %d/%d/%d", l.NBins(0), l.NBins(1), l.NBins(2))
+	}
+	if l.Index(1, 1) != 11 {
+		t.Fatalf("index(1,1) = %d", l.Index(1, 1))
+	}
+	lo, hi := l.FeatureRange(1, 3)
+	if lo != 10 || hi != 13 {
+		t.Fatalf("feature range [%d,%d)", lo, hi)
+	}
+}
+
+func TestAccumulateRowsTotalInvariant(t *testing.T) {
+	bm, layout, grad := makeFixture(500, 4, 16, 1)
+	h := NewHist(layout)
+	h.AccumulateRows(bm, grad, allRows(500), 0, 4)
+	// For every feature, the histogram total must equal the sum of
+	// gradients of rows with a present value for that feature.
+	for f := 0; f < 4; f++ {
+		var want gh.Pair
+		for i := 0; i < 500; i++ {
+			if bm.At(i, f) != dataset.MissingBin {
+				want.Add(grad[i])
+			}
+		}
+		got := h.FeatureSum(f)
+		if got.G != want.G || got.H != want.H {
+			t.Fatalf("feature %d: got %+v want %+v", f, got, want)
+		}
+	}
+}
+
+func TestAccumulateVariantsAgree(t *testing.T) {
+	bm, layout, grad := makeFixture(300, 6, 12, 2)
+	rows := allRows(300)
+	mb := gh.BuildMemBuf(rows, grad)
+	blocks := dataset.NewColumnBlocks(bm, 3)
+
+	ref := NewHist(layout)
+	ref.AccumulateRows(bm, grad, rows, 0, 6)
+
+	// MemBuf row-major kernel.
+	h1 := NewHist(layout)
+	h1.AccumulateMemBuf(bm, mb, 0, 6)
+	// Panel kernels per block.
+	h2 := NewHist(layout)
+	h3 := NewHist(layout)
+	h4 := NewHist(layout)
+	h5 := NewHist(layout)
+	for b := 0; b < blocks.NumBlocks(); b++ {
+		lo, hi, panel := blocks.Block(b)
+		w := hi - lo
+		h2.AccumulatePanelRows(panel, w, mb, lo, hi)
+		h3.AccumulatePanelRowsGrad(panel, w, rows, grad, lo, hi)
+		// Bin-split kernels: two ranges must together equal the full pass.
+		h4.AccumulatePanelRowsBinRange(panel, w, mb, lo, hi, 0, 6)
+		h4.AccumulatePanelRowsBinRange(panel, w, mb, lo, hi, 6, 255)
+		h5.AccumulatePanelRowsGradBinRange(panel, w, rows, grad, lo, hi, 0, 6)
+		h5.AccumulatePanelRowsGradBinRange(panel, w, rows, grad, lo, hi, 6, 255)
+	}
+	for name, h := range map[string]*Hist{"membuf": h1, "panel-membuf": h2, "panel-grad": h3, "panel-binrange": h4, "panel-grad-binrange": h5} {
+		for i := range ref.Data {
+			if ref.Data[i] != h.Data[i] {
+				t.Fatalf("%s kernel differs at cell %d: %+v vs %+v", name, i, h.Data[i], ref.Data[i])
+			}
+		}
+	}
+}
+
+func TestSubtractionIdentity(t *testing.T) {
+	bm, layout, grad := makeFixture(400, 3, 10, 3)
+	rows := allRows(400)
+	left := rows[:150]
+	right := rows[150:]
+	parent := NewHist(layout)
+	parent.AccumulateRows(bm, grad, rows, 0, 3)
+	lh := NewHist(layout)
+	lh.AccumulateRows(bm, grad, left, 0, 3)
+	rh := NewHist(layout)
+	rh.AccumulateRows(bm, grad, right, 0, 3)
+	// parent - left must equal right exactly (dyadic gradients).
+	parent.SubHist(lh)
+	for i := range parent.Data {
+		if parent.Data[i] != rh.Data[i] {
+			t.Fatalf("subtraction differs at cell %d: %+v vs %+v", i, parent.Data[i], rh.Data[i])
+		}
+	}
+}
+
+func TestAddHistAndClone(t *testing.T) {
+	bm, layout, grad := makeFixture(100, 2, 8, 4)
+	h1 := NewHist(layout)
+	h1.AccumulateRows(bm, grad, allRows(50), 0, 2)
+	h2 := NewHist(layout)
+	h2.AccumulateRows(bm, grad, allRows(100)[50:], 0, 2)
+	full := NewHist(layout)
+	full.AccumulateRows(bm, grad, allRows(100), 0, 2)
+	c := h1.Clone()
+	c.AddHist(h2)
+	for i := range full.Data {
+		if c.Data[i] != full.Data[i] {
+			t.Fatalf("replica reduce differs at %d", i)
+		}
+	}
+	// Clone must be independent.
+	c.Reset()
+	if h1.Total(0, 2).IsZero() {
+		t.Fatal("clone reset affected original")
+	}
+}
+
+func TestAddRangeEquivalentToAddHist(t *testing.T) {
+	bm, layout, grad := makeFixture(200, 4, 8, 5)
+	h1 := NewHist(layout)
+	h1.AccumulateRows(bm, grad, allRows(100), 0, 4)
+	h2 := NewHist(layout)
+	h2.AccumulateRows(bm, grad, allRows(200)[100:], 0, 4)
+	a := h1.Clone()
+	a.AddHist(h2)
+	b := h1.Clone()
+	total := layout.TotalBins()
+	for lo := 0; lo < total; lo += 5 {
+		hi := lo + 5
+		if hi > total {
+			hi = total
+		}
+		b.AddRange(h2, lo, hi)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("AddRange differs at %d", i)
+		}
+	}
+}
+
+func TestResetRange(t *testing.T) {
+	layout := &Layout{M: 1, Off: []int32{0, 10}}
+	h := NewHist(layout)
+	for i := range h.Data {
+		h.Data[i] = gh.Pair{G: 1, H: 1}
+	}
+	h.ResetRange(3, 7)
+	for i := range h.Data {
+		zero := h.Data[i].IsZero()
+		if (i >= 3 && i < 7) != zero {
+			t.Fatalf("cell %d zero=%v", i, zero)
+		}
+	}
+}
+
+func TestCheckTotal(t *testing.T) {
+	bm, layout, grad := makeFixture(50, 2, 4, 6)
+	h := NewHist(layout)
+	rows := allRows(50)
+	h.AccumulateRows(bm, grad, rows, 0, 2)
+	var want gh.Pair
+	for f := 0; f < 2; f++ {
+		for i := 0; i < 50; i++ {
+			if bm.At(i, f) != dataset.MissingBin {
+				want.Add(grad[i])
+			}
+		}
+	}
+	if err := h.CheckTotal(want, 0, 2, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	want.G += 1
+	if err := h.CheckTotal(want, 0, 2, 1e-9); err == nil {
+		t.Fatal("corrupted total passed check")
+	}
+}
+
+// bruteForceBestSplit enumerates splits directly over rows.
+func bruteForceBestSplit(bm *dataset.BinnedMatrix, cuts *dataset.Cuts, grad gh.Buffer, rows []int32, p tree.SplitParams) tree.SplitInfo {
+	best := tree.InvalidSplit()
+	var total gh.Pair
+	for _, r := range rows {
+		total.Add(grad[r])
+	}
+	for f := 0; f < bm.M; f++ {
+		nb := cuts.NumBins(f)
+		for b := 0; b < nb; b++ {
+			for _, missLeft := range []bool{false, true} {
+				if b == nb-1 && missLeft {
+					continue // everything left: not a split
+				}
+				var gl, hl float64
+				for _, r := range rows {
+					bin := bm.At(int(r), f)
+					goLeft := false
+					if bin == dataset.MissingBin {
+						goLeft = missLeft
+					} else {
+						goLeft = int(bin) <= b
+					}
+					if goLeft {
+						gl += grad[r].G
+						hl += grad[r].H
+					}
+				}
+				gr := total.G - gl
+				hr := total.H - hl
+				if !p.Admissible(hl, hr) {
+					continue
+				}
+				g := p.SplitGain(gl, hl, gr, hr)
+				if g <= 0 {
+					continue
+				}
+				cand := tree.SplitInfo{Feature: int32(f), Bin: uint8(b), DefaultLeft: missLeft,
+					Gain: g, LeftG: gl, LeftH: hl, RightG: gr, RightH: hr}
+				if cand.Better(best) {
+					best = cand
+				}
+			}
+		}
+	}
+	return best
+}
+
+func TestFindBestSplitMatchesBruteForce(t *testing.T) {
+	params := tree.SplitParams{Lambda: 1, Gamma: 0.1, MinChildWeight: 0.1}
+	for seed := uint64(10); seed < 18; seed++ {
+		bm, layout, grad := makeFixture(120, 3, 6, seed)
+		rows := allRows(120)
+		h := NewHist(layout)
+		h.AccumulateRows(bm, grad, rows, 0, 3)
+		var total gh.Pair
+		for _, r := range rows {
+			total.Add(grad[r])
+		}
+		got := h.FindBestSplit(params, total, 0, 3)
+		cuts := cutsFromLayout(bm, layout)
+		want := bruteForceBestSplit(bm, cuts, grad, rows, params)
+		if got.Valid() != want.Valid() {
+			t.Fatalf("seed %d: validity %v vs %v", seed, got.Valid(), want.Valid())
+		}
+		if !got.Valid() {
+			continue
+		}
+		if math.Abs(got.Gain-want.Gain) > 1e-9 {
+			t.Fatalf("seed %d: gain %v vs %v (feature %d/%d bin %d/%d)",
+				seed, got.Gain, want.Gain, got.Feature, want.Feature, got.Bin, want.Bin)
+		}
+		if got.Feature != want.Feature || got.Bin != want.Bin || got.DefaultLeft != want.DefaultLeft {
+			t.Fatalf("seed %d: split (%d,%d,%v) vs (%d,%d,%v)",
+				seed, got.Feature, got.Bin, got.DefaultLeft, want.Feature, want.Bin, want.DefaultLeft)
+		}
+	}
+}
+
+// cutsFromLayout rebuilds a Cuts facade for bin-count queries in the brute
+// force (values don't matter, only counts).
+func cutsFromLayout(bm *dataset.BinnedMatrix, l *Layout) *dataset.Cuts {
+	c := &dataset.Cuts{M: l.M, Ptr: make([]int32, l.M+1), MaxBins: 255}
+	for f := 0; f < l.M; f++ {
+		c.Ptr[f+1] = c.Ptr[f] + int32(l.NBins(f))
+	}
+	c.Vals = make([]float32, c.Ptr[l.M])
+	for f := 0; f < l.M; f++ {
+		for k := c.Ptr[f]; k < c.Ptr[f+1]; k++ {
+			c.Vals[k] = float32(k - c.Ptr[f])
+		}
+	}
+	return c
+}
+
+func TestFindBestSplitRespectsMinChildWeight(t *testing.T) {
+	// With a huge min_child_weight nothing is admissible.
+	bm, layout, grad := makeFixture(100, 2, 8, 30)
+	h := NewHist(layout)
+	h.AccumulateRows(bm, grad, allRows(100), 0, 2)
+	var total gh.Pair
+	for _, p := range grad {
+		total.Add(p)
+	}
+	params := tree.SplitParams{Lambda: 1, Gamma: 0, MinChildWeight: 1e9}
+	if s := h.FindBestSplit(params, total, 0, 2); s.Valid() {
+		t.Fatalf("inadmissible split returned: %+v", s)
+	}
+}
+
+func TestFindBestSplitGammaThreshold(t *testing.T) {
+	// A split valid at gamma=0 must disappear when gamma exceeds its gain.
+	bm, layout, grad := makeFixture(100, 2, 8, 31)
+	h := NewHist(layout)
+	h.AccumulateRows(bm, grad, allRows(100), 0, 2)
+	var total gh.Pair
+	for _, p := range grad {
+		total.Add(p)
+	}
+	s0 := h.FindBestSplit(tree.SplitParams{Lambda: 1, MinChildWeight: 0.01}, total, 0, 2)
+	if !s0.Valid() {
+		t.Skip("no split at gamma 0 on this fixture")
+	}
+	big := tree.SplitParams{Lambda: 1, Gamma: s0.Gain + 1, MinChildWeight: 0.01}
+	if s := h.FindBestSplit(big, total, 0, 2); s.Valid() {
+		t.Fatalf("split survived gamma above its gain: %+v", s)
+	}
+}
+
+func TestFindBestSplitSingleBinFeature(t *testing.T) {
+	// A constant (1-bin) feature can never split.
+	d := dataset.NewDense(10, 1)
+	for i := 0; i < 10; i++ {
+		d.Set(i, 0, 5)
+	}
+	cuts := dataset.BuildCuts(d, 8)
+	bm := dataset.BinDense(d, cuts)
+	layout := NewLayout(cuts)
+	grad := gh.NewBuffer(10)
+	for i := range grad {
+		grad[i] = gh.Pair{G: float64(i%2*2 - 1), H: 1}
+	}
+	h := NewHist(layout)
+	h.AccumulateRows(bm, grad, allRows(10), 0, 1)
+	if s := h.FindBestSplit(tree.DefaultSplitParams(), grad.Sum(), 0, 1); s.Valid() {
+		t.Fatalf("constant feature produced split %+v", s)
+	}
+}
+
+func TestHistTotalSplitInvariantProperty(t *testing.T) {
+	// Property: for random row subsets, hist(left) + hist(right) ==
+	// hist(all), cell-wise, exactly (dyadic gradients).
+	f := func(seed uint64, cutoff uint8) bool {
+		bm, layout, grad := makeFixture(80, 2, 6, seed%1000)
+		k := int(cutoff) % 80
+		left, right := allRows(80)[:k], allRows(80)[k:]
+		hl := NewHist(layout)
+		hl.AccumulateRows(bm, grad, left, 0, 2)
+		hr := NewHist(layout)
+		hr.AccumulateRows(bm, grad, right, 0, 2)
+		ha := NewHist(layout)
+		ha.AccumulateRows(bm, grad, allRows(80), 0, 2)
+		hl.AddHist(hr)
+		for i := range ha.Data {
+			if ha.Data[i] != hl.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPool(t *testing.T) {
+	layout := &Layout{M: 1, Off: []int32{0, 4}}
+	p := NewPool(layout)
+	h1 := p.Get()
+	h1.Data[0] = gh.Pair{G: 1, H: 1}
+	p.Put(h1)
+	h2 := p.Get()
+	if h2 != h1 {
+		t.Fatal("pool did not reuse histogram")
+	}
+	if !h2.Data[0].IsZero() {
+		t.Fatal("reused histogram not reset")
+	}
+	h3 := p.Get()
+	if h3 == h2 {
+		t.Fatal("pool returned the same histogram twice")
+	}
+	if p.Allocated() != 2 {
+		t.Fatalf("allocated = %d", p.Allocated())
+	}
+	p.Put(nil) // must not panic
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	layout := &Layout{M: 1, Off: []int32{0, 8}}
+	p := NewPool(layout)
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 500; i++ {
+				h := p.Get()
+				h.Data[0].G += 1
+				p.Put(h)
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if p.Allocated() > 8 {
+		t.Fatalf("allocated %d > workers", p.Allocated())
+	}
+}

@@ -1,0 +1,65 @@
+package histogram
+
+import (
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/gh"
+)
+
+// AccumulatePanelRowsGrad is AccumulatePanelRows for engines without MemBuf:
+// bins come from the feature-block panel, gradients are gathered from the
+// per-row gradient buffer (the random-access pattern MemBuf eliminates).
+func (h *Hist) AccumulatePanelRowsGrad(panel []uint8, width int, rows []int32, grad gh.Buffer, fLo, fHi int) {
+	off := h.Layout.Off
+	w := width
+	for _, r := range rows {
+		bins := panel[int(r)*w : int(r)*w+w]
+		p := grad[r]
+		for j, b := range bins[:fHi-fLo] {
+			if b == dataset.MissingBin {
+				continue
+			}
+			c := &h.Data[int(off[fLo+j])+int(b)]
+			c.G += p.G
+			c.H += p.H
+		}
+	}
+}
+
+// AccumulatePanelRowsBinRange is AccumulatePanelRows restricted to bins in
+// [binLo, binHi) of every feature in the block — the bin-level parallelism
+// of Sec. IV-A. Rows whose bin falls outside the range are read but not
+// accumulated (the extra-read cost the paper attributes to bin blocking).
+func (h *Hist) AccumulatePanelRowsBinRange(panel []uint8, width int, mb gh.MemBuf, fLo, fHi int, binLo, binHi uint8) {
+	off := h.Layout.Off
+	w := width
+	for _, e := range mb {
+		bins := panel[int(e.Row)*w : int(e.Row)*w+w]
+		for j, b := range bins[:fHi-fLo] {
+			if b < binLo || b >= binHi || b == dataset.MissingBin {
+				continue
+			}
+			c := &h.Data[int(off[fLo+j])+int(b)]
+			c.G += e.G
+			c.H += e.H
+		}
+	}
+}
+
+// AccumulatePanelRowsGradBinRange combines the gathered-gradient and
+// bin-range variants.
+func (h *Hist) AccumulatePanelRowsGradBinRange(panel []uint8, width int, rows []int32, grad gh.Buffer, fLo, fHi int, binLo, binHi uint8) {
+	off := h.Layout.Off
+	w := width
+	for _, r := range rows {
+		bins := panel[int(r)*w : int(r)*w+w]
+		p := grad[r]
+		for j, b := range bins[:fHi-fLo] {
+			if b < binLo || b >= binHi || b == dataset.MissingBin {
+				continue
+			}
+			c := &h.Data[int(off[fLo+j])+int(b)]
+			c.G += p.G
+			c.H += p.H
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package histogram
+
+import "harpgbdt/internal/sched"
+
+// Pool recycles node histograms so tree building does not allocate one
+// GHSum-sized slab per node. XGBoost and LightGBM both carry an equivalent
+// structure; the paper's memory-footprint argument for model parallelism
+// (Sec. IV) relies on bounding the number of live histograms to the active
+// node set rather than the whole tree.
+//
+// Pool is safe for concurrent Get/Put (the ASYNC mode acquires histograms
+// from worker goroutines).
+type Pool struct {
+	layout *Layout
+	mu     sched.SpinMutex
+	free   []*Hist
+	// allocated counts every histogram ever created, for footprint
+	// accounting in tests and reports.
+	allocated int
+}
+
+// NewPool returns a pool producing histograms of the given layout.
+func NewPool(l *Layout) *Pool {
+	return &Pool{layout: l}
+}
+
+// Layout returns the pool's histogram layout.
+func (p *Pool) Layout() *Layout { return p.layout }
+
+// Get returns a zeroed histogram, reusing a released one when available.
+func (p *Pool) Get() *Hist {
+	p.mu.Lock()
+	var h *Hist
+	if n := len(p.free); n > 0 {
+		h = p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		h.Reset()
+		return h
+	}
+	p.allocated++
+	p.mu.Unlock()
+	return NewHist(p.layout)
+}
+
+// Put releases a histogram back to the pool. The histogram must not be used
+// afterwards.
+func (p *Pool) Put(h *Hist) {
+	if h == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, h)
+	p.mu.Unlock()
+}
+
+// Allocated reports how many distinct histograms the pool has created.
+func (p *Pool) Allocated() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.allocated
+}

@@ -1,0 +1,116 @@
+// Package metrics implements the evaluation metrics of the paper's
+// experiments: AUC (the accuracy metric of Sec. V), log loss, RMSE, and
+// classification error.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AUC computes the exact area under the ROC curve for binary labels in
+// {0, 1} and arbitrary real scores, handling score ties by assigning
+// mid-ranks (the Mann-Whitney U formulation). Returns NaN when only one
+// class is present.
+func AUC(scores []float64, labels []float32) float64 {
+	n := len(scores)
+	if n != len(labels) {
+		panic(fmt.Sprintf("metrics: %d scores vs %d labels", n, len(labels)))
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	var nPos, nNeg float64
+	for _, y := range labels {
+		if y > 0.5 {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return math.NaN()
+	}
+	// Sum of positive ranks with mid-rank tie handling.
+	rankSum := 0.0
+	i := 0
+	for i < n {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		// ranks i+1 .. j (1-based); average rank:
+		avg := float64(i+j+1) / 2
+		for k := i; k < j; k++ {
+			if labels[idx[k]] > 0.5 {
+				rankSum += avg
+			}
+		}
+		i = j
+	}
+	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg)
+}
+
+// LogLoss computes mean binary cross-entropy of probability predictions
+// against labels in {0, 1}, with clamping for numerical safety.
+func LogLoss(probs []float64, labels []float32) float64 {
+	if len(probs) == 0 {
+		return 0
+	}
+	const eps = 1e-15
+	s := 0.0
+	for i, p := range probs {
+		if p < eps {
+			p = eps
+		}
+		if p > 1-eps {
+			p = 1 - eps
+		}
+		if labels[i] > 0.5 {
+			s -= math.Log(p)
+		} else {
+			s -= math.Log(1 - p)
+		}
+	}
+	return s / float64(len(probs))
+}
+
+// RMSE computes root mean squared error.
+func RMSE(preds []float64, labels []float32) float64 {
+	if len(preds) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, p := range preds {
+		d := p - float64(labels[i])
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(preds)))
+}
+
+// ErrorRate computes the fraction of misclassified rows when thresholding
+// probability predictions at 0.5.
+func ErrorRate(probs []float64, labels []float32) float64 {
+	if len(probs) == 0 {
+		return 0
+	}
+	wrong := 0
+	for i, p := range probs {
+		pred := float32(0)
+		if p >= 0.5 {
+			pred = 1
+		}
+		if (labels[i] > 0.5) != (pred > 0.5) {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(probs))
+}
+
+// Accuracy is 1 - ErrorRate.
+func Accuracy(probs []float64, labels []float32) float64 {
+	return 1 - ErrorRate(probs, labels)
+}

@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAUCPerfectRanking(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []float32{0, 0, 1, 1}
+	if got := AUC(scores, labels); got != 1 {
+		t.Fatalf("perfect AUC = %v", got)
+	}
+}
+
+func TestAUCReversedRanking(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []float32{0, 0, 1, 1}
+	if got := AUC(scores, labels); got != 0 {
+		t.Fatalf("reversed AUC = %v", got)
+	}
+}
+
+func TestAUCRandomIsHalf(t *testing.T) {
+	// Constant scores: every pair is tied => 0.5 by mid-rank handling.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []float32{0, 1, 0, 1}
+	if got := AUC(scores, labels); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("all-tied AUC = %v", got)
+	}
+}
+
+func TestAUCSingleClassNaN(t *testing.T) {
+	if got := AUC([]float64{1, 2}, []float32{1, 1}); !math.IsNaN(got) {
+		t.Fatalf("single-class AUC = %v, want NaN", got)
+	}
+	if got := AUC([]float64{1, 2}, []float32{0, 0}); !math.IsNaN(got) {
+		t.Fatalf("single-class AUC = %v, want NaN", got)
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// pos scores {3, 1}, neg scores {2, 0}: pairs (3>2, 3>0, 1<2, 1>0)
+	// => 3/4 concordant.
+	scores := []float64{3, 2, 1, 0}
+	labels := []float32{1, 0, 1, 0}
+	if got := AUC(scores, labels); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("AUC = %v, want 0.75", got)
+	}
+}
+
+func TestAUCTieHandling(t *testing.T) {
+	// One positive tied with one negative contributes 1/2.
+	scores := []float64{1, 1}
+	labels := []float32{1, 0}
+	if got := AUC(scores, labels); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v", got)
+	}
+}
+
+func TestAUCMonotoneTransformInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s>>11) / (1 << 53)
+		}
+		n := 50
+		scores := make([]float64, n)
+		labels := make([]float32, n)
+		for i := range scores {
+			scores[i] = next()*4 - 2
+			if next() > 0.5 {
+				labels[i] = 1
+			}
+		}
+		a := AUC(scores, labels)
+		transformed := make([]float64, n)
+		for i, v := range scores {
+			transformed[i] = 1/(1+math.Exp(-v)) + 5 // monotone
+		}
+		b := AUC(transformed, labels)
+		if math.IsNaN(a) {
+			return math.IsNaN(b)
+		}
+		return math.Abs(a-b) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAUCComplementSymmetry(t *testing.T) {
+	// Negating the scores must give 1 - AUC (when there are no ties).
+	scores := []float64{0.1, 0.7, 0.3, 0.9, 0.5}
+	labels := []float32{0, 1, 1, 1, 0}
+	a := AUC(scores, labels)
+	neg := make([]float64, len(scores))
+	for i, v := range scores {
+		neg[i] = -v
+	}
+	b := AUC(neg, labels)
+	if math.Abs(a+b-1) > 1e-12 {
+		t.Fatalf("AUC symmetry broken: %v + %v != 1", a, b)
+	}
+}
+
+func TestAUCPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	AUC([]float64{1}, []float32{1, 0})
+}
+
+func TestLogLoss(t *testing.T) {
+	// Perfect confident predictions have near-zero loss.
+	if got := LogLoss([]float64{1, 0}, []float32{1, 0}); got > 1e-10 {
+		t.Fatalf("perfect logloss = %v", got)
+	}
+	// p=0.5 everywhere => ln 2.
+	if got := LogLoss([]float64{0.5, 0.5}, []float32{1, 0}); math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Fatalf("logloss = %v, want ln2", got)
+	}
+	// Confidently wrong is heavily penalized but finite (clamping).
+	if got := LogLoss([]float64{0}, []float32{1}); math.IsInf(got, 0) || got < 10 {
+		t.Fatalf("wrong logloss = %v", got)
+	}
+	if got := LogLoss(nil, nil); got != 0 {
+		t.Fatalf("empty logloss = %v", got)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2}, []float32{1, 2}); got != 0 {
+		t.Fatalf("zero RMSE = %v", got)
+	}
+	if got := RMSE([]float64{0, 0}, []float32{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE = %v", got)
+	}
+	if got := RMSE(nil, nil); got != 0 {
+		t.Fatalf("empty RMSE = %v", got)
+	}
+}
+
+func TestErrorRateAndAccuracy(t *testing.T) {
+	probs := []float64{0.9, 0.4, 0.6, 0.1}
+	labels := []float32{1, 1, 0, 0}
+	if got := ErrorRate(probs, labels); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("error rate = %v", got)
+	}
+	if got := Accuracy(probs, labels); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if got := ErrorRate(nil, nil); got != 0 {
+		t.Fatalf("empty error rate = %v", got)
+	}
+}
+
+func TestAUCInRangeProperty(t *testing.T) {
+	f := func(raw []float64, labelBits []bool) bool {
+		n := len(raw)
+		if len(labelBits) < n {
+			n = len(labelBits)
+		}
+		if n == 0 {
+			return true
+		}
+		scores := make([]float64, n)
+		labels := make([]float32, n)
+		hasPos, hasNeg := false, false
+		for i := 0; i < n; i++ {
+			v := raw[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			scores[i] = v
+			if labelBits[i] {
+				labels[i] = 1
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		got := AUC(scores, labels)
+		if !hasPos || !hasNeg {
+			return math.IsNaN(got)
+		}
+		return got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Package objective implements the loss functions of the GBDT training
+// objective and their first/second-order gradients (the g_i, h_i of the
+// paper's Eq. 1). All engines consume gradients through the gh.Buffer
+// abstraction, so objectives are interchangeable.
+package objective
+
+import (
+	"fmt"
+	"math"
+
+	"harpgbdt/internal/gh"
+)
+
+// Objective computes per-row gradients of a loss at the current raw
+// predictions, plus the transformation from raw score to output.
+type Objective interface {
+	// Name identifies the objective ("binary:logistic", "reg:squarederror").
+	Name() string
+	// BaseScore returns the optimal constant raw prediction for the labels
+	// (the boosting starting point).
+	BaseScore(labels []float32) float64
+	// Gradients fills grad[i] with (g_i, h_i) of loss(pred[i], labels[i]).
+	Gradients(preds []float64, labels []float32, grad gh.Buffer)
+	// Transform maps a raw margin to the output scale (sigmoid for
+	// logistic, identity for regression).
+	Transform(margin float64) float64
+}
+
+// New returns the objective registered under name.
+func New(name string) (Objective, error) {
+	switch name {
+	case "binary:logistic", "logistic":
+		return Logistic{}, nil
+	case "reg:squarederror", "squarederror", "mse":
+		return SquaredError{}, nil
+	default:
+		return nil, fmt.Errorf("objective: unknown objective %q", name)
+	}
+}
+
+// Logistic is binary cross-entropy on labels in {0, 1} with raw margins:
+// g = sigmoid(margin) - y, h = sigmoid(margin) * (1 - sigmoid(margin)).
+type Logistic struct{}
+
+// Name implements Objective.
+func (Logistic) Name() string { return "binary:logistic" }
+
+// BaseScore returns log(p/(1-p)) for the positive rate p, clamped away from
+// the degenerate all-one/all-zero cases.
+func (Logistic) BaseScore(labels []float32) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	pos := 0.0
+	for _, y := range labels {
+		pos += float64(y)
+	}
+	p := pos / float64(len(labels))
+	const eps = 1e-6
+	if p < eps {
+		p = eps
+	}
+	if p > 1-eps {
+		p = 1 - eps
+	}
+	return math.Log(p / (1 - p))
+}
+
+// Gradients implements Objective.
+func (Logistic) Gradients(preds []float64, labels []float32, grad gh.Buffer) {
+	for i := range grad {
+		p := sigmoid(preds[i])
+		grad[i] = gh.Pair{G: p - float64(labels[i]), H: math.Max(p*(1-p), 1e-16)}
+	}
+}
+
+// Transform implements Objective.
+func (Logistic) Transform(margin float64) float64 { return sigmoid(margin) }
+
+// SquaredError is 1/2 (pred-y)^2: g = pred - y, h = 1.
+type SquaredError struct{}
+
+// Name implements Objective.
+func (SquaredError) Name() string { return "reg:squarederror" }
+
+// BaseScore returns the label mean.
+func (SquaredError) BaseScore(labels []float32) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, y := range labels {
+		s += float64(y)
+	}
+	return s / float64(len(labels))
+}
+
+// Gradients implements Objective.
+func (SquaredError) Gradients(preds []float64, labels []float32, grad gh.Buffer) {
+	for i := range grad {
+		grad[i] = gh.Pair{G: preds[i] - float64(labels[i]), H: 1}
+	}
+}
+
+// Transform implements Objective.
+func (SquaredError) Transform(margin float64) float64 { return margin }
+
+func sigmoid(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}

@@ -1,0 +1,164 @@
+package objective
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"harpgbdt/internal/gh"
+)
+
+func TestNewLookup(t *testing.T) {
+	for _, name := range []string{"binary:logistic", "logistic", "reg:squarederror", "squarederror", "mse"} {
+		if _, err := New(name); err != nil {
+			t.Errorf("New(%q): %v", name, err)
+		}
+	}
+	if _, err := New("hinge"); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}
+
+// numericGrad estimates d loss / d pred with central differences.
+func numericGrad(loss func(pred float64) float64, pred float64) (g, h float64) {
+	const eps = 1e-5
+	g = (loss(pred+eps) - loss(pred-eps)) / (2 * eps)
+	h = (loss(pred+eps) - 2*loss(pred) + loss(pred-eps)) / (eps * eps)
+	return g, h
+}
+
+func TestLogisticGradientsMatchNumeric(t *testing.T) {
+	obj := Logistic{}
+	for _, y := range []float32{0, 1} {
+		for _, pred := range []float64{-3, -1, 0, 0.5, 2.7} {
+			loss := func(p float64) float64 {
+				// Numerically stable binary cross-entropy on the margin.
+				return math.Log(1+math.Exp(p)) - float64(y)*p
+			}
+			wantG, wantH := numericGrad(loss, pred)
+			grad := gh.NewBuffer(1)
+			obj.Gradients([]float64{pred}, []float32{y}, grad)
+			if math.Abs(grad[0].G-wantG) > 1e-5 {
+				t.Errorf("y=%v pred=%v: g=%v want %v", y, pred, grad[0].G, wantG)
+			}
+			if math.Abs(grad[0].H-wantH) > 1e-4 {
+				t.Errorf("y=%v pred=%v: h=%v want %v", y, pred, grad[0].H, wantH)
+			}
+		}
+	}
+}
+
+func TestSquaredErrorGradients(t *testing.T) {
+	obj := SquaredError{}
+	grad := gh.NewBuffer(3)
+	obj.Gradients([]float64{1, 2, 3}, []float32{0, 2, 5}, grad)
+	want := []gh.Pair{{G: 1, H: 1}, {G: 0, H: 1}, {G: -2, H: 1}}
+	for i := range want {
+		if grad[i] != want[i] {
+			t.Errorf("row %d: %+v want %+v", i, grad[i], want[i])
+		}
+	}
+}
+
+func TestLogisticHessianPositive(t *testing.T) {
+	f := func(pred float64, yBit bool) bool {
+		if math.IsNaN(pred) || math.IsInf(pred, 0) {
+			return true
+		}
+		y := float32(0)
+		if yBit {
+			y = 1
+		}
+		grad := gh.NewBuffer(1)
+		Logistic{}.Gradients([]float64{pred}, []float32{y}, grad)
+		return grad[0].H > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogisticGradientSignProperty(t *testing.T) {
+	// g > 0 when over-predicting a negative, g < 0 when under-predicting a
+	// positive.
+	grad := gh.NewBuffer(2)
+	Logistic{}.Gradients([]float64{2, -2}, []float32{0, 1}, grad)
+	if grad[0].G <= 0 {
+		t.Fatalf("over-predicted negative should have positive g: %v", grad[0].G)
+	}
+	if grad[1].G >= 0 {
+		t.Fatalf("under-predicted positive should have negative g: %v", grad[1].G)
+	}
+}
+
+func TestBaseScoreLogistic(t *testing.T) {
+	obj := Logistic{}
+	// Balanced labels => base score 0.
+	if got := obj.BaseScore([]float32{0, 1, 0, 1}); math.Abs(got) > 1e-12 {
+		t.Fatalf("balanced base score %v", got)
+	}
+	// 75% positives => log(3).
+	if got := obj.BaseScore([]float32{1, 1, 1, 0}); math.Abs(got-math.Log(3)) > 1e-9 {
+		t.Fatalf("base score %v want %v", got, math.Log(3))
+	}
+	// Degenerate all-positive stays finite.
+	if got := obj.BaseScore([]float32{1, 1}); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("degenerate base score %v", got)
+	}
+	if got := obj.BaseScore(nil); got != 0 {
+		t.Fatalf("empty base score %v", got)
+	}
+}
+
+func TestBaseScoreSquaredError(t *testing.T) {
+	obj := SquaredError{}
+	if got := obj.BaseScore([]float32{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("mean base score %v", got)
+	}
+	if got := obj.BaseScore(nil); got != 0 {
+		t.Fatalf("empty base score %v", got)
+	}
+}
+
+func TestTransforms(t *testing.T) {
+	if got := (Logistic{}).Transform(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(0) = %v", got)
+	}
+	if got := (Logistic{}).Transform(100); got < 0.999 {
+		t.Fatalf("sigmoid(100) = %v", got)
+	}
+	if got := (SquaredError{}).Transform(3.25); got != 3.25 {
+		t.Fatalf("identity transform = %v", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Logistic{}).Name() != "binary:logistic" {
+		t.Fatal("logistic name")
+	}
+	if (SquaredError{}).Name() != "reg:squarederror" {
+		t.Fatal("squared error name")
+	}
+}
+
+func TestGradientsBaseScoreIsOptimal(t *testing.T) {
+	// At the base score, the total gradient over the dataset must be ~0
+	// (it is the optimal constant prediction).
+	labels := []float32{1, 1, 0, 1, 0, 0, 0, 1, 1, 1}
+	for _, name := range []string{"binary:logistic", "reg:squarederror"} {
+		obj, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := obj.BaseScore(labels)
+		preds := make([]float64, len(labels))
+		for i := range preds {
+			preds[i] = base
+		}
+		grad := gh.NewBuffer(len(labels))
+		obj.Gradients(preds, labels, grad)
+		if s := grad.Sum(); math.Abs(s.G) > 1e-9 {
+			t.Errorf("%s: total gradient at base score = %v", name, s.G)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package profile
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"harpgbdt/internal/sched"
+)
+
+func TestBreakdownAccumulates(t *testing.T) {
+	var b Breakdown
+	b.Add(BuildHist, 100*time.Millisecond)
+	b.Add(BuildHist, 50*time.Millisecond)
+	b.Add(FindSplit, 25*time.Millisecond)
+	if got := b.Nanos(BuildHist); got != 150*time.Millisecond.Nanoseconds() {
+		t.Fatalf("buildhist nanos %d", got)
+	}
+	if got := b.Count(BuildHist); got != 2 {
+		t.Fatalf("buildhist count %d", got)
+	}
+	if got := b.Total(); got != 175*time.Millisecond.Nanoseconds() {
+		t.Fatalf("total %d", got)
+	}
+	if f := b.Fraction(FindSplit); f < 0.14 || f > 0.15 {
+		t.Fatalf("fraction %f", f)
+	}
+}
+
+func TestBreakdownConcurrentAdds(t *testing.T) {
+	var b Breakdown
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b.Add(ApplySplit, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Count(ApplySplit); got != 8000 {
+		t.Fatalf("lost adds: %d", got)
+	}
+}
+
+func TestBreakdownTimeMergeReset(t *testing.T) {
+	var a, b Breakdown
+	a.Time(Other, func() { time.Sleep(time.Millisecond) })
+	if a.Nanos(Other) <= 0 {
+		t.Fatal("Time did not record")
+	}
+	b.Add(BuildHist, time.Second)
+	a.Merge(&b)
+	if a.Nanos(BuildHist) != time.Second.Nanoseconds() {
+		t.Fatal("merge")
+	}
+	a.Reset()
+	if a.Total() != 0 {
+		t.Fatal("reset")
+	}
+	if a.Fraction(BuildHist) != 0 {
+		t.Fatal("empty fraction")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	names := map[Phase]string{BuildHist: "BuildHist", FindSplit: "FindSplit", ApplySplit: "ApplySplit", Other: "Other"}
+	for p, want := range names {
+		if p.String() != want {
+			t.Fatalf("phase %d string %q", p, p.String())
+		}
+	}
+	if Phase(42).String() == "" {
+		t.Fatal("unknown phase")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	var b Breakdown
+	b.Add(BuildHist, time.Millisecond)
+	s := b.String()
+	if !strings.Contains(s, "BuildHist") {
+		t.Fatalf("string %q", s)
+	}
+}
+
+func TestReport(t *testing.T) {
+	var b Breakdown
+	b.Add(BuildHist, time.Millisecond)
+	r := Report{
+		Trainer: "test", Workers: 4, Elapsed: time.Second, Breakdown: &b,
+		Sched: sched.Stats{Regions: 10, BusyNanos: 400, WaitNanos: 100, WallNanos: 200},
+	}
+	if u := r.Utilization(); u != 0.5 {
+		t.Fatalf("utilization %f", u)
+	}
+	if bo := r.BarrierOverhead(); bo != 0.2 {
+		t.Fatalf("barrier overhead %f", bo)
+	}
+	if !strings.Contains(r.String(), "test") {
+		t.Fatal("report string")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta", float32(0.25))
+	tb.AddRow("gamma", "x")
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "alpha") {
+		t.Fatalf("table:\n%s", s)
+	}
+	if !strings.Contains(s, "1.5") || strings.Contains(s, "1.5000") {
+		t.Fatalf("float trimming:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Fatalf("line count %d:\n%s", len(lines), s)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x", "extra")
+	s := tb.String()
+	if !strings.Contains(s, "extra") {
+		t.Fatalf("ragged row dropped:\n%s", s)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:       "1",
+		0.5:     "0.5",
+		1.2345:  "1.2345",
+		1.23456: "1.2346",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q want %q", in, got, want)
+		}
+	}
+}

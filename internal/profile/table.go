@@ -1,0 +1,92 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders aligned plain-text tables, used by cmd/experiments to print
+// the paper's tables and figure data series.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		case float32:
+			row[i] = trimFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	ncol := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	width := make([]int, ncol)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("== " + t.Title + " ==\n")
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range width {
+			total += w
+		}
+		sb.WriteString(strings.Repeat("-", total+2*(ncol-1)) + "\n")
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,317 @@
+// Package sched provides the parallel runtime used by every GBDT engine in
+// this repository: a bounded worker pool with dynamically scheduled
+// parallel-for loops and task sets, a spin mutex for the ASYNC mode, and
+// instrumentation that records how much worker time is spent doing useful
+// work versus waiting at end-of-region barriers.
+//
+// The instrumentation substitutes for the Intel VTune hardware profiling the
+// paper uses: "Average CPU Utilization" maps to Utilization() (busy worker
+// time over wall time x workers) and "OpenMP Barrier Overhead" maps to
+// BarrierOverhead() (barrier wait time over total worker time). Both are
+// measured, not sampled, so they are deterministic enough for tests.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats accumulates instrumentation over the lifetime of a Pool (or between
+// Reset calls). All fields are totals across workers.
+type Stats struct {
+	// Regions is the number of parallel regions executed. Each region ends
+	// with one barrier, so this is also the synchronization count the paper
+	// tracks (O(2^D) for leaf-by-leaf engines).
+	Regions int64
+	// Tasks is the number of scheduled work items (chunks or explicit tasks).
+	Tasks int64
+	// BusyNanos is worker time spent inside region bodies.
+	BusyNanos int64
+	// WaitNanos is worker time spent at end-of-region barriers, i.e. the gap
+	// between a worker finishing its share and the slowest worker finishing.
+	WaitNanos int64
+	// WallNanos is wall-clock time covered by parallel regions (simulated
+	// wall time on virtual pools).
+	WallNanos int64
+	// SerialNanos is the real CPU time spent executing region bodies on a
+	// virtual pool (bodies run serially there). Zero on real pools.
+	SerialNanos int64
+}
+
+// Add merges o into s.
+func (s *Stats) Add(o Stats) {
+	s.Regions += o.Regions
+	s.Tasks += o.Tasks
+	s.BusyNanos += o.BusyNanos
+	s.WaitNanos += o.WaitNanos
+	s.WallNanos += o.WallNanos
+	s.SerialNanos += o.SerialNanos
+}
+
+// Utilization is the software analog of average CPU utilization: the
+// fraction of available worker-seconds inside parallel regions that was
+// spent executing region bodies. Returns 0 when nothing ran.
+func (s Stats) Utilization(workers int) float64 {
+	if s.WallNanos == 0 || workers <= 0 {
+		return 0
+	}
+	return float64(s.BusyNanos) / (float64(s.WallNanos) * float64(workers))
+}
+
+// BarrierOverhead is the software analog of OpenMP barrier overhead: barrier
+// wait time as a fraction of total worker time (busy + waiting).
+func (s Stats) BarrierOverhead() float64 {
+	tot := s.BusyNanos + s.WaitNanos
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.WaitNanos) / float64(tot)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("regions=%d tasks=%d busy=%v wait=%v wall=%v",
+		s.Regions, s.Tasks, time.Duration(s.BusyNanos), time.Duration(s.WaitNanos), time.Duration(s.WallNanos))
+}
+
+// Pool runs parallel regions on a fixed number of workers. The zero value is
+// not usable; construct with NewPool. A Pool is safe for use by one region
+// at a time; regions themselves fan out to Workers() goroutines.
+type Pool struct {
+	workers int
+	virtual bool
+	cost    CostModel
+
+	mu     sync.Mutex
+	stats  Stats
+	vclock int64
+}
+
+// NewPool returns a pool with the given parallel width. workers <= 0 selects
+// GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the parallel width of the pool.
+func (p *Pool) Workers() int { return p.workers }
+
+// Stats returns a snapshot of the accumulated instrumentation.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats clears the accumulated instrumentation.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+func (p *Pool) record(regions, tasks, busy, wait, wall int64) {
+	p.mu.Lock()
+	p.stats.Regions += regions
+	p.stats.Tasks += tasks
+	p.stats.BusyNanos += busy
+	p.stats.WaitNanos += wait
+	p.stats.WallNanos += wall
+	p.mu.Unlock()
+}
+
+// ParallelFor executes body(lo, hi, worker) over chunks of [0, n) of size
+// chunk, dynamically scheduled across the pool's workers, and waits for all
+// of them (one barrier). chunk <= 0 selects an even static split (n/workers,
+// at least 1). body may be called concurrently from distinct workers;
+// worker identifies the executing worker in [0, Workers()).
+func (p *Pool) ParallelFor(n, chunk int, body func(lo, hi, worker int)) {
+	if n <= 0 {
+		p.record(1, 0, 0, 0, 0)
+		return
+	}
+	if chunk <= 0 {
+		chunk = (n + p.workers - 1) / p.workers
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	nChunks := (n + chunk - 1) / chunk
+	if p.virtual {
+		p.runVirtual(nChunks, func(c, w int) {
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi, w)
+		})
+		return
+	}
+	if p.workers == 1 || nChunks == 1 {
+		start := time.Now()
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi, 0)
+		}
+		busy := time.Since(start).Nanoseconds()
+		p.record(1, int64(nChunks), busy, 0, busy)
+		return
+	}
+
+	nw := p.workers
+	if nw > nChunks {
+		nw = nChunks
+	}
+	var next int64
+	finish := make([]int64, nw) // ns since start, per worker
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= nChunks {
+					break
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi, w)
+			}
+			finish[w] = time.Since(start).Nanoseconds()
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start).Nanoseconds()
+	var busy, wait, last int64
+	for _, f := range finish {
+		if f > last {
+			last = f
+		}
+	}
+	for _, f := range finish {
+		busy += f
+		wait += last - f
+	}
+	p.record(1, int64(nChunks), busy, wait, wall)
+}
+
+// RunTasks executes each task once, dynamically scheduled across the
+// workers, and waits for all (one barrier). The worker index is passed to
+// each task.
+func (p *Pool) RunTasks(tasks []func(worker int)) {
+	n := len(tasks)
+	if n == 0 {
+		p.record(1, 0, 0, 0, 0)
+		return
+	}
+	if p.virtual {
+		p.runVirtual(n, func(i, w int) { tasks[i](w) })
+		return
+	}
+	if p.workers == 1 || n == 1 {
+		start := time.Now()
+		for _, t := range tasks {
+			t(0)
+		}
+		busy := time.Since(start).Nanoseconds()
+		p.record(1, int64(n), busy, 0, busy)
+		return
+	}
+	nw := p.workers
+	if nw > n {
+		nw = n
+	}
+	var next int64
+	finish := make([]int64, nw)
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					break
+				}
+				tasks[i](w)
+			}
+			finish[w] = time.Since(start).Nanoseconds()
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start).Nanoseconds()
+	var busy, wait, last int64
+	for _, f := range finish {
+		if f > last {
+			last = f
+		}
+	}
+	for _, f := range finish {
+		busy += f
+		wait += last - f
+	}
+	p.record(1, int64(n), busy, wait, wall)
+}
+
+// RunWorkers starts exactly Workers() copies of body and waits for all of
+// them. It is the building block of the ASYNC mode, where each worker loops
+// over a shared queue instead of being handed pre-partitioned tasks; the
+// region therefore counts one barrier total, regardless of how many tree
+// nodes are processed inside.
+func (p *Pool) RunWorkers(body func(worker int)) {
+	nw := p.workers
+	if p.virtual {
+		// Virtual pools never express shared-queue parallelism through
+		// RunWorkers — the ASYNC engine runs its own discrete-event
+		// simulation instead (core.buildAsyncVirtual). Running the bodies
+		// sequentially here keeps the call safe if it happens anyway.
+		p.runVirtual(nw, func(i, w int) { body(w) })
+		return
+	}
+	if nw == 1 {
+		start := time.Now()
+		body(0)
+		busy := time.Since(start).Nanoseconds()
+		p.record(1, 1, busy, 0, busy)
+		return
+	}
+	finish := make([]int64, nw)
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func(w int) {
+			defer wg.Done()
+			body(w)
+			finish[w] = time.Since(start).Nanoseconds()
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start).Nanoseconds()
+	var busy, wait, last int64
+	for _, f := range finish {
+		if f > last {
+			last = f
+		}
+	}
+	for _, f := range finish {
+		busy += f
+		wait += last - f
+	}
+	p.record(1, int64(nw), busy, wait, wall)
+}

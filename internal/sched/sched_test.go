@@ -1,0 +1,229 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 7, 100, 1001} {
+			for _, chunk := range []int{0, 1, 3, 64, 5000} {
+				p := NewPool(workers)
+				seen := make([]int32, n)
+				p.ParallelFor(n, chunk, func(lo, hi, w int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&seen[i], 1)
+					}
+				})
+				for i, c := range seen {
+					if c != 1 {
+						t.Fatalf("workers=%d n=%d chunk=%d: index %d visited %d times", workers, n, chunk, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelForWorkerIndexInRange(t *testing.T) {
+	p := NewPool(4)
+	var bad int32
+	p.ParallelFor(1000, 10, func(lo, hi, w int) {
+		if w < 0 || w >= 4 {
+			atomic.AddInt32(&bad, 1)
+		}
+	})
+	if bad != 0 {
+		t.Fatalf("%d tasks saw out-of-range worker index", bad)
+	}
+}
+
+func TestRunTasksRunsEachOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		p := NewPool(workers)
+		const n = 57
+		counts := make([]int32, n)
+		tasks := make([]func(int), n)
+		for i := range tasks {
+			i := i
+			tasks[i] = func(int) { atomic.AddInt32(&counts[i], 1) }
+		}
+		p.RunTasks(tasks)
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunTasksEmpty(t *testing.T) {
+	p := NewPool(4)
+	p.RunTasks(nil)
+	if got := p.Stats().Regions; got != 1 {
+		t.Fatalf("empty region not counted: %d", got)
+	}
+}
+
+func TestRunWorkersStartsAll(t *testing.T) {
+	p := NewPool(6)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	p.RunWorkers(func(w int) {
+		mu.Lock()
+		seen[w] = true
+		mu.Unlock()
+	})
+	if len(seen) != 6 {
+		t.Fatalf("saw %d workers, want 6", len(seen))
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	p := NewPool(4)
+	p.ParallelFor(100, 10, func(lo, hi, w int) {
+		s := 0
+		for i := 0; i < 10000; i++ {
+			s += i
+		}
+		_ = s
+	})
+	st := p.Stats()
+	if st.Regions != 1 {
+		t.Fatalf("regions = %d, want 1", st.Regions)
+	}
+	if st.Tasks != 10 {
+		t.Fatalf("tasks = %d, want 10", st.Tasks)
+	}
+	if st.BusyNanos <= 0 || st.WallNanos <= 0 {
+		t.Fatalf("missing time accounting: %+v", st)
+	}
+	u := st.Utilization(4)
+	if u <= 0 || u > 1.0001 {
+		t.Fatalf("utilization out of range: %f", u)
+	}
+	bo := st.BarrierOverhead()
+	if bo < 0 || bo >= 1 {
+		t.Fatalf("barrier overhead out of range: %f", bo)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	p := NewPool(2)
+	p.ParallelFor(10, 1, func(lo, hi, w int) {})
+	if p.Stats().Regions == 0 {
+		t.Fatal("no region recorded")
+	}
+	p.ResetStats()
+	if s := p.Stats(); s.Regions != 0 || s.Tasks != 0 || s.BusyNanos != 0 {
+		t.Fatalf("reset did not clear: %+v", s)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Regions: 1, Tasks: 2, BusyNanos: 3, WaitNanos: 4, WallNanos: 5}
+	b := Stats{Regions: 10, Tasks: 20, BusyNanos: 30, WaitNanos: 40, WallNanos: 50}
+	a.Add(b)
+	if a.Regions != 11 || a.Tasks != 22 || a.BusyNanos != 33 || a.WaitNanos != 44 || a.WallNanos != 55 {
+		t.Fatalf("add result %+v", a)
+	}
+}
+
+func TestUtilizationEdgeCases(t *testing.T) {
+	var s Stats
+	if s.Utilization(4) != 0 {
+		t.Fatal("empty stats utilization should be 0")
+	}
+	if s.BarrierOverhead() != 0 {
+		t.Fatal("empty stats barrier overhead should be 0")
+	}
+	s = Stats{BusyNanos: 100, WallNanos: 100}
+	if s.Utilization(0) != 0 {
+		t.Fatal("zero workers utilization should be 0")
+	}
+}
+
+func TestNewPoolDefaultsWorkers(t *testing.T) {
+	p := NewPool(0)
+	if p.Workers() < 1 {
+		t.Fatalf("workers = %d", p.Workers())
+	}
+	p = NewPool(-3)
+	if p.Workers() < 1 {
+		t.Fatalf("workers = %d", p.Workers())
+	}
+}
+
+func TestSpinMutexMutualExclusion(t *testing.T) {
+	var m SpinMutex
+	counter := 0
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const iters = 2000
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.Lock()
+				counter++
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d (lost updates => broken mutex)", counter, goroutines*iters)
+	}
+}
+
+func TestSpinMutexTryLock(t *testing.T) {
+	var m SpinMutex
+	if !m.TryLock() {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	if m.TryLock() {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	m.Unlock()
+	if !m.TryLock() {
+		t.Fatal("TryLock after unlock failed")
+	}
+	m.Unlock()
+}
+
+func TestParallelForSingleWorkerSerial(t *testing.T) {
+	p := NewPool(1)
+	order := []int{}
+	p.ParallelFor(5, 1, func(lo, hi, w int) {
+		if w != 0 {
+			t.Errorf("worker %d on single-worker pool", w)
+		}
+		order = append(order, lo)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker execution out of order: %v", order)
+		}
+	}
+}
+
+func BenchmarkParallelForOverhead(b *testing.B) {
+	p := NewPool(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.ParallelFor(4, 1, func(lo, hi, w int) {})
+	}
+}
+
+func BenchmarkSpinMutex(b *testing.B) {
+	var m SpinMutex
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Lock()
+			m.Unlock() //nolint:staticcheck // empty critical section measures lock cost
+		}
+	})
+}

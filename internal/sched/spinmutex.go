@@ -1,0 +1,38 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// SpinMutex is a lightweight test-and-set spin lock. The paper's ASYNC mode
+// guards the shared priority queue and tree structure with a spin mutex
+// because the critical sections are tens of nanoseconds and a futex-based
+// mutex would dominate them. Spinning workers yield to the scheduler after a
+// bounded number of failed attempts so a single-threaded GOMAXPROCS setting
+// cannot livelock.
+type SpinMutex struct {
+	v uint32
+}
+
+// Lock acquires the mutex, spinning until it is available.
+func (m *SpinMutex) Lock() {
+	spins := 0
+	for !atomic.CompareAndSwapUint32(&m.v, 0, 1) {
+		spins++
+		if spins >= 64 {
+			runtime.Gosched()
+			spins = 0
+		}
+	}
+}
+
+// TryLock acquires the mutex if it is free and reports whether it did.
+func (m *SpinMutex) TryLock() bool {
+	return atomic.CompareAndSwapUint32(&m.v, 0, 1)
+}
+
+// Unlock releases the mutex. It must only be called by the holder.
+func (m *SpinMutex) Unlock() {
+	atomic.StoreUint32(&m.v, 0)
+}

@@ -1,0 +1,161 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func spin(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+func TestVirtualPoolBasics(t *testing.T) {
+	p := NewVirtualPool(8, CostModel{})
+	if !p.Virtual() {
+		t.Fatal("not virtual")
+	}
+	if p.Workers() != 8 {
+		t.Fatalf("workers %d", p.Workers())
+	}
+	if p.Cost() != DefaultCostModel() {
+		t.Fatalf("zero cost model not defaulted: %+v", p.Cost())
+	}
+	// Workers <= 0 selects the paper's 32.
+	if NewVirtualPool(0, CostModel{}).Workers() != 32 {
+		t.Fatal("default virtual width should be 32")
+	}
+}
+
+func TestVirtualParallelForCoversRangeSerially(t *testing.T) {
+	p := NewVirtualPool(4, CostModel{})
+	n := 100
+	seen := make([]int, n)
+	order := []int{}
+	p.ParallelFor(n, 7, func(lo, hi, w int) {
+		if w < 0 || w >= 4 {
+			t.Fatalf("worker %d out of range", w)
+		}
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+		order = append(order, lo) // safe: serial execution
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatal("virtual execution not in order")
+		}
+	}
+}
+
+func TestVirtualSpeedupVisible(t *testing.T) {
+	// T equal tasks on T virtual workers must give simulated wall ~ 1 task
+	// duration, i.e. utilization near 100% and speedup near T.
+	p := NewVirtualPool(4, ZeroCostModel())
+	p.RunTasks([]func(int){
+		func(int) { spin(2 * time.Millisecond) },
+		func(int) { spin(2 * time.Millisecond) },
+		func(int) { spin(2 * time.Millisecond) },
+		func(int) { spin(2 * time.Millisecond) },
+	})
+	st := p.Stats()
+	if st.SerialNanos < 7*time.Millisecond.Nanoseconds() {
+		t.Fatalf("serial time %v too small", st.SerialNanos)
+	}
+	if st.WallNanos > st.SerialNanos/2 {
+		t.Fatalf("no simulated speedup: wall %v vs serial %v", st.WallNanos, st.SerialNanos)
+	}
+	if u := st.Utilization(4); u < 0.8 {
+		t.Fatalf("utilization %f for perfectly balanced tasks", u)
+	}
+}
+
+func TestVirtualImbalanceShowsWait(t *testing.T) {
+	// One long task and three short ones: the long task bounds the wall and
+	// the others wait.
+	p := NewVirtualPool(4, ZeroCostModel())
+	p.RunTasks([]func(int){
+		func(int) { spin(4 * time.Millisecond) },
+		func(int) { spin(200 * time.Microsecond) },
+		func(int) { spin(200 * time.Microsecond) },
+		func(int) { spin(200 * time.Microsecond) },
+	})
+	st := p.Stats()
+	if st.BarrierOverhead() < 0.3 {
+		t.Fatalf("imbalanced region shows no barrier overhead: %f", st.BarrierOverhead())
+	}
+}
+
+func TestVirtualRegionOverheadCharged(t *testing.T) {
+	cost := CostModel{RegionForkJoin: time.Millisecond, TaskDispatch: 1, SpinLock: 1}
+	p := NewVirtualPool(2, cost)
+	for i := 0; i < 10; i++ {
+		p.ParallelFor(2, 1, func(lo, hi, w int) {})
+	}
+	st := p.Stats()
+	if st.WallNanos < 10*time.Millisecond.Nanoseconds() {
+		t.Fatalf("fork/join overhead not charged: wall %v", time.Duration(st.WallNanos))
+	}
+	if st.Regions != 10 {
+		t.Fatalf("regions %d", st.Regions)
+	}
+}
+
+func TestVirtualClockAccumulates(t *testing.T) {
+	p := NewVirtualPool(2, ZeroCostModel())
+	if p.VirtualNanos() != 0 {
+		t.Fatal("fresh pool clock non-zero")
+	}
+	p.RunTasks([]func(int){func(int) { spin(time.Millisecond) }})
+	v1 := p.VirtualNanos()
+	if v1 <= 0 {
+		t.Fatal("clock did not advance")
+	}
+	p.RunTasks([]func(int){func(int) { spin(time.Millisecond) }})
+	if p.VirtualNanos() <= v1 {
+		t.Fatal("clock did not accumulate")
+	}
+}
+
+func TestRecordExternalRegion(t *testing.T) {
+	p := NewVirtualPool(4, CostModel{})
+	p.RecordExternalRegion(7, 100, 400, 50, 120)
+	st := p.Stats()
+	if st.Regions != 1 || st.Tasks != 7 || st.SerialNanos != 100 ||
+		st.BusyNanos != 400 || st.WaitNanos != 50 || st.WallNanos != 120 {
+		t.Fatalf("stats %+v", st)
+	}
+	if p.VirtualNanos() != 120 {
+		t.Fatalf("vclock %d", p.VirtualNanos())
+	}
+}
+
+func TestVirtualWorkerIDsSpread(t *testing.T) {
+	// With many equal tasks, dynamic self-scheduling must hand tasks to all
+	// virtual workers (needed so per-worker replica reduction in DP sees a
+	// realistic replica count).
+	p := NewVirtualPool(4, ZeroCostModel())
+	used := map[int]bool{}
+	p.ParallelFor(64, 1, func(lo, hi, w int) {
+		spin(50 * time.Microsecond)
+		used[w] = true // serial execution: no race
+	})
+	if len(used) != 4 {
+		t.Fatalf("only %d virtual workers used", len(used))
+	}
+}
+
+func TestVirtualRunWorkersSafe(t *testing.T) {
+	p := NewVirtualPool(3, CostModel{})
+	count := 0
+	p.RunWorkers(func(w int) { count++ })
+	if count != 3 {
+		t.Fatalf("RunWorkers ran %d bodies", count)
+	}
+}

@@ -1,0 +1,227 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// exactQuantile computes the true weighted quantile of the data.
+func exactQuantile(vals []float32, weights []float64, q float64) float32 {
+	type vw struct {
+		v float32
+		w float64
+	}
+	data := make([]vw, len(vals))
+	total := 0.0
+	for i := range vals {
+		data[i] = vw{vals[i], weights[i]}
+		total += weights[i]
+	}
+	sort.Slice(data, func(i, j int) bool { return data[i].v < data[j].v })
+	target := q * total
+	cum := 0.0
+	for _, e := range data {
+		cum += e.w
+		if cum >= target {
+			return e.v
+		}
+	}
+	return data[len(data)-1].v
+}
+
+// rank returns the cumulative weight of values <= v.
+func rank(vals []float32, weights []float64, v float32) float64 {
+	cum := 0.0
+	for i, x := range vals {
+		if x <= v {
+			cum += weights[i]
+		}
+	}
+	return cum
+}
+
+func TestQuantileAccuracyUniform(t *testing.T) {
+	s := New(512)
+	n := 100000
+	vals := make([]float32, n)
+	weights := make([]float64, n)
+	state := uint64(7)
+	for i := 0; i < n; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		vals[i] = float32(state>>40) / float32(1<<24)
+		weights[i] = 1
+		s.Push(vals[i], 1)
+	}
+	if s.Count() != float64(n) {
+		t.Fatalf("count %g", s.Count())
+	}
+	// Rank error of each returned quantile must stay within a few K-ths of
+	// the total weight.
+	maxErr := 0.0
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := s.Quantile(q)
+		r := rank(vals, weights, got) / float64(n)
+		if e := math.Abs(r - q); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 8.0/512 {
+		t.Fatalf("max rank error %.4f exceeds bound %.4f", maxErr, 8.0/512)
+	}
+}
+
+func TestQuantileAccuracyWeighted(t *testing.T) {
+	s := New(512)
+	n := 20000
+	vals := make([]float32, n)
+	weights := make([]float64, n)
+	state := uint64(13)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		vals[i] = float32(int32(state>>33)) / (1 << 24)
+		weights[i] = float64(state%7) + 0.5
+		total += weights[i]
+		s.Push(vals[i], weights[i])
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		got := s.Quantile(q)
+		r := rank(vals, weights, got) / total
+		if math.Abs(r-q) > 0.03 {
+			t.Fatalf("q=%.2f: rank of answer %.4f", q, r)
+		}
+	}
+}
+
+func TestMergeMatchesSingleStream(t *testing.T) {
+	// Sharded sketches merged together must answer like one big sketch.
+	n := 50000
+	vals := make([]float32, n)
+	weights := make([]float64, n)
+	state := uint64(29)
+	shards := make([]*Sketch, 4)
+	for i := range shards {
+		shards[i] = New(512)
+	}
+	for i := 0; i < n; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		vals[i] = float32(state>>40) / float32(1<<24)
+		weights[i] = 1
+		shards[i%4].Push(vals[i], 1)
+	}
+	merged := New(512)
+	for _, sh := range shards {
+		merged.Merge(sh)
+	}
+	if math.Abs(merged.Count()-float64(n)) > 1e-9 {
+		t.Fatalf("merged count %g", merged.Count())
+	}
+	for _, q := range []float64{0.05, 0.5, 0.95} {
+		got := merged.Quantile(q)
+		r := rank(vals, weights, got) / float64(n)
+		if math.Abs(r-q) > 0.03 {
+			t.Fatalf("merged q=%.2f: rank %.4f", q, r)
+		}
+	}
+	// Merge must not mutate the source shard.
+	before := shards[0].Count()
+	merged.Merge(shards[0])
+	if shards[0].Count() != before {
+		t.Fatal("merge mutated source")
+	}
+}
+
+func TestSkipsInvalidInput(t *testing.T) {
+	s := New(64)
+	s.Push(float32(math.NaN()), 1)
+	s.Push(1, 0)
+	s.Push(2, -3)
+	if s.Count() != 0 {
+		t.Fatalf("invalid input counted: %g", s.Count())
+	}
+	if v := s.Quantile(0.5); v == v {
+		t.Fatalf("empty sketch quantile %v, want NaN", v)
+	}
+	if s.Cuts(8) != nil {
+		t.Fatal("empty sketch cuts")
+	}
+}
+
+func TestCutsStrictlyIncreasingAndCoverMax(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, binsRaw uint8) bool {
+		n := int(nRaw)%2000 + 1
+		bins := int(binsRaw)%60 + 2
+		s := New(256)
+		state := seed
+		maxV := float32(math.Inf(-1))
+		for i := 0; i < n; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			v := float32(int16(state>>48)) / 256
+			if v > maxV {
+				maxV = v
+			}
+			s.Push(v, 1)
+		}
+		cuts := s.Cuts(bins)
+		if len(cuts) == 0 || len(cuts) > bins {
+			return false
+		}
+		for k := 1; k < len(cuts); k++ {
+			if !(cuts[k-1] < cuts[k]) {
+				return false
+			}
+		}
+		return cuts[len(cuts)-1] == maxV
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	s := New(16)
+	s.Push(5, 1)
+	if got := s.Quantile(0); got != 5 {
+		t.Fatalf("q=0: %v", got)
+	}
+	if got := s.Quantile(1); got != 5 {
+		t.Fatalf("q=1: %v", got)
+	}
+	// Constant stream.
+	for i := 0; i < 1000; i++ {
+		s.Push(5, 1)
+	}
+	if got := s.Quantile(0.5); got != 5 {
+		t.Fatalf("constant stream median %v", got)
+	}
+	if cuts := s.Cuts(10); len(cuts) != 1 || cuts[0] != 5 {
+		t.Fatalf("constant stream cuts %v", cuts)
+	}
+}
+
+func TestSummaryBounded(t *testing.T) {
+	s := New(128)
+	for i := 0; i < 200000; i++ {
+		s.Push(float32(i%9973), 1)
+	}
+	s.flush()
+	if len(s.summary) > 128 {
+		t.Fatalf("summary grew to %d > k", len(s.summary))
+	}
+	if s.String() == "" {
+		t.Fatal("string")
+	}
+}
+
+func TestExactQuantileHelper(t *testing.T) {
+	vals := []float32{1, 2, 3, 4}
+	w := []float64{1, 1, 1, 1}
+	if got := exactQuantile(vals, w, 0.5); got != 2 {
+		t.Fatalf("exact median %v", got)
+	}
+	if got := exactQuantile(vals, w, 1); got != 4 {
+		t.Fatalf("exact max %v", got)
+	}
+}

@@ -1,0 +1,318 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"harpgbdt/internal/dataset"
+)
+
+// Spec identifies a synthetic dataset family. Each family reproduces the
+// matrix shape of one row of the paper's Table III (scaled down by default).
+type Spec string
+
+const (
+	// SynSet is the paper's own synthetic dataset: M normal features with
+	// an even bin distribution (CV ~ 0), fully dense (S = 1); GBDT builds
+	// balanced trees on it, the ideal even-workload scenario.
+	SynSet Spec = "synset"
+	// HiggsLike mimics HIGGS: medium-thin (28 features), nearly dense
+	// (S ~ 0.92), moderately uneven bins (CV ~ 0.4), physics-style
+	// continuous features with a learnable nonlinear signal.
+	HiggsLike Spec = "higgs"
+	// AirlineLike mimics AIRLINE: very thin (8 features), fully dense,
+	// low-cardinality integer-coded features with very uneven bin counts
+	// (CV ~ 0.9).
+	AirlineLike Spec = "airline"
+	// CriteoLike mimics CRITEO: 65 features, S ~ 0.96, skewed count
+	// features (CV ~ 0.6), rare-ish positives, response-correlated encoded
+	// features that push leafwise growth into deep lopsided trees.
+	CriteoLike Spec = "criteo"
+	// YFCCLike mimics YFCC100M deep features: fat matrix (many features,
+	// few rows), S ~ 0.31, very even bin distribution (CV ~ 0.06).
+	YFCCLike Spec = "yfcc"
+)
+
+// Config controls generation. Zero values select the family defaults.
+type Config struct {
+	Spec Spec
+	// Rows is the number of instances to generate.
+	Rows int
+	// Features overrides the family's feature count (0 = family default).
+	Features int
+	// Seed makes the dataset deterministic; the same (Spec, Rows, Features,
+	// Seed) always yields the same bytes.
+	Seed uint64
+	// Noise in [0, 1) is the probability a label is flipped (default 0.1,
+	// keeps AUC curves informative).
+	Noise float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Features == 0 {
+		switch c.Spec {
+		case SynSet:
+			c.Features = 128
+		case HiggsLike:
+			c.Features = 28
+		case AirlineLike:
+			c.Features = 8
+		case CriteoLike:
+			c.Features = 65
+		case YFCCLike:
+			c.Features = 512
+		default:
+			c.Features = 32
+		}
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.1
+	}
+	return c
+}
+
+// Generate produces the raw dense matrix and binary labels for the
+// configured family.
+func Generate(cfg Config) (*dataset.Dense, []float32, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Rows <= 0 {
+		return nil, nil, fmt.Errorf("synth: rows must be positive, got %d", cfg.Rows)
+	}
+	var d *dataset.Dense
+	switch cfg.Spec {
+	case SynSet:
+		d = genSynSet(cfg)
+	case HiggsLike:
+		d = genHiggs(cfg)
+	case AirlineLike:
+		d = genAirline(cfg)
+	case CriteoLike:
+		d = genCriteo(cfg)
+	case YFCCLike:
+		d = genYFCC(cfg)
+	default:
+		return nil, nil, fmt.Errorf("synth: unknown spec %q", cfg.Spec)
+	}
+	return d, generateLabels(cfg, d), nil
+}
+
+// Make generates the dataset and bins it in one call.
+func Make(cfg Config, maxBins int) (*dataset.Dataset, error) {
+	d, labels, err := Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.FromDense(string(cfg.withDefaults().Spec), d, labels, maxBins)
+}
+
+// MakeTrainTest generates rows+testRows instances and splits them.
+func MakeTrainTest(cfg Config, testRows, maxBins int) (train *dataset.Dataset, testX *dataset.Dense, testY []float32, err error) {
+	total := cfg
+	total.Rows = cfg.Rows + testRows
+	d, labels, err := Generate(total)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	trainX := &dataset.Dense{N: cfg.Rows, M: d.M, Values: d.Values[:cfg.Rows*d.M]}
+	testX = &dataset.Dense{N: testRows, M: d.M, Values: d.Values[cfg.Rows*d.M:]}
+	testY = labels[cfg.Rows:]
+	train, err = dataset.FromDense(string(total.Spec), trainX, labels[:cfg.Rows], maxBins)
+	return train, testX, testY, err
+}
+
+// genSynSet: i.i.d. standard normal features — even value distribution,
+// every feature fills the full bin range (CV ~ 0), dense.
+func genSynSet(cfg Config) *dataset.Dense {
+	r := NewRNG(cfg.Seed ^ 0x53594e53)
+	d := dataset.NewDense(cfg.Rows, cfg.Features)
+	for i := range d.Values {
+		d.Values[i] = float32(r.NormFloat64())
+	}
+	return d
+}
+
+// genHiggs: continuous physics-like features; most full-range normals or
+// exponentials, a few low-cardinality (jet multiplicities), ~8% missing.
+func genHiggs(cfg Config) *dataset.Dense {
+	r := NewRNG(cfg.Seed ^ 0x48494747)
+	d := dataset.NewDense(cfg.Rows, cfg.Features)
+	m := cfg.Features
+	kind := make([]int, m) // 0 normal, 1 exponential, 2 small-integer
+	for f := 0; f < m; f++ {
+		switch {
+		case f%7 == 3:
+			kind[f] = 2
+		case f%3 == 1:
+			kind[f] = 1
+		}
+	}
+	for i := 0; i < cfg.Rows; i++ {
+		row := d.Row(i)
+		for f := 0; f < m; f++ {
+			if kind[f] != 2 && r.Float64() < 0.085 {
+				row[f] = nan32()
+				continue
+			}
+			switch kind[f] {
+			case 0:
+				row[f] = float32(r.NormFloat64())
+			case 1:
+				row[f] = float32(r.ExpFloat64())
+			default:
+				row[f] = float32(r.Intn(5))
+			}
+		}
+	}
+	return d
+}
+
+// genAirline: thin matrix of low-cardinality integer-coded features with
+// very different cardinalities (month=12, day=31, carrier=20, origin=300,
+// dest=300, deptime=96, distance bucket=40, dayofweek=7 pattern repeated),
+// giving high bin-count dispersion.
+func genAirline(cfg Config) *dataset.Dense {
+	r := NewRNG(cfg.Seed ^ 0x41495231)
+	cards := []int{12, 31, 7, 96, 300, 300, 20, 40}
+	d := dataset.NewDense(cfg.Rows, cfg.Features)
+	for i := 0; i < cfg.Rows; i++ {
+		row := d.Row(i)
+		for f := 0; f < cfg.Features; f++ {
+			card := cards[f%len(cards)]
+			// Zipf-ish skew on high-cardinality features so bins are uneven.
+			if card > 50 {
+				u := r.Float64()
+				row[f] = float32(int(math.Pow(u, 2.0) * float64(card)))
+			} else {
+				row[f] = float32(r.Intn(card))
+			}
+		}
+	}
+	return d
+}
+
+// genCriteo: count-like features with heavy skew (log-normal), ~4% missing,
+// plus a handful of response-encoded features filled in by generateLabels
+// (highly response-correlated, the property the paper blames for deep
+// lopsided leafwise trees on CRITEO).
+func genCriteo(cfg Config) *dataset.Dense {
+	r := NewRNG(cfg.Seed ^ 0x43524954)
+	d := dataset.NewDense(cfg.Rows, cfg.Features)
+	for i := 0; i < cfg.Rows; i++ {
+		row := d.Row(i)
+		for f := 0; f < cfg.Features; f++ {
+			if r.Float64() < 0.04 {
+				row[f] = nan32()
+				continue
+			}
+			switch f % 4 {
+			case 0: // heavy-tailed counts
+				row[f] = float32(math.Floor(math.Exp(r.NormFloat64() * 2)))
+			case 1: // small counts
+				row[f] = float32(r.Intn(10))
+			case 2: // log-normal continuous
+				row[f] = float32(math.Exp(r.NormFloat64()))
+			default: // near-binary flags
+				if r.Float64() < 0.2 {
+					row[f] = 1
+				}
+			}
+		}
+	}
+	return d
+}
+
+// genYFCC: fat matrix of deep-network activations — ReLU-like (zero-censored
+// normal) values with ~69% of entries missing, even distribution across
+// features.
+func genYFCC(cfg Config) *dataset.Dense {
+	r := NewRNG(cfg.Seed ^ 0x59464343)
+	d := dataset.NewDense(cfg.Rows, cfg.Features)
+	for i := 0; i < cfg.Rows; i++ {
+		row := d.Row(i)
+		for f := 0; f < cfg.Features; f++ {
+			if r.Float64() < 0.69 {
+				row[f] = nan32()
+				continue
+			}
+			v := r.NormFloat64()
+			if v < 0 {
+				v = 0
+			}
+			row[f] = float32(v)
+		}
+	}
+	return d
+}
+
+// generateLabels attaches a tree-learnable binary signal: a fixed random
+// ensemble of axis-aligned indicator rules over a subset of features, summed
+// into a logit, sampled, then flipped with probability Noise. Missing
+// feature values contribute nothing to the logit (so the signal survives
+// sparsity). For CriteoLike, the first two features are then overwritten
+// with response-encoded values (label + noise), reproducing the
+// response-variable-replacement encoding the paper describes.
+func generateLabels(cfg Config, d *dataset.Dense) []float32 {
+	r := NewRNG(cfg.Seed ^ 0x4c41424c)
+	m := d.M
+	nRules := 4 * (1 + m/16)
+	if nRules > 64 {
+		nRules = 64
+	}
+	feat := make([]int, nRules)
+	thr := make([]float64, nRules)
+	wgt := make([]float64, nRules)
+	for k := 0; k < nRules; k++ {
+		feat[k] = r.Intn(m)
+		wgt[k] = r.NormFloat64()
+	}
+	// Thresholds at empirical-ish quantiles: sample a value from rows.
+	for k := 0; k < nRules; k++ {
+		i := r.Intn(d.N)
+		v := d.At(i, feat[k])
+		if v != v {
+			v = 0
+		}
+		thr[k] = float64(v)
+	}
+	labels := make([]float32, d.N)
+	for i := 0; i < d.N; i++ {
+		logit := 0.0
+		row := d.Row(i)
+		for k := 0; k < nRules; k++ {
+			v := row[feat[k]]
+			if v != v {
+				continue
+			}
+			if float64(v) > thr[k] {
+				logit += wgt[k]
+			} else {
+				logit -= 0.3 * wgt[k]
+			}
+		}
+		p := 1 / (1 + math.Exp(-logit))
+		y := float32(0)
+		if r.Float64() < p {
+			y = 1
+		}
+		if r.Float64() < cfg.Noise {
+			y = 1 - y
+		}
+		labels[i] = y
+	}
+	if cfg.Spec == CriteoLike && m >= 2 {
+		// Response encoding: features 0/1 become the label plus enough
+		// noise that single splits only partially separate the classes —
+		// the property that drives leafwise growth into long refinement
+		// chains inside one branch (the paper's depth>150 observation).
+		for i := 0; i < d.N; i++ {
+			d.Set(i, 0, labels[i]+float32(r.NormFloat64()*0.35))
+			d.Set(i, 1, labels[i]*float32(math.Exp(r.NormFloat64()*0.5))+float32(r.NormFloat64()*0.3))
+		}
+	}
+	return labels
+}
+
+func nan32() float32 {
+	v := float32(0)
+	return v / v
+}

@@ -1,0 +1,253 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"harpgbdt/internal/dataset"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds too similar: %d collisions", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(2)
+	seen := make([]bool, 7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v, s := range seen {
+		if !s {
+			t.Fatalf("value %d never produced", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(3)
+	n := 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %f", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %f", variance)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(4)
+	n := 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential %f", v)
+		}
+		sum += v
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.03 {
+		t.Fatalf("exp mean %f", mean)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, spec := range []Spec{SynSet, HiggsLike, AirlineLike, CriteoLike, YFCCLike} {
+		cfg := Config{Spec: spec, Rows: 200, Seed: 9}
+		d1, l1, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, l2, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range d1.Values {
+			a, b := d1.Values[i], d2.Values[i]
+			if a != b && !(a != a && b != b) {
+				t.Fatalf("%s: value %d differs between runs", spec, i)
+			}
+		}
+		for i := range l1 {
+			if l1[i] != l2[i] {
+				t.Fatalf("%s: label %d differs", spec, i)
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, _, err := Generate(Config{Spec: SynSet, Rows: 0}); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if _, _, err := Generate(Config{Spec: "bogus", Rows: 10}); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+}
+
+func TestFamilyShapeStatistics(t *testing.T) {
+	// Each family must approximate its Table III shape: sparseness S and
+	// bin-dispersion CV.
+	cases := []struct {
+		spec       Spec
+		wantM      int
+		sLo, sHi   float64
+		cvLo, cvHi float64
+	}{
+		{SynSet, 128, 0.999, 1.0, 0, 0.05},
+		{HiggsLike, 28, 0.85, 0.97, 0.2, 0.8},
+		{AirlineLike, 8, 0.999, 1.0, 0.5, 1.6},
+		{CriteoLike, 65, 0.93, 0.99, 0.3, 1.2},
+		{YFCCLike, 512, 0.25, 0.38, 0, 0.12},
+	}
+	for _, tc := range cases {
+		ds, err := Make(Config{Spec: tc.spec, Rows: 4000, Seed: 11}, 256)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		if ds.NumFeatures() != tc.wantM {
+			t.Fatalf("%s: M = %d, want %d", tc.spec, ds.NumFeatures(), tc.wantM)
+		}
+		st := dataset.ComputeStats(ds)
+		if st.S < tc.sLo || st.S > tc.sHi {
+			t.Errorf("%s: S = %.3f, want [%.2f, %.2f]", tc.spec, st.S, tc.sLo, tc.sHi)
+		}
+		if st.CV < tc.cvLo || st.CV > tc.cvHi {
+			t.Errorf("%s: CV = %.3f, want [%.2f, %.2f]", tc.spec, st.CV, tc.cvLo, tc.cvHi)
+		}
+	}
+}
+
+func TestLabelsBalanced(t *testing.T) {
+	for _, spec := range []Spec{SynSet, HiggsLike, AirlineLike, CriteoLike, YFCCLike} {
+		_, labels, err := Generate(Config{Spec: spec, Rows: 3000, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := 0
+		for _, y := range labels {
+			if y != 0 && y != 1 {
+				t.Fatalf("%s: non-binary label %v", spec, y)
+			}
+			if y == 1 {
+				pos++
+			}
+		}
+		rate := float64(pos) / float64(len(labels))
+		if rate < 0.1 || rate > 0.9 {
+			t.Errorf("%s: positive rate %.3f too extreme", spec, rate)
+		}
+	}
+}
+
+func TestFeaturesOverride(t *testing.T) {
+	ds, err := Make(Config{Spec: SynSet, Rows: 50, Features: 10, Seed: 1}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumFeatures() != 10 {
+		t.Fatalf("features = %d", ds.NumFeatures())
+	}
+}
+
+func TestMakeTrainTestSplit(t *testing.T) {
+	train, testX, testY, err := MakeTrainTest(Config{Spec: HiggsLike, Rows: 300, Seed: 17}, 100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.NumRows() != 300 || testX.N != 100 || len(testY) != 100 {
+		t.Fatalf("split sizes %d/%d/%d", train.NumRows(), testX.N, len(testY))
+	}
+	if train.NumFeatures() != testX.M {
+		t.Fatal("feature mismatch between train and test")
+	}
+}
+
+func TestCriteoResponseEncoding(t *testing.T) {
+	// The first feature of CriteoLike is response-encoded: its correlation
+	// with the label must be very high (the property that drives deep
+	// lopsided leafwise trees in the paper).
+	d, labels, err := Generate(Config{Spec: CriteoLike, Rows: 2000, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sx, sy, sxx, syy, sxy float64
+	n := 0
+	for i := range labels {
+		v := d.At(i, 0)
+		if v != v {
+			continue
+		}
+		x, y := float64(v), float64(labels[i])
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+		n++
+	}
+	fn := float64(n)
+	corr := (sxy - sx*sy/fn) / math.Sqrt((sxx-sx*sx/fn)*(syy-sy*sy/fn))
+	if corr < 0.75 {
+		t.Fatalf("response-encoded feature correlation %.3f, want > 0.75", corr)
+	}
+}

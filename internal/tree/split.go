@@ -1,0 +1,74 @@
+package tree
+
+import "math"
+
+// SplitParams are the regularization hyper-parameters of the paper's
+// objective (Eq. 1-3): Lambda is the L2 weight penalty λ, Gamma the
+// per-leaf penalty γ, and MinChildWeight the minimum hessian sum either
+// child must retain for a split to be admissible.
+type SplitParams struct {
+	Lambda         float64
+	Gamma          float64
+	MinChildWeight float64
+}
+
+// DefaultSplitParams mirror the paper's experimental settings
+// (γ = 1, λ = 1, min_child_weight = 1).
+func DefaultSplitParams() SplitParams {
+	return SplitParams{Lambda: 1, Gamma: 1, MinChildWeight: 1}
+}
+
+// CalcWeight returns the optimal leaf weight w* = -G / (H + λ) (Eq. 2).
+func (p SplitParams) CalcWeight(g, h float64) float64 {
+	return -g / (h + p.Lambda)
+}
+
+// CalcTerm returns the objective contribution G² / (H + λ) of a node.
+func (p SplitParams) CalcTerm(g, h float64) float64 {
+	return g * g / (h + p.Lambda)
+}
+
+// SplitGain returns the loss reduction of splitting ⟨G,H⟩ into the given
+// left/right parts (Eq. 3): ½[G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)] − γ.
+func (p SplitParams) SplitGain(gl, hl, gr, hr float64) float64 {
+	return 0.5*(p.CalcTerm(gl, hl)+p.CalcTerm(gr, hr)-p.CalcTerm(gl+gr, hl+hr)) - p.Gamma
+}
+
+// Admissible reports whether both children satisfy the minimum hessian
+// weight constraint.
+func (p SplitParams) Admissible(hl, hr float64) bool {
+	return hl >= p.MinChildWeight && hr >= p.MinChildWeight
+}
+
+// SplitInfo records the best split found for one node.
+type SplitInfo struct {
+	Feature     int32
+	Bin         uint8
+	DefaultLeft bool
+	Gain        float64
+	LeftG       float64
+	LeftH       float64
+	RightG      float64
+	RightH      float64
+}
+
+// Valid reports whether the split is usable (positive gain and a real
+// feature).
+func (s SplitInfo) Valid() bool { return s.Feature >= 0 && s.Gain > 0 }
+
+// Better reports whether s beats o, with deterministic tie-breaking on
+// (feature, bin) so parallel split searches agree regardless of scan order.
+func (s SplitInfo) Better(o SplitInfo) bool {
+	if s.Gain != o.Gain {
+		return s.Gain > o.Gain
+	}
+	if s.Feature != o.Feature {
+		return s.Feature < o.Feature
+	}
+	return s.Bin < o.Bin
+}
+
+// InvalidSplit is the sentinel "no split found" value.
+func InvalidSplit() SplitInfo {
+	return SplitInfo{Feature: -1, Gain: math.Inf(-1)}
+}

@@ -1,0 +1,214 @@
+// Package tree provides the decision-tree model structure shared by all
+// training engines: nodes, split records, the regularized gain/weight math
+// of the paper's Eq. (2) and (3), row-set partitioning (ApplySplit), single
+// and batch prediction, and JSON serialization.
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"harpgbdt/internal/dataset"
+)
+
+// NoNode marks an absent child/parent link.
+const NoNode = int32(-1)
+
+// Node is one tree node. Leaves have Left == Right == NoNode and carry the
+// output Weight; internal nodes carry the split (Feature, SplitBin,
+// SplitValue, DefaultLeft) and the Gain realized by the split.
+type Node struct {
+	ID          int32   `json:"id"`
+	Parent      int32   `json:"parent"`
+	Left        int32   `json:"left"`
+	Right       int32   `json:"right"`
+	Feature     int32   `json:"feature"`
+	SplitBin    uint8   `json:"split_bin"`
+	SplitValue  float32 `json:"split_value"`
+	DefaultLeft bool    `json:"default_left"`
+	Weight      float64 `json:"weight"`
+	Gain        float64 `json:"gain"`
+	SumG        float64 `json:"sum_g"`
+	SumH        float64 `json:"sum_h"`
+	Count       int32   `json:"count"`
+	Depth       int32   `json:"depth"`
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.Left == NoNode }
+
+// Tree is a single regression tree over binned features.
+type Tree struct {
+	Nodes []Node `json:"nodes"`
+}
+
+// New returns a tree containing only a root leaf with the given statistics.
+func New(sumG, sumH float64, count int32) *Tree {
+	return &Tree{Nodes: []Node{{
+		ID: 0, Parent: NoNode, Left: NoNode, Right: NoNode,
+		Feature: -1, SumG: sumG, SumH: sumH, Count: count, Depth: 0,
+	}}}
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return &t.Nodes[0] }
+
+// Node returns node id (panics when out of range).
+func (t *Tree) Node(id int32) *Node { return &t.Nodes[id] }
+
+// NumNodes returns the total node count.
+func (t *Tree) NumNodes() int { return len(t.Nodes) }
+
+// NumLeaves counts leaf nodes.
+func (t *Tree) NumLeaves() int {
+	n := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].IsLeaf() {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxDepth returns the depth of the deepest node (root = 0).
+func (t *Tree) MaxDepth() int {
+	d := int32(0)
+	for i := range t.Nodes {
+		if t.Nodes[i].Depth > d {
+			d = t.Nodes[i].Depth
+		}
+	}
+	return int(d)
+}
+
+// AddChildren turns leaf id into an internal node with the given split and
+// appends two child leaves, returning their ids. The caller fills the
+// children's statistics and weights.
+func (t *Tree) AddChildren(id int32, feature int32, splitBin uint8, splitValue float32, defaultLeft bool, gain float64) (left, right int32) {
+	left = int32(len(t.Nodes))
+	right = left + 1
+	parent := &t.Nodes[id]
+	depth := parent.Depth + 1
+	parent.Left, parent.Right = left, right
+	parent.Feature = feature
+	parent.SplitBin = splitBin
+	parent.SplitValue = splitValue
+	parent.DefaultLeft = defaultLeft
+	parent.Gain = gain
+	t.Nodes = append(t.Nodes,
+		Node{ID: left, Parent: id, Left: NoNode, Right: NoNode, Feature: -1, Depth: depth},
+		Node{ID: right, Parent: id, Left: NoNode, Right: NoNode, Feature: -1, Depth: depth},
+	)
+	return left, right
+}
+
+// PredictRowBinned walks the tree for one row of binned features and returns
+// the leaf node id.
+func (t *Tree) PredictRowBinned(bins []uint8) int32 {
+	id := int32(0)
+	for {
+		n := &t.Nodes[id]
+		if n.IsLeaf() {
+			return id
+		}
+		b := bins[n.Feature]
+		switch {
+		case b == dataset.MissingBin:
+			if n.DefaultLeft {
+				id = n.Left
+			} else {
+				id = n.Right
+			}
+		case b <= n.SplitBin:
+			id = n.Left
+		default:
+			id = n.Right
+		}
+	}
+}
+
+// PredictRowRaw walks the tree for one row of raw feature values (NaN =
+// missing) and returns the leaf weight.
+func (t *Tree) PredictRowRaw(values []float32) float64 {
+	id := int32(0)
+	for {
+		n := &t.Nodes[id]
+		if n.IsLeaf() {
+			return n.Weight
+		}
+		v := values[n.Feature]
+		switch {
+		case v != v: // missing
+			if n.DefaultLeft {
+				id = n.Left
+			} else {
+				id = n.Right
+			}
+		case v <= n.SplitValue:
+			id = n.Left
+		default:
+			id = n.Right
+		}
+	}
+}
+
+// Validate checks the structural invariants of the tree: parent/child links
+// consistent, depths consistent, statistics of children summing to parents
+// (within floating tolerance), exactly one root.
+func (t *Tree) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("tree: empty")
+	}
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.ID != int32(i) {
+			return fmt.Errorf("tree: node %d has ID %d", i, n.ID)
+		}
+		if n.IsLeaf() != (n.Right == NoNode) {
+			return fmt.Errorf("tree: node %d has one child", i)
+		}
+		if n.IsLeaf() {
+			continue
+		}
+		for _, c := range []int32{n.Left, n.Right} {
+			if c <= 0 || int(c) >= len(t.Nodes) {
+				return fmt.Errorf("tree: node %d child %d out of range", i, c)
+			}
+			ch := &t.Nodes[c]
+			if ch.Parent != n.ID {
+				return fmt.Errorf("tree: node %d parent link broken (child %d)", i, c)
+			}
+			if ch.Depth != n.Depth+1 {
+				return fmt.Errorf("tree: node %d depth inconsistent (child %d)", i, c)
+			}
+		}
+		l, r := &t.Nodes[n.Left], &t.Nodes[n.Right]
+		if n.Count != l.Count+r.Count {
+			return fmt.Errorf("tree: node %d count %d != %d+%d", i, n.Count, l.Count, r.Count)
+		}
+		if math.Abs(n.SumG-(l.SumG+r.SumG)) > 1e-6*(1+math.Abs(n.SumG)) {
+			return fmt.Errorf("tree: node %d G sum mismatch", i)
+		}
+		if math.Abs(n.SumH-(l.SumH+r.SumH)) > 1e-6*(1+math.Abs(n.SumH)) {
+			return fmt.Errorf("tree: node %d H sum mismatch", i)
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the tree.
+func (t *Tree) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// ReadJSON deserializes a tree written by WriteJSON.
+func ReadJSON(r io.Reader) (*Tree, error) {
+	var t Tree
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

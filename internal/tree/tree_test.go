@@ -1,0 +1,240 @@
+package tree
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"harpgbdt/internal/dataset"
+)
+
+// buildSampleTree: root splits on feature 0 at bin 2 (value 2.0,
+// default left); left child is a leaf, right child splits on feature 1.
+func buildSampleTree() *Tree {
+	t := New(10, 20, 100)
+	l, r := t.AddChildren(0, 0, 2, 2.0, true, 5.0)
+	t.Nodes[l].SumG, t.Nodes[l].SumH, t.Nodes[l].Count = 4, 8, 40
+	t.Nodes[l].Weight = -0.5
+	t.Nodes[r].SumG, t.Nodes[r].SumH, t.Nodes[r].Count = 6, 12, 60
+	rl, rr := t.AddChildren(r, 1, 5, 5.0, false, 2.0)
+	t.Nodes[rl].SumG, t.Nodes[rl].SumH, t.Nodes[rl].Count = 2, 4, 20
+	t.Nodes[rl].Weight = 0.25
+	t.Nodes[rr].SumG, t.Nodes[rr].SumH, t.Nodes[rr].Count = 4, 8, 40
+	t.Nodes[rr].Weight = 1.5
+	return t
+}
+
+func TestTreeStructure(t *testing.T) {
+	tr := buildSampleTree()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 5 {
+		t.Fatalf("nodes %d", tr.NumNodes())
+	}
+	if tr.NumLeaves() != 3 {
+		t.Fatalf("leaves %d", tr.NumLeaves())
+	}
+	if tr.MaxDepth() != 2 {
+		t.Fatalf("depth %d", tr.MaxDepth())
+	}
+	if tr.Root().IsLeaf() {
+		t.Fatal("root should be internal")
+	}
+}
+
+func TestPredictRowRaw(t *testing.T) {
+	tr := buildSampleTree()
+	cases := []struct {
+		row  []float32
+		want float64
+	}{
+		{[]float32{1.0, 0}, -0.5},      // f0 <= 2 => left leaf
+		{[]float32{3.0, 4.0}, 0.25},    // right, f1 <= 5 => rl
+		{[]float32{3.0, 9.0}, 1.5},     // right, f1 > 5 => rr
+		{[]float32{nan32(), 0}, -0.5},  // missing f0, default left
+		{[]float32{3.0, nan32()}, 1.5}, // missing f1, default right
+		{[]float32{2.0, 0}, -0.5},      // boundary goes left
+	}
+	for i, c := range cases {
+		if got := tr.PredictRowRaw(c.row); got != c.want {
+			t.Errorf("case %d: got %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestPredictBinnedMatchesRaw(t *testing.T) {
+	tr := buildSampleTree()
+	// bins: f0 bin <= 2 goes left; f1 bin <= 5 goes left.
+	cases := []struct {
+		bins []uint8
+		want float64
+	}{
+		{[]uint8{0, 0}, -0.5},
+		{[]uint8{2, 0}, -0.5},
+		{[]uint8{3, 5}, 0.25},
+		{[]uint8{3, 6}, 1.5},
+		{[]uint8{dataset.MissingBin, 0}, -0.5},
+		{[]uint8{3, dataset.MissingBin}, 1.5},
+	}
+	for i, c := range cases {
+		leaf := tr.PredictRowBinned(c.bins)
+		if got := tr.Nodes[leaf].Weight; got != c.want {
+			t.Errorf("case %d: leaf %d weight %v want %v", i, leaf, got, c.want)
+		}
+	}
+}
+
+func TestValidateCatchesBrokenTrees(t *testing.T) {
+	// Broken count sum.
+	tr := buildSampleTree()
+	tr.Nodes[1].Count = 99
+	if err := tr.Validate(); err == nil {
+		t.Fatal("broken counts passed")
+	}
+	// Broken parent link.
+	tr = buildSampleTree()
+	tr.Nodes[1].Parent = 2
+	if err := tr.Validate(); err == nil {
+		t.Fatal("broken parent passed")
+	}
+	// Broken depth.
+	tr = buildSampleTree()
+	tr.Nodes[1].Depth = 5
+	if err := tr.Validate(); err == nil {
+		t.Fatal("broken depth passed")
+	}
+	// Broken G sum.
+	tr = buildSampleTree()
+	tr.Nodes[1].SumG = 1000
+	if err := tr.Validate(); err == nil {
+		t.Fatal("broken G sum passed")
+	}
+	// Empty tree.
+	if err := (&Tree{}).Validate(); err == nil {
+		t.Fatal("empty tree passed")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := buildSampleTree()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr2.NumNodes() != tr.NumNodes() {
+		t.Fatal("node count changed")
+	}
+	for i := range tr.Nodes {
+		if tr.Nodes[i] != tr2.Nodes[i] {
+			t.Fatalf("node %d changed: %+v vs %+v", i, tr.Nodes[i], tr2.Nodes[i])
+		}
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte("{bad json"))); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}
+
+func TestSplitParamsWeightAndGain(t *testing.T) {
+	p := SplitParams{Lambda: 1}
+	if got := p.CalcWeight(2, 3); got != -0.5 {
+		t.Fatalf("weight %v", got)
+	}
+	if got := p.CalcTerm(2, 3); got != 1 {
+		t.Fatalf("term %v", got)
+	}
+	// Gain formula check: GL=2,HL=3, GR=-2,HR=3, λ=1, γ=0:
+	// 0.5*(4/4 + 4/4 - 0/7) = 1.
+	if got := p.SplitGain(2, 3, -2, 3); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("gain %v", got)
+	}
+	p.Gamma = 0.25
+	if got := p.SplitGain(2, 3, -2, 3); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("gain with gamma %v", got)
+	}
+}
+
+func TestSplitGainSymmetry(t *testing.T) {
+	p := SplitParams{Lambda: 0.5, Gamma: 0.1}
+	a := p.SplitGain(1.5, 2, -3, 4)
+	b := p.SplitGain(-3, 4, 1.5, 2)
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("gain not symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestSplitGainNonNegativeForPureSplit(t *testing.T) {
+	// Separating opposite-sign gradients is always a gain at γ=0.
+	p := SplitParams{Lambda: 1}
+	if g := p.SplitGain(5, 3, -5, 3); g <= 0 {
+		t.Fatalf("pure split gain %v", g)
+	}
+	// Splitting identical halves cannot gain: with λ>0 the regularizer
+	// strictly penalizes it.
+	if g := p.SplitGain(2, 2, 2, 2); g >= 0 {
+		t.Fatalf("identical split gain %v should be negative under λ>0", g)
+	}
+}
+
+func TestAdmissible(t *testing.T) {
+	p := SplitParams{MinChildWeight: 1}
+	if !p.Admissible(1, 1) {
+		t.Fatal("boundary should be admissible")
+	}
+	if p.Admissible(0.5, 2) || p.Admissible(2, 0.5) {
+		t.Fatal("below min child weight accepted")
+	}
+}
+
+func TestSplitInfoBetter(t *testing.T) {
+	a := SplitInfo{Feature: 1, Bin: 3, Gain: 2}
+	b := SplitInfo{Feature: 2, Bin: 1, Gain: 1}
+	if !a.Better(b) || b.Better(a) {
+		t.Fatal("gain ordering")
+	}
+	// Tie on gain: lower feature wins.
+	c := SplitInfo{Feature: 0, Bin: 9, Gain: 2}
+	if !c.Better(a) || a.Better(c) {
+		t.Fatal("feature tie-break")
+	}
+	// Tie on gain+feature: lower bin wins.
+	d := SplitInfo{Feature: 1, Bin: 1, Gain: 2}
+	if !d.Better(a) || a.Better(d) {
+		t.Fatal("bin tie-break")
+	}
+	if a.Better(a) {
+		t.Fatal("self comparison")
+	}
+	inv := InvalidSplit()
+	if inv.Valid() {
+		t.Fatal("invalid split is valid")
+	}
+	if !a.Better(inv) {
+		t.Fatal("any valid split beats invalid")
+	}
+}
+
+func TestDefaultSplitParams(t *testing.T) {
+	p := DefaultSplitParams()
+	if p.Lambda != 1 || p.Gamma != 1 || p.MinChildWeight != 1 {
+		t.Fatalf("defaults %+v (paper: λ=1 γ=1 mcw=1)", p)
+	}
+}
+
+func TestZeroGainSplitInvalid(t *testing.T) {
+	s := SplitInfo{Feature: 0, Gain: 0}
+	if s.Valid() {
+		t.Fatal("zero-gain split should be invalid")
+	}
+}
+
+func nan32() float32 {
+	return float32(math.NaN())
+}
