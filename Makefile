@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: check vet build test race bench trace clean
+
+## check: the full verification gate (vet + build + race-enabled tests)
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# -short skips the full-experiment sweeps, which take >10 min under the
+# race detector on small machines; `make race-full` runs everything.
+race:
+	$(GO) test -race -short ./...
+
+race-full:
+	$(GO) test -race -timeout 45m ./...
+
+## bench: run the throughput benchmark and write BENCH_<date>.json
+bench:
+	$(GO) run ./cmd/experiments bench
+
+## trace: produce a sample Chrome trace from a small training run
+trace:
+	$(GO) run ./cmd/harpgbdt train -synth higgs -rows 20000 -trees 10 \
+		-model /tmp/harpgbdt-model.json -trace-out trace.json -profile
+
+clean:
+	rm -f trace.json BENCH_*.json

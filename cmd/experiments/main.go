@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"harpgbdt/internal/experiments"
+	"harpgbdt/internal/obs"
 )
 
 func main() {
@@ -30,22 +31,40 @@ func main() {
 		seed       = flag.Uint64("seed", 0, "dataset seed (0 = default)")
 		real       = flag.Bool("realthreads", false, "run on real goroutines instead of the simulated parallel machine")
 		list       = flag.Bool("list", false, "list available experiments and exit")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the runs to this file")
+		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /progress and /debug/pprof on this address while experiments run")
+		benchOut   = flag.String("bench-out", "", "output path of the bench experiment's JSON report (default BENCH_<date>.json)")
 	)
 	flag.Parse()
 	if *list {
 		for _, n := range experiments.Names() {
 			fmt.Println(n)
 		}
+		fmt.Println("bench")
 		return
 	}
 	names := flag.Args()
 	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <experiment ...|all>")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <experiment ...|all|bench>")
 		fmt.Fprintln(os.Stderr, "experiments:", experiments.Names())
 		os.Exit(2)
 	}
 	if len(names) == 1 && names[0] == "all" {
 		names = experiments.Names()
+	}
+	obsv := obs.New()
+	if *traceOut != "" {
+		obsv.EnableTracing(0)
+	}
+	obs.SetDefault(obsv)
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, obsv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability server on http://%s (metrics, progress, debug/pprof)\n", srv.Addr())
 	}
 	sc := experiments.Scale{
 		Rows: *rows, Rounds: *rounds, ConvRounds: *convRounds,
@@ -53,14 +72,50 @@ func main() {
 	}
 	for _, name := range names {
 		start := time.Now()
-		tables, err := experiments.Run(name, sc)
+		var err error
+		if name == "bench" {
+			err = runBench(sc, *benchOut)
+		} else {
+			var tables []*experiments.Table
+			tables, err = runExperiment(name, sc)
+			for _, tb := range tables {
+				fmt.Println(tb.String())
+			}
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
 			os.Exit(1)
 		}
-		for _, tb := range tables {
-			fmt.Println(tb.String())
-		}
 		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	if *traceOut != "" {
+		if err := obsv.Tracer.WriteFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (%d events)\n", *traceOut, obsv.Tracer.Len())
+	}
+}
+
+func runExperiment(name string, sc experiments.Scale) ([]*experiments.Table, error) {
+	return experiments.Run(name, sc)
+}
+
+// runBench runs the throughput benchmark and writes the machine-readable
+// report next to the printed summary.
+func runBench(sc experiments.Scale, out string) error {
+	rep, tb, err := experiments.Bench(sc)
+	if err != nil {
+		return err
+	}
+	rep.Date = time.Now().Format("2006-01-02")
+	if out == "" {
+		out = "BENCH_" + rep.Date + ".json"
+	}
+	fmt.Println(tb.String())
+	if err := rep.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("bench report written to %s\n", out)
+	return nil
 }

@@ -129,6 +129,9 @@ func cmdTrain(args []string) error {
 		workers   = fs.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
 		virtual   = fs.Bool("virtual", false, "run on the simulated 32-worker parallel machine")
 		evalEvery = fs.Int("eval-every", 10, "print train AUC every N trees (0 = never)")
+		traceOut  = fs.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run to this file")
+		obsAddr   = fs.String("obs-addr", "", "serve /metrics, /progress and /debug/pprof on this address while training (e.g. :9090)")
+		profTable = fs.Bool("profile", false, "print the phase breakdown / scheduler profile table after training")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,6 +141,20 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	fmt.Printf("dataset: %s\n", harpgbdt.Stats(ds))
+	obsv := harpgbdt.NewObserver()
+	if *traceOut != "" {
+		obsv.EnableTracing(0)
+	}
+	harpgbdt.SetDefaultObserver(obsv)
+	defer harpgbdt.SetDefaultObserver(nil)
+	if *obsAddr != "" {
+		srv, err := harpgbdt.ServeObs(*obsAddr, obsv)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("observability server on http://%s (metrics, progress, debug/pprof)\n", srv.Addr())
+	}
 	opts := harpgbdt.Options{
 		Engine: *engineN,
 		Harp: harpgbdt.HarpConfig{
@@ -146,10 +163,18 @@ func cmdTrain(args []string) error {
 			Workers: *workers, Virtual: *virtual,
 		},
 		Baseline: harpgbdt.BaselineConfig{TreeSize: *d, Workers: *workers, Virtual: *virtual},
-		Boost:    harpgbdt.BoostConfig{Rounds: *trees, LearningRate: *lr, Objective: *objective, EvalEvery: *evalEvery},
+		Boost: harpgbdt.BoostConfig{
+			Rounds: *trees, LearningRate: *lr, Objective: *objective, EvalEvery: *evalEvery,
+			Callbacks: []harpgbdt.Callback{harpgbdt.NewObsCallback(obsv)},
+		},
 	}
+	builder, err := harpgbdt.NewBuilder(opts, ds)
+	if err != nil {
+		return err
+	}
+	harpgbdt.RegisterRunMetrics(obsv, builder)
 	start := time.Now()
-	res, err := harpgbdt.Train(ds, opts, nil, nil)
+	res, err := harpgbdt.TrainWith(builder, ds, opts.Boost, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -160,10 +185,22 @@ func cmdTrain(args []string) error {
 		res.Model.NumTrees(), res.TrainTime.Round(time.Millisecond),
 		res.AvgTreeTime().Round(time.Microsecond),
 		time.Since(start).Round(time.Millisecond), res.TotalLeaves, res.MaxDepth)
+	if *profTable {
+		fmt.Print(res.Report(builder).PhaseTable().String())
+	}
 	if err := res.Model.SaveFile(*modelPath); err != nil {
 		return err
 	}
 	fmt.Printf("model saved to %s\n", *modelPath)
+	if *traceOut != "" {
+		// The model is already on disk; a bad trace path must not fail the run.
+		if err := obsv.Tracer.WriteFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: trace not written: %v\n", err)
+		} else {
+			fmt.Printf("trace written to %s (%d events; open in chrome://tracing or ui.perfetto.dev)\n",
+				*traceOut, obsv.Tracer.Len())
+		}
+	}
 	return nil
 }
 

@@ -33,6 +33,7 @@ import (
 	"harpgbdt/internal/engine"
 	"harpgbdt/internal/grow"
 	"harpgbdt/internal/metrics"
+	"harpgbdt/internal/obs"
 	"harpgbdt/internal/profile"
 	"harpgbdt/internal/sched"
 	"harpgbdt/internal/synth"
@@ -94,6 +95,16 @@ type (
 	Mode = core.Mode
 	// GrowthMethod orders the candidate queue.
 	GrowthMethod = grow.Method
+	// Observer bundles a run's observability state: optional trace-event
+	// tracer, metrics registry and live progress snapshot.
+	Observer = obs.Observer
+	// ObsServer is the observability HTTP server (/metrics, /progress,
+	// /trace, /debug/pprof).
+	ObsServer = obs.Server
+	// Callback observes the boosting loop round by round.
+	Callback = boost.Callback
+	// RoundStats is the per-round payload delivered to callbacks.
+	RoundStats = boost.RoundStats
 )
 
 // Parallel modes (Table II).
@@ -200,6 +211,32 @@ func Train(ds *Dataset, opts Options, testX *Dense, testY []float32) (*Result, e
 // afterwards (see Result.Report).
 func TrainWith(b Builder, ds *Dataset, cfg BoostConfig, testX *Dense, testY []float32) (*Result, error) {
 	return boost.Train(b, ds, cfg, testX, testY)
+}
+
+// NewObserver returns an observer backed by the process-wide default
+// metrics registry (tracing disabled until Observer.EnableTracing).
+func NewObserver() *Observer { return obs.New() }
+
+// SetDefaultObserver routes the engines' package-level trace spans to o's
+// tracer (nil disables tracing). Metrics need no installation: engine
+// counters live in the default registry every observer from NewObserver
+// shares.
+func SetDefaultObserver(o *Observer) { obs.SetDefault(o) }
+
+// ServeObs starts the observability HTTP server on addr (e.g. ":9090" or
+// ":0" for an ephemeral port; see ObsServer).
+func ServeObs(addr string, o *Observer) (*ObsServer, error) { return obs.Serve(addr, o) }
+
+// NewObsCallback returns a boosting callback publishing per-round spans,
+// per-iteration loss/AUC metrics and live progress through o. Attach it via
+// BoostConfig.Callbacks.
+func NewObsCallback(o *Observer) Callback { return boost.NewObsCallback(o) }
+
+// RegisterRunMetrics folds b's phase breakdown and scheduler statistics
+// into o's registry so a /metrics scrape covers the paper's phase fractions
+// and utilization/barrier analogs. Values are read at scrape time.
+func RegisterRunMetrics(o *Observer, b Builder) {
+	profile.RegisterObs(o.Registry, b.Profile(), b.Pool())
 }
 
 // Synthesize generates a deterministic synthetic dataset (see SynthConfig).

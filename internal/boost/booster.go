@@ -41,6 +41,10 @@ type Config struct {
 	Weights []float32
 	// Seed drives the subsampling RNG.
 	Seed uint64
+	// Callbacks observe the boosting loop (per-round hooks); see Callback.
+	// The obs-backed callback from NewObsCallback publishes spans, metrics
+	// and live progress.
+	Callbacks []Callback
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +174,9 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 	bestMetric := math.Inf(-1)
 	sinceBest := 0
 	for round := 0; round < cfg.Rounds; round++ {
+		for _, cb := range cfg.Callbacks {
+			cb.BeforeRound(round, cfg.Rounds)
+		}
 		start := time.Now()
 		s0 := pool.Stats()
 		obj.Gradients(margins, ds.Labels, grad)
@@ -219,6 +226,12 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 				testMargins[i] += bt.Tree.PredictRowRaw(testX.Row(i))
 			}
 		}
+		stats := RoundStats{
+			Round: round + 1, Rounds: cfg.Rounds,
+			TreeTime: dur, TotalTime: res.TrainTime,
+			Leaves: bt.Tree.NumLeaves(), CumLeaves: res.TotalLeaves, MaxDepth: res.MaxDepth,
+			TrainLoss: math.NaN(), TestLoss: math.NaN(),
+		}
 		if cfg.EvalEvery > 0 && ((round+1)%cfg.EvalEvery == 0 || round == cfg.Rounds-1) {
 			pt := EvalPoint{Round: round + 1, Elapsed: res.TrainTime}
 			pt.TrainAUC = marginAUC(margins, ds.Labels)
@@ -228,6 +241,11 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 				monitored = pt.TestAUC
 			}
 			res.History = append(res.History, pt)
+			stats.Eval = &pt
+			stats.TrainLoss = objective.MeanLoss(obj, margins, ds.Labels)
+			if testMargins != nil {
+				stats.TestLoss = objective.MeanLoss(obj, testMargins, testY)
+			}
 			if cfg.EarlyStopRounds > 0 {
 				if monitored > bestMetric {
 					bestMetric = monitored
@@ -236,10 +254,15 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 					sinceBest++
 					if sinceBest >= cfg.EarlyStopRounds {
 						res.StoppedEarly = true
-						break
 					}
 				}
 			}
+		}
+		for _, cb := range cfg.Callbacks {
+			cb.AfterRound(stats)
+		}
+		if res.StoppedEarly {
+			break
 		}
 	}
 	return res, nil

@@ -1,0 +1,132 @@
+package boost
+
+import (
+	"math"
+	"time"
+
+	"harpgbdt/internal/obs"
+)
+
+// RoundStats is the per-round notification payload delivered to callbacks
+// after each boosting round.
+type RoundStats struct {
+	// Round is the 1-based index of the round that just completed; Rounds
+	// is the configured total.
+	Round, Rounds int
+	// TreeTime is this round's tree-building time; TotalTime the
+	// accumulated training time (both virtual-machine adjusted).
+	TreeTime, TotalTime time.Duration
+	// Leaves counts this round's tree; CumLeaves and MaxDepth summarize
+	// the ensemble so far.
+	Leaves, CumLeaves, MaxDepth int
+	// Eval is the evaluation point recorded this round (nil when the round
+	// was not an evaluation point).
+	Eval *EvalPoint
+	// TrainLoss / TestLoss are the mean objective losses at evaluation
+	// points (NaN when not evaluated this round, when no test set is
+	// supplied, or when the objective cannot report a pointwise loss).
+	TrainLoss, TestLoss float64
+}
+
+// Callback observes the boosting loop. Implementations must be fast or
+// offload work: both hooks run on the training goroutine between rounds.
+type Callback interface {
+	// BeforeRound fires before gradients of round (0-based) are computed.
+	BeforeRound(round, rounds int)
+	// AfterRound fires after the round's tree is committed to the model
+	// (and after any evaluation), including the final round of a run that
+	// stops early.
+	AfterRound(stats RoundStats)
+}
+
+// obsCallback publishes the boosting loop to an Observer: a per-round
+// trace span, per-iteration loss/AUC metrics, a tree-time histogram and
+// the /progress snapshot.
+type obsCallback struct {
+	o     *obs.Observer
+	span  obs.Span
+	start time.Time
+
+	rounds    *obs.Counter
+	treeSec   *obs.Histogram
+	trainAUC  *obs.Gauge
+	testAUC   *obs.Gauge
+	trainLoss *obs.Gauge
+	testLoss  *obs.Gauge
+	leaves    *obs.Counter
+}
+
+// NewObsCallback returns a Callback that records per-iteration metrics
+// (train/test loss and AUC, round counter, tree-time histogram) into o's
+// registry, opens one "round" trace span per boosting round on o's tracer,
+// and keeps o's /progress snapshot current. A nil observer yields a no-op
+// (but non-nil) callback.
+func NewObsCallback(o *obs.Observer) Callback {
+	if o == nil {
+		o = obs.NewWith(obs.NewRegistry())
+	}
+	reg := o.Registry
+	return &obsCallback{
+		o: o,
+		rounds: reg.Counter("boost_rounds_total",
+			"Boosting rounds completed."),
+		treeSec: reg.Histogram("tree_build_seconds",
+			"Per-round tree building time.", nil),
+		trainAUC: reg.Gauge("train_auc",
+			"Training AUC at the last evaluation point."),
+		testAUC: reg.Gauge("test_auc",
+			"Test AUC at the last evaluation point (0 until first eval with a test set)."),
+		trainLoss: reg.Gauge("train_loss",
+			"Mean training objective loss at the last evaluation point."),
+		testLoss: reg.Gauge("test_loss",
+			"Mean test objective loss at the last evaluation point."),
+		leaves: reg.Counter("leaves_grown_total",
+			"Leaves across all trees grown."),
+	}
+}
+
+// BeforeRound implements Callback.
+func (c *obsCallback) BeforeRound(round, rounds int) {
+	if c.start.IsZero() {
+		c.start = time.Now()
+	}
+	c.span = c.o.Tracer.StartSpan("round", "round")
+}
+
+// AfterRound implements Callback.
+func (c *obsCallback) AfterRound(s RoundStats) {
+	c.rounds.Inc()
+	c.treeSec.Observe(s.TreeTime.Seconds())
+	c.leaves.Add(int64(s.Leaves))
+	progress := map[string]any{
+		"round":         s.Round,
+		"rounds":        s.Rounds,
+		"train_seconds": s.TotalTime.Seconds(),
+		"wall_seconds":  time.Since(c.start).Seconds(),
+		"tree_ms":       float64(s.TreeTime.Microseconds()) / 1e3,
+		"leaves":        s.CumLeaves,
+		"max_depth":     s.MaxDepth,
+	}
+	if s.Eval != nil {
+		c.trainAUC.Set(s.Eval.TrainAUC)
+		progress["train_auc"] = s.Eval.TrainAUC
+		if s.Eval.TestAUC != 0 {
+			c.testAUC.Set(s.Eval.TestAUC)
+			progress["test_auc"] = s.Eval.TestAUC
+		}
+	}
+	if !math.IsNaN(s.TrainLoss) {
+		c.trainLoss.Set(s.TrainLoss)
+		progress["train_loss"] = s.TrainLoss
+	}
+	if !math.IsNaN(s.TestLoss) {
+		c.testLoss.Set(s.TestLoss)
+		progress["test_loss"] = s.TestLoss
+	}
+	c.o.UpdateProgress(progress)
+	if c.span.Active() {
+		c.span.EndWith(obs.Arg{Key: "round", Value: s.Round},
+			obs.Arg{Key: "leaves", Value: s.Leaves})
+		c.span = obs.Span{}
+	}
+}

@@ -1,0 +1,120 @@
+package boost
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"harpgbdt/internal/obs"
+)
+
+// recordingCallback captures the hook sequence for assertions.
+type recordingCallback struct {
+	before []int
+	after  []RoundStats
+}
+
+func (r *recordingCallback) BeforeRound(round, rounds int) { r.before = append(r.before, round) }
+func (r *recordingCallback) AfterRound(s RoundStats)       { r.after = append(r.after, s) }
+
+func TestCallbacksFireEveryRound(t *testing.T) {
+	ds, x, y := trainTest(t)
+	rec := &recordingCallback{}
+	res, err := Train(harpBuilder(t, ds), ds, Config{
+		Rounds: 6, EvalEvery: 2, Callbacks: []Callback{rec},
+	}, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.before) != 6 || len(rec.after) != 6 {
+		t.Fatalf("before %d after %d hooks, want 6 each", len(rec.before), len(rec.after))
+	}
+	for i, s := range rec.after {
+		if s.Round != i+1 || s.Rounds != 6 {
+			t.Fatalf("round %d stats %+v", i, s)
+		}
+		if s.Leaves <= 0 || s.TreeTime <= 0 || s.TotalTime < s.TreeTime {
+			t.Fatalf("implausible stats %+v", s)
+		}
+		evalRound := (i+1)%2 == 0 || i == 5
+		if evalRound {
+			if s.Eval == nil || math.IsNaN(s.TrainLoss) || math.IsNaN(s.TestLoss) {
+				t.Fatalf("round %d: eval point or losses missing: %+v", i+1, s)
+			}
+		} else if s.Eval != nil || !math.IsNaN(s.TrainLoss) {
+			t.Fatalf("round %d: unexpected eval data: %+v", i+1, s)
+		}
+	}
+	// Losses at evaluation points must decrease over training.
+	first, last := rec.after[1], rec.after[5]
+	if last.TrainLoss >= first.TrainLoss {
+		t.Fatalf("train loss did not decrease: %f -> %f", first.TrainLoss, last.TrainLoss)
+	}
+	if res.TotalLeaves != rec.after[5].CumLeaves {
+		t.Fatalf("CumLeaves %d != result %d", rec.after[5].CumLeaves, res.TotalLeaves)
+	}
+}
+
+func TestCallbackFiresOnEarlyStop(t *testing.T) {
+	ds, _, _ := trainTest(t)
+	rec := &recordingCallback{}
+	res, err := Train(harpBuilder(t, ds), ds, Config{
+		Rounds: 200, EvalEvery: 1, EarlyStopRounds: 1, Callbacks: []Callback{rec},
+	}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StoppedEarly {
+		t.Skip("run did not stop early; nothing to assert")
+	}
+	// AfterRound must have fired for the stopping round too.
+	if len(rec.after) != len(res.PerTree) {
+		t.Fatalf("after hooks %d != trees %d", len(rec.after), len(res.PerTree))
+	}
+}
+
+func TestObsCallbackPublishes(t *testing.T) {
+	ds, x, y := trainTest(t)
+	o := obs.NewWith(obs.NewRegistry())
+	o.EnableTracing(0)
+	obs.SetDefault(o)
+	defer obs.SetDefault(nil)
+	_, err := Train(harpBuilder(t, ds), ds, Config{
+		Rounds: 4, EvalEvery: 2, Callbacks: []Callback{NewObsCallback(o)},
+	}, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.Registry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"boost_rounds_total 4",
+		"tree_build_seconds_count 4",
+		"train_loss ", "test_loss ", "train_auc ", "test_auc ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	p := o.Progress()
+	if p["round"] != 4 || p["rounds"] != 4 {
+		t.Fatalf("progress %v", p)
+	}
+	if _, ok := p["train_loss"]; !ok {
+		t.Fatalf("progress missing train_loss: %v", p)
+	}
+	// One "round" span per boosting round on the tracer.
+	if o.Tracer.Len() < 4 {
+		t.Fatalf("tracer recorded %d events, want >= 4", o.Tracer.Len())
+	}
+}
+
+func TestNewObsCallbackNilObserver(t *testing.T) {
+	cb := NewObsCallback(nil)
+	cb.BeforeRound(0, 1)
+	cb.AfterRound(RoundStats{Round: 1, Rounds: 1, TrainLoss: math.NaN(), TestLoss: math.NaN()})
+}

@@ -7,6 +7,7 @@ import (
 	"harpgbdt/internal/engine"
 	"harpgbdt/internal/gh"
 	"harpgbdt/internal/grow"
+	"harpgbdt/internal/obs"
 	"harpgbdt/internal/profile"
 	"harpgbdt/internal/sched"
 	"harpgbdt/internal/tree"
@@ -40,7 +41,7 @@ func (b *Builder) buildAsync(st *buildState) {
 
 	var mu sched.SpinMutex
 	outstanding := 0
-	b.pool.RunWorkers(func(int) {
+	b.pool.RunWorkers(func(worker int) {
 		for {
 			mu.Lock()
 			if st.leaves >= maxLeaves {
@@ -66,6 +67,8 @@ func (b *Builder) buildAsync(st *buildState) {
 			}
 			outstanding++
 			st.leaves++
+			mNodesSplit.Inc()
+			mQueueDepth.Set(float64(st.queue.Len()))
 			parent := st.nodes[c.NodeID]
 			s := parent.split
 			l, r := st.t.AddChildren(c.NodeID, s.Feature, s.Bin,
@@ -76,7 +79,9 @@ func (b *Builder) buildAsync(st *buildState) {
 			childDepth := c.Depth + 1
 			mu.Unlock()
 
+			nsp := obs.StartSpanTID("node", "ProcessNode", worker+1)
 			b.asyncProcessNode(st, parent, left, right, childDepth)
+			nsp.End()
 
 			mu.Lock()
 			for i, ns := range []*nodeState{left, right} {
@@ -127,6 +132,7 @@ func (b *Builder) asyncProcessNode(st *buildState, parent, left, right *nodeStat
 	m := b.ds.NumFeatures()
 	buildFull := func(ns *nodeState) {
 		ns.hist = b.hpool.Get()
+		mBuildHistRows.Add(int64(ns.rows.Len()))
 		for fb := 0; fb < b.blocks.NumBlocks(); fb++ {
 			b.accumulate(ns.hist, st, ns, 0, ns.rows.Len(), fb, fullBinRange)
 		}

@@ -9,10 +9,26 @@ import (
 	"harpgbdt/internal/gh"
 	"harpgbdt/internal/grow"
 	"harpgbdt/internal/histogram"
+	"harpgbdt/internal/obs"
 	"harpgbdt/internal/profile"
 	"harpgbdt/internal/sched"
 	"harpgbdt/internal/synth"
 	"harpgbdt/internal/tree"
+)
+
+// Engine metrics, pre-registered in the obs default registry so they are
+// exported whenever an observability server is running. The handles are
+// bare atomics; updates cost a few nanoseconds and are placed at per-node
+// (not per-row) granularity so the disabled cost is unmeasurable.
+var (
+	mTreesBuilt = obs.DefaultRegistry().Counter("trees_built_total",
+		"Trees built by the harp engine.")
+	mNodesSplit = obs.DefaultRegistry().Counter("nodes_split_total",
+		"Tree nodes split into children by the harp engine.")
+	mBuildHistRows = obs.DefaultRegistry().Counter("buildhist_rows_total",
+		"Rows accumulated into node histograms (per histogram build, pre-subtraction).")
+	mQueueDepth = obs.DefaultRegistry().Gauge("queue_depth",
+		"Splittable candidates currently waiting in the grow queue.")
 )
 
 // Builder is the HarpGBDT tree builder. It is bound to one dataset and one
@@ -115,6 +131,7 @@ func (b *Builder) BuildTree(grad gh.Buffer) (*engine.BuiltTree, error) {
 	if b.ds.NumRows() == 0 {
 		return nil, fmt.Errorf("core: empty dataset")
 	}
+	sp := obs.StartSpan("tree", "BuildTree")
 	b.sampleColumns()
 	st := b.newBuildState(grad)
 	switch {
@@ -125,7 +142,13 @@ func (b *Builder) BuildTree(grad gh.Buffer) (*engine.BuiltTree, error) {
 	default:
 		b.buildBarrier(st)
 	}
-	return b.finish(st), nil
+	bt := b.finish(st)
+	mTreesBuilt.Inc()
+	if sp.Active() {
+		sp.EndWith(obs.Arg{Key: "mode", Value: b.cfg.Mode.String()},
+			obs.Arg{Key: "leaves", Value: st.leaves})
+	}
+	return bt, nil
 }
 
 // newBuildState prepares the root node, its histogram and its split.
@@ -157,6 +180,7 @@ func (b *Builder) buildBarrier(st *buildState) {
 			k = rem
 		}
 		batch := st.queue.PopBatch(k)
+		mQueueDepth.Set(float64(st.queue.Len()))
 		b.processBatch(st, batch)
 	}
 	b.drainQueue(st)
@@ -167,6 +191,7 @@ func (b *Builder) buildBarrier(st *buildState) {
 func (b *Builder) processBatch(st *buildState, batch []grow.Candidate) {
 	pairs := b.applySplitBatch(st, batch)
 	st.leaves += len(batch)
+	mNodesSplit.Add(int64(len(batch)))
 	buildIDs, subs, evalIDs := b.planHists(st, pairs)
 	b.buildHistBatch(st, buildIDs)
 	b.applySubtractions(st, subs)
@@ -210,6 +235,7 @@ type childPair struct {
 // row sets (ApplySplit). Tree mutation is serial; partitions run in
 // parallel.
 func (b *Builder) applySplitBatch(st *buildState, batch []grow.Candidate) []childPair {
+	sp := obs.StartSpan("phase", "ApplySplit")
 	start := time.Now()
 	pairs := make([]childPair, len(batch))
 	for i, c := range batch {
@@ -229,7 +255,11 @@ func (b *Builder) applySplitBatch(st *buildState, batch []grow.Candidate) []chil
 		tasks := make([]func(int), len(pairs))
 		for i := range pairs {
 			p := pairs[i]
-			tasks[i] = func(int) { b.partitionNode(st, p, nil) }
+			tasks[i] = func(w int) {
+				tsp := obs.StartSpanTID("block-task", "partition", w+1)
+				b.partitionNode(st, p, nil)
+				tsp.End()
+			}
 		}
 		b.pool.RunTasks(tasks)
 	}
@@ -242,6 +272,7 @@ func (b *Builder) applySplitBatch(st *buildState, batch []grow.Candidate) []chil
 		rw.Weight = b.cfg.Params.CalcWeight(rn.sum.G, rn.sum.H)
 	}
 	b.prof.Add(profile.ApplySplit, time.Since(start))
+	sp.End()
 	return pairs
 }
 
@@ -321,11 +352,14 @@ func (b *Builder) applySubtractions(st *buildState, subs []subTask) {
 	if len(subs) == 0 {
 		return
 	}
+	sp := obs.StartSpan("phase", "SubHist")
 	start := time.Now()
 	tasks := make([]func(int), len(subs))
 	for i := range subs {
 		s := subs[i]
-		tasks[i] = func(int) {
+		tasks[i] = func(w int) {
+			tsp := obs.StartSpanTID("block-task", "sub-hist", w+1)
+			defer tsp.End()
 			parent := st.nodes[s.parent]
 			built := st.nodes[s.built]
 			sib := st.nodes[s.sibling]
@@ -340,6 +374,7 @@ func (b *Builder) applySubtractions(st *buildState, subs []subTask) {
 	}
 	b.pool.RunTasks(tasks)
 	b.prof.Add(profile.BuildHist, time.Since(start))
+	sp.End()
 }
 
 // canSplit reports whether node id can possibly be split further.
@@ -398,6 +433,7 @@ func (b *Builder) findSplitBatch(st *buildState, ids []int32) {
 	if len(ids) == 0 {
 		return
 	}
+	sp := obs.StartSpan("phase", "FindSplit")
 	start := time.Now()
 	nb := b.blocks.NumBlocks()
 	results := make([]tree.SplitInfo, len(ids)*nb)
@@ -406,9 +442,11 @@ func (b *Builder) findSplitBatch(st *buildState, ids []int32) {
 		ns := st.nodes[ids[i]]
 		for fb := 0; fb < nb; fb++ {
 			i, fb := i, fb
-			tasks = append(tasks, func(int) {
+			tasks = append(tasks, func(w int) {
+				tsp := obs.StartSpanTID("block-task", "find-split", w+1)
 				fLo, fHi, _ := b.blocks.Block(fb)
 				results[i*nb+fb] = ns.hist.FindBestSplitMasked(b.cfg.Params, ns.sum, fLo, fHi, b.colMask)
+				tsp.End()
 			})
 		}
 	}
@@ -423,6 +461,7 @@ func (b *Builder) findSplitBatch(st *buildState, ids []int32) {
 		st.nodes[id].split = best
 	}
 	b.prof.Add(profile.FindSplit, time.Since(start))
+	sp.End()
 }
 
 // finish assembles the BuiltTree and releases remaining resources.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"harpgbdt/internal/histogram"
+	"harpgbdt/internal/obs"
 	"harpgbdt/internal/profile"
 )
 
@@ -41,6 +42,7 @@ func (b *Builder) buildHistBatch(st *buildState, ids []int32) {
 	if len(ids) == 0 {
 		return
 	}
+	sp := obs.StartSpan("phase", "BuildHist")
 	start := time.Now()
 	mode := b.cfg.Mode
 	if mode == Sync || mode == Async {
@@ -60,6 +62,7 @@ func (b *Builder) buildHistBatch(st *buildState, ids []int32) {
 		b.buildHistMP(st, ids)
 	}
 	b.prof.Add(profile.BuildHist, time.Since(start))
+	sp.End()
 }
 
 // accumulate adds rows [lo, hi) of node state ns into h for feature block fb
@@ -107,6 +110,7 @@ func (b *Builder) buildHistDP(st *buildState, ids []int32) {
 		group := ids[g:end]
 		for _, id := range group {
 			st.nodes[id].hist = b.hpool.Get()
+			mBuildHistRows.Add(int64(st.nodes[id].rows.Len()))
 		}
 		replicas := make([][]*histogram.Hist, workers)
 		for w := range replicas {
@@ -124,12 +128,14 @@ func (b *Builder) buildHistDP(st *buildState, ids []int32) {
 				for fb := 0; fb < nb; fb++ {
 					gi, lo, hi, fb, ns := gi, lo, hi, fb, ns
 					tasks = append(tasks, func(w int) {
+						tsp := obs.StartSpanTID("block-task", "hist-dp", w+1)
 						rep := replicas[w][gi]
 						if rep == nil {
 							rep = b.hpool.Get()
 							replicas[w][gi] = rep
 						}
 						b.accumulate(rep, st, ns, lo, hi, fb, fullBinRange)
+						tsp.End()
 					})
 				}
 			}
@@ -148,12 +154,14 @@ func (b *Builder) buildHistDP(st *buildState, ids []int32) {
 					hi = totalBins
 				}
 				gi, lo, hi, target := gi, lo, hi, target
-				rtasks = append(rtasks, func(int) {
+				rtasks = append(rtasks, func(rw int) {
+					tsp := obs.StartSpanTID("block-task", "hist-reduce", rw+1)
 					for w := 0; w < workers; w++ {
 						if rep := replicas[w][gi]; rep != nil {
 							target.AddRange(rep, lo, hi)
 						}
 					}
+					tsp.End()
 				})
 			}
 		}
@@ -179,6 +187,7 @@ func (b *Builder) buildHistMP(st *buildState, ids []int32) {
 	ranges := b.binRanges()
 	for _, id := range ids {
 		st.nodes[id].hist = b.hpool.Get()
+		mBuildHistRows.Add(int64(st.nodes[id].rows.Len()))
 	}
 	var tasks []func(int)
 	for g := 0; g < len(ids); g += nodeBlk {
@@ -190,11 +199,13 @@ func (b *Builder) buildHistMP(st *buildState, ids []int32) {
 		for fb := 0; fb < nb; fb++ {
 			for _, br := range ranges {
 				group, fb, br := group, fb, br
-				tasks = append(tasks, func(int) {
+				tasks = append(tasks, func(w int) {
+					tsp := obs.StartSpanTID("block-task", "hist-mp", w+1)
 					for _, id := range group {
 						ns := st.nodes[id]
 						b.accumulate(ns.hist, st, ns, 0, ns.rows.Len(), fb, br)
 					}
+					tsp.End()
 				})
 			}
 		}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/obs"
+	"harpgbdt/internal/tree"
+)
+
+// TestTracingCoversEngineSpans builds trees in barrier and async modes with
+// tracing enabled and checks the trace contains the span taxonomy the
+// observability layer promises (tree / phase / block-task, plus per-node
+// spans in async mode), on the right lanes.
+func TestTracingCoversEngineSpans(t *testing.T) {
+	o := obs.NewWith(obs.NewRegistry())
+	o.EnableTracing(0)
+	obs.SetDefault(o)
+	defer obs.SetDefault(nil)
+
+	ds := testDataset(t, 3000, 12)
+	grad := dyadicGradients(ds.NumRows(), 7)
+	for _, mode := range []Mode{Sync, Async} {
+		b, err := NewBuilder(Config{Mode: mode, K: 8, Growth: grow.Leafwise, TreeSize: 6,
+			UseMemBuf: true, FeatureBlockSize: 4, NodeBlockSize: 8,
+			Params: tree.DefaultSplitParams(), Workers: 2}, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.BuildTree(grad); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := o.Tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Cat string `json:"cat"`
+			Ph  string `json:"ph"`
+			TID int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	cats := map[string]int{}
+	workerLane := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		cats[ev.Cat]++
+		if ev.TID > 0 {
+			workerLane = true
+		}
+	}
+	for _, want := range []string{"tree", "phase", "block-task", "node", "sched"} {
+		if cats[want] == 0 {
+			t.Errorf("no %q spans in trace (got %v)", want, cats)
+		}
+	}
+	if !workerLane {
+		t.Error("no spans on worker lanes (tid > 0)")
+	}
+}
+
+// TestEngineMetricsAccumulate checks the package-level engine counters move
+// when trees are built (they live in the default registry, so this also
+// pins the registration names the docs advertise).
+func TestEngineMetricsAccumulate(t *testing.T) {
+	before := map[string]int64{
+		"trees": mTreesBuilt.Value(), "nodes": mNodesSplit.Value(), "rows": mBuildHistRows.Value(),
+	}
+	ds := testDataset(t, 2000, 8)
+	grad := dyadicGradients(ds.NumRows(), 3)
+	buildWith(t, Config{Mode: Async, K: 8, Growth: grow.Leafwise, TreeSize: 5,
+		UseMemBuf: true, FeatureBlockSize: 4, NodeBlockSize: 8,
+		Params: tree.DefaultSplitParams(), Workers: 2}, ds, grad)
+	if d := mTreesBuilt.Value() - before["trees"]; d != 1 {
+		t.Errorf("trees_built_total moved by %d, want 1", d)
+	}
+	if d := mNodesSplit.Value() - before["nodes"]; d <= 0 {
+		t.Errorf("nodes_split_total did not move")
+	}
+	if d := mBuildHistRows.Value() - before["rows"]; d <= 0 {
+		t.Errorf("buildhist_rows_total did not move")
+	}
+	var buf bytes.Buffer
+	if err := obs.DefaultRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trees_built_total", "queue_depth", "spinmutex_contended_acquires_total"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("default registry exposition missing %s", want)
+		}
+	}
+}

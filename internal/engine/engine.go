@@ -8,6 +8,7 @@ package engine
 import (
 	"harpgbdt/internal/dataset"
 	"harpgbdt/internal/gh"
+	"harpgbdt/internal/obs"
 	"harpgbdt/internal/profile"
 	"harpgbdt/internal/sched"
 	"harpgbdt/internal/tree"
@@ -114,6 +115,13 @@ func GoLeftFunc(bm *dataset.BinnedMatrix, s tree.SplitInfo) func(r int32) bool {
 // prefix / scatter) and still produces the exact stable order of the serial
 // path.
 func Partition(rs RowSet, goLeft func(int32) bool, pool *sched.Pool) (left, right RowSet) {
+	// Span only on the pool-parallel path: the pool==nil path runs inside
+	// worker-owned node processing, which already has a lane span.
+	if pool != nil {
+		if sp := obs.StartSpan("engine", "Partition"); sp.Active() {
+			defer sp.End()
+		}
+	}
 	if rs.Mem != nil {
 		l, r := partitionMem(rs.Mem, goLeft, pool)
 		return RowSet{Mem: l}, RowSet{Mem: r}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+
+	"harpgbdt/internal/boost"
+	"harpgbdt/internal/core"
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/profile"
+	"harpgbdt/internal/sched"
+	"harpgbdt/internal/synth"
+)
+
+// BenchReport is the machine-readable benchmark record emitted by
+// `experiments bench -bench-out BENCH_<date>.json`: end-to-end throughput
+// of the paper's recommended configuration plus the phase breakdown and
+// scheduler/contention counters needed to compare runs across commits and
+// machines. Fields with a fixed unit carry it in the name.
+type BenchReport struct {
+	// Date is the run date (YYYY-MM-DD); the caller stamps it (the
+	// experiments package itself never reads the clock for results).
+	Date string `json:"date"`
+	// GoMaxProcs and Workers record the machine and pool width; Virtual is
+	// true when the run used the simulated parallel machine.
+	GoMaxProcs int  `json:"gomaxprocs"`
+	Workers    int  `json:"workers"`
+	Virtual    bool `json:"virtual"`
+	// Dataset shape.
+	Dataset  string `json:"dataset"`
+	Rows     int    `json:"rows"`
+	Features int    `json:"features"`
+	Rounds   int    `json:"rounds"`
+	// Engine is the trainer name (harp-ASYNC etc.).
+	Engine string `json:"engine"`
+	// Headline numbers: total tree-building time, the paper's per-tree
+	// metric, and row throughput (rows x rounds / train_seconds).
+	TrainSeconds float64 `json:"train_seconds"`
+	MsPerTree    float64 `json:"ms_per_tree"`
+	RowsPerSec   float64 `json:"rows_per_sec"`
+	// Phase breakdown (BuildHist / FindSplit / ApplySplit / Other), as
+	// absolute seconds and as fractions of the total.
+	PhaseSeconds   map[string]float64 `json:"phase_seconds"`
+	PhaseFractions map[string]float64 `json:"phase_fractions"`
+	// Scheduler analogs of the paper's VTune measurements.
+	Utilization     float64 `json:"utilization"`
+	BarrierOverhead float64 `json:"barrier_overhead"`
+	RegionsPerTree  float64 `json:"regions_per_tree"`
+	TasksPerTree    float64 `json:"tasks_per_tree"`
+	// SpinMutex contention over the run (delta of the process-wide
+	// counters, so only meaningful for single-run processes).
+	SpinContendedAcquires int64 `json:"spinmutex_contended_acquires"`
+	SpinGoschedYields     int64 `json:"spinmutex_gosched_yields"`
+	// Model quality and shape, to catch silent correctness regressions in
+	// a perf diff.
+	TrainAUC float64 `json:"train_auc"`
+	Leaves   int     `json:"leaves"`
+	MaxDepth int     `json:"max_depth"`
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *BenchReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Bench runs the throughput benchmark: the paper's recommended HarpGBDT
+// configuration (ASYNC, K=32, D=8, feature blocks of 4, node blocks of 32,
+// MemBuf on) on the Higgs-like dataset. It returns the machine-readable
+// report (Date left empty for the caller to stamp) and a printable summary
+// table.
+func Bench(sc Scale) (*BenchReport, *profile.Table, error) {
+	sc = sc.withDefaults()
+	ds, err := makeData(sc, synth.HiggsLike)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := core.NewBuilder(core.Config{
+		Mode: core.Async, K: 32, Growth: grow.Leafwise, TreeSize: 8,
+		FeatureBlockSize: 4, NodeBlockSize: 32, UseMemBuf: true,
+		Params: params(), Workers: sc.Workers, Virtual: !sc.RealThreads,
+	}, ds)
+	if err != nil {
+		return nil, nil, err
+	}
+	spin0 := sched.ReadSpinStats()
+	res, err := boost.Train(b, ds, boost.Config{Rounds: sc.Rounds, EvalEvery: sc.Rounds}, nil, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	spin1 := sched.ReadSpinStats()
+	rep := res.Report(b)
+	trainSec := res.TrainTime.Seconds()
+	r := &BenchReport{
+		GoMaxProcs:            runtime.GOMAXPROCS(0),
+		Workers:               b.Pool().Workers(),
+		Virtual:               !sc.RealThreads,
+		Dataset:               ds.Name,
+		Rows:                  ds.NumRows(),
+		Features:              ds.NumFeatures(),
+		Rounds:                len(res.PerTree),
+		Engine:                b.Name(),
+		TrainSeconds:          trainSec,
+		MsPerTree:             ms(res.AvgTreeTime()),
+		PhaseSeconds:          map[string]float64{},
+		PhaseFractions:        map[string]float64{},
+		Utilization:           rep.Utilization(),
+		BarrierOverhead:       rep.BarrierOverhead(),
+		RegionsPerTree:        perTree(rep.Sched.Regions, rep.Trees),
+		TasksPerTree:          perTree(rep.Sched.Tasks, rep.Trees),
+		SpinContendedAcquires: spin1.ContendedAcquires - spin0.ContendedAcquires,
+		SpinGoschedYields:     spin1.Yields - spin0.Yields,
+		Leaves:                res.TotalLeaves,
+		MaxDepth:              res.MaxDepth,
+	}
+	if trainSec > 0 {
+		r.RowsPerSec = float64(ds.NumRows()) * float64(len(res.PerTree)) / trainSec
+	}
+	for p := profile.BuildHist; p <= profile.Other; p++ {
+		r.PhaseSeconds[p.String()] = float64(rep.Breakdown.Nanos(p)) / 1e9
+		r.PhaseFractions[p.String()] = rep.Breakdown.Fraction(p)
+	}
+	if len(res.History) > 0 {
+		r.TrainAUC = res.History[len(res.History)-1].TrainAUC
+	}
+	tb := profile.NewTable("Benchmark: "+r.Engine+" on "+r.Dataset, "metric", "value")
+	tb.AddRow("rows x rounds", r.Rows*r.Rounds)
+	tb.AddRow("train seconds", r.TrainSeconds)
+	tb.AddRow("ms/tree", r.MsPerTree)
+	tb.AddRow("rows/sec", r.RowsPerSec)
+	tb.AddRow("utilization", r.Utilization)
+	tb.AddRow("barrier overhead", r.BarrierOverhead)
+	tb.AddRow("spin contended", r.SpinContendedAcquires)
+	tb.AddRow("spin yields", r.SpinGoschedYields)
+	tb.AddRow("train AUC", r.TrainAUC)
+	return r, tb, nil
+}
+
+func perTree(n int64, trees int) float64 {
+	if trees <= 0 {
+		return 0
+	}
+	return float64(n) / float64(trees)
+}

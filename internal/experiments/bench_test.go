@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestBenchReport(t *testing.T) {
+	rep, tb, err := Bench(Scale{Rows: 2000, Rounds: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows != 2000 || rep.Rounds != 2 || rep.Dataset != "higgs" {
+		t.Fatalf("report shape %+v", rep)
+	}
+	if rep.TrainSeconds <= 0 || rep.MsPerTree <= 0 || rep.RowsPerSec <= 0 {
+		t.Fatalf("timings not positive: %+v", rep)
+	}
+	if rep.TrainAUC <= 0.5 {
+		t.Fatalf("train AUC %f, want > 0.5", rep.TrainAUC)
+	}
+	fracSum := 0.0
+	for _, f := range rep.PhaseFractions {
+		fracSum += f
+	}
+	if fracSum < 0.99 || fracSum > 1.01 {
+		t.Fatalf("phase fractions sum to %f", fracSum)
+	}
+	if rep.Workers != 32 || !rep.Virtual {
+		t.Fatalf("default scale should use the 32-worker virtual machine: %+v", rep)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round BenchReport
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.RowsPerSec != rep.RowsPerSec {
+		t.Fatal("JSON round-trip changed rows_per_sec")
+	}
+	if tb == nil || len(tb.Rows) == 0 {
+		t.Fatal("summary table empty")
+	}
+}

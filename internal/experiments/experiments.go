@@ -159,6 +159,10 @@ func newXGBApprox(sc Scale, ds *dataset.Dataset, d int) (engine.Builder, error) 
 	return baseline.NewXGBApprox(baselineCfg(sc, grow.Depthwise, d), ds)
 }
 
+// Table is the printable result table type (re-exported for callers that
+// otherwise need no profile import).
+type Table = profile.Table
+
 // Runner is an experiment entry point.
 type Runner func(Scale) ([]*profile.Table, error)
 

@@ -26,6 +26,29 @@ type Objective interface {
 	Transform(margin float64) float64
 }
 
+// PointLoss is implemented by objectives that can report their pointwise
+// loss at a raw margin (used for per-iteration loss reporting; gradient
+// computation never needs it).
+type PointLoss interface {
+	// Loss returns loss(margin, label) on the raw-margin scale.
+	Loss(margin float64, label float32) float64
+}
+
+// MeanLoss returns the mean pointwise loss of the objective over the
+// margins, or NaN when the objective does not implement PointLoss (e.g. a
+// weighted wrapper) or the input is empty.
+func MeanLoss(o Objective, margins []float64, labels []float32) float64 {
+	pl, ok := o.(PointLoss)
+	if !ok || len(margins) == 0 || len(margins) != len(labels) {
+		return math.NaN()
+	}
+	s := 0.0
+	for i := range margins {
+		s += pl.Loss(margins[i], labels[i])
+	}
+	return s / float64(len(margins))
+}
+
 // New returns the objective registered under name.
 func New(name string) (Objective, error) {
 	switch name {
@@ -77,6 +100,21 @@ func (Logistic) Gradients(preds []float64, labels []float32, grad gh.Buffer) {
 // Transform implements Objective.
 func (Logistic) Transform(margin float64) float64 { return sigmoid(margin) }
 
+// Loss implements PointLoss: binary cross-entropy, clamped away from
+// log(0).
+func (Logistic) Loss(margin float64, label float32) float64 {
+	p := sigmoid(margin)
+	const eps = 1e-15
+	if p < eps {
+		p = eps
+	}
+	if p > 1-eps {
+		p = 1 - eps
+	}
+	y := float64(label)
+	return -(y*math.Log(p) + (1-y)*math.Log(1-p))
+}
+
 // SquaredError is 1/2 (pred-y)^2: g = pred - y, h = 1.
 type SquaredError struct{}
 
@@ -104,6 +142,12 @@ func (SquaredError) Gradients(preds []float64, labels []float32, grad gh.Buffer)
 
 // Transform implements Objective.
 func (SquaredError) Transform(margin float64) float64 { return margin }
+
+// Loss implements PointLoss: 1/2 (margin - y)^2, matching the gradients.
+func (SquaredError) Loss(margin float64, label float32) float64 {
+	d := margin - float64(label)
+	return 0.5 * d * d
+}
 
 func sigmoid(x float64) float64 {
 	return 1 / (1 + math.Exp(-x))

@@ -1,0 +1,161 @@
+// Package obs is the observability layer of the trainer: a low-overhead
+// span tracer emitting Chrome trace-event JSON (open chrome://tracing or
+// https://ui.perfetto.dev and load the file), a stdlib-only metrics
+// registry with Prometheus text exposition, and an optional HTTP server
+// exposing /metrics, /progress and /debug/pprof.
+//
+// The package substitutes for the Intel VTune timeline views the paper
+// uses: each traced span is one box on a per-worker lane, so the DP / MP /
+// SYNC / ASYNC schedules of the engines can be seen rather than inferred
+// from aggregate numbers.
+//
+// Instrumentation sites go through the package-level default observer so
+// hot paths need no plumbing:
+//
+//	sp := obs.StartSpanTID("block-task", "hist-mp", worker+1)
+//	... work ...
+//	sp.End()
+//
+// When no observer (or no tracer) is installed, StartSpan costs one atomic
+// pointer load, returns the zero Span, and allocates nothing; Span.End on
+// the zero Span is a no-op. Metric handles (*Counter, *Gauge, *Histogram)
+// are plain atomics and are nil-safe, so instrumented code never branches
+// on "is observability on".
+//
+// The package is intentionally a leaf: it imports only the standard
+// library, so every other internal package may import it freely.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Observer bundles the per-run observability state: an optional tracer, a
+// metrics registry and a mutable progress snapshot served at /progress.
+type Observer struct {
+	// Tracer is nil until EnableTracing is called; a nil Tracer records
+	// nothing and is safe to use.
+	Tracer *Tracer
+	// Registry collects the run's metrics. New() wires the process-wide
+	// DefaultRegistry so pre-registered engine metrics are included.
+	Registry *Registry
+
+	mu       sync.Mutex
+	progress map[string]any
+}
+
+// New returns an observer backed by the process-wide default registry
+// (tracing disabled until EnableTracing).
+func New() *Observer { return NewWith(DefaultRegistry()) }
+
+// NewWith returns an observer backed by the given registry. Tests use this
+// to isolate metric state from the default registry.
+func NewWith(reg *Registry) *Observer {
+	return &Observer{Registry: reg, progress: make(map[string]any)}
+}
+
+// EnableTracing attaches a fresh tracer recording up to maxEvents events
+// (<= 0 selects DefaultMaxEvents) and returns it. Call SetDefault
+// afterwards to route package-level StartSpan calls to it.
+func (o *Observer) EnableTracing(maxEvents int) *Tracer {
+	o.Tracer = NewTracer(maxEvents)
+	return o.Tracer
+}
+
+// SetProgress stores one key of the live progress snapshot. Nil-safe.
+func (o *Observer) SetProgress(key string, value any) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	if o.progress == nil {
+		o.progress = make(map[string]any)
+	}
+	o.progress[key] = value
+	o.mu.Unlock()
+}
+
+// UpdateProgress merges kv into the live progress snapshot. Nil-safe.
+func (o *Observer) UpdateProgress(kv map[string]any) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	if o.progress == nil {
+		o.progress = make(map[string]any)
+	}
+	for k, v := range kv {
+		o.progress[k] = v
+	}
+	o.mu.Unlock()
+}
+
+// Progress returns a copy of the current progress snapshot.
+func (o *Observer) Progress() map[string]any {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]any, len(o.progress))
+	for k, v := range o.progress {
+		out[k] = v
+	}
+	return out
+}
+
+// Package-level default observer. The tracer pointer is kept separately so
+// the disabled fast path of StartSpan is exactly one atomic load.
+var (
+	defaultObserver atomic.Pointer[Observer]
+	defaultTracer   atomic.Pointer[Tracer]
+	defaultRegistry = NewRegistry()
+)
+
+// DefaultRegistry returns the process-wide metrics registry. It always
+// exists, so packages may register their metrics at init time regardless
+// of whether an observer is ever installed.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// SetDefault installs o as the process default observer, routing
+// package-level StartSpan calls to o.Tracer. Passing nil (or an observer
+// without a tracer) disables tracing.
+func SetDefault(o *Observer) {
+	defaultObserver.Store(o)
+	if o != nil {
+		defaultTracer.Store(o.Tracer)
+	} else {
+		defaultTracer.Store(nil)
+	}
+}
+
+// Default returns the installed default observer (nil when none).
+func Default() *Observer { return defaultObserver.Load() }
+
+// TracingEnabled reports whether package-level spans are being recorded.
+func TracingEnabled() bool { return defaultTracer.Load() != nil }
+
+// StartSpan opens a span on the orchestrator lane (tid 0) of the default
+// tracer. When tracing is disabled it returns the zero Span without
+// allocating.
+func StartSpan(cat, name string) Span { return StartSpanTID(cat, name, 0) }
+
+// StartSpanTID opens a span on the given timeline lane of the default
+// tracer. By convention lane 0 is the orchestrator goroutine and worker w
+// uses lane w+1.
+func StartSpanTID(cat, name string, tid int) Span {
+	t := defaultTracer.Load()
+	if t == nil {
+		return Span{}
+	}
+	return t.StartSpanTID(cat, name, tid)
+}
+
+// Instant records an instant event on the default tracer (a vertical mark
+// in the timeline). No-op when tracing is disabled.
+func Instant(cat, name string, tid int) {
+	if t := defaultTracer.Load(); t != nil {
+		t.Instant(cat, name, tid)
+	}
+}

@@ -1,0 +1,372 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; all methods are nil-safe so instrumented code can hold a nil handle
+// when a registry rejects registration.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down (a float64 behind atomic bit
+// operations). Nil-safe.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into cumulative buckets, Prometheus-style.
+// Nil-safe.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, exclusive of +Inf
+	counts  []atomic.Int64
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// start and multiplying by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out = append(out, v)
+		v *= factor
+	}
+	return out
+}
+
+// DefTimeBuckets are the default duration buckets (seconds): 100µs .. ~52s.
+var DefTimeBuckets = ExpBuckets(1e-4, 2, 20)
+
+// metricKind tags a registered metric for the TYPE exposition line.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// registered is one registry entry. Exactly one of counter/gauge/hist/fn
+// is set; fn-backed entries are read at scrape time.
+type registered struct {
+	full, base, help string
+	kind             metricKind
+	counter          *Counter
+	gauge            *Gauge
+	hist             *Histogram
+	fn               func() float64
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Metric names may carry a label suffix built with
+// Labels ("x_total{phase=\"BuildHist\"}"); entries sharing a base name are
+// grouped under one HELP/TYPE header. Registration is idempotent: asking
+// for an existing name of the same kind returns the existing handle.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*registered
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{metrics: make(map[string]*registered)} }
+
+// baseName strips a label suffix. Panics on names that would produce
+// invalid exposition output (programmer error, caught in tests).
+func baseName(full string) string {
+	base := full
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		base = full[:i]
+		if !strings.HasSuffix(full, "}") || i == 0 {
+			panic(fmt.Sprintf("obs: malformed metric name %q", full))
+		}
+	}
+	for i, r := range base {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			panic(fmt.Sprintf("obs: invalid metric name %q", full))
+		}
+	}
+	if base == "" {
+		panic("obs: empty metric name")
+	}
+	return base
+}
+
+// Labels appends a label suffix to a metric name from alternating
+// key/value arguments: Labels("x_total", "phase", "BuildHist") returns
+// `x_total{phase="BuildHist"}`.
+func Labels(name string, kv ...string) string {
+	if len(kv) == 0 || len(kv)%2 != 0 {
+		panic("obs: Labels needs alternating key/value pairs")
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(kv[i])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(kv[i+1]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// lookup returns the existing entry for name (enforcing kind) or creates
+// one via mk.
+func (r *Registry) lookup(name, help string, kind metricKind, mk func() *registered) *registered {
+	base := baseName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.metrics[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, e.kind))
+		}
+		return e
+	}
+	e := mk()
+	e.full, e.base, e.help, e.kind = name, base, help, kind
+	r.metrics[name] = e
+	return e
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	e := r.lookup(name, help, kindCounter, func() *registered { return &registered{counter: &Counter{}} })
+	return e.counter
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	e := r.lookup(name, help, kindGauge, func() *registered { return &registered{gauge: &Gauge{}} })
+	return e.gauge
+}
+
+// Histogram registers (or returns the existing) histogram under name with
+// the given bucket upper bounds (nil selects DefTimeBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefTimeBuckets
+	}
+	e := r.lookup(name, help, kindHistogram, func() *registered { return &registered{hist: newHistogram(buckets)} })
+	return e.hist
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time (for folding in externally accumulated totals, e.g. the profile
+// phase breakdown). Re-registering the same name replaces the function, so
+// successive training runs can rebind their breakdown.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.registerFunc(name, help, kindCounter, fn)
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time. Re-registering
+// replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.registerFunc(name, help, kindGauge, fn)
+}
+
+func (r *Registry) registerFunc(name, help string, kind metricKind, fn func() float64) {
+	base := baseName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.metrics[name]; ok {
+		if e.kind != kind || e.fn == nil {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s func (was non-func %s)", name, kind, e.kind))
+		}
+		e.fn = fn
+		return
+	}
+	r.metrics[name] = &registered{full: name, base: base, help: help, kind: kind, fn: fn}
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), sorted by name for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	list := make([]*registered, 0, len(r.metrics))
+	for _, e := range r.metrics {
+		list = append(list, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].base != list[j].base {
+			return list[i].base < list[j].base
+		}
+		return list[i].full < list[j].full
+	})
+	bw := bufio.NewWriter(w)
+	lastBase := ""
+	for _, e := range list {
+		if e.base != lastBase {
+			if e.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", e.base, strings.ReplaceAll(e.help, "\n", " "))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", e.base, e.kind)
+			lastBase = e.base
+		}
+		switch {
+		case e.fn != nil:
+			fmt.Fprintf(bw, "%s %s\n", e.full, formatFloat(e.fn()))
+		case e.counter != nil:
+			fmt.Fprintf(bw, "%s %d\n", e.full, e.counter.Value())
+		case e.gauge != nil:
+			fmt.Fprintf(bw, "%s %s\n", e.full, formatFloat(e.gauge.Value()))
+		case e.hist != nil:
+			writeHistogram(bw, e)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(bw *bufio.Writer, e *registered) {
+	h := e.hist
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(bw, "%s %d\n", suffixed(e.full, "_bucket", "le", formatFloat(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(bw, "%s %d\n", suffixed(e.full, "_bucket", "le", "+Inf"), cum)
+	fmt.Fprintf(bw, "%s %s\n", suffixed(e.full, "_sum", "", ""), formatFloat(h.Sum()))
+	fmt.Fprintf(bw, "%s %d\n", suffixed(e.full, "_count", "", ""), h.Count())
+}
+
+// suffixed inserts a name suffix before any label block and optionally
+// appends one extra label: suffixed(`x{a="b"}`, "_bucket", "le", "0.5")
+// returns `x_bucket{a="b",le="0.5"}`.
+func suffixed(full, suffix, extraKey, extraVal string) string {
+	name, labels := full, ""
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		name, labels = full[:i], full[i+1:len(full)-1]
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteString(suffix)
+	if labels == "" && extraKey == "" {
+		return sb.String()
+	}
+	sb.WriteByte('{')
+	sb.WriteString(labels)
+	if extraKey != "" {
+		if labels != "" {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraKey)
+		sb.WriteString(`="`)
+		sb.WriteString(extraVal)
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

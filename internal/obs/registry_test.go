@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.String()
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rows_total", "Rows processed.").Add(42)
+	r.Gauge("depth", "Queue depth.").Set(3.5)
+	r.Counter(Labels("phase_seconds_total", "phase", "BuildHist"), "Per-phase time.").Add(7)
+	r.Counter(Labels("phase_seconds_total", "phase", "FindSplit"), "Per-phase time.").Add(9)
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.5, 2})
+	h.Observe(0.1)
+	h.Observe(1)
+	h.Observe(10)
+
+	out := scrape(t, r)
+	for _, want := range []string{
+		"# HELP rows_total Rows processed.",
+		"# TYPE rows_total counter",
+		"rows_total 42",
+		"# TYPE depth gauge",
+		"depth 3.5",
+		`phase_seconds_total{phase="BuildHist"} 7`,
+		`phase_seconds_total{phase="FindSplit"} 9`,
+		`lat_seconds_bucket{le="0.5"} 1`,
+		`lat_seconds_bucket{le="2"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 11.1",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Labeled series sharing a base name get exactly one HELP/TYPE header.
+	if got := strings.Count(out, "# TYPE phase_seconds_total counter"); got != 1 {
+		t.Errorf("phase_seconds_total TYPE header appears %d times", got)
+	}
+}
+
+func TestRegistryIdempotentAndKindChecked(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "other help")
+	if a != b {
+		t.Fatal("re-registration returned a different counter handle")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("registering x_total as a gauge did not panic")
+			}
+		}()
+		r.Gauge("x_total", "help")
+	}()
+}
+
+func TestRegistryFuncReplace(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("util", "Utilization.", func() float64 { return 0.25 })
+	if out := scrape(t, r); !strings.Contains(out, "util 0.25\n") {
+		t.Fatalf("first binding not scraped:\n%s", out)
+	}
+	// A second run rebinds the source; the scrape must follow.
+	r.GaugeFunc("util", "Utilization.", func() float64 { return 0.75 })
+	if out := scrape(t, r); !strings.Contains(out, "util 0.75\n") {
+		t.Fatalf("rebinding not scraped:\n%s", out)
+	}
+}
+
+func TestBadMetricNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"", "0bad", "has space", "unbalanced{", `{x="y"}`} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", name)
+				}
+			}()
+			r.Counter(name, "")
+		}()
+	}
+}
+
+func TestLabelsEscaping(t *testing.T) {
+	got := Labels("m", "k", `va"l\ue`+"\n")
+	want := `m{k="va\"l\\ue\n"}`
+	if got != want {
+		t.Fatalf("Labels = %q, want %q", got, want)
+	}
+}
+
+func TestNilMetricHandlesSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metric handles reported values")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(b) != len(want) {
+		t.Fatalf("got %v", b)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("got %v, want %v", b, want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the live observability endpoint of a training run:
+//
+//	/metrics        Prometheus text exposition of the observer's registry
+//	/progress       JSON snapshot of the run (round, losses, timings)
+//	/trace          the Chrome trace recorded so far (when tracing is on)
+//	/debug/pprof/*  the standard Go profiling handlers
+//
+// Construct with Serve; the zero value is not usable.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts the observability HTTP server on addr (":0" picks a free
+// port; read the chosen address back with Addr). The server runs until
+// Close.
+func Serve(addr string, o *Observer) (*Server, error) {
+	if o == nil {
+		o = New()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(o.Progress())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		if o.Tracer == nil {
+			http.Error(w, "tracing disabled (run with -trace-out)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		o.Tracer.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "harpgbdt observability\n\n/metrics\n/progress\n/trace\n/debug/pprof/\n")
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}, ln: ln}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

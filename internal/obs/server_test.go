@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestServerEndpoints(t *testing.T) {
+	o := NewWith(NewRegistry())
+	o.Registry.Counter("rows_total", "Rows.").Add(7)
+	o.EnableTracing(64)
+	o.Tracer.Instant("cat", "mark", 0)
+	o.SetProgress("round", 12)
+
+	s, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "rows_total 7\n") {
+		t.Fatalf("/metrics: code %d body %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content-type %q", ct)
+	}
+
+	code, body, _ = get(t, base+"/progress")
+	var progress map[string]any
+	if code != http.StatusOK || json.Unmarshal([]byte(body), &progress) != nil {
+		t.Fatalf("/progress: code %d body %q", code, body)
+	}
+	if progress["round"] != float64(12) {
+		t.Fatalf("/progress round = %v", progress["round"])
+	}
+
+	code, body, _ = get(t, base+"/trace")
+	var doc map[string]any
+	if code != http.StatusOK || json.Unmarshal([]byte(body), &doc) != nil {
+		t.Fatalf("/trace: code %d body %q", code, body)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatal("/trace missing traceEvents")
+	}
+
+	code, body, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Fatalf("/debug/pprof/cmdline: code %d", code)
+	}
+
+	code, body, _ = get(t, base+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: code %d body %q", code, body)
+	}
+	if code, _, _ = get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path returned %d", code)
+	}
+}
+
+func TestServerTraceDisabled(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", NewWith(NewRegistry()))
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer s.Close()
+	code, _, _ := get(t, "http://"+s.Addr()+"/trace")
+	if code != http.StatusNotFound {
+		t.Fatalf("/trace without tracer returned %d, want 404", code)
+	}
+}

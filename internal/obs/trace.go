@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DefaultMaxEvents bounds a tracer's in-memory event buffer (~64 MB at the
+// default). Events past the cap are counted in Dropped instead of recorded,
+// so a long training run cannot exhaust memory.
+const DefaultMaxEvents = 1 << 20
+
+// Arg is one key/value annotation attached to a span.
+type Arg struct {
+	Key   string
+	Value any
+}
+
+// event is one recorded trace event (Chrome trace-event "phases": 'X' =
+// complete span, 'i' = instant). Timestamps are nanoseconds since the
+// tracer's epoch.
+type event struct {
+	name, cat string
+	ph        byte
+	ts, dur   int64
+	tid       int32
+	args      []Arg
+}
+
+// Tracer records spans into a bounded in-memory buffer and serializes them
+// as Chrome trace-event JSON. All methods are safe for concurrent use and
+// nil-safe (a nil *Tracer records nothing).
+type Tracer struct {
+	epoch time.Time
+	max   int
+
+	mu      sync.Mutex
+	events  []event
+	dropped int64
+}
+
+// NewTracer returns an enabled tracer holding up to maxEvents events
+// (<= 0 selects DefaultMaxEvents).
+func NewTracer(maxEvents int) *Tracer {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	return &Tracer{epoch: time.Now(), max: maxEvents}
+}
+
+func (t *Tracer) now() int64 { return time.Since(t.epoch).Nanoseconds() }
+
+// Span is an open trace interval. The zero Span is inert: End is a no-op,
+// so call sites need no enabled-check of their own.
+type Span struct {
+	t         *Tracer
+	cat, name string
+	start     int64
+	tid       int32
+}
+
+// Active reports whether the span will be recorded. Use it to skip
+// building expensive EndWith arguments when tracing is off.
+func (s Span) Active() bool { return s.t != nil }
+
+// StartSpan opens a span on lane 0.
+func (t *Tracer) StartSpan(cat, name string) Span { return t.StartSpanTID(cat, name, 0) }
+
+// StartSpanTID opens a span on the given timeline lane. Nil-safe.
+func (t *Tracer) StartSpanTID(cat, name string, tid int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, cat: cat, name: name, start: t.now(), tid: int32(tid)}
+}
+
+// End records the span with no annotations.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.add(event{name: s.name, cat: s.cat, ph: 'X', ts: s.start, dur: s.t.now() - s.start, tid: s.tid})
+}
+
+// EndWith records the span with key/value annotations (shown in the trace
+// viewer's detail pane). Prefer End on hot paths; argument packing is only
+// worth paying for coarse spans.
+func (s Span) EndWith(args ...Arg) {
+	if s.t == nil {
+		return
+	}
+	s.t.add(event{name: s.name, cat: s.cat, ph: 'X', ts: s.start, dur: s.t.now() - s.start, tid: s.tid, args: args})
+}
+
+// Instant records a zero-duration marker event. Nil-safe.
+func (t *Tracer) Instant(cat, name string, tid int) {
+	if t == nil {
+		return
+	}
+	t.add(event{name: name, cat: cat, ph: 'i', ts: t.now(), tid: int32(tid)})
+}
+
+func (t *Tracer) add(ev event) {
+	t.mu.Lock()
+	if len(t.events) < t.max {
+		t.events = append(t.events, ev)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events were discarded at the buffer cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// jsonEvent is the Chrome trace-event wire format. Timestamps and
+// durations are microseconds (fractional microseconds are allowed).
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type jsonTrace struct {
+	TraceEvents     []jsonEvent    `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteJSON serializes the recorded events as a Chrome trace-event JSON
+// object ({"traceEvents": [...]}). Lane 0 is named "orchestrator" and lane
+// n > 0 "worker-<n-1>" via thread_name metadata events.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	t.mu.Lock()
+	events := make([]event, len(t.events))
+	copy(events, t.events)
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].ts < events[j].ts })
+
+	const pid = 1
+	doc := jsonTrace{DisplayTimeUnit: "ms"}
+	doc.TraceEvents = append(doc.TraceEvents, jsonEvent{
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": "harpgbdt"},
+	})
+	lanes := map[int32]bool{}
+	for _, ev := range events {
+		lanes[ev.tid] = true
+	}
+	laneIDs := make([]int, 0, len(lanes))
+	for tid := range lanes {
+		laneIDs = append(laneIDs, int(tid))
+	}
+	sort.Ints(laneIDs)
+	for _, tid := range laneIDs {
+		name := "orchestrator"
+		if tid > 0 {
+			name = "worker-" + strconv.Itoa(tid-1)
+		}
+		doc.TraceEvents = append(doc.TraceEvents, jsonEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, ev := range events {
+		je := jsonEvent{
+			Name: ev.name, Cat: ev.cat, Ph: string(ev.ph),
+			TS: float64(ev.ts) / 1e3, PID: pid, TID: int(ev.tid),
+		}
+		if ev.ph == 'X' {
+			je.Dur = float64(ev.dur) / 1e3
+		}
+		if ev.ph == 'i' {
+			je.S = "t" // thread-scoped instant
+		}
+		if len(ev.args) > 0 {
+			je.Args = make(map[string]any, len(ev.args))
+			for _, a := range ev.args {
+				je.Args[a.Key] = a.Value
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, je)
+	}
+	if dropped > 0 {
+		doc.OtherData = map[string]any{"droppedEvents": dropped}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteFile writes the trace to path (chrome://tracing loadable).
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

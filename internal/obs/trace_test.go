@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// parsedTrace mirrors the Chrome trace-event wire format for decoding in
+// tests.
+type parsedTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	OtherData map[string]any `json:"otherData"`
+}
+
+func decodeTrace(t *testing.T, tr *Tracer) parsedTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc parsedTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+func TestTraceJSONWellFormed(t *testing.T) {
+	tr := NewTracer(0)
+	outer := tr.StartSpan("tree", "BuildTree")
+	inner := tr.StartSpanTID("block-task", "hist-dp", 2)
+	inner.End()
+	tr.Instant("queue", "push", 0)
+	outer.EndWith(Arg{Key: "leaves", Value: 31})
+
+	doc := decodeTrace(t, tr)
+	var spans, instants, meta int
+	threadNames := map[int]string{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Dur < 0 {
+				t.Errorf("span %s has negative dur %f", ev.Name, ev.Dur)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+			if ev.Name == "thread_name" {
+				threadNames[ev.TID] = ev.Args["name"].(string)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if spans != 2 || instants != 1 || meta == 0 {
+		t.Fatalf("got %d spans, %d instants, %d metadata events", spans, instants, meta)
+	}
+	if threadNames[0] != "orchestrator" || threadNames[2] != "worker-1" {
+		t.Fatalf("thread names %v", threadNames)
+	}
+	// The EndWith annotation must round-trip.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "BuildTree" && ev.Args["leaves"] == float64(31) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("BuildTree span lost its leaves annotation")
+	}
+}
+
+// TestConcurrentSpansNestWellFormed hammers one tracer from many goroutines
+// (one lane each, as the instrumentation convention requires) and checks
+// that every lane's span intervals are properly nested — either disjoint or
+// contained, never partially overlapping. Run under -race this also proves
+// the tracer is data-race free.
+func TestConcurrentSpansNestWellFormed(t *testing.T) {
+	tr := NewTracer(0)
+	const workers, depth, reps = 8, 3, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < reps; r++ {
+				var open []Span
+				for d := 0; d < depth; d++ {
+					open = append(open, tr.StartSpanTID("cat", "span", w+1))
+				}
+				for i := len(open) - 1; i >= 0; i-- {
+					open[i].End()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := tr.Len(), workers*depth*reps; got != want {
+		t.Fatalf("recorded %d events, want %d", got, want)
+	}
+
+	doc := decodeTrace(t, tr)
+	type iv struct{ s, e float64 }
+	lanes := map[int][]iv{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			lanes[ev.TID] = append(lanes[ev.TID], iv{ev.TS, ev.TS + ev.Dur})
+		}
+	}
+	if len(lanes) != workers {
+		t.Fatalf("%d lanes, want %d", len(lanes), workers)
+	}
+	for tid, ivs := range lanes {
+		for i := 0; i < len(ivs); i++ {
+			for j := i + 1; j < len(ivs); j++ {
+				a, b := ivs[i], ivs[j]
+				disjoint := a.e <= b.s || b.e <= a.s
+				nested := (a.s <= b.s && b.e <= a.e) || (b.s <= a.s && a.e <= b.e)
+				if !disjoint && !nested {
+					t.Fatalf("lane %d: partially overlapping spans [%f,%f] and [%f,%f]",
+						tid, a.s, a.e, b.s, b.e)
+				}
+			}
+		}
+	}
+}
+
+func TestDisabledSpanAllocatesNothing(t *testing.T) {
+	SetDefault(nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := StartSpanTID("cat", "name", 3)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled StartSpan+End allocated %v bytes/op, want 0", allocs)
+	}
+}
+
+func TestDefaultObserverRouting(t *testing.T) {
+	defer SetDefault(nil)
+	o := NewWith(NewRegistry())
+	SetDefault(o)
+	if TracingEnabled() {
+		t.Fatal("tracing reported enabled without a tracer")
+	}
+	if sp := StartSpan("a", "b"); sp.Active() {
+		t.Fatal("got an active span without a tracer")
+	}
+	o.EnableTracing(16)
+	SetDefault(o)
+	if !TracingEnabled() {
+		t.Fatal("tracing not enabled after EnableTracing + SetDefault")
+	}
+	sp := StartSpan("a", "b")
+	if !sp.Active() {
+		t.Fatal("span inactive with tracer installed")
+	}
+	sp.End()
+	Instant("a", "mark", 0)
+	if got := o.Tracer.Len(); got != 2 {
+		t.Fatalf("tracer recorded %d events, want 2", got)
+	}
+}
+
+func TestTracerEventCap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Instant("cat", "ev", 0)
+	}
+	if tr.Len() != 4 || tr.Dropped() != 6 {
+		t.Fatalf("len %d dropped %d, want 4 and 6", tr.Len(), tr.Dropped())
+	}
+	doc := decodeTrace(t, tr)
+	if doc.OtherData["droppedEvents"] != float64(6) {
+		t.Fatalf("otherData %v missing droppedEvents=6", doc.OtherData)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpanTID("a", "b", 1)
+	sp.End()
+	sp.EndWith(Arg{Key: "k", Value: 1})
+	tr.Instant("a", "b", 0)
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer reported events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc parsedTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer JSON invalid: %v", err)
+	}
+}
+
+func TestProgressSnapshot(t *testing.T) {
+	o := NewWith(NewRegistry())
+	o.SetProgress("round", 3)
+	o.UpdateProgress(map[string]any{"loss": 0.5, "round": 4})
+	p := o.Progress()
+	if p["round"] != 4 || p["loss"] != 0.5 {
+		t.Fatalf("progress %v", p)
+	}
+	// Nil-safety.
+	var nilO *Observer
+	nilO.SetProgress("x", 1)
+	nilO.UpdateProgress(map[string]any{"x": 1})
+	if nilO.Progress() != nil {
+		t.Fatal("nil observer returned progress")
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	SetDefault(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpanTID("cat", "name", 1)
+		sp.End()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	o := NewWith(NewRegistry())
+	o.EnableTracing(1 << 10)
+	SetDefault(o)
+	defer SetDefault(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpanTID("cat", "name", 1)
+		sp.End()
+	}
+}

@@ -1,0 +1,77 @@
+package profile
+
+import (
+	"fmt"
+	"time"
+
+	"harpgbdt/internal/obs"
+	"harpgbdt/internal/sched"
+)
+
+// RegisterObs folds a run's phase breakdown and scheduler statistics into
+// an obs metrics registry, so one /metrics scrape covers the paper's
+// VTune-style phase fractions (Fig. 4), the utilization and barrier
+// analogs (Tables I/VI) and the live counters. The values are read at
+// scrape time; re-registering (a new training run on the same registry)
+// rebinds the sources.
+func RegisterObs(reg *obs.Registry, b *Breakdown, pool *sched.Pool) {
+	for p := Phase(0); p < numPhases; p++ {
+		p := p
+		reg.CounterFunc(obs.Labels("phase_seconds_total", "phase", p.String()),
+			"Accumulated wall time per tree-building phase.",
+			func() float64 { return float64(b.Nanos(p)) / 1e9 })
+		reg.CounterFunc(obs.Labels("phase_intervals_total", "phase", p.String()),
+			"Recorded intervals per tree-building phase.",
+			func() float64 { return float64(b.Count(p)) })
+	}
+	if pool == nil {
+		return
+	}
+	reg.GaugeFunc("sched_workers",
+		"Parallel width of the scheduler pool.",
+		func() float64 { return float64(pool.Workers()) })
+	reg.GaugeFunc("sched_utilization_ratio",
+		"Busy worker time over wall time x workers inside parallel regions (CPU-utilization analog).",
+		func() float64 { return pool.Stats().Utilization(pool.Workers()) })
+	reg.GaugeFunc("sched_barrier_overhead_ratio",
+		"Barrier wait time over total worker time (OpenMP-barrier-overhead analog).",
+		func() float64 { return pool.Stats().BarrierOverhead() })
+	reg.CounterFunc("sched_regions_total",
+		"Parallel regions executed (each ends with one barrier).",
+		func() float64 { return float64(pool.Stats().Regions) })
+	reg.CounterFunc("sched_tasks_total",
+		"Work items scheduled across parallel regions.",
+		func() float64 { return float64(pool.Stats().Tasks) })
+}
+
+// PhaseTable renders the report as the paper-style profiling table printed
+// by `harpgbdt train -profile` and cmd/experiments: one row per phase with
+// its share of total tree-building time, then the scheduler's utilization
+// and barrier-overhead analogs.
+func (r Report) PhaseTable() *Table {
+	tb := NewTable(
+		fmt.Sprintf("Training profile: %s (%d workers, %d trees)", r.Trainer, r.Workers, r.Trees),
+		"phase", "time", "share%", "intervals")
+	for p := Phase(0); p < numPhases; p++ {
+		tb.AddRow(p.String(),
+			time.Duration(r.Breakdown.Nanos(p)).Round(time.Microsecond).String(),
+			100*r.Breakdown.Fraction(p),
+			r.Breakdown.Count(p))
+	}
+	tb.AddRow("total", time.Duration(r.Breakdown.Total()).Round(time.Microsecond).String(), 100.0, "")
+	tb.AddRow("", "", "", "")
+	tb.AddRow("utilization%", 100*r.Utilization(), "", "")
+	tb.AddRow("barrier-overhead%", 100*r.BarrierOverhead(), "", "")
+	tb.AddRow("regions/tree", perTree(r.Sched.Regions, r.Trees), "", "")
+	tb.AddRow("tasks/tree", perTree(r.Sched.Tasks, r.Trees), "", "")
+	tb.AddRow("leaves", r.Leaves, "", "")
+	tb.AddRow("max-depth", r.MaxDepth, "", "")
+	return tb
+}
+
+func perTree(n int64, trees int) float64 {
+	if trees <= 0 {
+		return 0
+	}
+	return float64(n) / float64(trees)
+}

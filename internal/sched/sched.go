@@ -17,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"harpgbdt/internal/obs"
 )
 
 // Stats accumulates instrumentation over the lifetime of a Pool (or between
@@ -131,6 +133,9 @@ func (p *Pool) record(regions, tasks, busy, wait, wall int64) {
 // at least 1). body may be called concurrently from distinct workers;
 // worker identifies the executing worker in [0, Workers()).
 func (p *Pool) ParallelFor(n, chunk int, body func(lo, hi, worker int)) {
+	if sp := obs.StartSpan("sched", "parallel-for"); sp.Active() {
+		defer sp.End()
+	}
 	if n <= 0 {
 		p.record(1, 0, 0, 0, 0)
 		return
@@ -213,6 +218,9 @@ func (p *Pool) ParallelFor(n, chunk int, body func(lo, hi, worker int)) {
 // workers, and waits for all (one barrier). The worker index is passed to
 // each task.
 func (p *Pool) RunTasks(tasks []func(worker int)) {
+	if sp := obs.StartSpan("sched", "run-tasks"); sp.Active() {
+		defer sp.End()
+	}
 	n := len(tasks)
 	if n == 0 {
 		p.record(1, 0, 0, 0, 0)
@@ -274,6 +282,9 @@ func (p *Pool) RunTasks(tasks []func(worker int)) {
 // region therefore counts one barrier total, regardless of how many tree
 // nodes are processed inside.
 func (p *Pool) RunWorkers(body func(worker int)) {
+	if sp := obs.StartSpan("sched", "run-workers"); sp.Active() {
+		defer sp.End()
+	}
 	nw := p.workers
 	if p.virtual {
 		// Virtual pools never express shared-queue parallelism through

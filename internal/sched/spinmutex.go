@@ -3,6 +3,8 @@ package sched
 import (
 	"runtime"
 	"sync/atomic"
+
+	"harpgbdt/internal/obs"
 )
 
 // SpinMutex is a lightweight test-and-set spin lock. The paper's ASYNC mode
@@ -15,12 +17,25 @@ type SpinMutex struct {
 	v uint32
 }
 
+// Process-wide contention totals, accumulated off the uncontended fast
+// path only. SpinMutex values are created ad hoc (one per ASYNC tree), so
+// accounting is kept package-global rather than per-instance.
+var (
+	spinContended int64
+	spinYields    int64
+)
+
 // Lock acquires the mutex, spinning until it is available.
 func (m *SpinMutex) Lock() {
+	if atomic.CompareAndSwapUint32(&m.v, 0, 1) {
+		return
+	}
+	atomic.AddInt64(&spinContended, 1)
 	spins := 0
 	for !atomic.CompareAndSwapUint32(&m.v, 0, 1) {
 		spins++
 		if spins >= 64 {
+			atomic.AddInt64(&spinYields, 1)
 			runtime.Gosched()
 			spins = 0
 		}
@@ -35,4 +50,38 @@ func (m *SpinMutex) TryLock() bool {
 // Unlock releases the mutex. It must only be called by the holder.
 func (m *SpinMutex) Unlock() {
 	atomic.StoreUint32(&m.v, 0)
+}
+
+// SpinStats are the process-wide spin-mutex contention totals: how many
+// Lock calls found the lock held, and how many times a spinning worker
+// yielded to the Go scheduler. The ratio of the two shows whether ASYNC
+// critical sections stay in the tens-of-nanoseconds regime the design
+// assumes (yields mean a holder was descheduled mid-section).
+type SpinStats struct {
+	ContendedAcquires int64
+	Yields            int64
+}
+
+// ReadSpinStats returns a snapshot of the contention totals.
+func ReadSpinStats() SpinStats {
+	return SpinStats{
+		ContendedAcquires: atomic.LoadInt64(&spinContended),
+		Yields:            atomic.LoadInt64(&spinYields),
+	}
+}
+
+// ResetSpinStats zeroes the contention totals (tests and bench harnesses).
+func ResetSpinStats() {
+	atomic.StoreInt64(&spinContended, 0)
+	atomic.StoreInt64(&spinYields, 0)
+}
+
+func init() {
+	r := obs.DefaultRegistry()
+	r.CounterFunc("spinmutex_contended_acquires_total",
+		"SpinMutex.Lock calls that found the lock already held (process-wide).",
+		func() float64 { return float64(atomic.LoadInt64(&spinContended)) })
+	r.CounterFunc("spinmutex_gosched_yields_total",
+		"Scheduler yields while spinning on a contended SpinMutex (process-wide).",
+		func() float64 { return float64(atomic.LoadInt64(&spinYields)) })
 }

@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestSpinMutexExcludes(t *testing.T) {
+	var m SpinMutex
+	var wg sync.WaitGroup
+	counter := 0
+	const goroutines, reps = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reps; i++ {
+				m.Lock()
+				counter++
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*reps {
+		t.Fatalf("counter %d, want %d", counter, goroutines*reps)
+	}
+}
+
+func TestSpinStatsCountContention(t *testing.T) {
+	ResetSpinStats()
+	var m SpinMutex
+	m.Lock()
+	// Uncontended acquires must not count.
+	if s := ReadSpinStats(); s.ContendedAcquires != 0 {
+		t.Fatalf("uncontended Lock counted as contended: %+v", s)
+	}
+	acquired := make(chan struct{})
+	go func() {
+		m.Lock() // spins until the main goroutine unlocks
+		m.Unlock()
+		close(acquired)
+	}()
+	// Wait until the second goroutine has registered its contended attempt,
+	// then release it.
+	for ReadSpinStats().ContendedAcquires == 0 {
+		runtime.Gosched()
+	}
+	m.Unlock()
+	<-acquired
+	s := ReadSpinStats()
+	if s.ContendedAcquires < 1 {
+		t.Fatalf("contended acquire not counted: %+v", s)
+	}
+	ResetSpinStats()
+	if s := ReadSpinStats(); s.ContendedAcquires != 0 || s.Yields != 0 {
+		t.Fatalf("reset did not clear stats: %+v", s)
+	}
+}
