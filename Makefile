@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race bench trace clean
+.PHONY: check vet build test race fault bench trace clean
 
-## check: the full verification gate (vet + build + race-enabled tests)
-check: vet build race
+## check: the full verification gate (vet + build + race-enabled tests + fault suite)
+check: vet build race fault
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +21,17 @@ race:
 
 race-full:
 	$(GO) test -race -timeout 45m ./...
+
+## fault: the fault-tolerance suite under the race detector (injection
+## registry, panic-safe workers, crash/resume, corrupt files, allreduce
+## failures, CLI crash-resume integration)
+fault:
+	$(GO) test -race ./internal/fault/ ./internal/safeio/
+	$(GO) test -race -run 'Panic|Stop|Fault|Injected' ./internal/sched/
+	$(GO) test -race -run 'Resume|Checkpoint|Cancel|Corrupt' ./internal/boost/
+	$(GO) test -race -run 'Allreduce|Failure|Straggler|Nodes' ./internal/dist/
+	$(GO) test -race -run 'Reject|Corrupt|Missing' ./internal/dataset/
+	$(GO) test -race -run 'CrashResume|CacheFormat' ./cmd/harpgbdt/
 
 ## bench: run the throughput benchmark and write BENCH_<date>.json
 bench:

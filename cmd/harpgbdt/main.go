@@ -107,6 +107,8 @@ func (df *dataFlags) load() (*harpgbdt.Dataset, error) {
 		return harpgbdt.LoadCSV(df.data, df.maxBins)
 	case df.format == "libsvm":
 		return harpgbdt.LoadLibSVM(df.data, df.features, df.maxBins)
+	case df.format == "cache":
+		return harpgbdt.LoadCache(df.data)
 	default:
 		return nil, fmt.Errorf("unknown format %q", df.format)
 	}
@@ -132,9 +134,20 @@ func cmdTrain(args []string) error {
 		traceOut  = fs.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run to this file")
 		obsAddr   = fs.String("obs-addr", "", "serve /metrics, /progress and /debug/pprof on this address while training (e.g. :9090)")
 		profTable = fs.Bool("profile", false, "print the phase breakdown / scheduler profile table after training")
+		subsample = fs.Float64("subsample", 0, "row subsampling ratio per tree (0 or 1 = off)")
+		ckptDir   = fs.String("checkpoint-dir", "", "persist a resumable checkpoint into this directory every -checkpoint-every rounds")
+		ckptEvery = fs.Int("checkpoint-every", 1, "rounds between checkpoints (with -checkpoint-dir)")
+		resume    = fs.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir if one exists")
+		inject    = fs.String("inject", "", "arm fault-injection points for robustness testing, e.g. 'boost.round=panic,after=5'")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *inject != "" {
+		if err := harpgbdt.EnableFaults(*inject); err != nil {
+			return err
+		}
+		defer harpgbdt.ResetFaults()
 	}
 	ds, err := df.load()
 	if err != nil {
@@ -165,8 +178,15 @@ func cmdTrain(args []string) error {
 		Baseline: harpgbdt.BaselineConfig{TreeSize: *d, Workers: *workers, Virtual: *virtual},
 		Boost: harpgbdt.BoostConfig{
 			Rounds: *trees, LearningRate: *lr, Objective: *objective, EvalEvery: *evalEvery,
+			Subsample: *subsample, Seed: df.seed,
+			CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Resume: *resume,
 			Callbacks: []harpgbdt.Callback{harpgbdt.NewObsCallback(obsv)},
 		},
+	}
+	if *resume && *ckptDir != "" {
+		if ck, err := harpgbdt.LoadCheckpoint(harpgbdt.CheckpointPath(*ckptDir)); err == nil {
+			fmt.Printf("resuming from checkpoint at round %d\n", ck.Round)
+		}
 	}
 	builder, err := harpgbdt.NewBuilder(opts, ds)
 	if err != nil {

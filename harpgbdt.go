@@ -31,6 +31,7 @@ import (
 	"harpgbdt/internal/dataset"
 	"harpgbdt/internal/dist"
 	"harpgbdt/internal/engine"
+	"harpgbdt/internal/fault"
 	"harpgbdt/internal/grow"
 	"harpgbdt/internal/metrics"
 	"harpgbdt/internal/obs"
@@ -105,7 +106,17 @@ type (
 	Callback = boost.Callback
 	// RoundStats is the per-round payload delivered to callbacks.
 	RoundStats = boost.RoundStats
+	// Checkpoint is a persisted snapshot of the boosting loop (model plus
+	// resume state); see BoostConfig.CheckpointDir.
+	Checkpoint = boost.Checkpoint
+	// FaultRegistry is a deterministic fault-injection registry for
+	// robustness testing (see internal/fault).
+	FaultRegistry = fault.Registry
 )
+
+// ErrTrainingStopped is returned by Train when the run was cancelled via
+// BoostConfig.Ctx or Pool.Stop before completing.
+var ErrTrainingStopped = boost.ErrStopped
 
 // Parallel modes (Table II).
 const (
@@ -293,6 +304,30 @@ func ErrorRate(probs []float64, labels []float32) float64 { return metrics.Error
 
 // LoadModel reads a model saved with Model.SaveFile.
 func LoadModel(path string) (*Model, error) { return boost.LoadFile(path) }
+
+// SaveCache writes a dataset to the fast binary cache format (atomic,
+// checksummed; see LoadCache).
+func SaveCache(path string, ds *Dataset) error { return dataset.SaveCacheFile(path, ds) }
+
+// LoadCache reads a dataset from the binary cache format, verifying its
+// integrity checksum.
+func LoadCache(path string) (*Dataset, error) { return dataset.LoadCacheFile(path) }
+
+// LoadCheckpoint reads and validates a training checkpoint written by the
+// boosting loop (BoostConfig.CheckpointDir).
+func LoadCheckpoint(path string) (*Checkpoint, error) { return boost.LoadCheckpoint(path) }
+
+// CheckpointPath returns the checkpoint file path inside a checkpoint
+// directory.
+func CheckpointPath(dir string) string { return boost.CheckpointPath(dir) }
+
+// EnableFaults arms the process-wide fault registry from a ';'-separated
+// spec string, e.g. "boost.round=panic,after=5;dist.allreduce=error,times=2".
+// Intended for robustness testing only.
+func EnableFaults(specs string) error { return fault.EnableSpecs(specs) }
+
+// ResetFaults disarms every fault enabled via EnableFaults.
+func ResetFaults() { fault.Reset() }
 
 // NewDistTrainer builds the simulated distributed trainer (histogram
 // allreduce over a simulated cluster; see internal/dist).

@@ -1,16 +1,21 @@
 package boost
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"os"
 	"time"
 
 	"harpgbdt/internal/dataset"
 	"harpgbdt/internal/engine"
+	"harpgbdt/internal/fault"
 	"harpgbdt/internal/gh"
 	"harpgbdt/internal/metrics"
 	"harpgbdt/internal/objective"
 	"harpgbdt/internal/profile"
+	"harpgbdt/internal/sched"
 	"harpgbdt/internal/synth"
 	"harpgbdt/internal/tree"
 )
@@ -45,6 +50,19 @@ type Config struct {
 	// The obs-backed callback from NewObsCallback publishes spans, metrics
 	// and live progress.
 	Callbacks []Callback
+	// Ctx, when non-nil, cancels training: the worker pool stops handing
+	// out work and Train returns the context's error between rounds.
+	Ctx context.Context
+	// CheckpointDir, when non-empty, makes Train persist a checkpoint
+	// (model + full loop state) there every CheckpointEvery rounds.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint period in rounds (default 1 when
+	// CheckpointDir is set).
+	CheckpointEvery int
+	// Resume makes Train continue from the checkpoint in CheckpointDir if
+	// one exists (a fresh start otherwise). The resumed run produces
+	// bit-identical predictions to an uninterrupted one.
+	Resume bool
 }
 
 func (c Config) withDefaults() Config {
@@ -57,7 +75,38 @@ func (c Config) withDefaults() Config {
 	if c.Objective == "" {
 		c.Objective = "binary:logistic"
 	}
+	if c.CheckpointDir != "" && c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
 	return c
+}
+
+// ErrStopped is returned by Train when the pool was stopped (Stop or a
+// cancelled Config.Ctx) mid-training.
+var ErrStopped = errors.New("boost: training stopped")
+
+// cancelCause returns the reason training should stop, or nil.
+func cancelCause(cfg Config, pool *sched.Pool) error {
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		return cfg.Ctx.Err()
+	}
+	if pool.Stopped() {
+		return ErrStopped
+	}
+	return nil
+}
+
+// buildTreeSafe runs one engine round, converting panics — a worker
+// goroutine's recovered *sched.PanicError rethrown at the region barrier,
+// or a panic on the orchestrator itself — into ordinary errors, so a
+// crashing engine fails the round instead of the process.
+func buildTreeSafe(b engine.Builder, grad gh.Buffer) (bt *engine.BuiltTree, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			bt, err = nil, sched.AsPanicError(r)
+		}
+	}()
+	return b.BuildTree(grad)
 }
 
 // EvalPoint is one convergence-curve sample.
@@ -171,9 +220,69 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 	if subsampling {
 		rng = synth.NewRNG(cfg.Seed ^ 0x42535453)
 	}
-	bestMetric := math.Inf(-1)
-	sinceBest := 0
-	for round := 0; round < cfg.Rounds; round++ {
+	st := &trainState{margins: margins, bestMetric: math.Inf(-1), res: res}
+	if ck, err := maybeResume(cfg); err != nil {
+		return nil, err
+	} else if ck != nil {
+		if model, err = st.restore(ck, cfg, n, ds.NumFeatures()); err != nil {
+			return nil, err
+		}
+		margins = st.margins
+		if rng != nil {
+			rng.SetState(ck.RNGState)
+		}
+		if testMargins != nil {
+			// Replay test margins from the checkpointed trees in training
+			// order (tree outer, row inner): per element this is the exact
+			// float addition sequence the interrupted run performed.
+			for i := range testMargins {
+				testMargins[i] = model.BaseScore
+			}
+			for _, t := range model.Trees {
+				for i := 0; i < testX.N; i++ {
+					testMargins[i] += t.PredictRowRaw(testX.Row(i))
+				}
+			}
+		}
+	}
+	if st.res.StoppedEarly || st.round >= cfg.Rounds {
+		// The checkpointed run had already finished; resume is idempotent.
+		return st.res, nil
+	}
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("boost: checkpoint dir: %w", err)
+		}
+	}
+	if cfg.Ctx != nil {
+		// Bridge context cancellation to the pool so an in-flight parallel
+		// region drains instead of running to completion.
+		watchDone := make(chan struct{})
+		watcherExited := make(chan struct{})
+		// Join the watcher before returning: a watcher that already saw the
+		// cancelled context must finish its Stop before the caller regains
+		// control, or its Stop could land after the caller's ResetStop.
+		defer func() { close(watchDone); <-watcherExited }()
+		go func() {
+			defer close(watcherExited)
+			select {
+			case <-cfg.Ctx.Done():
+				pool.Stop()
+			case <-watchDone:
+			}
+		}()
+	}
+	for round := st.round; round < cfg.Rounds; round++ {
+		if err := cancelCause(cfg, pool); err != nil {
+			// Stop synchronously too (the watcher goroutine may not have
+			// observed the context yet): cancellation pins the pool stopped
+			// until the owner re-arms it with ResetStop.
+			pool.Stop()
+			return nil, fmt.Errorf("boost: round %d: %w", round, err)
+		}
+		if err := fault.Point("boost.round"); err != nil {
+			return nil, fmt.Errorf("boost: round %d: %w", round, err)
+		}
 		for _, cb := range cfg.Callbacks {
 			cb.BeforeRound(round, cfg.Rounds)
 		}
@@ -190,8 +299,14 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 				}
 			}
 		}
-		bt, err := b.BuildTree(grad)
+		bt, err := buildTreeSafe(b, grad)
 		if err != nil {
+			return nil, fmt.Errorf("boost: round %d: %w", round, err)
+		}
+		if err := cancelCause(cfg, pool); err != nil {
+			// The tree was grown from a drained (partial) parallel region;
+			// discard it rather than checkpointing garbage.
+			pool.Stop()
 			return nil, fmt.Errorf("boost: round %d: %w", round, err)
 		}
 		scaleTree(bt.Tree, cfg.LearningRate)
@@ -247,12 +362,12 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 				stats.TestLoss = objective.MeanLoss(obj, testMargins, testY)
 			}
 			if cfg.EarlyStopRounds > 0 {
-				if monitored > bestMetric {
-					bestMetric = monitored
-					sinceBest = 0
+				if monitored > st.bestMetric {
+					st.bestMetric = monitored
+					st.sinceBest = 0
 				} else {
-					sinceBest++
-					if sinceBest >= cfg.EarlyStopRounds {
+					st.sinceBest++
+					if st.sinceBest >= cfg.EarlyStopRounds {
 						res.StoppedEarly = true
 					}
 				}
@@ -260,6 +375,18 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 		}
 		for _, cb := range cfg.Callbacks {
 			cb.AfterRound(stats)
+		}
+		st.round = round + 1
+		if cfg.CheckpointDir != "" &&
+			((round+1)%cfg.CheckpointEvery == 0 || round == cfg.Rounds-1 || res.StoppedEarly) {
+			var rngState *[4]uint64
+			if rng != nil {
+				s := rng.State()
+				rngState = &s
+			}
+			if err := SaveCheckpoint(CheckpointPath(cfg.CheckpointDir), st.snapshot(model, rngState)); err != nil {
+				return nil, fmt.Errorf("boost: checkpoint after round %d: %w", round+1, err)
+			}
 		}
 		if res.StoppedEarly {
 			break

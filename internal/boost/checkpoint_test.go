@@ -1,0 +1,227 @@
+package boost
+
+// Resume-equivalence tests: a run interrupted by an injected fault and
+// resumed from its checkpoint must produce the bit-identical model an
+// uninterrupted run produces.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"testing"
+
+	"harpgbdt/internal/core"
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/fault"
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/sched"
+	"harpgbdt/internal/tree"
+)
+
+// parallelBuilder builds with an explicitly multi-worker pool so the
+// sched.worker injection point (real worker goroutines only) is exercised
+// even on a single-core host.
+func parallelBuilder(t *testing.T, ds *dataset.Dataset) *core.Builder {
+	t.Helper()
+	b, err := core.NewBuilder(core.Config{Mode: core.Sync, K: 8, Growth: grow.Leafwise,
+		TreeSize: 5, UseMemBuf: true, FeatureBlockSize: 4, Workers: 4,
+		Params: tree.DefaultSplitParams()}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// corruptFile flips one byte in the middle of a file.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// modelJSON serializes a model for bit-exact comparison.
+func modelJSON(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestResumeBitIdentical(t *testing.T) {
+	ds, x, y := trainTest(t)
+	cfg := Config{Rounds: 12, EvalEvery: 2, Subsample: 0.7, Seed: 9}
+
+	// Reference: uninterrupted run.
+	ref, err := Train(harpBuilder(t, ds), ds, cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: checkpoint every round, injected failure when round
+	// 5 starts (rounds 0..4 completed and checkpointed).
+	dir := t.TempDir()
+	ckCfg := cfg
+	ckCfg.CheckpointDir, ckCfg.Resume = dir, true
+	fault.Enable("boost.round", fault.Fault{Kind: fault.Error, After: 5})
+	_, err = Train(harpBuilder(t, ds), ds, ckCfg, x, y)
+	fault.Reset()
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("interrupted run: want injected error, got %v", err)
+	}
+	ck, err := LoadCheckpoint(CheckpointPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Round != 5 {
+		t.Fatalf("checkpoint at round %d, want 5", ck.Round)
+	}
+
+	// Resume and finish.
+	res, err := Train(harpBuilder(t, ds), ds, ckCfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := modelJSON(t, res.Model), modelJSON(t, ref.Model); !bytes.Equal(got, want) {
+		t.Fatal("resumed model differs from uninterrupted model")
+	}
+	if len(res.History) != len(ref.History) {
+		t.Fatalf("history %d points, want %d", len(res.History), len(ref.History))
+	}
+	for i := range res.History {
+		if res.History[i].TrainAUC != ref.History[i].TrainAUC ||
+			res.History[i].TestAUC != ref.History[i].TestAUC {
+			t.Fatalf("eval point %d differs: %+v vs %+v", i, res.History[i], ref.History[i])
+		}
+	}
+	if len(res.PerTree) != len(ref.PerTree) {
+		t.Fatalf("per-tree times %d, want %d", len(res.PerTree), len(ref.PerTree))
+	}
+	if res.TotalLeaves != ref.TotalLeaves || res.MaxDepth != ref.MaxDepth {
+		t.Fatalf("tree shape differs: %d/%d vs %d/%d",
+			res.TotalLeaves, res.MaxDepth, ref.TotalLeaves, ref.MaxDepth)
+	}
+
+	// Rerunning after completion is idempotent: no further training.
+	again, err := Train(harpBuilder(t, ds), ds, ckCfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelJSON(t, again.Model), modelJSON(t, ref.Model)) {
+		t.Fatal("post-completion resume changed the model")
+	}
+}
+
+func TestResumeAcrossInjectedWorkerPanic(t *testing.T) {
+	// A panic on a worker goroutine surfaces as a recoverable error from
+	// Train (not a process crash), and the checkpoint still resumes to the
+	// reference model.
+	ds, x, y := trainTest(t)
+	cfg := Config{Rounds: 8}
+	ref, err := Train(parallelBuilder(t, ds), ds, cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ckCfg := cfg
+	ckCfg.CheckpointDir, ckCfg.Resume = dir, true
+	fault.Enable("sched.worker", fault.Fault{Kind: fault.Panic, After: 40, Message: "simulated worker crash"})
+	_, err = Train(parallelBuilder(t, ds), ds, ckCfg, x, y)
+	fault.Reset()
+	var pe *sched.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *sched.PanicError, got %v", err)
+	}
+	var ip *fault.InjectedPanic
+	if !errors.As(err, &ip) {
+		t.Fatalf("panic value not an *InjectedPanic: %v", err)
+	}
+	res, err := Train(parallelBuilder(t, ds), ds, ckCfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelJSON(t, res.Model), modelJSON(t, ref.Model)) {
+		t.Fatal("resume after worker panic differs from uninterrupted model")
+	}
+}
+
+func TestCheckpointRejectsMismatchedConfig(t *testing.T) {
+	ds, _, _ := trainTest(t)
+	dir := t.TempDir()
+	cfg := Config{Rounds: 3, CheckpointDir: dir, Resume: true}
+	if _, err := Train(harpBuilder(t, ds), ds, cfg, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Rounds = 6
+	bad.Objective = "reg:squarederror"
+	if _, err := Train(harpBuilder(t, ds), ds, bad, nil, nil); err == nil {
+		t.Fatal("objective mismatch accepted on resume")
+	}
+	bad = cfg
+	bad.Rounds = 6
+	bad.Subsample = 0.5
+	if _, err := Train(harpBuilder(t, ds), ds, bad, nil, nil); err == nil {
+		t.Fatal("subsampling mismatch accepted on resume")
+	}
+}
+
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	ds, _, _ := trainTest(t)
+	dir := t.TempDir()
+	cfg := Config{Rounds: 2, CheckpointDir: dir, Resume: true}
+	if _, err := Train(harpBuilder(t, ds), ds, cfg, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, CheckpointPath(dir))
+	if _, err := LoadCheckpoint(CheckpointPath(dir)); err == nil {
+		t.Fatal("corrupt checkpoint loaded")
+	}
+}
+
+func TestTrainCtxCancel(t *testing.T) {
+	ds, _, _ := trainTest(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	b := harpBuilder(t, ds)
+	cb := &cancelAfter{cancel: cancel, after: 2}
+	_, err := Train(b, ds, Config{Rounds: 50, Ctx: ctx, Callbacks: []Callback{cb}}, nil, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if cb.rounds > 4 {
+		t.Fatalf("training kept going for %d rounds after cancel", cb.rounds)
+	}
+	// The pool was stopped by the cancellation bridge; a fresh training run
+	// on the same builder must fail fast, not silently train on a stopped
+	// pool.
+	if _, err := Train(b, ds, Config{Rounds: 2}, nil, nil); !errors.Is(err, ErrStopped) {
+		t.Fatalf("want ErrStopped on stopped pool, got %v", err)
+	}
+	b.Pool().ResetStop()
+	if _, err := Train(b, ds, Config{Rounds: 2}, nil, nil); err != nil {
+		t.Fatalf("pool not reusable after ResetStop: %v", err)
+	}
+}
+
+// cancelAfter cancels a context once `after` rounds have completed.
+type cancelAfter struct {
+	cancel context.CancelFunc
+	after  int
+	rounds int
+}
+
+func (c *cancelAfter) BeforeRound(round, rounds int) {}
+func (c *cancelAfter) AfterRound(s RoundStats) {
+	c.rounds++
+	if c.rounds == c.after {
+		c.cancel()
+	}
+}

@@ -6,13 +6,15 @@
 package boost
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
+	"math"
 
 	"harpgbdt/internal/dataset"
 	"harpgbdt/internal/objective"
+	"harpgbdt/internal/safeio"
 	"harpgbdt/internal/sched"
 	"harpgbdt/internal/tree"
 )
@@ -96,39 +98,76 @@ func (m *Model) WriteJSON(w io.Writer) error {
 	return json.NewEncoder(w).Encode(m)
 }
 
-// ReadJSON deserializes a model written by WriteJSON.
+// ReadJSON deserializes a model written by WriteJSON and validates its
+// structure, so a tampered or truncated model fails here with a clear
+// error rather than panicking later inside Predict.
 func ReadJSON(r io.Reader) (*Model, error) {
 	var m Model
 	if err := json.NewDecoder(r).Decode(&m); err != nil {
 		return nil, err
 	}
-	for i, t := range m.Trees {
-		if t == nil || len(t.Nodes) == 0 {
-			return nil, fmt.Errorf("boost: model tree %d empty", i)
-		}
+	if err := m.Validate(); err != nil {
+		return nil, err
 	}
 	return &m, nil
 }
 
-// SaveFile writes the model to a file.
-func (m *Model) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+// Validate checks the structural invariants prediction relies on: every
+// tree non-empty, node ids equal to their index, child/parent links in
+// range and acyclic (children always point forward), split features
+// within the model's feature count, and finite leaf weights.
+func (m *Model) Validate() error {
+	if m.NumFeatures < 0 {
+		return fmt.Errorf("boost: model has negative feature count %d", m.NumFeatures)
 	}
-	if err := m.WriteJSON(f); err != nil {
-		f.Close()
-		return err
+	if math.IsNaN(m.BaseScore) || math.IsInf(m.BaseScore, 0) {
+		return fmt.Errorf("boost: model base score %v not finite", m.BaseScore)
 	}
-	return f.Close()
+	for ti, t := range m.Trees {
+		if t == nil || len(t.Nodes) == 0 {
+			return fmt.Errorf("boost: model tree %d empty", ti)
+		}
+		for i := range t.Nodes {
+			n := &t.Nodes[i]
+			if n.ID != int32(i) {
+				return fmt.Errorf("boost: model tree %d node %d has id %d", ti, i, n.ID)
+			}
+			if (n.Left == tree.NoNode) != (n.Right == tree.NoNode) {
+				return fmt.Errorf("boost: model tree %d node %d has exactly one child", ti, i)
+			}
+			if n.IsLeaf() {
+				if math.IsNaN(n.Weight) || math.IsInf(n.Weight, 0) {
+					return fmt.Errorf("boost: model tree %d leaf %d weight %v not finite", ti, i, n.Weight)
+				}
+				continue
+			}
+			// Children strictly after the parent: in-range and acyclic.
+			for _, c := range []int32{n.Left, n.Right} {
+				if c <= int32(i) || int(c) >= len(t.Nodes) {
+					return fmt.Errorf("boost: model tree %d node %d child %d out of range [%d, %d)", ti, i, c, i+1, len(t.Nodes))
+				}
+			}
+			if n.Feature < 0 || (m.NumFeatures > 0 && int(n.Feature) >= m.NumFeatures) {
+				return fmt.Errorf("boost: model tree %d node %d split feature %d out of range [0, %d)", ti, i, n.Feature, m.NumFeatures)
+			}
+		}
+	}
+	return nil
 }
 
-// LoadFile reads a model from a file.
+// SaveFile writes the model to a file atomically (temp file + fsync +
+// rename) with a CRC32 integrity footer, so a crash mid-save cannot
+// corrupt a previously saved model and torn writes are detected on load.
+func (m *Model) SaveFile(path string) error {
+	return safeio.WriteFile(path, m.WriteJSON)
+}
+
+// LoadFile reads a model from a file, verifying the integrity footer when
+// present (plain JSON files saved by older versions still load).
 func LoadFile(path string) (*Model, error) {
-	f, err := os.Open(path)
+	payload, _, err := safeio.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadJSON(f)
+	return ReadJSON(bytes.NewReader(payload))
 }

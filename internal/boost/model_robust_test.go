@@ -1,0 +1,114 @@
+package boost
+
+// Robustness tests for model persistence: atomic save, integrity-footer
+// verification, and structural validation of untrusted model files.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"harpgbdt/internal/tree"
+)
+
+// smallModel builds a valid two-tree model by hand.
+func smallModel() *Model {
+	mk := func() *tree.Tree {
+		tr := tree.New(1, 2, 10)
+		l, r := tr.AddChildren(0, 1, 3, 0.5, true, 0.7)
+		ln, rn := &tr.Nodes[l], &tr.Nodes[r]
+		ln.SumG, ln.SumH, ln.Count, ln.Weight = 0.4, 1.1, 6, -0.3
+		rn.SumG, rn.SumH, rn.Count, rn.Weight = 0.6, 0.9, 4, 0.2
+		return tr
+	}
+	return &Model{Objective: "binary:logistic", BaseScore: -0.1,
+		LearningRate: 0.1, NumFeatures: 3, Trees: []*tree.Tree{mk(), mk()}}
+}
+
+func TestModelSaveLoadVerified(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	m := smallModel()
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumTrees() != 2 || m2.BaseScore != m.BaseScore {
+		t.Fatalf("round trip lost data: %+v", m2)
+	}
+	row := []float32{0.1, 0.4, 0.9}
+	if m.Predict(row) != m2.Predict(row) {
+		t.Fatal("prediction changed after round trip")
+	}
+}
+
+func TestModelLoadDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := smallModel().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40 // flip a bit in the payload, footer intact
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corruption not reported: %v", err)
+	}
+}
+
+func TestModelLoadLegacyPlainJSON(t *testing.T) {
+	// Files written before the integrity footer are plain JSON; they must
+	// keep loading.
+	path := filepath.Join(t.TempDir(), "legacy.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smallModel().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("legacy model rejected: %v", err)
+	}
+}
+
+func TestModelValidateRejectsTampering(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(m *Model)
+	}{
+		{"child out of range", func(m *Model) { m.Trees[0].Nodes[0].Left = 99 }},
+		{"child cycle", func(m *Model) { m.Trees[0].Nodes[0].Left = 0 }},
+		{"one child", func(m *Model) { m.Trees[0].Nodes[0].Right = tree.NoNode }},
+		{"feature out of range", func(m *Model) { m.Trees[0].Nodes[0].Feature = 77 }},
+		{"negative feature on split", func(m *Model) { m.Trees[0].Nodes[0].Feature = -1 }},
+		{"node id mismatch", func(m *Model) { m.Trees[0].Nodes[1].ID = 5 }},
+		{"nan leaf weight", func(m *Model) { m.Trees[0].Nodes[1].Weight = nan64() }},
+		{"empty tree", func(m *Model) { m.Trees[1] = &tree.Tree{} }},
+		{"nan base score", func(m *Model) { m.BaseScore = nan64() }},
+		{"negative feature count", func(m *Model) { m.NumFeatures = -2 }},
+	}
+	for _, c := range cases {
+		m := smallModel()
+		c.mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if err := smallModel().Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+}
+
+func nan64() float64 {
+	z := 0.0
+	return z / z
+}

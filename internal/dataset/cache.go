@@ -2,11 +2,13 @@ package dataset
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
-	"os"
+
+	"harpgbdt/internal/safeio"
 )
 
 // cacheMagic identifies the binary dataset cache format.
@@ -95,6 +97,11 @@ func ReadCache(r io.Reader) (*Dataset, error) {
 	if err := binary.Read(br, le, labels); err != nil {
 		return nil, err
 	}
+	for i, v := range labels {
+		if v != v || math.IsInf(float64(v), 0) {
+			return nil, fmt.Errorf("dataset cache: non-finite label %v at row %d", v, i)
+		}
+	}
 	bins := make([]uint8, n*m)
 	if _, err := io.ReadFull(br, bins); err != nil {
 		return nil, err
@@ -107,27 +114,21 @@ func ReadCache(r io.Reader) (*Dataset, error) {
 	return ds, nil
 }
 
-// SaveCacheFile writes the dataset cache to a file.
+// SaveCacheFile writes the dataset cache to a file atomically (temp file
+// + fsync + rename) with a CRC32 integrity footer.
 func SaveCacheFile(path string, ds *Dataset) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteCache(f, ds); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return safeio.WriteFile(path, func(w io.Writer) error { return WriteCache(w, ds) })
 }
 
-// LoadCacheFile reads a dataset cache from a file.
+// LoadCacheFile reads a dataset cache from a file, verifying the
+// integrity footer when present (footer-less caches from older versions
+// still load; their corruption is caught by the format's own checks).
 func LoadCacheFile(path string) (*Dataset, error) {
-	f, err := os.Open(path)
+	payload, _, err := safeio.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadCache(f)
+	return ReadCache(bytes.NewReader(payload))
 }
 
 func writeString(w io.Writer, s string) error {

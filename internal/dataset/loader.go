@@ -4,10 +4,18 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 )
+
+// finite32 reports whether v parsed into a float32 stays finite (strconv
+// happily parses "nan" and "inf", which no objective can train on).
+func finite32(v float64) bool {
+	f := float32(v)
+	return f == f && !math.IsInf(float64(f), 0)
+}
 
 // ReadLibSVM parses the libsvm text format ("label idx:val idx:val ...",
 // zero-based or one-based indices auto-detected as zero-based here; comments
@@ -34,6 +42,9 @@ func ReadLibSVM(r io.Reader, numFeatures int) (*CSR, []float32, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("libsvm line %d: bad label %q: %w", lineNo, fields[0], err)
 		}
+		if !finite32(lab) {
+			return nil, nil, fmt.Errorf("libsvm line %d: non-finite label %q", lineNo, fields[0])
+		}
 		cols := make([]int32, 0, len(fields)-1)
 		vals := make([]float32, 0, len(fields)-1)
 		for _, f := range fields[1:] {
@@ -49,6 +60,11 @@ func ReadLibSVM(r io.Reader, numFeatures int) (*CSR, []float32, error) {
 			if err != nil {
 				return nil, nil, fmt.Errorf("libsvm line %d: bad value %q: %w", lineNo, f[k+1:], err)
 			}
+			if !finite32(v) {
+				// In the sparse format, missing means absent: an explicit
+				// NaN/Inf is corrupt input, not a missing-value marker.
+				return nil, nil, fmt.Errorf("libsvm line %d: non-finite value %q for feature %d", lineNo, f[k+1:], idx)
+			}
 			cols = append(cols, int32(idx))
 			vals = append(vals, float32(v))
 			if int32(idx) > maxCol {
@@ -61,6 +77,9 @@ func ReadLibSVM(r io.Reader, numFeatures int) (*CSR, []float32, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, nil, err
+	}
+	if len(labels) == 0 {
+		return nil, nil, fmt.Errorf("libsvm: no data rows")
 	}
 	m := numFeatures
 	if m <= 0 {
@@ -140,6 +159,9 @@ func ReadCSV(r io.Reader) (*Dense, []float32, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("csv line %d: bad label %q: %w", lineNo, fields[0], err)
 		}
+		if !finite32(lab) {
+			return nil, nil, fmt.Errorf("csv line %d: non-finite label %q", lineNo, fields[0])
+		}
 		row := make([]float32, m)
 		for j := 1; j <= m; j++ {
 			s := strings.TrimSpace(fields[j])
@@ -151,6 +173,10 @@ func ReadCSV(r io.Reader) (*Dense, []float32, error) {
 			if err != nil {
 				return nil, nil, fmt.Errorf("csv line %d col %d: %w", lineNo, j, err)
 			}
+			if math.IsInf(v, 0) || math.IsInf(float64(float32(v)), 0) {
+				return nil, nil, fmt.Errorf("csv line %d col %d: infinite value %q", lineNo, j, s)
+			}
+			// An explicit "nan" is treated like an empty field: missing.
 			row[j-1] = float32(v)
 		}
 		labels = append(labels, float32(lab))
@@ -158,6 +184,9 @@ func ReadCSV(r io.Reader) (*Dense, []float32, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, nil, err
+	}
+	if len(labels) == 0 {
+		return nil, nil, fmt.Errorf("csv: no data rows")
 	}
 	if m < 0 {
 		m = 0

@@ -49,6 +49,25 @@ type Config struct {
 	MaxDepth int
 	// Params are the split hyper-parameters.
 	Params tree.SplitParams
+
+	// StragglerFactor > 1 slows StragglerNode's compute by that factor
+	// (straggler simulation; <= 1 disables).
+	StragglerFactor float64
+	// StragglerNode is the index of the straggling node.
+	StragglerNode int
+	// MaxRetries bounds allreduce retries after an injected failure before
+	// FailNode is declared dead (default 2; negative retries nothing, the
+	// first failure kills the node).
+	MaxRetries int
+	// StepTimeoutMicros is the simulated timeout charged per failed
+	// allreduce attempt (default 5000).
+	StepTimeoutMicros float64
+	// RetryBackoffMicros is the base of the exponential backoff between
+	// allreduce retries (default 100).
+	RetryBackoffMicros float64
+	// FailNode is the node declared dead when allreduce retries are
+	// exhausted (default 0; if already dead, the next alive node fails).
+	FailNode int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +89,15 @@ func (c Config) withDefaults() Config {
 	if c.K == 0 {
 		c.K = 32
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.StepTimeoutMicros == 0 {
+		c.StepTimeoutMicros = 5000
+	}
+	if c.RetryBackoffMicros == 0 {
+		c.RetryBackoffMicros = 100
+	}
 	return c
 }
 
@@ -83,6 +111,18 @@ func (c Config) Validate() error {
 	}
 	if c.BandwidthMBps < 0 || c.LatencyMicros < 0 {
 		return fmt.Errorf("dist: negative network parameters")
+	}
+	if c.StepTimeoutMicros < 0 || c.RetryBackoffMicros < 0 {
+		return fmt.Errorf("dist: negative retry parameters")
+	}
+	if c.StragglerFactor < 0 {
+		return fmt.Errorf("dist: negative straggler factor %g", c.StragglerFactor)
+	}
+	if c.Nodes > 0 && (c.FailNode < 0 || c.FailNode >= c.Nodes) {
+		return fmt.Errorf("dist: fail node %d out of range [0, %d)", c.FailNode, c.Nodes)
+	}
+	if c.Nodes > 0 && (c.StragglerNode < 0 || c.StragglerNode >= c.Nodes) {
+		return fmt.Errorf("dist: straggler node %d out of range [0, %d)", c.StragglerNode, c.Nodes)
 	}
 	return nil
 }
@@ -110,8 +150,17 @@ type Trainer struct {
 	prof   *profile.Breakdown
 	shards []shard
 
-	// commNanos accumulates simulated allreduce time.
-	commNanos int64
+	// alive[i] reports whether cluster node i is still up; owner[s] is the
+	// node currently responsible for shard s (re-owned on node failure).
+	alive []bool
+	owner []int
+
+	// commNanos accumulates simulated allreduce time; retryNanos the time
+	// lost to allreduce timeouts/backoff; recoveryNanos the re-sharding
+	// cost of node failures.
+	commNanos     int64
+	retryNanos    int64
+	recoveryNanos int64
 }
 
 // shard is one node's row range.
@@ -149,6 +198,8 @@ func NewTrainer(cfg Config, ds *dataset.Dataset) (*Trainer, error) {
 			hi = int32(n)
 		}
 		t.shards = append(t.shards, shard{lo, hi})
+		t.alive = append(t.alive, true)
+		t.owner = append(t.owner, i)
 	}
 	return t, nil
 }
@@ -165,10 +216,10 @@ func (t *Trainer) Profile() *profile.Breakdown { return t.prof }
 // CommNanos reports the accumulated simulated allreduce time.
 func (t *Trainer) CommNanos() int64 { return t.commNanos }
 
-// allreduceNanos models one ring allreduce of `bytes` across the cluster:
-// 2(N-1)/N * bytes through the bandwidth plus 2(N-1) latency hops.
+// allreduceNanos models one ring allreduce of `bytes` across the alive
+// nodes: 2(N-1)/N * bytes through the bandwidth plus 2(N-1) latency hops.
 func (t *Trainer) allreduceNanos(bytes int64) int64 {
-	n := float64(t.cfg.Nodes)
+	n := float64(t.AliveNodes())
 	if n <= 1 {
 		return 0
 	}
@@ -230,7 +281,9 @@ func (t *Trainer) BuildTree(grad gh.Buffer) (*engine.BuiltTree, error) {
 		leaves: 1,
 	}
 
-	t.buildHists(st, []int32{0})
+	if err := t.buildHists(st, []int32{0}); err != nil {
+		return nil, err
+	}
 	t.findSplits(st, []int32{0})
 	t.pushOrFinalize(st, 0)
 
@@ -252,7 +305,9 @@ func (t *Trainer) BuildTree(grad gh.Buffer) (*engine.BuiltTree, error) {
 			}
 			t.releaseHist(st.states[c.NodeID])
 		}
-		t.buildHists(st, evalIDs)
+		if err := t.buildHists(st, evalIDs); err != nil {
+			return nil, err
+		}
 		t.findSplits(st, evalIDs)
 		for _, id := range evalIDs {
 			t.pushOrFinalize(st, id)
@@ -280,18 +335,19 @@ func (t *Trainer) BuildTree(grad gh.Buffer) (*engine.BuiltTree, error) {
 }
 
 // buildHists computes every listed node's global histogram: per cluster
-// node local accumulation (compute simulated: the slowest shard bounds the
-// step) followed by one ring allreduce of the batch's histograms.
-func (t *Trainer) buildHists(st *distBuild, ids []int32) {
+// node local accumulation (compute simulated: the slowest alive node
+// bounds the step), followed by one ring allreduce of the batch's
+// histograms with timeout/retry/failover semantics (allreduceWithRetry).
+func (t *Trainer) buildHists(st *distBuild, ids []int32) error {
 	if len(ids) == 0 {
-		return
+		return nil
 	}
 	start := time.Now()
 	bm := t.ds.Binned
 	m := t.ds.NumFeatures()
-	// Local phase: measure each cluster node's shard compute serially and
-	// take the max as the simulated parallel step time.
-	var maxNode int64
+	// Local phase: measure each shard's compute serially, accumulate per
+	// owning node (a survivor carries the shards it adopted from the dead).
+	perOwner := make([]int64, len(t.shards))
 	var serial int64
 	for s := range t.shards {
 		t0 := time.Now()
@@ -304,21 +360,23 @@ func (t *Trainer) buildHists(st *distBuild, ids []int32) {
 		}
 		d := time.Since(t0).Nanoseconds()
 		serial += d
-		// Within a node, WorkersPerNode threads share the shard work.
-		dn := d / int64(t.cfg.WorkersPerNode)
-		if dn > maxNode {
-			maxNode = dn
-		}
+		perOwner[t.owner[s]] += d
 	}
+	// Within a node, WorkersPerNode threads share the shard work.
+	maxNode := t.nodeWall(perOwner, int64(t.cfg.WorkersPerNode))
 	// Histograms were accumulated directly into the shared Hist (the sum a
 	// real allreduce would produce); charge the simulated network cost.
 	histBytes := int64(len(ids)) * int64(t.layout.TotalBins()) * 16
-	comm := t.allreduceNanos(histBytes)
+	comm, err := t.allreduceWithRetry(histBytes)
+	if err != nil {
+		return err
+	}
 	t.commNanos += comm
 	wall := maxNode + comm
 	t.pool.RecordExternalRegion(int64(len(ids)*len(t.shards)), serial,
-		maxNode*int64(t.cfg.Nodes), 0, wall)
+		maxNode*int64(t.AliveNodes()), 0, wall)
 	t.prof.Add(profile.BuildHist, time.Since(start))
+	return nil
 }
 
 func (t *Trainer) findSplits(st *distBuild, ids []int32) {
@@ -353,7 +411,8 @@ func (t *Trainer) applySplit(st *distBuild, id int32) (int32, int32) {
 	goLeft := engine.GoLeftFunc(t.ds.Binned, s)
 	left := &nodeState{rows: make([][]int32, len(t.shards)), sum: gh.Pair{G: s.LeftG, H: s.LeftH}, split: tree.InvalidSplit()}
 	right := &nodeState{rows: make([][]int32, len(t.shards)), sum: gh.Pair{G: s.RightG, H: s.RightH}, split: tree.InvalidSplit()}
-	var maxShard, serial int64
+	perOwner := make([]int64, len(t.shards))
+	var serial int64
 	for sh := range t.shards {
 		t0 := time.Now()
 		for _, row := range ns.rows[sh] {
@@ -365,12 +424,11 @@ func (t *Trainer) applySplit(st *distBuild, id int32) (int32, int32) {
 		}
 		d := time.Since(t0).Nanoseconds()
 		serial += d
-		if d > maxShard {
-			maxShard = d
-		}
+		perOwner[t.owner[sh]] += d
 	}
-	// Shards partition concurrently, one per cluster node.
-	t.pool.RecordExternalRegion(int64(len(t.shards)), serial, serial, 0, max64(maxShard, 1))
+	// Shards partition concurrently, one group per owning cluster node.
+	t.pool.RecordExternalRegion(int64(len(t.shards)), serial, serial, 0,
+		max64(t.nodeWall(perOwner, 1), 1))
 	left.count = int32(left.totalRows())
 	right.count = int32(right.totalRows())
 	ns.rows = nil

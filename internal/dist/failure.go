@@ -1,0 +1,155 @@
+package dist
+
+// Failure-aware allreduce: the simulated cluster survives injected node
+// failures and stragglers instead of assuming a perfect network.
+//
+// Each histogram allreduce step consults the fault registry at point
+// "dist.allreduce". An injected error costs the step timeout, then the
+// step retries with exponential backoff up to Config.MaxRetries times;
+// when retries are exhausted the failing node (Config.FailNode) is
+// declared dead and the cluster degrades gracefully: the dead node's row
+// shards are re-owned round-robin by the survivors, the re-replication of
+// its raw data is charged to the simulated clock (profile.Other), and
+// training continues bit-identically on the survivors — histogram sums
+// never depended on the sharding, only the simulated time breakdown does.
+
+import (
+	"fmt"
+	"time"
+
+	"harpgbdt/internal/fault"
+	"harpgbdt/internal/obs"
+	"harpgbdt/internal/profile"
+)
+
+var (
+	mAllreduceRetries = obs.DefaultRegistry().Counter("dist_allreduce_retries_total",
+		"Simulated allreduce steps retried after an injected failure")
+	mNodeFailures = obs.DefaultRegistry().Counter("dist_node_failures_total",
+		"Simulated cluster nodes declared dead")
+	mRowsResharded = obs.DefaultRegistry().Counter("dist_rows_resharded_total",
+		"Rows re-owned by surviving nodes after a node failure")
+)
+
+// AliveNodes reports how many simulated cluster nodes are still alive.
+func (t *Trainer) AliveNodes() int {
+	n := 0
+	for _, a := range t.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// RetryNanos reports the simulated time lost to allreduce timeouts and
+// retry backoff.
+func (t *Trainer) RetryNanos() int64 { return t.retryNanos }
+
+// RecoveryNanos reports the simulated time spent re-sharding dead nodes'
+// data onto survivors.
+func (t *Trainer) RecoveryNanos() int64 { return t.recoveryNanos }
+
+// allreduceWithRetry performs one simulated allreduce of `bytes`,
+// consulting the "dist.allreduce" injection point. Every injected failure
+// costs the step timeout; retries back off exponentially; exhausting
+// MaxRetries kills Config.FailNode and completes the step on the
+// survivors. Returns the simulated nanoseconds the step took.
+func (t *Trainer) allreduceWithRetry(bytes int64) (int64, error) {
+	var spent int64
+	timeout := int64(t.cfg.StepTimeoutMicros * 1e3)
+	backoff := int64(t.cfg.RetryBackoffMicros * 1e3)
+	for attempt := 0; ; attempt++ {
+		if err := fault.Point("dist.allreduce"); err == nil {
+			return spent + t.allreduceNanos(bytes), nil
+		}
+		spent += timeout
+		if attempt >= t.cfg.MaxRetries {
+			// Retries exhausted: declare the configured node dead, degrade
+			// onto the survivors and complete the step among them.
+			if err := t.failNode(t.cfg.FailNode); err != nil {
+				return 0, err
+			}
+			return spent + t.allreduceNanos(bytes), nil
+		}
+		mAllreduceRetries.Inc()
+		d := backoff << attempt
+		spent += d
+		t.retryNanos += timeout + d
+	}
+}
+
+// failNode declares a cluster node dead and re-owns its shards.
+func (t *Trainer) failNode(node int) error {
+	if sp := obs.StartSpan("dist", "recover-node"); sp.Active() {
+		defer sp.End()
+	}
+	if node < 0 || node >= len(t.alive) {
+		node = 0
+	}
+	if !t.alive[node] {
+		// The configured victim already died in an earlier step; the next
+		// alive node fails instead.
+		node = -1
+		for i, a := range t.alive {
+			if a {
+				node = i
+				break
+			}
+		}
+	}
+	if node < 0 || t.AliveNodes() <= 1 {
+		return fmt.Errorf("dist: all %d nodes failed, cannot continue", t.cfg.Nodes)
+	}
+	t.alive[node] = false
+	mNodeFailures.Inc()
+
+	survivors := make([]int, 0, len(t.alive))
+	for i, a := range t.alive {
+		if a {
+			survivors = append(survivors, i)
+		}
+	}
+	rows, next := 0, 0
+	for s := range t.shards {
+		if t.owner[s] != node {
+			continue
+		}
+		t.owner[s] = survivors[next%len(survivors)]
+		next++
+		rows += int(t.shards[s].hi - t.shards[s].lo)
+	}
+	mRowsResharded.Add(int64(rows))
+
+	// Recovery cost: survivors re-read the dead node's raw shard (one
+	// binned byte per feature plus label and row id per row) from its
+	// replica, through the same link model the allreduce uses.
+	bytes := int64(rows) * int64(t.ds.NumFeatures()+12)
+	rec := int64(float64(bytes)/(t.cfg.BandwidthMBps*1e6)*1e9) +
+		int64(t.cfg.LatencyMicros*1e3)
+	t.recoveryNanos += rec
+	t.pool.RecordExternalRegion(1, 0, rec, 0, rec)
+	t.prof.Add(profile.Other, time.Duration(rec))
+	return nil
+}
+
+// nodeWall turns per-owner serial compute times into the simulated
+// parallel step time: each alive node divides its load across `workers`
+// threads (stragglers run StragglerFactor slower), and the slowest node
+// bounds the step.
+func (t *Trainer) nodeWall(perOwner []int64, workers int64) int64 {
+	var maxNode int64
+	for node, d := range perOwner {
+		if d == 0 || !t.alive[node] {
+			continue
+		}
+		if t.cfg.StragglerFactor > 1 && node == t.cfg.StragglerNode {
+			d = int64(float64(d) * t.cfg.StragglerFactor)
+		}
+		dn := d / workers
+		if dn > maxNode {
+			maxNode = dn
+		}
+	}
+	return maxNode
+}

@@ -1,0 +1,165 @@
+package dist
+
+// Failure-injection tests: the simulated cluster retries failed allreduce
+// steps, survives a node death by re-sharding onto the survivors with a
+// visible recovery cost, and still produces the exact single-node tree.
+
+import (
+	"strings"
+	"testing"
+
+	"harpgbdt/internal/core"
+	"harpgbdt/internal/fault"
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/profile"
+	"harpgbdt/internal/synth"
+	"harpgbdt/internal/tree"
+)
+
+func TestAllreduceRetrySurvivesTransientFailure(t *testing.T) {
+	ds, err := synth.Make(synth.Config{Spec: synth.SynSet, Rows: 2000, Features: 8, Seed: 51}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := dyadicGradients(2000, 53)
+	dt, err := NewTrainer(Config{Nodes: 4, TreeSize: 5, Params: tree.DefaultSplitParams()}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two transient failures: within the default retry budget (2), so no
+	// node dies, but the retries cost simulated time.
+	fault.Enable("dist.allreduce", fault.Fault{Kind: fault.Error, Times: 2})
+	defer fault.Reset()
+	if _, err := dt.BuildTree(grad); err != nil {
+		t.Fatal(err)
+	}
+	if dt.AliveNodes() != 4 {
+		t.Fatalf("transient failure killed a node: %d alive", dt.AliveNodes())
+	}
+	if dt.RetryNanos() <= 0 {
+		t.Fatal("retries cost no simulated time")
+	}
+	if dt.RecoveryNanos() != 0 {
+		t.Fatal("recovery charged without a node failure")
+	}
+}
+
+func TestNodeFailureDegradesGracefully(t *testing.T) {
+	ds, err := synth.Make(synth.Config{Spec: synth.SynSet, Rows: 3000, Features: 10, Seed: 31}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := dyadicGradients(3000, 41)
+	params := tree.DefaultSplitParams()
+	ref, err := core.NewBuilder(core.Config{Mode: core.Sync, K: 8, Growth: grow.Leafwise,
+		TreeSize: 6, Params: params}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBT, err := ref.BuildTree(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := NewTrainer(Config{Nodes: 4, TreeSize: 6, K: 8, FailNode: 1, Params: params}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persistent failures on one step: timeout, 2 retries, then node 1 is
+	// declared dead (4 fires consumed), and the cluster continues on 3.
+	fault.Enable("dist.allreduce", fault.Fault{Kind: fault.Error, Times: 4})
+	defer fault.Reset()
+	other0 := dt.Profile().Nanos(profile.Other)
+	bt, err := dt.BuildTree(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.AliveNodes() != 3 {
+		t.Fatalf("%d nodes alive, want 3", dt.AliveNodes())
+	}
+	if !treesEquivalent(refBT.Tree, bt.Tree) {
+		t.Fatal("tree after node failure differs from single-node tree")
+	}
+	if dt.RecoveryNanos() <= 0 {
+		t.Fatal("node failure charged no recovery time")
+	}
+	if dt.Profile().Nanos(profile.Other) <= other0 {
+		t.Fatal("recovery cost not visible in the profile breakdown")
+	}
+	// The dead node owns nothing; every shard's owner is alive.
+	for s, o := range dt.owner {
+		if o == 1 {
+			t.Fatalf("shard %d still owned by dead node 1", s)
+		}
+		if !dt.alive[o] {
+			t.Fatalf("shard %d owned by dead node %d", s, o)
+		}
+	}
+	// The next tree trains on the survivors without further drama.
+	if _, err := dt.BuildTree(grad); err != nil {
+		t.Fatal(err)
+	}
+	if dt.AliveNodes() != 3 {
+		t.Fatal("second tree changed cluster membership")
+	}
+}
+
+func TestAllNodesDeadErrors(t *testing.T) {
+	ds, err := synth.Make(synth.Config{Spec: synth.SynSet, Rows: 500, Features: 4, Seed: 55}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := dyadicGradients(500, 57)
+	dt, err := NewTrainer(Config{Nodes: 2, TreeSize: 4, MaxRetries: -1,
+		Params: tree.DefaultSplitParams()}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every allreduce fails, no retries: node 0 dies on the first step; on
+	// a later step the cluster is down to one node and must error out
+	// rather than pretend to be distributed.
+	fault.Enable("dist.allreduce", fault.Fault{Kind: fault.Error})
+	defer fault.Reset()
+	_, err = dt.BuildTree(grad)
+	if err == nil || !strings.Contains(err.Error(), "nodes failed") {
+		t.Fatalf("want all-nodes-failed error, got %v", err)
+	}
+}
+
+func TestStragglerSlowsCluster(t *testing.T) {
+	ds, err := synth.Make(synth.Config{Spec: synth.SynSet, Rows: 4000, Features: 16, Seed: 35}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := dyadicGradients(4000, 45)
+	vtime := func(factor float64) int64 {
+		dt, err := NewTrainer(Config{Nodes: 4, TreeSize: 6, StragglerFactor: factor,
+			StragglerNode: 2, Params: tree.DefaultSplitParams()}, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dt.BuildTree(grad); err != nil {
+			t.Fatal(err)
+		}
+		return dt.Pool().VirtualNanos()
+	}
+	even := vtime(0)
+	slow := vtime(50)
+	if slow <= even {
+		t.Fatalf("straggler not slower: %d vs %d", slow, even)
+	}
+}
+
+func TestFailureConfigValidation(t *testing.T) {
+	if err := (Config{Nodes: 4, FailNode: 7}).Validate(); err == nil {
+		t.Fatal("out-of-range fail node accepted")
+	}
+	if err := (Config{Nodes: 4, StragglerNode: -1}).Validate(); err == nil {
+		t.Fatal("negative straggler node accepted")
+	}
+	if err := (Config{StragglerFactor: -2}).Validate(); err == nil {
+		t.Fatal("negative straggler factor accepted")
+	}
+	if err := (Config{StepTimeoutMicros: -1}).Validate(); err == nil {
+		t.Fatal("negative timeout accepted")
+	}
+}

@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUnarmedPointIsFree(t *testing.T) {
+	r := NewRegistry(1)
+	for i := 0; i < 100; i++ {
+		if err := r.Point("nope"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Calls("nope") != 0 {
+		t.Fatal("unarmed point counted calls")
+	}
+}
+
+func TestErrorAfterNth(t *testing.T) {
+	r := NewRegistry(1)
+	r.Enable("p", Fault{Kind: Error, After: 3})
+	for i := 0; i < 3; i++ {
+		if err := r.Point("p"); err != nil {
+			t.Fatalf("call %d fired early: %v", i, err)
+		}
+	}
+	if err := r.Point("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("4th call: %v", err)
+	}
+	if r.Calls("p") != 4 || r.Fired("p") != 1 {
+		t.Fatalf("calls=%d fired=%d", r.Calls("p"), r.Fired("p"))
+	}
+}
+
+func TestTimesBound(t *testing.T) {
+	r := NewRegistry(1)
+	r.Enable("p", Fault{Kind: Error, Times: 2})
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if r.Point("p") != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("fired %d times, want 2", fails)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	sentinel := errors.New("boom")
+	r := NewRegistry(1)
+	r.Enable("p", Fault{Kind: Error, Err: sentinel})
+	if err := r.Point("p"); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	r := NewRegistry(1)
+	r.Enable("p", Fault{Kind: Panic, Message: "die"})
+	defer func() {
+		v := recover()
+		ip, ok := v.(*InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want *InjectedPanic", v)
+		}
+		if ip.Point != "p" || ip.Message != "die" {
+			t.Fatalf("panic payload %+v", ip)
+		}
+	}()
+	r.Point("p")
+	t.Fatal("did not panic")
+}
+
+func TestDelayKind(t *testing.T) {
+	r := NewRegistry(1)
+	r.Enable("p", Fault{Kind: Delay, Sleep: 20 * time.Millisecond})
+	start := time.Now()
+	if err := r.Point("p"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("delay fault did not sleep")
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	run := func() int {
+		r := NewRegistry(99)
+		r.Enable("p", Fault{Kind: Error, Prob: 0.3})
+		n := 0
+		for i := 0; i < 1000; i++ {
+			if r.Point("p") != nil {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different schedules: %d vs %d", a, b)
+	}
+	if a < 200 || a > 400 {
+		t.Fatalf("fired %d/1000 at prob 0.3", a)
+	}
+}
+
+func TestDisableAndReset(t *testing.T) {
+	r := NewRegistry(1)
+	r.Enable("a", Fault{Kind: Error})
+	r.Enable("b", Fault{Kind: Error})
+	r.Disable("a")
+	if r.Point("a") != nil {
+		t.Fatal("disabled point fired")
+	}
+	if r.Point("b") == nil {
+		t.Fatal("armed point did not fire")
+	}
+	r.Reset()
+	if r.Point("b") != nil {
+		t.Fatal("reset point fired")
+	}
+}
+
+func TestConcurrentPoints(t *testing.T) {
+	r := NewRegistry(1)
+	r.Enable("p", Fault{Kind: Error, Times: 50})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 1000; i++ {
+				if r.Point("p") != nil {
+					n++
+				}
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if total != 50 {
+		t.Fatalf("fired %d, want exactly 50", total)
+	}
+	if r.Calls("p") != 8000 {
+		t.Fatalf("calls %d", r.Calls("p"))
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		name string
+		want Fault
+		err  bool
+	}{
+		{spec: "boost.round=panic,after=5", name: "boost.round", want: Fault{Kind: Panic, After: 5}},
+		{spec: "dist.allreduce=error,times=3", name: "dist.allreduce", want: Fault{Kind: Error, Times: 3}},
+		{spec: "x=delay,sleep=10ms,prob=0.5", name: "x", want: Fault{Kind: Delay, Sleep: 10 * time.Millisecond, Prob: 0.5}},
+		{spec: "x=panic,msg=kill", name: "x", want: Fault{Kind: Panic, Message: "kill"}},
+		{spec: "noequals", err: true},
+		{spec: "x=explode", err: true},
+		{spec: "x=error,after=abc", err: true},
+		{spec: "x=error,bogus=1", err: true},
+		{spec: "=error", err: true},
+	}
+	for _, c := range cases {
+		name, f, err := ParseSpec(c.spec)
+		if c.err {
+			if err == nil {
+				t.Errorf("spec %q accepted", c.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("spec %q: %v", c.spec, err)
+			continue
+		}
+		if name != c.name || f != c.want {
+			t.Errorf("spec %q parsed as %q %+v", c.spec, name, f)
+		}
+	}
+}
+
+func TestEnableSpecs(t *testing.T) {
+	defer Reset()
+	if err := EnableSpecs("tp.a=error,times=1; tp.b=error"); err != nil {
+		t.Fatal(err)
+	}
+	if Point("tp.a") == nil {
+		t.Fatal("tp.a not armed")
+	}
+	if Point("tp.b") == nil {
+		t.Fatal("tp.b not armed")
+	}
+	if err := EnableSpecs("bad spec"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

@@ -1,0 +1,123 @@
+// Package safeio provides crash-safe file persistence for the model,
+// checkpoint and dataset-cache writers: payloads are written to a
+// temporary file in the destination directory, fsynced, and renamed over
+// the target, so a crash mid-write never leaves a half-written file under
+// the final name. Every file carries a 12-byte integrity footer
+// (magic | payload length | IEEE CRC32) that readers verify, so a
+// truncated or bit-flipped file fails loudly instead of deserializing
+// into garbage.
+package safeio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// footerMagic identifies the integrity footer ("HGFT": HarpGbdt FooTer).
+const footerMagic = uint32(0x48474654)
+
+// footerSize is the trailing footer length: magic + payload length + CRC32.
+const footerSize = 12
+
+// ErrCorrupt reports an integrity-footer verification failure.
+type ErrCorrupt struct {
+	Path   string
+	Reason string
+}
+
+func (e *ErrCorrupt) Error() string {
+	return fmt.Sprintf("safeio: %s: corrupt file: %s", e.Path, e.Reason)
+}
+
+// WriteFile atomically persists the payload produced by write: the bytes
+// go to a temporary file in path's directory, an integrity footer is
+// appended, the file is fsynced and renamed over path. On any error the
+// temporary file is removed and the previous file at path (if any) is
+// left untouched.
+func WriteFile(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	crc := crc32.NewIEEE()
+	cw := &countingWriter{w: io.MultiWriter(tmp, crc)}
+	bw := bufio.NewWriter(cw)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint32(footer[0:4], footerMagic)
+	binary.LittleEndian.PutUint32(footer[4:8], uint32(cw.n))
+	binary.LittleEndian.PutUint32(footer[8:12], crc.Sum32())
+	if _, err = tmp.Write(footer[:]); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ReadFile reads path and, when an integrity footer is present, verifies
+// the payload length and CRC32 and strips the footer. verified reports
+// whether a footer was found; legacy files without one are returned
+// as-is so pre-footer formats keep loading.
+func ReadFile(path string) (payload []byte, verified bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(data) < footerSize {
+		return data, false, nil
+	}
+	foot := data[len(data)-footerSize:]
+	if binary.LittleEndian.Uint32(foot[0:4]) != footerMagic {
+		return data, false, nil
+	}
+	payload = data[:len(data)-footerSize]
+	if n := binary.LittleEndian.Uint32(foot[4:8]); n != uint32(len(payload)) {
+		return nil, true, &ErrCorrupt{Path: path,
+			Reason: fmt.Sprintf("payload length %d does not match footer %d (truncated?)", len(payload), n)}
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(foot[8:12]) {
+		return nil, true, &ErrCorrupt{Path: path, Reason: "CRC32 mismatch"}
+	}
+	return payload, true, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

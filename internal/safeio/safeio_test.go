@@ -1,0 +1,135 @@
+package safeio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeStr(t *testing.T, path, s string) {
+	t.Helper()
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, s)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	writeStr(t, path, "hello world")
+	got, verified, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verified {
+		t.Fatal("footer not detected")
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("payload %q", got)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	writeStr(t, path, "")
+	got, verified, err := ReadFile(path)
+	if err != nil || !verified || len(got) != 0 {
+		t.Fatalf("got %q verified=%v err=%v", got, verified, err)
+	}
+}
+
+func TestOverwriteIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	writeStr(t, path, "first")
+	// A failing writer must leave the previous contents intact.
+	sentinel := errors.New("midway failure")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err %v", err)
+	}
+	got, _, err := ReadFile(path)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("previous contents lost: %q %v", got, err)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("leftover files: %v", entries)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	writeStr(t, path, strings.Repeat("payload!", 64))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut bytes out of the middle so the footer survives but the payload
+	// shrinks: the length check must catch it.
+	cut := append(append([]byte{}, data[:100]...), data[200:]...)
+	if err := os.WriteFile(path, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, verified, err := ReadFile(path)
+	var ce *ErrCorrupt
+	if !verified || !errors.As(err, &ce) {
+		t.Fatalf("truncation not detected: verified=%v err=%v", verified, err)
+	}
+}
+
+func TestBitFlipDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	writeStr(t, path, strings.Repeat("payload!", 64))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ReadFile(path)
+	var ce *ErrCorrupt
+	if !errors.As(err, &ce) {
+		t.Fatalf("bit flip not detected: %v", err)
+	}
+	if !strings.Contains(ce.Error(), "CRC32") {
+		t.Fatalf("unhelpful error: %v", ce)
+	}
+}
+
+func TestLegacyFileWithoutFooter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.json")
+	if err := os.WriteFile(path, []byte(`{"k": "a plain pre-footer file"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, verified, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verified {
+		t.Fatal("legacy file claimed verified")
+	}
+	if !strings.HasPrefix(string(got), `{"k":`) {
+		t.Fatalf("payload %q", got)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	if _, _, err := ReadFile(filepath.Join(t.TempDir(), "nope")); !os.IsNotExist(err) {
+		t.Fatalf("err %v", err)
+	}
+}

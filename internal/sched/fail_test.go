@@ -1,0 +1,192 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"harpgbdt/internal/fault"
+)
+
+// recoverRegion runs fn and converts a region panic back into an error,
+// the way boost.Train's buildTreeSafe does.
+func recoverRegion(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = AsPanicError(r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestParallelForPanicRecovered(t *testing.T) {
+	p := NewPool(4)
+	err := recoverRegion(func() {
+		p.ParallelFor(1000, 1, func(lo, hi, w int) {
+			if lo == 500 {
+				panic("boom at 500")
+			}
+		})
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if pe.Value != "boom at 500" {
+		t.Fatalf("panic value %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "sched") {
+		t.Fatalf("stack not captured: %q", pe.Stack)
+	}
+	// The pool must remain usable after the caller recovers.
+	var ran atomic.Int64
+	p.ParallelFor(100, 1, func(lo, hi, w int) { ran.Add(int64(hi - lo)) })
+	if ran.Load() != 100 {
+		t.Fatalf("pool unusable after recovered panic: ran %d", ran.Load())
+	}
+}
+
+func TestRunTasksPanicRecovered(t *testing.T) {
+	p := NewPool(3)
+	tasks := make([]func(int), 64)
+	for i := range tasks {
+		i := i
+		tasks[i] = func(int) {
+			if i == 40 {
+				panic(errors.New("task died"))
+			}
+		}
+	}
+	err := recoverRegion(func() { p.RunTasks(tasks) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	// A panic value that was an error unwraps to it.
+	if got := errors.Unwrap(pe); got == nil || got.Error() != "task died" {
+		t.Fatalf("unwrap %v", got)
+	}
+}
+
+func TestRunWorkersPanicRecovered(t *testing.T) {
+	p := NewPool(4)
+	err := recoverRegion(func() {
+		p.RunWorkers(func(w int) {
+			if w == 2 {
+				panic("worker 2 down")
+			}
+		})
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if pe.Worker != 2 {
+		t.Fatalf("worker index %d", pe.Worker)
+	}
+}
+
+func TestPanicAbortsSiblings(t *testing.T) {
+	// After one worker panics, remaining chunks are drained, not executed:
+	// with 2 workers and a panic on the very first chunk, far fewer than
+	// all chunks should run.
+	p := NewPool(2)
+	var ran atomic.Int64
+	_ = recoverRegion(func() {
+		p.ParallelFor(10000, 1, func(lo, hi, w int) {
+			if lo == 0 {
+				panic("first chunk")
+			}
+			ran.Add(1)
+			time.Sleep(50 * time.Microsecond)
+		})
+	})
+	if n := ran.Load(); n > 5000 {
+		t.Fatalf("siblings did not drain: %d chunks ran", n)
+	}
+}
+
+func TestStopCancelsRegions(t *testing.T) {
+	p := NewPool(4)
+	var ran atomic.Int64
+	p.ParallelFor(10000, 1, func(lo, hi, w int) {
+		if ran.Add(1) == 10 {
+			p.Stop()
+		}
+		time.Sleep(20 * time.Microsecond)
+	})
+	if !p.Stopped() {
+		t.Fatal("pool not stopped")
+	}
+	if n := ran.Load(); n >= 10000 {
+		t.Fatalf("region ran to completion despite Stop: %d", n)
+	}
+	// A stopped pool skips future regions entirely until re-armed.
+	before := ran.Load()
+	p.ParallelFor(100, 1, func(lo, hi, w int) { ran.Add(1) })
+	if d := ran.Load() - before; d > 4 {
+		t.Fatalf("stopped pool ran %d chunks", d)
+	}
+	p.ResetStop()
+	before = ran.Load()
+	p.ParallelFor(100, 1, func(lo, hi, w int) { ran.Add(1) })
+	if d := ran.Load() - before; d != 100 {
+		t.Fatalf("reset pool ran %d of 100 chunks", d)
+	}
+}
+
+func TestStopCancelsSerialAndVirtual(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pool *Pool
+	}{
+		{"serial", NewPool(1)},
+		{"virtual", NewVirtualPool(4, ZeroCostModel())},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var ran int
+			tc.pool.ParallelFor(1000, 1, func(lo, hi, w int) {
+				ran++
+				if ran == 7 {
+					tc.pool.Stop()
+				}
+			})
+			if ran != 7 {
+				t.Fatalf("ran %d chunks after Stop", ran)
+			}
+		})
+	}
+}
+
+func TestInjectedWorkerFault(t *testing.T) {
+	// An armed sched.worker fault surfaces as a recoverable *PanicError
+	// wrapping fault.ErrInjected.
+	reg := fault.Default()
+	reg.Enable("sched.worker", fault.Fault{Kind: fault.Error, After: 3})
+	defer reg.Reset()
+	p := NewPool(4)
+	err := recoverRegion(func() {
+		p.ParallelFor(1000, 1, func(lo, hi, w int) {})
+	})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %T", err)
+	}
+}
+
+func TestAsPanicErrorPassthrough(t *testing.T) {
+	orig := &PanicError{Value: "x", Worker: 7}
+	if got := AsPanicError(orig); got != orig {
+		t.Fatal("wrapped an existing PanicError")
+	}
+	got := AsPanicError("raw")
+	if got.Worker != -1 || got.Value != "raw" || len(got.Stack) == 0 {
+		t.Fatalf("bad wrap: %+v", got)
+	}
+}

@@ -1,0 +1,141 @@
+package sched
+
+// Panic safety and cancellation for the worker pool.
+//
+// A panic inside a parallel-region body used to kill the whole process
+// from the worker goroutine: nothing upstream could recover it. Workers
+// now recover panics into a *PanicError (value + stack of the failing
+// worker), sibling workers drain quickly, and the region call re-panics
+// the error on the orchestrator goroutine — where boost.Train (or any
+// other caller) can recover it into an ordinary error.
+//
+// Cancellation is cooperative: Stop() makes every in-flight region stop
+// handing out chunks, so the region returns early between block tasks;
+// callers observe Stopped() and abandon the partial result.
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"harpgbdt/internal/fault"
+	"harpgbdt/internal/obs"
+)
+
+// workerFault is the injection hook evaluated once per claimed chunk/task
+// on real worker goroutines; an injected error panics on the worker (and
+// is then recovered into a *PanicError), an injected panic fires directly.
+// One atomic load when no faults are armed.
+func workerFault() error { return fault.Point("sched.worker") }
+
+// PanicError wraps a panic recovered from a worker goroutine (or from a
+// region body on the orchestrator) so it can travel as an error.
+type PanicError struct {
+	// Value is the original panic value.
+	Value any
+	// Worker is the pool worker index the panic happened on (-1 when the
+	// body ran on the orchestrator goroutine).
+	Worker int
+	// Stack is the stack of the panicking goroutine at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: worker %d panicked: %v", e.Worker, e.Value)
+}
+
+// Unwrap exposes a panic value that already was an error (e.g. an
+// injected *fault.InjectedPanic) to errors.Is / errors.As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// AsPanicError converts a recovered value into a *PanicError: values that
+// already are one pass through, anything else is wrapped with the current
+// stack. Use it in a defer/recover that turns panics into errors:
+//
+//	defer func() {
+//		if r := recover(); r != nil {
+//			err = sched.AsPanicError(r)
+//		}
+//	}()
+func AsPanicError(r any) *PanicError {
+	if pe, ok := r.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: r, Worker: -1, Stack: debug.Stack()}
+}
+
+var mWorkerPanics = obs.DefaultRegistry().Counter("sched_worker_panics_total",
+	"Worker-goroutine panics recovered into errors by the pool")
+
+// failState holds the pool's panic/cancel bookkeeping (kept out of the
+// hot Stats mutex).
+type failState struct {
+	mu sync.Mutex
+	// firstPanic is the first worker panic of the current region.
+	firstPanic *PanicError
+	// aborted makes sibling workers drain after a panic; cleared when the
+	// region rethrows.
+	aborted atomic.Bool
+	// stopped is the user-facing cancellation flag (Stop/ResetStop).
+	stopped atomic.Bool
+}
+
+// Stop cancels in-flight and future parallel regions: workers stop
+// picking up chunks, so regions return early between block tasks. The
+// pool stays stopped (every subsequent region is a fast no-op) until
+// ResetStop, so a cancelled training loop cannot keep computing.
+func (p *Pool) Stop() { p.fail.stopped.Store(true) }
+
+// Stopped reports whether the pool has been cancelled via Stop.
+func (p *Pool) Stopped() bool { return p.fail.stopped.Load() }
+
+// ResetStop re-arms a stopped pool for further use.
+func (p *Pool) ResetStop() { p.fail.stopped.Store(false) }
+
+// draining reports whether workers should stop taking new work, either
+// because of cancellation or because a sibling worker panicked.
+func (p *Pool) draining() bool {
+	return p.fail.stopped.Load() || p.fail.aborted.Load()
+}
+
+// recoverWorker is deferred inside every worker goroutine: it converts a
+// panic into the pool's pending PanicError and makes siblings drain.
+func (p *Pool) recoverWorker(worker int) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	mWorkerPanics.Inc()
+	pe, ok := r.(*PanicError)
+	if !ok {
+		pe = &PanicError{Value: r, Worker: worker, Stack: debug.Stack()}
+	}
+	p.fail.mu.Lock()
+	if p.fail.firstPanic == nil {
+		p.fail.firstPanic = pe
+	}
+	p.fail.mu.Unlock()
+	p.fail.aborted.Store(true)
+}
+
+// rethrow re-raises a worker panic on the orchestrator goroutine after
+// the region's barrier, clearing the abort state so the pool remains
+// usable once the caller recovers the error.
+func (p *Pool) rethrow() {
+	p.fail.mu.Lock()
+	pe := p.fail.firstPanic
+	p.fail.firstPanic = nil
+	p.fail.mu.Unlock()
+	if pe == nil {
+		return
+	}
+	p.fail.aborted.Store(false)
+	panic(pe)
+}

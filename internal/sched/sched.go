@@ -89,6 +89,8 @@ type Pool struct {
 	mu     sync.Mutex
 	stats  Stats
 	vclock int64
+
+	fail failState
 }
 
 // NewPool returns a pool with the given parallel width. workers <= 0 selects
@@ -161,6 +163,9 @@ func (p *Pool) ParallelFor(n, chunk int, body func(lo, hi, worker int)) {
 	if p.workers == 1 || nChunks == 1 {
 		start := time.Now()
 		for lo := 0; lo < n; lo += chunk {
+			if p.fail.stopped.Load() {
+				break
+			}
 			hi := lo + chunk
 			if hi > n {
 				hi = n
@@ -184,10 +189,14 @@ func (p *Pool) ParallelFor(n, chunk int, body func(lo, hi, worker int)) {
 	for w := 0; w < nw; w++ {
 		go func(w int) {
 			defer wg.Done()
-			for {
+			defer p.recoverWorker(w)
+			for !p.draining() {
 				c := int(atomic.AddInt64(&next, 1)) - 1
 				if c >= nChunks {
 					break
+				}
+				if err := workerFault(); err != nil {
+					panic(err)
 				}
 				lo := c * chunk
 				hi := lo + chunk
@@ -212,6 +221,7 @@ func (p *Pool) ParallelFor(n, chunk int, body func(lo, hi, worker int)) {
 		wait += last - f
 	}
 	p.record(1, int64(nChunks), busy, wait, wall)
+	p.rethrow()
 }
 
 // RunTasks executes each task once, dynamically scheduled across the
@@ -233,6 +243,9 @@ func (p *Pool) RunTasks(tasks []func(worker int)) {
 	if p.workers == 1 || n == 1 {
 		start := time.Now()
 		for _, t := range tasks {
+			if p.fail.stopped.Load() {
+				break
+			}
 			t(0)
 		}
 		busy := time.Since(start).Nanoseconds()
@@ -251,10 +264,14 @@ func (p *Pool) RunTasks(tasks []func(worker int)) {
 	for w := 0; w < nw; w++ {
 		go func(w int) {
 			defer wg.Done()
-			for {
+			defer p.recoverWorker(w)
+			for !p.draining() {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					break
+				}
+				if err := workerFault(); err != nil {
+					panic(err)
 				}
 				tasks[i](w)
 			}
@@ -274,6 +291,7 @@ func (p *Pool) RunTasks(tasks []func(worker int)) {
 		wait += last - f
 	}
 	p.record(1, int64(n), busy, wait, wall)
+	p.rethrow()
 }
 
 // RunWorkers starts exactly Workers() copies of body and waits for all of
@@ -308,6 +326,7 @@ func (p *Pool) RunWorkers(body func(worker int)) {
 	for w := 0; w < nw; w++ {
 		go func(w int) {
 			defer wg.Done()
+			defer p.recoverWorker(w)
 			body(w)
 			finish[w] = time.Since(start).Nanoseconds()
 		}(w)
@@ -325,4 +344,5 @@ func (p *Pool) RunWorkers(body func(worker int)) {
 		wait += last - f
 	}
 	p.record(1, int64(nw), busy, wait, wall)
+	p.rethrow()
 }

@@ -115,6 +115,9 @@ func (p *Pool) runVirtual(nItems int, body func(i, w int)) {
 	dispatch := p.cost.TaskDispatch.Nanoseconds()
 	var serial int64
 	for i := 0; i < nItems; i++ {
+		if p.fail.stopped.Load() {
+			break
+		}
 		w := 0
 		for j := 1; j < nw; j++ {
 			if clocks[j] < clocks[w] {

@@ -31,6 +31,13 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// State returns the generator's internal state, for checkpointing.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState restores a state captured by State, so a resumed run draws the
+// exact sequence the interrupted run would have drawn.
+func (r *RNG) SetState(s [4]uint64) { r.s = s }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.
