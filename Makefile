@@ -1,9 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race fault bench trace clean
+.PHONY: check vet build test lint sanitize race-sanitize fuzz race fault bench trace clean
 
-## check: the full verification gate (vet + build + race-enabled tests + fault suite)
-check: vet build race fault
+## check: the full verification gate (vet + build + harplint + the test
+## suite under race detector *and* harpdebug invariants + fault suite).
+## race-sanitize subsumes a plain `make race`: same tests, same -race,
+## plus the runtime invariant layer compiled in.
+check: vet build lint race-sanitize fault
 
 vet:
 	$(GO) vet ./...
@@ -13,6 +16,27 @@ build:
 
 test:
 	$(GO) test ./...
+
+## lint: run the domain-specific static analyzer (spinscope, lockbalance,
+## determinism, obshygiene); exits non-zero on unsuppressed findings
+lint:
+	$(GO) run ./cmd/harplint ./...
+
+## sanitize: the test suite with the harpdebug runtime invariant layer
+## compiled in (GHSum conservation, partition permutation, bin bounds,
+## TopK gain monotonicity)
+sanitize:
+	$(GO) test -short -tags harpdebug ./...
+
+## race-sanitize: invariants and the race detector together — the
+## strictest fast gate
+race-sanitize:
+	$(GO) test -race -short -tags harpdebug ./...
+
+## fuzz: short fuzz sessions over the dataset loaders
+fuzz:
+	$(GO) test -fuzz=FuzzReadLibSVM -fuzztime=5s ./internal/dataset/
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=5s ./internal/dataset/
 
 # -short skips the full-experiment sweeps, which take >10 min under the
 # race detector on small machines; `make race-full` runs everything.

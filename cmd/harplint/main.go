@@ -1,0 +1,117 @@
+// Command harplint runs the domain-specific static analyzer over this
+// module: spin-lock critical-section scope, lock balance, training-path
+// determinism, and observability naming hygiene.
+//
+// Usage:
+//
+//	harplint [flags] [./... | dir ...]
+//
+// With no arguments (or "./...") the whole module is analyzed. Exit
+// status is 1 when unsuppressed findings exist, 2 on load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"harpgbdt/internal/lint"
+)
+
+func main() {
+	var (
+		root        = flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
+		showIgnored = flag.Bool("show-ignored", false, "also print suppressed findings")
+		listRules   = flag.Bool("rules", false, "list rule names and exit")
+	)
+	flag.Parse()
+
+	if *root == "" {
+		r, err := findModuleRoot()
+		if err != nil {
+			fatal(err)
+		}
+		*root = r
+	}
+	loader, err := lint.NewLoader(*root)
+	if err != nil {
+		fatal(err)
+	}
+	analyses := lint.DefaultAnalyses(loader.Module)
+	if *listRules {
+		for _, r := range lint.RuleNames(analyses) {
+			fmt.Println(r)
+		}
+		return
+	}
+
+	var dirs []string
+	for _, arg := range flag.Args() {
+		if arg == "./..." || arg == "..." {
+			dirs = nil
+			break
+		}
+		dirs = append(dirs, arg)
+	}
+	var pkgs []*lint.Package
+	if dirs == nil {
+		pkgs, err = loader.LoadModule()
+	} else {
+		pkgs, err = loader.LoadDirs(dirs)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "harplint: warning: %s: %v\n", p.Path, terr)
+		}
+	}
+
+	findings := lint.Run(pkgs, analyses)
+	bad := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			if *showIgnored {
+				fmt.Println(f)
+			}
+			continue
+		}
+		bad++
+		fmt.Println(f)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "harplint: %d finding(s) in %d package(s)\n", bad, len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the first go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("harplint: no go.mod found above %s", mustGetwd())
+		}
+		dir = parent
+	}
+}
+
+func mustGetwd() string {
+	d, _ := os.Getwd()
+	return d
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "harplint:", strings.TrimPrefix(err.Error(), "lint: "))
+	os.Exit(2)
+}

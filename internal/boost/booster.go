@@ -286,7 +286,7 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 		for _, cb := range cfg.Callbacks {
 			cb.BeforeRound(round, cfg.Rounds)
 		}
-		start := time.Now()
+		tm := profile.StartTimer()
 		s0 := pool.Stats()
 		obj.Gradients(margins, ds.Labels, grad)
 		if subsampling {
@@ -315,7 +315,7 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 				margins[i] += bt.Tree.Nodes[leaf].Weight
 			}
 		}
-		dur := time.Since(start)
+		dur := tm.Elapsed()
 		if virtual {
 			// On the simulated parallel machine, replace the serial
 			// in-region execution time with the simulated parallel wall

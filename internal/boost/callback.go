@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"harpgbdt/internal/obs"
+	"harpgbdt/internal/profile"
 )
 
 // RoundStats is the per-round notification payload delivered to callbacks
@@ -45,7 +46,7 @@ type Callback interface {
 type obsCallback struct {
 	o     *obs.Observer
 	span  obs.Span
-	start time.Time
+	start profile.Timer
 
 	rounds    *obs.Counter
 	treeSec   *obs.Histogram
@@ -87,8 +88,8 @@ func NewObsCallback(o *obs.Observer) Callback {
 
 // BeforeRound implements Callback.
 func (c *obsCallback) BeforeRound(round, rounds int) {
-	if c.start.IsZero() {
-		c.start = time.Now()
+	if !c.start.Started() {
+		c.start = profile.StartTimer()
 	}
 	c.span = c.o.Tracer.StartSpan("round", "round")
 }
@@ -102,7 +103,7 @@ func (c *obsCallback) AfterRound(s RoundStats) {
 		"round":         s.Round,
 		"rounds":        s.Rounds,
 		"train_seconds": s.TotalTime.Seconds(),
-		"wall_seconds":  time.Since(c.start).Seconds(),
+		"wall_seconds":  c.start.Elapsed().Seconds(),
 		"tree_ms":       float64(s.TreeTime.Microseconds()) / 1e3,
 		"leaves":        s.CumLeaves,
 		"max_depth":     s.MaxDepth,

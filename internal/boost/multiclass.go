@@ -11,6 +11,7 @@ import (
 	"harpgbdt/internal/dataset"
 	"harpgbdt/internal/engine"
 	"harpgbdt/internal/gh"
+	"harpgbdt/internal/profile"
 	"harpgbdt/internal/tree"
 )
 
@@ -156,7 +157,7 @@ func TrainMulticlass(b engine.Builder, ds *dataset.Dataset, cfg MulticlassConfig
 	probs := make([]float64, cfg.NumClass)
 	res := &MulticlassResult{Model: model}
 	for round := 0; round < cfg.Rounds; round++ {
-		start := time.Now()
+		tm := profile.StartTimer()
 		roundTrees := make([]*tree.Tree, cfg.NumClass)
 		// Per-row softmax probabilities drive every class's gradients.
 		allProbs := make([][]float64, n)
@@ -192,7 +193,7 @@ func TrainMulticlass(b engine.Builder, ds *dataset.Dataset, cfg MulticlassConfig
 			roundTrees[c] = bt.Tree
 		}
 		model.Trees = append(model.Trees, roundTrees)
-		res.TrainTime += time.Since(start)
+		res.TrainTime += tm.Elapsed()
 		if cfg.EvalEvery > 0 && ((round+1)%cfg.EvalEvery == 0 || round == cfg.Rounds-1) {
 			correct := 0
 			for i := 0; i < n; i++ {

@@ -2,11 +2,11 @@ package core
 
 import (
 	"runtime"
-	"time"
 
 	"harpgbdt/internal/engine"
 	"harpgbdt/internal/gh"
 	"harpgbdt/internal/grow"
+	"harpgbdt/internal/invariant"
 	"harpgbdt/internal/obs"
 	"harpgbdt/internal/profile"
 	"harpgbdt/internal/sched"
@@ -20,6 +20,14 @@ import (
 // whole node (partition, child histograms, splits) privately. The only
 // barrier is at the end of the tree; this is the paper's "mix mode
 // (X, node parallelism, X)".
+//
+// The spin mutex guards exactly three structures: the candidate queue, the
+// tree skeleton (st.t) and the node-state table (st.nodes), plus the
+// leaves/outstanding counters. Critical sections are kept to loads, stores
+// and the guarded-structure calls themselves — metric updates, cut lookups,
+// weight math, node-state allocation and histogram recycling all happen
+// outside the lock (harplint's spinscope rule enforces this; the remaining
+// in-section calls are annotated individually).
 func (b *Builder) buildAsync(st *buildState) {
 	maxLeaves := b.cfg.MaxLeaves()
 	workers := b.pool.Workers()
@@ -43,19 +51,27 @@ func (b *Builder) buildAsync(st *buildState) {
 	outstanding := 0
 	b.pool.RunWorkers(func(worker int) {
 		for {
+			// Section 1: claim a candidate (or detect completion). Nothing
+			// but queue/counter/table access happens while the lock is held.
+			var toRelease []*nodeState
 			mu.Lock()
 			if st.leaves >= maxLeaves {
 				for {
-					c, ok := st.queue.Pop()
+					c, ok := st.queue.Pop() //harplint:ignore spinscope -- the queue is the guarded structure
 					if !ok {
 						break
 					}
-					b.releaseHist(st.nodes[c.NodeID])
+					toRelease = append(toRelease, st.nodes[c.NodeID]) //harplint:ignore spinscope -- drain runs once per worker at tree end, not on the hot path
 				}
 				mu.Unlock()
+				// Histogram recycling takes the pool's own spin lock; doing
+				// it here keeps the two spin locks from nesting.
+				for _, ns := range toRelease {
+					b.releaseHist(ns)
+				}
 				return
 			}
-			c, ok := st.queue.Pop()
+			c, ok := st.queue.Pop() //harplint:ignore spinscope -- the queue is the guarded structure
 			if !ok {
 				done := outstanding == 0
 				mu.Unlock()
@@ -67,39 +83,62 @@ func (b *Builder) buildAsync(st *buildState) {
 			}
 			outstanding++
 			st.leaves++
-			mNodesSplit.Inc()
-			mQueueDepth.Set(float64(st.queue.Len()))
 			parent := st.nodes[c.NodeID]
+			qlen := st.queue.Len() //harplint:ignore spinscope -- the queue is the guarded structure
+			mu.Unlock()
+
+			// Between sections: everything that needs no shared state.
+			// parent's fields are stable — they were fully written before
+			// the candidate was pushed (the queue mutex orders the two).
+			mNodesSplit.Inc()
+			mQueueDepth.Set(float64(qlen))
 			s := parent.split
-			l, r := st.t.AddChildren(c.NodeID, s.Feature, s.Bin,
-				b.ds.Cuts.UpperBound(int(s.Feature), s.Bin), s.DefaultLeft, s.Gain)
+			upper := b.ds.Cuts.UpperBound(int(s.Feature), s.Bin)
 			left := &nodeState{sum: gh.Pair{G: s.LeftG, H: s.LeftH}, split: tree.InvalidSplit()}
 			right := &nodeState{sum: gh.Pair{G: s.RightG, H: s.RightH}, split: tree.InvalidSplit()}
-			st.nodes = append(st.nodes, left, right)
 			childDepth := c.Depth + 1
+
+			// Section 2: graft the children into the shared tree skeleton
+			// and node table.
+			mu.Lock()
+			l, r := st.t.AddChildren(c.NodeID, s.Feature, s.Bin, upper, s.DefaultLeft, s.Gain) //harplint:ignore spinscope -- the tree skeleton is the guarded structure
+			st.nodes = append(st.nodes, left, right)                                           //harplint:ignore spinscope -- the node table is the guarded structure; append is amortized
 			mu.Unlock()
 
 			nsp := obs.StartSpanTID("node", "ProcessNode", worker+1)
 			b.asyncProcessNode(st, parent, left, right, childDepth)
 			nsp.End()
 
+			// Weight math and split validity happen before re-acquiring the
+			// lock; the child sums and splits were sealed by
+			// asyncProcessNode above. Arrays, not slices: no allocation.
+			children := [2]*nodeState{left, right}
+			ids := [2]int32{l, r}
+			weights := [2]float64{
+				b.cfg.Params.CalcWeight(left.sum.G, left.sum.H),
+				b.cfg.Params.CalcWeight(right.sum.G, right.sum.H),
+			}
+			valid := [2]bool{left.split.Valid(), right.split.Valid()}
+
+			// Section 3: publish the finished children and re-queue the
+			// splittable ones.
+			toRelease = toRelease[:0]
 			mu.Lock()
-			for i, ns := range []*nodeState{left, right} {
-				id := l
-				if i == 1 {
-					id = r
-				}
-				tn := &st.t.Nodes[id]
+			for i, ns := range children {
+				tn := &st.t.Nodes[ids[i]]
 				tn.SumG, tn.SumH, tn.Count = ns.sum.G, ns.sum.H, ns.count
-				tn.Weight = b.cfg.Params.CalcWeight(ns.sum.G, ns.sum.H)
-				if ns.split.Valid() {
-					st.queue.Push(grow.Candidate{NodeID: id, Gain: ns.split.Gain, Depth: childDepth, Count: ns.count})
+				tn.Weight = weights[i]
+				if valid[i] {
+					st.queue.Push(grow.Candidate{NodeID: ids[i], Gain: ns.split.Gain, Depth: childDepth, Count: ns.count}) //harplint:ignore spinscope -- the queue is the guarded structure
 				} else {
-					b.releaseHist(ns)
+					toRelease = append(toRelease, ns) //harplint:ignore spinscope -- two-element worst case, amortized append
 				}
 			}
 			outstanding--
 			mu.Unlock()
+			for _, ns := range toRelease {
+				b.releaseHist(ns)
+			}
 		}
 	})
 	b.drainQueue(st)
@@ -109,14 +148,21 @@ func (b *Builder) buildAsync(st *buildState) {
 // worker: partition the parent's rows, build the needed child histograms
 // (smaller child + subtraction), and evaluate the children's splits.
 func (b *Builder) asyncProcessNode(st *buildState, parent, left, right *nodeState, childDepth int32) {
-	t0 := time.Now()
+	tm := profile.StartTimer()
+	var parentRows engine.RowSet
+	if invariant.Enabled {
+		parentRows = parent.rows
+	}
 	goLeft := engine.GoLeftFunc(b.ds.Binned, parent.split)
 	lrs, rrs := engine.Partition(parent.rows, goLeft, nil)
 	left.rows, right.rows = lrs, rrs
 	left.count, right.count = int32(lrs.Len()), int32(rrs.Len())
 	parent.rows = engine.RowSet{}
-	t1 := time.Now()
-	b.prof.Add(profile.ApplySplit, t1.Sub(t0))
+	if invariant.Enabled {
+		invariant.PartitionPermutation(parentRows, lrs, rrs, "core.asyncProcessNode")
+		invariant.SplitConservation(parent.sum, left.sum, right.sum, "core.asyncProcessNode")
+	}
+	tm = b.prof.Lap(profile.ApplySplit, tm)
 
 	lNeed := b.canSplitAsync(left, childDepth)
 	rNeed := b.canSplitAsync(right, childDepth)
@@ -136,15 +182,29 @@ func (b *Builder) asyncProcessNode(st *buildState, parent, left, right *nodeStat
 		for fb := 0; fb < b.blocks.NumBlocks(); fb++ {
 			b.accumulate(ns.hist, st, ns, 0, ns.rows.Len(), fb, fullBinRange)
 		}
+		if invariant.Enabled {
+			invariant.HistFeatureTotals(ns.hist, ns.sum, "core.asyncProcessNode")
+		}
+	}
+	subFromParent := func(built *nodeState, sibling *nodeState) {
+		if invariant.Enabled {
+			parentCopy := parent.hist.Clone()
+			parent.hist.SubHist(built.hist)
+			sibling.hist = parent.hist
+			parent.hist = nil
+			invariant.HistConservation(parentCopy, built.hist, sibling.hist, "core.asyncProcessNode")
+			return
+		}
+		parent.hist.SubHist(built.hist)
+		sibling.hist = parent.hist
+		parent.hist = nil
 	}
 	var evals []*nodeState
 	switch {
 	case lNeed && rNeed:
 		if useSub {
 			buildFull(small)
-			parent.hist.SubHist(small.hist)
-			big.hist = parent.hist
-			parent.hist = nil
+			subFromParent(small, big)
 		} else {
 			buildFull(left)
 			buildFull(right)
@@ -158,9 +218,7 @@ func (b *Builder) asyncProcessNode(st *buildState, parent, left, right *nodeStat
 		}
 		if useSub && need == big {
 			buildFull(small)
-			parent.hist.SubHist(small.hist)
-			big.hist = parent.hist
-			parent.hist = nil
+			subFromParent(small, big)
 			b.releaseHist(small)
 		} else {
 			buildFull(need)
@@ -168,12 +226,11 @@ func (b *Builder) asyncProcessNode(st *buildState, parent, left, right *nodeStat
 		}
 		evals = []*nodeState{need}
 	}
-	t2 := time.Now()
-	b.prof.Add(profile.BuildHist, t2.Sub(t1))
+	tm = b.prof.Lap(profile.BuildHist, tm)
 	for _, ns := range evals {
 		ns.split = ns.hist.FindBestSplitMasked(b.cfg.Params, ns.sum, 0, m, b.colMask)
 	}
-	b.prof.Add(profile.FindSplit, time.Since(t2))
+	b.prof.Stop(profile.FindSplit, tm)
 }
 
 // canSplitAsync is canSplit with the depth passed explicitly (the tree must

@@ -2,10 +2,10 @@ package core
 
 import (
 	"math"
-	"time"
 
 	"harpgbdt/internal/gh"
 	"harpgbdt/internal/grow"
+	"harpgbdt/internal/profile"
 	"harpgbdt/internal/tree"
 )
 
@@ -84,7 +84,7 @@ func (b *Builder) buildAsyncVirtual(st *buildState) {
 		st.leaves++
 		tasks++
 
-		start := time.Now()
+		tm := profile.StartTimer()
 		parent := st.nodes[it.c.NodeID]
 		s := parent.split
 		l, r := st.t.AddChildren(it.c.NodeID, s.Feature, s.Bin,
@@ -94,7 +94,7 @@ func (b *Builder) buildAsyncVirtual(st *buildState) {
 		st.nodes = append(st.nodes, left, right)
 		childDepth := it.c.Depth + 1
 		b.asyncProcessNode(st, parent, left, right, childDepth)
-		d := time.Since(start).Nanoseconds()
+		d := tm.Elapsed().Nanoseconds()
 		serial += d
 
 		dur := d + 3*lock // pop + tree update + push acquisitions

@@ -2,13 +2,13 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"harpgbdt/internal/dataset"
 	"harpgbdt/internal/engine"
 	"harpgbdt/internal/gh"
 	"harpgbdt/internal/grow"
 	"harpgbdt/internal/histogram"
+	"harpgbdt/internal/invariant"
 	"harpgbdt/internal/obs"
 	"harpgbdt/internal/profile"
 	"harpgbdt/internal/sched"
@@ -236,7 +236,7 @@ type childPair struct {
 // parallel.
 func (b *Builder) applySplitBatch(st *buildState, batch []grow.Candidate) []childPair {
 	sp := obs.StartSpan("phase", "ApplySplit")
-	start := time.Now()
+	tm := profile.StartTimer()
 	pairs := make([]childPair, len(batch))
 	for i, c := range batch {
 		ns := st.nodes[c.NodeID]
@@ -271,7 +271,7 @@ func (b *Builder) applySplitBatch(st *buildState, batch []grow.Candidate) []chil
 		lw.Weight = b.cfg.Params.CalcWeight(ln.sum.G, ln.sum.H)
 		rw.Weight = b.cfg.Params.CalcWeight(rn.sum.G, rn.sum.H)
 	}
-	b.prof.Add(profile.ApplySplit, time.Since(start))
+	b.prof.Stop(profile.ApplySplit, tm)
 	sp.End()
 	return pairs
 }
@@ -280,12 +280,20 @@ func (b *Builder) applySplitBatch(st *buildState, batch []grow.Candidate) []chil
 // releases the parent's rows.
 func (b *Builder) partitionNode(st *buildState, p childPair, pool *sched.Pool) {
 	parent := st.nodes[p.parent]
+	var parentRows engine.RowSet
+	if invariant.Enabled {
+		parentRows = parent.rows
+	}
 	goLeft := engine.GoLeftFunc(b.ds.Binned, parent.split)
 	l, r := engine.Partition(parent.rows, goLeft, pool)
 	ln, rn := st.nodes[p.left], st.nodes[p.right]
 	ln.rows, rn.rows = l, r
 	ln.count, rn.count = int32(l.Len()), int32(r.Len())
 	parent.rows = engine.RowSet{}
+	if invariant.Enabled {
+		invariant.PartitionPermutation(parentRows, l, r, "core.partitionNode")
+		invariant.SplitConservation(parent.sum, ln.sum, rn.sum, "core.partitionNode")
+	}
 }
 
 // planHists decides which children need histograms and how to obtain them.
@@ -353,7 +361,7 @@ func (b *Builder) applySubtractions(st *buildState, subs []subTask) {
 		return
 	}
 	sp := obs.StartSpan("phase", "SubHist")
-	start := time.Now()
+	tm := profile.StartTimer()
 	tasks := make([]func(int), len(subs))
 	for i := range subs {
 		s := subs[i]
@@ -363,9 +371,16 @@ func (b *Builder) applySubtractions(st *buildState, subs []subTask) {
 			parent := st.nodes[s.parent]
 			built := st.nodes[s.built]
 			sib := st.nodes[s.sibling]
+			var parentCopy *histogram.Hist
+			if invariant.Enabled {
+				parentCopy = parent.hist.Clone()
+			}
 			parent.hist.SubHist(built.hist)
 			sib.hist = parent.hist
 			parent.hist = nil
+			if invariant.Enabled {
+				invariant.HistConservation(parentCopy, built.hist, sib.hist, "core.applySubtractions")
+			}
 			if s.dropBuilt {
 				b.hpool.Put(built.hist)
 				built.hist = nil
@@ -373,7 +388,7 @@ func (b *Builder) applySubtractions(st *buildState, subs []subTask) {
 		}
 	}
 	b.pool.RunTasks(tasks)
-	b.prof.Add(profile.BuildHist, time.Since(start))
+	b.prof.Stop(profile.BuildHist, tm)
 	sp.End()
 }
 
@@ -434,7 +449,7 @@ func (b *Builder) findSplitBatch(st *buildState, ids []int32) {
 		return
 	}
 	sp := obs.StartSpan("phase", "FindSplit")
-	start := time.Now()
+	tm := profile.StartTimer()
 	nb := b.blocks.NumBlocks()
 	results := make([]tree.SplitInfo, len(ids)*nb)
 	tasks := make([]func(int), 0, len(ids)*nb)
@@ -460,7 +475,7 @@ func (b *Builder) findSplitBatch(st *buildState, ids []int32) {
 		}
 		st.nodes[id].split = best
 	}
-	b.prof.Add(profile.FindSplit, time.Since(start))
+	b.prof.Stop(profile.FindSplit, tm)
 	sp.End()
 }
 

@@ -1,9 +1,8 @@
 package core
 
 import (
-	"time"
-
 	"harpgbdt/internal/histogram"
+	"harpgbdt/internal/invariant"
 	"harpgbdt/internal/obs"
 	"harpgbdt/internal/profile"
 )
@@ -43,7 +42,7 @@ func (b *Builder) buildHistBatch(st *buildState, ids []int32) {
 		return
 	}
 	sp := obs.StartSpan("phase", "BuildHist")
-	start := time.Now()
+	tm := profile.StartTimer()
 	mode := b.cfg.Mode
 	if mode == Sync || mode == Async {
 		// Mixed mode (DP, MP, DP): model parallelism needs enough
@@ -61,7 +60,12 @@ func (b *Builder) buildHistBatch(st *buildState, ids []int32) {
 	} else {
 		b.buildHistMP(st, ids)
 	}
-	b.prof.Add(profile.BuildHist, time.Since(start))
+	if invariant.Enabled {
+		for _, id := range ids {
+			invariant.HistFeatureTotals(st.nodes[id].hist, st.nodes[id].sum, "core.buildHistBatch")
+		}
+	}
+	b.prof.Stop(profile.BuildHist, tm)
 	sp.End()
 }
 
@@ -70,6 +74,9 @@ func (b *Builder) buildHistBatch(st *buildState, ids []int32) {
 func (b *Builder) accumulate(h *histogram.Hist, st *buildState, ns *nodeState, lo, hi, fb int, br binRange) {
 	fLo, fHi, panel := b.blocks.Block(fb)
 	w := fHi - fLo
+	if invariant.Enabled {
+		invariant.PanelBins(panel, w, fLo, ns.rows, lo, hi, b.layout, "core.accumulate")
+	}
 	filtered := br.lo > 0 || br.hi < 255
 	if ns.rows.Mem != nil {
 		mb := ns.rows.Mem[lo:hi]

@@ -1,0 +1,147 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// libsvmSeeds exercise the parser's branches: comments, blank lines,
+// inferred vs. fixed feature counts, out-of-order columns, negative and
+// exponent-formatted values, and the error paths (bad pairs, non-finite
+// values, bad labels).
+var libsvmSeeds = []string{
+	"1 0:1.5 3:2\n0 1:0.25\n",
+	"# comment\n\n-1 0:-3e2 1:0.001\n",
+	"0.5 7:1\n",
+	"1 2:nan\n",
+	"1 0:1 0:2\n",
+	"bad 0:1\n",
+	"1 :5\n",
+	"1 0:1 1:inf\n",
+	"2 1:1e40\n",
+	"",
+}
+
+// csvSeeds cover headerless numeric CSV with missing fields, explicit
+// NaN, ragged rows and bad labels.
+var csvSeeds = []string{
+	"1,2.5,3\n0,,1\n",
+	"0.5,1e-3,-2\n",
+	"1,nan,2\n",
+	"1,2\n0,1,2\n",
+	"x,1,2\n",
+	"1,inf\n",
+	"\n\n1,0\n",
+	"3,\n",
+	"",
+}
+
+// FuzzReadLibSVM checks that arbitrary input either fails cleanly or
+// yields a structurally valid CSR whose contents honor the parser's
+// documented guarantees (finite values, in-range columns, one label per
+// row) and that survive a write/re-read round trip.
+func FuzzReadLibSVM(f *testing.F) {
+	for _, s := range libsvmSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		csr, labels, err := ReadLibSVM(strings.NewReader(input), 0)
+		if err != nil {
+			return
+		}
+		if err := csr.Validate(); err != nil {
+			t.Fatalf("accepted CSR fails Validate: %v", err)
+		}
+		if len(labels) != csr.N {
+			t.Fatalf("%d labels for %d rows", len(labels), csr.N)
+		}
+		for _, y := range labels {
+			if y != y || math.IsInf(float64(y), 0) {
+				t.Fatalf("non-finite label %v accepted", y)
+			}
+		}
+		for i := 0; i < csr.N; i++ {
+			cols, vals := csr.Row(i)
+			for j, c := range cols {
+				if int(c) < 0 || int(c) >= csr.M {
+					t.Fatalf("row %d: column %d out of range [0,%d)", i, c, csr.M)
+				}
+				v := vals[j]
+				if v != v || math.IsInf(float64(v), 0) {
+					t.Fatalf("row %d: non-finite value %v accepted", i, v)
+				}
+			}
+		}
+		// Round trip: what we write back must parse to the same shape.
+		var buf bytes.Buffer
+		if err := WriteLibSVM(&buf, csr.ToDense(), labels); err != nil {
+			t.Fatalf("WriteLibSVM: %v", err)
+		}
+		csr2, labels2, err := ReadLibSVM(&buf, csr.M)
+		if err != nil {
+			t.Fatalf("re-read of written output failed: %v", err)
+		}
+		if csr2.N != csr.N || len(labels2) != len(labels) || csr2.NNZ() != csr.NNZ() {
+			t.Fatalf("round trip changed shape: %dx%d/%d -> %dx%d/%d",
+				csr.N, csr.M, csr.NNZ(), csr2.N, csr2.M, csr2.NNZ())
+		}
+	})
+}
+
+// FuzzReadCSV checks that arbitrary input either fails cleanly or yields
+// a valid Dense matrix with one finite label per row and only
+// finite-or-missing feature values.
+func FuzzReadCSV(f *testing.F) {
+	for _, s := range csvSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		d, labels, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted Dense fails Validate: %v", err)
+		}
+		if len(labels) != d.N {
+			t.Fatalf("%d labels for %d rows", len(labels), d.N)
+		}
+		for _, y := range labels {
+			if y != y || math.IsInf(float64(y), 0) {
+				t.Fatalf("non-finite label %v accepted", y)
+			}
+		}
+		for _, v := range d.Values {
+			if math.IsInf(float64(v), 0) {
+				t.Fatalf("infinite feature value %v accepted (only NaN marks missing)", v)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedCorpus replays the seed corpus through both fuzz bodies in
+// a plain test so `go test` (without -fuzz) still exercises them.
+func TestFuzzSeedCorpus(t *testing.T) {
+	for _, s := range libsvmSeeds {
+		if csr, labels, err := ReadLibSVM(strings.NewReader(s), 0); err == nil {
+			if err := csr.Validate(); err != nil {
+				t.Errorf("seed %q: %v", s, err)
+			}
+			if len(labels) != csr.N {
+				t.Errorf("seed %q: %d labels for %d rows", s, len(labels), csr.N)
+			}
+		}
+	}
+	for _, s := range csvSeeds {
+		if d, labels, err := ReadCSV(strings.NewReader(s)); err == nil {
+			if err := d.Validate(); err != nil {
+				t.Errorf("seed %q: %v", s, err)
+			}
+			if len(labels) != d.N {
+				t.Errorf("seed %q: %d labels for %d rows", s, len(labels), d.N)
+			}
+		}
+	}
+}

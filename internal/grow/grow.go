@@ -8,6 +8,8 @@ package grow
 import (
 	"container/heap"
 	"fmt"
+
+	"harpgbdt/internal/invariant"
 )
 
 // Method selects the base ordering of the queue.
@@ -93,6 +95,13 @@ func (q *Queue) PopBatch(k int) []Candidate {
 	out := make([]Candidate, 0, k)
 	for i := 0; i < k; i++ {
 		out = append(out, heap.Pop(&q.h).(Candidate))
+	}
+	if invariant.Enabled && q.method == Leafwise {
+		gains := make([]float64, len(out))
+		for i, c := range out {
+			gains[i] = c.Gain
+		}
+		invariant.GainsMonotone(gains, "grow.PopBatch")
 	}
 	return out
 }

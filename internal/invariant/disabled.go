@@ -1,0 +1,9 @@
+//go:build !harpdebug
+
+package invariant
+
+// Enabled reports whether the harpdebug invariant layer is compiled in.
+// In the default build it is the constant false: every check in this
+// package early-returns, and `if invariant.Enabled { ... }` guards at
+// call sites compile to nothing.
+const Enabled = false

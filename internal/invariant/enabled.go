@@ -1,0 +1,8 @@
+//go:build harpdebug
+
+package invariant
+
+// Enabled reports whether the harpdebug invariant layer is compiled in.
+// It is a constant, so `if invariant.Enabled { ... }` guards are removed
+// entirely by the compiler in release builds — the hot path pays nothing.
+const Enabled = true

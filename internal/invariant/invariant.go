@@ -1,0 +1,198 @@
+// Package invariant is the sanitizer-style runtime assertion layer of the
+// trainer: machine-checkable statements of the algebraic invariants the
+// paper's concurrency structure relies on — GHSum conservation across the
+// histogram subtraction trick, row-partition permutation after ApplySplit,
+// bin-id bounds inside block-confined BuildHist write regions, and TopK
+// queue gain monotonicity.
+//
+// The checks are gated behind the `harpdebug` build tag (`go test -tags
+// harpdebug ./...`, `make sanitize`). In release builds Enabled is the
+// constant false: every check body is dead code and call sites guarded by
+// `if invariant.Enabled` vanish, so the hot path pays nothing. A violation
+// calls the fail handler, which panics by default; tests may install their
+// own handler to observe failures.
+package invariant
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/engine"
+	"harpgbdt/internal/gh"
+	"harpgbdt/internal/histogram"
+)
+
+// epsRel is the per-cell relative tolerance of the floating-point
+// conservation checks. Histogram subtraction (sibling = parent − built)
+// cancels sums accumulated in different orders, so exact equality is not
+// available; 1e-6 is ~1000x the error observed on the synthetic datasets.
+const epsRel = 1e-6
+
+// failHandler receives violation messages. Default: panic.
+var failHandler atomic.Pointer[func(string)]
+
+// SetFailHandler replaces the violation handler (nil restores the default
+// panic) and returns the previous one. Tests use this to observe failures
+// without unwinding.
+func SetFailHandler(h func(msg string)) (prev func(string)) {
+	var p *func(string)
+	if h != nil {
+		p = &h
+	}
+	if old := failHandler.Swap(p); old != nil {
+		prev = *old
+	}
+	return prev
+}
+
+// Failf reports an invariant violation. With no handler installed it
+// panics, so a corrupted training run dies at the first inconsistent
+// state instead of checkpointing garbage.
+func Failf(format string, args ...any) {
+	msg := "invariant: " + fmt.Sprintf(format, args...)
+	if h := failHandler.Load(); h != nil {
+		(*h)(msg)
+		return
+	}
+	panic(msg)
+}
+
+// Assertf checks a single condition. No-op unless built with harpdebug.
+func Assertf(cond bool, format string, args ...any) {
+	if !Enabled || cond {
+		return
+	}
+	Failf(format, args...)
+}
+
+func tol(scale float64) float64 {
+	if scale < 1 {
+		scale = 1
+	}
+	return epsRel * scale
+}
+
+// SplitConservation checks that a split's child gradient totals add back
+// up to the parent's: G_parent = G_left + G_right (and H likewise) within
+// tolerance. This is the GHSum conservation law every split decision and
+// the subtraction trick depend on.
+func SplitConservation(parent, left, right gh.Pair, ctx string) {
+	if !Enabled {
+		return
+	}
+	dg := math.Abs(parent.G - left.G - right.G)
+	dh := math.Abs(parent.H - left.H - right.H)
+	if dg > tol(math.Abs(parent.G)) || dh > tol(math.Abs(parent.H)) {
+		Failf("%s: split sums not conserved: parent=%+v left=%+v right=%+v (dG=%g dH=%g)",
+			ctx, parent, left, right, dg, dh)
+	}
+}
+
+// HistConservation checks parent ≈ left + right cell-wise: the state the
+// histogram subtraction trick assumes when it derives one sibling from the
+// other. Histograms must share a layout.
+func HistConservation(parent, left, right *histogram.Hist, ctx string) {
+	if !Enabled {
+		return
+	}
+	for i := range parent.Data {
+		p, l, r := parent.Data[i], left.Data[i], right.Data[i]
+		if math.Abs(p.G-l.G-r.G) > tol(math.Abs(p.G)) || math.Abs(p.H-l.H-r.H) > tol(math.Abs(p.H)) {
+			Failf("%s: histogram cell %d not conserved: parent=%+v left=%+v right=%+v",
+				ctx, i, p, l, r)
+		}
+	}
+}
+
+// HistFeatureTotals checks a freshly built node histogram against the
+// node's gradient total: every per-feature sum must be finite and must not
+// exceed the node total by more than tolerance (features with missing
+// values legitimately sum to less — missing rows enter no bin).
+func HistFeatureTotals(h *histogram.Hist, nodeSum gh.Pair, ctx string) {
+	if !Enabled {
+		return
+	}
+	for f := 0; f < h.Layout.M; f++ {
+		s := h.FeatureSum(f)
+		if math.IsNaN(s.G) || math.IsInf(s.G, 0) || math.IsNaN(s.H) || math.IsInf(s.H, 0) {
+			Failf("%s: feature %d histogram total is non-finite: %+v", ctx, f, s)
+		}
+		// H is a sum of non-negative hessians, so a feature's total may
+		// not exceed the node's.
+		if s.H > nodeSum.H+tol(math.Abs(nodeSum.H)) {
+			Failf("%s: feature %d hessian total %g exceeds node total %g", ctx, f, s.H, nodeSum.H)
+		}
+	}
+}
+
+// PartitionPermutation checks that ApplySplit partitioned a node exactly:
+// left ++ right must be a multiset permutation of the parent's rows — no
+// row lost, duplicated, or invented.
+func PartitionPermutation(parent, left, right engine.RowSet, ctx string) {
+	if !Enabled {
+		return
+	}
+	if left.Len()+right.Len() != parent.Len() {
+		Failf("%s: partition row count %d+%d != parent %d", ctx, left.Len(), right.Len(), parent.Len())
+	}
+	seen := make(map[int32]int, parent.Len())
+	parent.ForEachRow(func(r int32) { seen[r]++ })
+	check := func(r int32) {
+		if seen[r] == 0 {
+			Failf("%s: partition emitted row %d not in parent (or duplicated)", ctx, r)
+		}
+		seen[r]--
+	}
+	left.ForEachRow(check)
+	right.ForEachRow(check)
+}
+
+// PanelBins checks the block-confined BuildHist write region: every bin id
+// the kernel is about to accumulate for rows [lo, hi) of rs, read from the
+// feature-block panel covering features [fLo, fLo+width), must be either
+// the missing sentinel or inside its feature's bin range. An out-of-range
+// bin would scribble a neighboring feature's GHSum cells — exactly the
+// corruption the paper's block-confined write regions exist to prevent.
+func PanelBins(panel []uint8, width, fLo int, rs engine.RowSet, lo, hi int, layout *histogram.Layout, ctx string) {
+	if !Enabled {
+		return
+	}
+	checkRow := func(r int32) {
+		bins := panel[int(r)*width : int(r)*width+width]
+		for j, bin := range bins {
+			if bin == dataset.MissingBin {
+				continue
+			}
+			if int(bin) >= layout.NBins(fLo+j) {
+				Failf("%s: row %d feature %d bin %d out of range (feature has %d bins)",
+					ctx, r, fLo+j, bin, layout.NBins(fLo+j))
+			}
+		}
+	}
+	if rs.Mem != nil {
+		for _, e := range rs.Mem[lo:hi] {
+			checkRow(e.Row)
+		}
+		return
+	}
+	for _, r := range rs.Rows[lo:hi] {
+		checkRow(r)
+	}
+}
+
+// GainsMonotone checks that a TopK batch popped from a leafwise queue came
+// out in non-increasing gain order — the heap discipline TopK node
+// parallelism is built on.
+func GainsMonotone(gains []float64, ctx string) {
+	if !Enabled {
+		return
+	}
+	for i := 1; i < len(gains); i++ {
+		if gains[i] > gains[i-1] {
+			Failf("%s: queue pops not gain-monotone: gain[%d]=%g > gain[%d]=%g",
+				ctx, i, gains[i], i-1, gains[i-1])
+		}
+	}
+}

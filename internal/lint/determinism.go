@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// determinismAnalysis guards the deterministic training path: the
+// packages that must produce bit-identical trees for a given dataset,
+// configuration and seed — including across checkpoint/resume. Inside
+// them it forbids:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until): timing belongs
+//     behind the profile.Timer boundary, where it cannot leak into
+//     training decisions;
+//   - the global math/rand (and math/rand/v2) source: randomness must
+//     flow through explicitly seeded generators owned by the caller;
+//   - ranging over a map: Go randomizes map iteration order, so any
+//     training-path fold over a bare map range is nondeterministic.
+type determinismAnalysis struct {
+	// packages holds the full import paths under guard.
+	packages map[string]bool
+}
+
+func (*determinismAnalysis) Rules() []string { return []string{"determinism"} }
+
+func (a *determinismAnalysis) Check(p *Package, report func(rule string, pos token.Pos, msg string)) {
+	if !a.packages[p.Path] {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				a.checkCall(p, n, report)
+			case *ast.RangeStmt:
+				if t := typeOf(p, n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						report("determinism", n.Pos(),
+							"ranges over a map (iteration order is randomized); sort the keys first")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (a *determinismAnalysis) checkCall(p *Package, call *ast.CallExpr, report func(rule string, pos token.Pos, msg string)) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	// Package-level functions only: x.Now() on a non-time receiver or
+	// methods of caller-owned *rand.Rand values are fine.
+	if _, isPkg := p.Info.Uses[baseIdent(sel.X)].(*types.PkgName); !isPkg {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		switch obj.Name() {
+		case "Now", "Since", "Until":
+			report("determinism", call.Pos(), fmt.Sprintf(
+				"reads the wall clock (time.%s) on the deterministic training path; use profile.Timer at the orchestration boundary", obj.Name()))
+		}
+	case "math/rand", "math/rand/v2":
+		report("determinism", call.Pos(), fmt.Sprintf(
+			"uses the global %s source; thread an explicitly seeded *rand.Rand instead", obj.Pkg().Path()))
+	}
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+func typeOf(p *Package, e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// directiveRule is the synthetic rule name for malformed or unused ignore
+// directives; it cannot itself be suppressed.
+const directiveRule = "directive"
+
+// directivePrefix introduces an inline suppression:
+//
+//	//harplint:ignore rule1,rule2 -- reason
+const directivePrefix = "harplint:ignore"
+
+// directive is one parsed ignore comment.
+type directive struct {
+	pos    token.Position
+	rules  map[string]bool
+	reason string
+	used   bool
+}
+
+// directiveSet indexes a package's directives by file and line.
+type directiveSet struct {
+	byLine map[string]map[int]*directive // filename -> line -> directive
+	bad    []Finding                     // malformed directives
+	all    []*directive
+}
+
+// collectDirectives parses every harplint:ignore comment in the package.
+// Directives naming unknown rules or lacking a reason are recorded as
+// "directive" findings instead of suppressions.
+func collectDirectives(p *Package, known map[string]bool) *directiveSet {
+	ds := &directiveSet{byLine: make(map[string]map[int]*directive)}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				body := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				spec, reason, found := strings.Cut(body, "--")
+				spec = strings.TrimSpace(spec)
+				reason = strings.TrimSpace(reason)
+				if !found || reason == "" {
+					ds.bad = append(ds.bad, Finding{Pos: pos, Rule: directiveRule,
+						Msg: "harplint:ignore directive needs a reason: //harplint:ignore <rules> -- <reason>"})
+					continue
+				}
+				if spec == "" {
+					ds.bad = append(ds.bad, Finding{Pos: pos, Rule: directiveRule,
+						Msg: "harplint:ignore directive names no rules"})
+					continue
+				}
+				d := &directive{pos: pos, rules: make(map[string]bool), reason: reason}
+				ok := true
+				for _, r := range strings.Split(spec, ",") {
+					r = strings.TrimSpace(r)
+					if !known[r] {
+						ds.bad = append(ds.bad, Finding{Pos: pos, Rule: directiveRule,
+							Msg: fmt.Sprintf("harplint:ignore names unknown rule %q", r)})
+						ok = false
+						break
+					}
+					d.rules[r] = true
+				}
+				if !ok {
+					continue
+				}
+				lines := ds.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]*directive)
+					ds.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = d
+				ds.all = append(ds.all, d)
+			}
+		}
+	}
+	return ds
+}
+
+// covering returns the directive suppressing rule at position, if any: a
+// directive on the same line as the finding, or alone on the line above.
+func (ds *directiveSet) covering(pos token.Position, rule string) *directive {
+	lines := ds.byLine[pos.Filename]
+	if lines == nil {
+		return nil
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if d := lines[line]; d != nil && d.rules[rule] {
+			return d
+		}
+	}
+	return nil
+}
+
+// problems returns malformed-directive findings plus one finding per
+// directive that suppressed nothing (stale annotations must not linger).
+func (ds *directiveSet) problems() []Finding {
+	out := ds.bad
+	for _, d := range ds.all {
+		if !d.used {
+			out = append(out, Finding{Pos: d.pos, Rule: directiveRule,
+				Msg: "harplint:ignore directive suppresses nothing (stale?)"})
+		}
+	}
+	return out
+}

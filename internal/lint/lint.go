@@ -1,0 +1,165 @@
+// Package lint implements harplint, a domain-specific static analyzer for
+// this codebase. It loads the module with the standard library's go/parser
+// and go/types (no external analysis framework) and checks four invariants
+// that general-purpose linters cannot express:
+//
+//   - spinscope: code executed while a sched.SpinMutex is held must be a
+//     handful of straight-line instructions — no function calls, heap
+//     allocations, channel operations, goroutine spawns or returns.
+//   - lockbalance: every Lock acquired in a function is released on every
+//     exit path (directly or by defer), and lock state is consistent
+//     across branches and loop iterations.
+//   - determinism: packages on the deterministic training path must not
+//     read wall clocks, use the global math/rand source, or iterate maps
+//     without an ordering step.
+//   - obshygiene: metric and trace span names must be compile-time
+//     constants so the observability surface is statically enumerable.
+//
+// Findings can be suppressed with an inline directive on the offending
+// line or the line above:
+//
+//	//harplint:ignore rule1,rule2 -- reason
+//
+// The reason is mandatory; a directive without one is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one diagnostic produced by a rule.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+	// Suppressed is set when an ignore directive covers this finding;
+	// Reason carries the directive's justification.
+	Suppressed bool
+	Reason     string
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+	if f.Suppressed {
+		s += fmt.Sprintf(" (suppressed: %s)", f.Reason)
+	}
+	return s
+}
+
+// Analysis is one checker pass. A pass may emit findings under several
+// rule names (spinscope and lockbalance share a lock-tracking walk).
+type Analysis interface {
+	// Rules lists the rule names this analysis can emit.
+	Rules() []string
+	// Check inspects one package and reports findings.
+	Check(p *Package, report func(rule string, pos token.Pos, msg string))
+}
+
+// DeterministicPackages are the module-internal package suffixes that the
+// determinism rule guards: the training path whose outputs must be
+// bit-identical across runs and resumes.
+var DeterministicPackages = []string{
+	"internal/core",
+	"internal/gh",
+	"internal/grow",
+	"internal/histogram",
+	"internal/tree",
+	"internal/boost",
+}
+
+// DefaultAnalyses returns the standard harplint rule set for the module
+// with the given module path.
+func DefaultAnalyses(module string) []Analysis {
+	det := make(map[string]bool, len(DeterministicPackages))
+	for _, p := range DeterministicPackages {
+		det[module+"/"+p] = true
+	}
+	return []Analysis{
+		&lockAnalysis{},
+		&determinismAnalysis{packages: det},
+		&obsHygieneAnalysis{},
+	}
+}
+
+// NewDeterminismAnalysis returns the determinism rule guarding exactly
+// the given full import paths. DefaultAnalyses derives the production
+// set from the module path; tests point this at fixture packages.
+func NewDeterminismAnalysis(paths ...string) Analysis {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return &determinismAnalysis{packages: set}
+}
+
+// RuleNames returns the sorted names of every rule the analyses can emit,
+// plus the synthetic "directive" rule for malformed ignore comments.
+func RuleNames(analyses []Analysis) []string {
+	set := map[string]bool{directiveRule: true}
+	for _, a := range analyses {
+		for _, r := range a.Rules() {
+			set[r] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the analyses over the packages, applies ignore directives,
+// and returns all findings (suppressed ones included, marked) sorted by
+// position. Unused and malformed directives are reported under the
+// "directive" rule.
+func Run(pkgs []*Package, analyses []Analysis) []Finding {
+	known := map[string]bool{}
+	for _, a := range analyses {
+		for _, r := range a.Rules() {
+			known[r] = true
+		}
+	}
+	var findings []Finding
+	for _, p := range pkgs {
+		dirs := collectDirectives(p, known)
+		report := func(rule string, pos token.Pos, msg string) {
+			position := p.Fset.Position(pos)
+			f := Finding{Pos: position, Rule: rule, Msg: msg}
+			if d := dirs.covering(position, rule); d != nil {
+				d.used = true
+				f.Suppressed = true
+				f.Reason = d.reason
+			}
+			findings = append(findings, f)
+		}
+		for _, a := range analyses {
+			a.Check(p, report)
+		}
+		findings = append(findings, dirs.problems()...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return findings
+}
+
+// Unsuppressed filters findings down to the ones that fail the build.
+func Unsuppressed(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked module package.
+type Package struct {
+	// Path is the import path ("harpgbdt/internal/core").
+	Path string
+	// Dir is the absolute source directory.
+	Dir string
+	// Fset is the loader-wide file set (shared by all packages of a load).
+	Fset *token.FileSet
+	// Files are the parsed buildable non-test files, with comments.
+	Files []*ast.File
+	// Types / Info carry the go/types results. Info maps may be partially
+	// filled when TypeErrors is non-empty; rules must tolerate nil lookups.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects non-fatal type-check diagnostics.
+	TypeErrors []error
+}
+
+// ModulePath reads the module path from the go.mod in root.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// ModuleDirs walks the module tree under root and returns every directory
+// holding buildable Go files, skipping testdata, hidden and vendor
+// directories. This is the loader's "./..." expansion.
+func ModuleDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasBuildableGo(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func hasBuildableGo(dir string) bool {
+	p, err := build.Default.ImportDir(dir, 0)
+	return err == nil && len(p.GoFiles) > 0
+}
+
+// Loader loads module packages for analysis: parse with comments, resolve
+// module-internal imports transitively, type-check in dependency order.
+// Standard-library (and any other external) imports are served by the
+// toolchain's default importer.
+type Loader struct {
+	Root   string // module root (directory containing go.mod)
+	Module string // module path from go.mod
+
+	fset   *token.FileSet
+	std    types.Importer
+	loaded map[string]*Package // by import path; nil entry marks in-progress
+}
+
+// NewLoader prepares a loader for the module rooted at root.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := ModulePath(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:   abs,
+		Module: mod,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "gc", nil),
+		loaded: make(map[string]*Package),
+	}, nil
+}
+
+// Fset returns the loader-wide file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// dirFor maps a module-internal import path to its source directory.
+func (l *Loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+	return filepath.Join(l.Root, filepath.FromSlash(rel))
+}
+
+// pathFor maps a source directory to its import path.
+func (l *Loader) pathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.Root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module root %s", dir, l.Root)
+	}
+	if rel == "." {
+		return l.Module, nil
+	}
+	return l.Module + "/" + filepath.ToSlash(rel), nil
+}
+
+// LoadDirs loads the packages in the given directories (and, transitively,
+// every module-internal package they import). Returns only the packages
+// named by dirs, in deterministic order.
+func (l *Loader) LoadDirs(dirs []string) ([]*Package, error) {
+	var out []*Package
+	for _, dir := range dirs {
+		path, err := l.pathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadModule loads every buildable package of the module.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	dirs, err := ModuleDirs(l.Root)
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadDirs(dirs)
+}
+
+// load returns the package for a module-internal import path, parsing and
+// type-checking it (and its internal dependencies) on first use.
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.loaded[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		return p, nil
+	}
+	l.loaded[path] = nil // in-progress marker for cycle detection
+	dir := l.dirFor(path)
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files}
+	// Resolve module-internal imports first so type-checking sees them.
+	for _, imp := range bp.Imports {
+		if l.internal(imp) {
+			if _, err := l.load(imp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			if l.internal(imp) {
+				p, err := l.load(imp)
+				if err != nil {
+					return nil, err
+				}
+				return p.Types, nil
+			}
+			return l.std.Import(imp)
+		}),
+		Error: func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(path, l.fset, files, pkg.Info)
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+// internal reports whether an import path belongs to this module.
+func (l *Loader) internal(path string) bool {
+	return path == l.Module || strings.HasPrefix(path, l.Module+"/")
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

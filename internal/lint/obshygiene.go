@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// obsHygieneAnalysis keeps the observability surface statically
+// enumerable: every metric name, label key and trace span category/name
+// must be a compile-time constant at the registration or span-start call
+// site. Dynamic names would make dashboards unguessable, explode
+// registry cardinality, and defeat grep-ability of the telemetry schema.
+//
+// obs.Labels(name, k1, v1, ...) is the sanctioned way to attach dynamic
+// *values*: its base name and label keys must still be constant, the
+// values may vary.
+type obsHygieneAnalysis struct{}
+
+func (*obsHygieneAnalysis) Rules() []string { return []string{"obshygiene"} }
+
+// constArgSpec describes which arguments of an obs entry point must be
+// constant: indexes into the call's argument list.
+type constArgSpec struct {
+	args []int
+	// labelKeys marks obs.Labels-style variadic calls where every even
+	// variadic position (the label keys) must be constant too.
+	labelKeys bool
+}
+
+// obsFuncs maps function names in the obs package (free functions and
+// methods alike share a namespace here — the names do not collide) to
+// their constant-argument requirements.
+var obsFuncs = map[string]constArgSpec{
+	"StartSpan":    {args: []int{0, 1}},
+	"StartSpanTID": {args: []int{0, 1}},
+	"Instant":      {args: []int{0, 1}},
+	"Counter":      {args: []int{0}},
+	"Gauge":        {args: []int{0}},
+	"Histogram":    {args: []int{0}},
+	"CounterFunc":  {args: []int{0}},
+	"GaugeFunc":    {args: []int{0}},
+	"Labels":       {args: []int{0}, labelKeys: true},
+}
+
+func (a *obsHygieneAnalysis) Check(p *Package, report func(rule string, pos token.Pos, msg string)) {
+	// The obs package's own forwarding wrappers (StartSpan delegating to
+	// StartSpanTID, ...) legitimately pass their parameters through.
+	if strings.HasSuffix(p.Path, "internal/obs") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			spec, tracked := obsFuncs[sel.Sel.Name]
+			if !tracked || !a.inObsPackage(p, sel.Sel) {
+				return true
+			}
+			for _, i := range spec.args {
+				if i >= len(call.Args) {
+					continue
+				}
+				if !a.constantString(p, call.Args[i]) {
+					report("obshygiene", call.Args[i].Pos(), fmt.Sprintf(
+						"argument %d of obs.%s must be a compile-time constant (metric/span names are a static schema)",
+						i+1, sel.Sel.Name))
+				}
+			}
+			if spec.labelKeys {
+				// Variadic kv pairs start after the name: keys at even
+				// offsets within the pairs.
+				for i := 1; i < len(call.Args); i += 2 {
+					if !a.constantString(p, call.Args[i]) {
+						report("obshygiene", call.Args[i].Pos(), fmt.Sprintf(
+							"label key (argument %d) of obs.Labels must be a compile-time constant", i+1))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// inObsPackage reports whether the selected function/method is declared
+// in the module's obs package.
+func (a *obsHygieneAnalysis) inObsPackage(p *Package, sel *ast.Ident) bool {
+	obj := p.Info.Uses[sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+// constantString reports whether the expression is an untyped or string
+// constant per the type checker. A call to obs.Labels also qualifies as a
+// metric name: Labels is the sanctioned dynamic-value escape hatch, and
+// its own base name and keys are checked at its call site.
+func (a *obsHygieneAnalysis) constantString(p *Package, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+			sel.Sel.Name == "Labels" && a.inObsPackage(p, sel.Sel) {
+			return true
+		}
+	}
+	tv, ok := p.Info.Types[e]
+	if !ok {
+		return false
+	}
+	if tv.Value != nil {
+		return true
+	}
+	// A named constant of a basic type also qualifies.
+	if id := baseIdent(e); id != nil {
+		if c, isConst := p.Info.Uses[id].(*types.Const); isConst {
+			return c.Val() != nil
+		}
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+// Package detbad is a harplint test fixture for the determinism rule.
+// The test configures the rule to treat this package as part of the
+// deterministic training path.
+package detbad
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().UnixNano() // want determinism
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want determinism
+}
+
+func roll() int {
+	return rand.Intn(6) // want determinism
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want determinism
+		total += v
+	}
+	return total
+}
+
+// Allowed patterns below must stay silent.
+
+// seeded randomness owned by the caller is fine.
+func seeded(r *rand.Rand) int { return r.Intn(6) }
+
+// durations are values, not clock reads.
+func scale(d time.Duration) time.Duration { return 2 * d }
+
+// sorted map folds are deterministic; the key-collection range carries
+// the sanctioned annotation.
+func sortedSum(m map[string]int) int {
+	keys := make([]string, 0, len(m))
+	for k := range m { //harplint:ignore determinism -- keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}

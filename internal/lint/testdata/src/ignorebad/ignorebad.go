@@ -1,0 +1,40 @@
+// Package ignorebad is a harplint test fixture for the ignore-directive
+// machinery: missing reasons, unknown rules and stale directives are all
+// findings in their own right.
+package ignorebad
+
+import "harpgbdt/internal/sched"
+
+type g struct {
+	mu sched.SpinMutex
+}
+
+func helper() {}
+
+// A directive without a reason suppresses nothing; both the malformed
+// directive and the original finding are reported.
+func noReason(x *g) {
+	x.mu.Lock()
+	helper() //harplint:ignore spinscope // want directive spinscope
+	x.mu.Unlock()
+}
+
+// A directive naming an unknown rule is rejected.
+func unknownRule(x *g) {
+	x.mu.Lock()
+	helper() //harplint:ignore nosuchrule -- covered elsewhere // want directive spinscope
+	x.mu.Unlock()
+}
+
+// A directive that suppresses nothing is stale and must be removed.
+func stale() {
+	helper() //harplint:ignore spinscope -- nothing here triggers // want directive
+}
+
+// A well-formed directive on the line above the finding also covers it.
+func lineAbove(x *g) {
+	x.mu.Lock()
+	//harplint:ignore spinscope -- fixture: directive-above placement under test
+	helper()
+	x.mu.Unlock()
+}

@@ -1,0 +1,87 @@
+// Package lockbad is a harplint test fixture for the lockbalance rule,
+// using sync.Mutex to show the rule is not spin-mutex specific. Lines
+// marked "// want" must be reported; the rest must stay silent.
+package lockbad
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func helper() {}
+
+// missingUnlock never releases; reported at the acquisition site.
+func missingUnlock(b *box) {
+	b.mu.Lock() // want lockbalance
+	b.n++
+}
+
+func earlyReturn(b *box) int {
+	b.mu.Lock()
+	if b.n > 0 {
+		return b.n // want lockbalance
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func doubleLock(b *box) {
+	b.mu.Lock()
+	b.mu.Lock() // want lockbalance
+	b.mu.Unlock()
+}
+
+func branchSkew(b *box, c bool) {
+	if c { // want lockbalance
+		b.mu.Lock()
+	}
+	b.mu.Unlock()
+}
+
+func loopSkew(b *box, n int) {
+	for i := 0; i < n; i++ { // want lockbalance
+		b.mu.Lock()
+	}
+}
+
+// balanced patterns below must stay silent.
+
+func deferred(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func straightLine(b *box) {
+	b.mu.Lock()
+	b.n++
+	helper()
+	b.mu.Unlock()
+}
+
+func bothBranches(b *box, c bool) {
+	b.mu.Lock()
+	if c {
+		b.n++
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+}
+
+func readLocked(b *box) int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.n
+}
+
+func lockInLoop(b *box, n int) {
+	for i := 0; i < n; i++ {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+	}
+}

@@ -1,0 +1,36 @@
+// Package obsbad is a harplint test fixture for the obshygiene rule:
+// metric and span names must be compile-time constants.
+package obsbad
+
+import "harpgbdt/internal/obs"
+
+const spanName = "fit"
+
+func dynamicSpan(name string) {
+	sp := obs.StartSpan("cat", name) // want obshygiene
+	sp.End()
+}
+
+func dynamicMetric(reg *obs.Registry, name string) {
+	reg.Counter(name, "help") // want obshygiene
+}
+
+func dynamicLabelKey(reg *obs.Registry, key string) {
+	reg.Gauge(obs.Labels("depth", key, "x"), "help") // want obshygiene
+}
+
+// Allowed patterns below must stay silent.
+
+func constSpan() {
+	sp := obs.StartSpan("cat", spanName)
+	sp.End()
+}
+
+func constMetric(reg *obs.Registry) {
+	reg.Counter("rows_total", "Rows processed.")
+}
+
+// dynamic label *values* through obs.Labels are the sanctioned pattern.
+func dynamicLabelValue(reg *obs.Registry, phase string) {
+	reg.Gauge(obs.Labels("phase_seconds", "phase", phase), "help")
+}

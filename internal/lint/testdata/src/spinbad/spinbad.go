@@ -1,0 +1,109 @@
+// Package spinbad is a harplint test fixture: every function here either
+// violates the spinscope rule at the lines marked "// want", or exercises
+// an allowed pattern that must stay silent. It is never imported by
+// production code.
+package spinbad
+
+import (
+	"sync/atomic"
+
+	"harpgbdt/internal/sched"
+)
+
+var ch = make(chan int, 1)
+
+var counter atomic.Int64
+
+func work() int { return 1 }
+
+type guarded struct {
+	mu   sched.SpinMutex
+	vals []int
+}
+
+func callUnderLock(g *guarded) {
+	g.mu.Lock()
+	work() // want spinscope
+	g.mu.Unlock()
+}
+
+func allocUnderLock(g *guarded) {
+	g.mu.Lock()
+	g.vals = make([]int, 8) // want spinscope
+	g.mu.Unlock()
+}
+
+func returnUnderLock(g *guarded) int {
+	g.mu.Lock()
+	return len(g.vals) // want spinscope lockbalance
+}
+
+func sendUnderLock(g *guarded) {
+	g.mu.Lock()
+	ch <- 1 // want spinscope
+	g.mu.Unlock()
+}
+
+func goUnderLock(g *guarded) {
+	g.mu.Lock()
+	go work() // want spinscope
+	g.mu.Unlock()
+}
+
+func closureUnderLock(g *guarded) func() int {
+	g.mu.Lock()
+	f := func() int { return 2 } // want spinscope
+	g.mu.Unlock()
+	return f
+}
+
+func deferUnderLock(g *guarded) {
+	g.mu.Lock()
+	defer work() // want spinscope
+	g.mu.Unlock()
+}
+
+func sliceLitUnderLock(g *guarded) {
+	g.mu.Lock()
+	g.vals = []int{1, 2, 3} // want spinscope
+	g.mu.Unlock()
+}
+
+// deferredSpinUnlock holds the lock to the end of the function, so the
+// append below still runs inside the critical section.
+func deferredSpinUnlock(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.vals = append(g.vals, 1) // want spinscope
+	return len(g.vals)
+}
+
+// suppressedCall carries a justified ignore directive; it must show up as
+// a suppressed finding, not an error.
+func suppressedCall(g *guarded) {
+	g.mu.Lock()
+	work() //harplint:ignore spinscope -- fixture: suppression path under test
+	g.mu.Unlock()
+}
+
+// allowedUnderLock stays silent: cheap builtins, conversions, atomics and
+// the mutex's own methods are the permitted critical-section vocabulary.
+func allowedUnderLock(g *guarded) {
+	g.mu.Lock()
+	n := len(g.vals)
+	counter.Add(int64(n))
+	if n > 0 {
+		g.vals[0] = n
+	}
+	g.mu.Unlock()
+}
+
+// outsideLock stays silent: everything interesting happens after Unlock.
+func outsideLock(g *guarded) []int {
+	g.mu.Lock()
+	n := len(g.vals)
+	g.mu.Unlock()
+	out := make([]int, n)
+	work()
+	return out
+}

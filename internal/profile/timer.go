@@ -1,0 +1,37 @@
+package profile
+
+import "time"
+
+// Timer is an opaque wall-clock anchor handed out to the deterministic
+// engine packages (core, boost, ...). Those packages are forbidden by
+// harplint's determinism rule from calling time.Now themselves — a clock
+// read feeding anything but profiling would break bit-identical
+// checkpoint resume — so all timing flows through this boundary: the
+// profile package reads the clock, the engine only carries the handle.
+type Timer struct {
+	start time.Time
+}
+
+// StartTimer reads the clock and returns the anchor.
+func StartTimer() Timer { return Timer{start: time.Now()} }
+
+// Elapsed returns the wall time since the timer started.
+func (t Timer) Elapsed() time.Duration { return time.Since(t.start) }
+
+// Started reports whether the timer was ever started (the zero Timer
+// reports false).
+func (t Timer) Started() bool { return !t.start.IsZero() }
+
+// Lap records the time since t into phase p of the breakdown and returns
+// a fresh timer anchored at the current instant, so consecutive phases of
+// one pipeline can be timed without re-reading the clock at call sites.
+func (b *Breakdown) Lap(p Phase, t Timer) Timer {
+	now := time.Now()
+	b.Add(p, now.Sub(t.start))
+	return Timer{start: now}
+}
+
+// Stop records the time since t into phase p of the breakdown.
+func (b *Breakdown) Stop(p Phase, t Timer) {
+	b.Add(p, t.Elapsed())
+}
