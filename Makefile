@@ -18,9 +18,12 @@ test:
 	$(GO) test ./...
 
 ## lint: run the domain-specific static analyzer (spinscope, lockbalance,
-## determinism, obshygiene); exits non-zero on unsuppressed findings
+## determinism, obshygiene, histlife, barrierbalance, hotalloc) against
+## both build configurations — the release tree and the harpdebug
+## invariant layer; exits non-zero on unsuppressed findings
 lint:
 	$(GO) run ./cmd/harplint ./...
+	$(GO) run ./cmd/harplint -tags harpdebug ./...
 
 ## sanitize: the test suite with the harpdebug runtime invariant layer
 ## compiled in (GHSum conservation, partition permutation, bin bounds,

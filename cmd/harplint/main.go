@@ -1,13 +1,21 @@
 // Command harplint runs the domain-specific static analyzer over this
 // module: spin-lock critical-section scope, lock balance, training-path
-// determinism, and observability naming hygiene.
+// determinism, observability naming hygiene, histogram-pool buffer
+// lifetimes (histlife), WaitGroup/channel barrier balance
+// (barrierbalance), and kernel allocation freedom (hotalloc).
 //
 // Usage:
 //
 //	harplint [flags] [./... | dir ...]
 //
-// With no arguments (or "./...") the whole module is analyzed. Exit
-// status is 1 when unsuppressed findings exist, 2 on load errors.
+// With no arguments (or "./...") the whole module is analyzed. The -tags
+// flag selects the analyzed build configuration (run once with no tags and
+// once with -tags harpdebug to cover both sides of the invariant layer).
+//
+// Findings print in go vet format (file:line:col: message [rule]). Exit
+// status is 1 when unsuppressed findings exist, 2 on load or type-check
+// errors — a module that does not type-check cannot be analyzed reliably,
+// so type errors are fatal, not warnings.
 package main
 
 import (
@@ -25,6 +33,7 @@ func main() {
 		root        = flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
 		showIgnored = flag.Bool("show-ignored", false, "also print suppressed findings")
 		listRules   = flag.Bool("rules", false, "list rule names and exit")
+		tags        = flag.String("tags", "", "comma-separated build tags of the analyzed configuration")
 	)
 	flag.Parse()
 
@@ -35,7 +44,7 @@ func main() {
 		}
 		*root = r
 	}
-	loader, err := lint.NewLoader(*root)
+	loader, err := lint.NewLoaderTags(*root, splitTags(*tags)...)
 	if err != nil {
 		fatal(err)
 	}
@@ -64,10 +73,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	typeErrs := 0
 	for _, p := range pkgs {
 		for _, terr := range p.TypeErrors {
-			fmt.Fprintf(os.Stderr, "harplint: warning: %s: %v\n", p.Path, terr)
+			// types.Error already renders as file:line:col: message.
+			fmt.Fprintln(os.Stderr, relativize(terr.Error()))
+			typeErrs++
 		}
+	}
+	if typeErrs > 0 {
+		fmt.Fprintf(os.Stderr, "harplint: %d type error(s); analysis would be unreliable\n", typeErrs)
+		os.Exit(2)
 	}
 
 	findings := lint.Run(pkgs, analyses)
@@ -75,17 +91,51 @@ func main() {
 	for _, f := range findings {
 		if f.Suppressed {
 			if *showIgnored {
-				fmt.Println(f)
+				fmt.Println(vetLine(f))
 			}
 			continue
 		}
 		bad++
-		fmt.Println(f)
+		fmt.Println(vetLine(f))
 	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "harplint: %d finding(s) in %d package(s)\n", bad, len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// vetLine renders a finding the way go vet does: file:line:col: message,
+// with the rule name appended in brackets.
+func vetLine(f lint.Finding) string {
+	s := fmt.Sprintf("%s:%d:%d: %s [%s]", relativize(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Msg, f.Rule)
+	if f.Suppressed {
+		s += fmt.Sprintf(" (suppressed: %s)", f.Reason)
+	}
+	return s
+}
+
+// relativize rewrites an absolute path (or a diagnostic starting with one)
+// relative to the working directory when that is shorter.
+func relativize(s string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return s
+	}
+	sep := string(filepath.Separator)
+	if strings.HasPrefix(s, wd+sep) {
+		return strings.TrimPrefix(s, wd+sep)
+	}
+	return s
+}
+
+func splitTags(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // findModuleRoot walks up from the working directory to the first go.mod.

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/invariant"
+	"harpgbdt/internal/tree"
+)
+
+// TestAccumulateAllocsPinnedAtZero is the core-side companion of the
+// histogram kernel alloc tests: Builder.accumulate is a hotalloc root (the
+// BuildHist driver every mode funnels through), so its full block sweep
+// must not touch the heap.
+func TestAccumulateAllocsPinnedAtZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under the race detector")
+	}
+	if invariant.Enabled {
+		t.Skip("the harpdebug invariant layer is allowed to allocate")
+	}
+	for _, memBuf := range []bool{true, false} {
+		ds := testDataset(t, 512, 6)
+		grad := dyadicGradients(512, 11)
+		cfg := Config{
+			Mode: Sync, K: 4, Growth: grow.Leafwise, TreeSize: 6,
+			FeatureBlockSize: 2, Params: tree.DefaultSplitParams(),
+			Workers: 1, UseMemBuf: memBuf,
+		}
+		b, err := NewBuilder(cfg, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := b.newBuildState(grad)
+		ns := st.nodes[0]
+		if ns.rows.Len() == 0 {
+			t.Fatal("root row set is empty")
+		}
+		h := b.hpool.Get()
+		sweep := func() {
+			for fb := 0; fb < b.blocks.NumBlocks(); fb++ {
+				b.accumulate(h, st, ns, 0, ns.rows.Len(), fb, fullBinRange)
+			}
+		}
+		sweep() // warm up
+		if allocs := testing.AllocsPerRun(50, sweep); allocs != 0 {
+			t.Errorf("memBuf=%v: accumulate sweep allocates %.1f times per run", memBuf, allocs)
+		}
+		b.hpool.Put(h)
+	}
+}

@@ -13,6 +13,20 @@ import (
 	"harpgbdt/internal/tree"
 )
 
+// asyncYield, when non-nil, is called by every ASYNC worker at the named
+// schedule points ("loop", "claimed", "grafted", "publish", "exit"), all
+// of them outside the spin-mutex critical sections. It is the seam the
+// deterministic schedule checker (schedcheck_test.go) uses to drive the
+// worker loop through enumerated interleavings with sched.Choreo; in
+// production it is nil and the calls are two-instruction no-ops.
+var asyncYield func(worker int, point string)
+
+func yieldAsync(worker int, point string) {
+	if asyncYield != nil {
+		asyncYield(worker, point)
+	}
+}
+
 // buildAsync runs the loosely-coupled TopK mode: a short barrier-mode
 // warm-up until the queue holds enough candidates to feed every worker,
 // then a single parallel region in which each worker repeatedly pops a
@@ -50,7 +64,9 @@ func (b *Builder) buildAsync(st *buildState) {
 	var mu sched.SpinMutex
 	outstanding := 0
 	b.pool.RunWorkers(func(worker int) {
+		defer yieldAsync(worker, "exit")
 		for {
+			yieldAsync(worker, "loop")
 			// Section 1: claim a candidate (or detect completion). Nothing
 			// but queue/counter/table access happens while the lock is held.
 			var toRelease []*nodeState
@@ -86,6 +102,7 @@ func (b *Builder) buildAsync(st *buildState) {
 			parent := st.nodes[c.NodeID]
 			qlen := st.queue.Len() //harplint:ignore spinscope -- the queue is the guarded structure
 			mu.Unlock()
+			yieldAsync(worker, "claimed")
 
 			// Between sections: everything that needs no shared state.
 			// parent's fields are stable — they were fully written before
@@ -104,6 +121,7 @@ func (b *Builder) buildAsync(st *buildState) {
 			l, r := st.t.AddChildren(c.NodeID, s.Feature, s.Bin, upper, s.DefaultLeft, s.Gain) //harplint:ignore spinscope -- the tree skeleton is the guarded structure
 			st.nodes = append(st.nodes, left, right)                                           //harplint:ignore spinscope -- the node table is the guarded structure; append is amortized
 			mu.Unlock()
+			yieldAsync(worker, "grafted")
 
 			nsp := obs.StartSpanTID("node", "ProcessNode", worker+1)
 			b.asyncProcessNode(st, parent, left, right, childDepth)
@@ -122,6 +140,7 @@ func (b *Builder) buildAsync(st *buildState) {
 
 			// Section 3: publish the finished children and re-queue the
 			// splittable ones.
+			yieldAsync(worker, "publish")
 			toRelease = toRelease[:0]
 			mu.Lock()
 			for i, ns := range children {

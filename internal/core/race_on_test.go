@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled mirrors the race detector's presence: allocation-count tests
+// are skipped under -race because instrumentation changes heap behavior.
+const raceEnabled = true

@@ -1,0 +1,5 @@
+//go:build !harpdebug
+
+package histogram
+
+const debugTagEnabled = false

@@ -1,0 +1,8 @@
+//go:build harpdebug
+
+package histogram
+
+// debugTagEnabled mirrors the harpdebug build tag (the invariant package
+// cannot be imported here — it imports histogram): allocation-count tests
+// are skipped because the invariant layer is allowed to allocate.
+const debugTagEnabled = true

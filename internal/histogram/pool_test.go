@@ -1,0 +1,71 @@
+package histogram
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPoolConcurrentGetPut hammers the spin-mutex-guarded free list from
+// many goroutines (run under -race by the race-sanitize target) and checks
+// the two properties the ASYNC mode needs from the pool: no buffer is
+// handed to two owners at once, and the allocation count stays bounded by
+// the peak number of simultaneously held buffers.
+func TestPoolConcurrentGetPut(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 300
+		held    = 4
+	)
+	_, layout, _ := makeFixture(64, 4, 8, 3)
+	p := NewPool(layout)
+
+	var ownedMu sync.Mutex
+	owned := make(map[*Hist]int)
+	claim := func(h *Hist, w int) {
+		ownedMu.Lock()
+		if prev, dup := owned[h]; dup {
+			ownedMu.Unlock()
+			t.Errorf("pool handed one buffer to workers %d and %d at once", prev, w)
+			return
+		}
+		owned[h] = w
+		ownedMu.Unlock()
+	}
+	release := func(h *Hist) {
+		ownedMu.Lock()
+		delete(owned, h)
+		ownedMu.Unlock()
+		p.Put(h)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			local := make([]*Hist, 0, held)
+			for i := 0; i < iters; i++ {
+				h := p.Get()
+				claim(h, w)
+				h.Data[0].G += float64(w) // write to the owned slab
+				local = append(local, h)
+				if len(local) == held {
+					for _, lh := range local {
+						release(lh)
+					}
+					local = local[:0]
+				}
+			}
+			for _, lh := range local {
+				release(lh)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(owned) != 0 {
+		t.Errorf("%d buffers never returned to the pool", len(owned))
+	}
+	if got, max := p.Allocated(), workers*held; got > max {
+		t.Errorf("pool allocated %d histograms; peak simultaneous demand is %d", got, max)
+	}
+}

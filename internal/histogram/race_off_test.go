@@ -1,0 +1,5 @@
+//go:build !race
+
+package histogram
+
+const raceEnabled = false

@@ -1,0 +1,666 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// barrierAnalysis implements the barrierbalance rule: interprocedural
+// matching of sync.WaitGroup Add/Done/Wait along the engine's phase
+// boundaries, plus double-close detection on channels. The DP→MP→SYNC
+// barrier structure (one WaitGroup per parallel region in sched) and the
+// ASYNC tree-end barrier are the only synchronization points the paper's
+// modes admit; an unbalanced Add/Done either deadlocks a region forever
+// (missing Done) or releases the barrier early (missing Add) and lets a
+// worker read a half-built histogram.
+//
+// Checks:
+//
+//   - Add called inside a spawned goroutine races the spawner's Wait
+//     (Wait may observe the counter before the goroutine runs);
+//   - a spawned goroutine that calls Done on some paths but not all leaks
+//     the barrier on the silent paths;
+//   - constant Add(k) must match the statically countable Done sources
+//     (direct calls, goroutine spawns, and callees summarized as Done-ing
+//     a *sync.WaitGroup parameter — the interprocedural part);
+//   - Add with a computed count needs at least one dynamic Done source (a
+//     worker-spawning loop);
+//   - Wait with no Add at all;
+//   - the same channel closed twice in one straight-line sequence.
+//
+// Judgments that need the whole lifetime of the WaitGroup apply only to
+// function-local WaitGroups that never leak into an unanalyzed context;
+// anything escaping (stored, passed to an unsummarized callee, captured by
+// a non-go closure) is skipped rather than guessed at.
+type barrierAnalysis struct {
+	// wgDones maps a function to {param index: Done count} for its
+	// *sync.WaitGroup parameters; -1 marks a dynamic (loop) count.
+	wgDones map[*types.Func]map[int]int
+}
+
+func (*barrierAnalysis) Rules() []string { return []string{"barrierbalance"} }
+
+// Prepare summarizes, for every function in the module, how many times it
+// calls Done on each *sync.WaitGroup parameter (transitively through other
+// summarized callees).
+func (a *barrierAnalysis) Prepare(pkgs []*Package) {
+	a.wgDones = make(map[*types.Func]map[int]int)
+	g := BuildCallGraph(pkgs)
+	funcs := g.Funcs()
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range funcs {
+			params := wgParamIndex(fi)
+			if len(params) == 0 {
+				continue
+			}
+			counts := a.summarizeDones(fi, params)
+			for idx, c := range counts {
+				if a.wgDones[fi.Obj] == nil {
+					a.wgDones[fi.Obj] = make(map[int]int)
+				}
+				if a.wgDones[fi.Obj][idx] != c {
+					a.wgDones[fi.Obj][idx] = c
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// wgParamIndex maps a function's *sync.WaitGroup parameter objects to
+// their positional index.
+func wgParamIndex(fi *FuncInfo) map[types.Object]int {
+	sig, _ := fi.Obj.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	out := make(map[types.Object]int)
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if pt, ok := p.Type().(*types.Pointer); ok && isWaitGroup(pt.Elem()) {
+			out[p] = i
+		}
+	}
+	return out
+}
+
+// summarizeDones counts Done calls on each WaitGroup parameter in one
+// function body; -1 when a Done sits inside a loop.
+func (a *barrierAnalysis) summarizeDones(fi *FuncInfo, params map[types.Object]int) map[int]int {
+	counts := make(map[int]int)
+	var walk func(n ast.Node, loop bool)
+	walk = func(n ast.Node, loop bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt:
+				if m.Init != nil {
+					walk(m.Init, loop)
+				}
+				walk(m.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(m.Body, true)
+				return false
+			case *ast.CallExpr:
+				idx, op := a.paramWGOp(fi, params, m)
+				if idx < 0 {
+					return true
+				}
+				if op == "Done" {
+					if loop || counts[idx] == -1 {
+						counts[idx] = -1
+					} else {
+						counts[idx]++
+					}
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(fi.Decl.Body, false)
+	return counts
+}
+
+// paramWGOp resolves a call to (parameter index, method) when it is a
+// WaitGroup method call on a parameter, or a call forwarding a parameter
+// to a summarized Done-er. Returns (-1, "") otherwise.
+func (a *barrierAnalysis) paramWGOp(fi *FuncInfo, params map[types.Object]int, call *ast.CallExpr) (int, string) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "Done" {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if idx, isParam := params[fi.Pkg.Info.Uses[id]]; isParam {
+					return idx, "Done"
+				}
+			}
+		}
+	}
+	if callee := calleeOf(fi.Pkg, call); callee != nil {
+		for argIdx, c := range a.wgDones[callee] {
+			if argIdx >= len(call.Args) || c == 0 {
+				continue
+			}
+			if id := wgArgIdent(call.Args[argIdx]); id != nil {
+				if idx, isParam := params[fi.Pkg.Info.Uses[id]]; isParam {
+					// A dynamic callee makes the caller dynamic too; a
+					// static one forwards its count (flattened to one
+					// Done per call for counting purposes).
+					if c == -1 {
+						return idx, "Done" // conservative: treated as one Done source
+					}
+					return idx, "Done"
+				}
+			}
+		}
+	}
+	return -1, ""
+}
+
+// wgArgIdent unwraps `wg` or `&wg` argument forms to the identifier.
+func wgArgIdent(e ast.Expr) *ast.Ident {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	id, _ := e.(*ast.Ident)
+	return id
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup"
+}
+
+// wgInfo accumulates what one function does to one WaitGroup.
+type wgInfo struct {
+	addConst  int  // sum of constant Add arguments
+	addDyn    bool // Add with a computed argument
+	addInLoop bool
+	doneCount int  // statically countable Done sources
+	doneDyn   bool // Done sources inside loops / dynamic callees
+	waitPos   token.Pos
+	addPos    token.Pos
+	escaped   bool // leaked into an unanalyzed context; skip judgments
+	local     bool // declared in this function body
+}
+
+func (a *barrierAnalysis) Check(p *Package, report func(rule string, pos token.Pos, msg string)) {
+	for _, f := range p.Files {
+		var roots []*ast.BlockStmt
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				roots = append(roots, fd.Body)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+				roots = append(roots, fl.Body)
+			}
+			return true
+		})
+		for _, body := range roots {
+			w := &barrierWalker{a: a, p: p, report: report, body: body, info: map[string]*wgInfo{}}
+			w.walkList(body.List, 0, 0)
+			w.judge()
+		}
+	}
+}
+
+// barrierWalker scans one function (or closure) body.
+type barrierWalker struct {
+	a      *barrierAnalysis
+	p      *Package
+	report func(rule string, pos token.Pos, msg string)
+	body   *ast.BlockStmt
+	info   map[string]*wgInfo
+}
+
+func (w *barrierWalker) infoFor(key string, recv ast.Expr) *wgInfo {
+	in := w.info[key]
+	if in == nil {
+		in = &wgInfo{}
+		if id, ok := ast.Unparen(recv).(*ast.Ident); ok {
+			if obj := w.objectOf(id); obj != nil &&
+				obj.Pos() >= w.body.Pos() && obj.Pos() <= w.body.End() {
+				in.local = true
+			}
+		}
+		w.info[key] = in
+	}
+	return in
+}
+
+func (w *barrierWalker) objectOf(id *ast.Ident) types.Object {
+	if obj := w.p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return w.p.Info.Defs[id]
+}
+
+// walkList scans a statement list. loop counts enclosing loops, branch
+// counts enclosing conditionals. closed tracks channels already closed in
+// this straight-line sequence.
+func (w *barrierWalker) walkList(list []ast.Stmt, loop, branch int) {
+	closed := map[string]token.Pos{}
+	for _, s := range list {
+		w.walkStmt(s, loop, branch, closed)
+	}
+}
+
+func (w *barrierWalker) walkStmt(s ast.Stmt, loop, branch int, closed map[string]token.Pos) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			w.call(call, loop, branch, closed, false)
+			return
+		}
+		w.scanEscapes(s.X)
+	case *ast.DeferStmt:
+		w.call(s.Call, loop, branch, closed, true)
+	case *ast.GoStmt:
+		w.goStmt(s, loop)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanEscapes(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanEscapes(v)
+					}
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		w.walkList(s.List, loop, branch)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, loop, branch, closed)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, loop, branch, closed)
+		}
+		w.scanEscapes(s.Cond)
+		w.walkList(s.Body.List, loop, branch+1)
+		if s.Else != nil {
+			w.walkStmt(s.Else, loop, branch+1, map[string]token.Pos{})
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, loop, branch, closed)
+		}
+		w.walkList(s.Body.List, loop+1, branch)
+	case *ast.RangeStmt:
+		w.scanEscapes(s.X)
+		w.walkList(s.Body.List, loop+1, branch)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if cc, ok := n.(*ast.CaseClause); ok {
+				w.walkList(cc.Body, loop, branch+1)
+				return false
+			}
+			if cc, ok := n.(*ast.CommClause); ok {
+				w.walkList(cc.Body, loop, branch+1)
+				return false
+			}
+			return true
+		})
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanEscapes(r)
+		}
+	case *ast.SendStmt:
+		w.scanEscapes(s.Value)
+	}
+}
+
+// call handles a (possibly deferred) statement-level call on the main
+// path: WaitGroup ops, close, and calls forwarding a WaitGroup.
+func (w *barrierWalker) call(call *ast.CallExpr, loop, branch int, closed map[string]token.Pos, deferred bool) {
+	// close(ch): double close in one straight-line sequence.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" {
+		if obj, isBuiltin := w.objectOf(id).(*types.Builtin); isBuiltin && obj.Name() == "close" && len(call.Args) == 1 {
+			if key := exprKey(call.Args[0]); key != "" {
+				if prev, dup := closed[key]; dup {
+					w.report("barrierbalance", call.Pos(), fmt.Sprintf(
+						"channel %s is closed twice on the same path (first close at line %d)",
+						key, w.p.Fset.Position(prev).Line))
+				} else {
+					closed[key] = call.Pos()
+				}
+			}
+			return
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isWaitGroup(typeOf(w.p, sel.X)) {
+		key := exprKey(sel.X)
+		if key == "" {
+			return
+		}
+		in := w.infoFor(key, sel.X)
+		switch sel.Sel.Name {
+		case "Add":
+			if in.addPos == token.NoPos {
+				in.addPos = call.Pos()
+			}
+			if loop > 0 {
+				in.addInLoop = true
+			}
+			if v := w.constInt(call.Args); v >= 0 && branch == 0 {
+				in.addConst += v
+			} else {
+				in.addDyn = true
+			}
+		case "Done":
+			if loop > 0 || branch > 0 {
+				in.doneDyn = true
+			} else {
+				in.doneCount++
+			}
+		case "Wait":
+			in.waitPos = call.Pos()
+		}
+		return
+	}
+	// Closure arguments capturing a WaitGroup put it beyond this walk's
+	// view (a task body run by an unseen executor): mark it escaped.
+	for _, arg := range call.Args {
+		if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			for key, recv := range w.capturedWaitGroups(fl) {
+				w.infoFor(key, recv).escaped = true
+			}
+		}
+	}
+	// A call forwarding a WaitGroup: use the callee summary, or mark the
+	// group escaped when the callee is opaque.
+	w.forwarded(call, loop, branch, false)
+	_ = deferred
+}
+
+// constInt extracts a non-negative constant from a 1-arg call.
+func (w *barrierWalker) constInt(args []ast.Expr) int {
+	if len(args) != 1 {
+		return -1
+	}
+	if tv, ok := w.p.Info.Types[args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, exact := constant.Int64Val(tv.Value); exact && v >= 0 {
+			return int(v)
+		}
+	}
+	return -1
+}
+
+// forwarded processes a call whose arguments include a WaitGroup:
+// summarized callees contribute Done sources, opaque ones escape the
+// group. spawned marks `go callee(&wg)` forms.
+func (w *barrierWalker) forwarded(call *ast.CallExpr, loop, branch int, spawned bool) {
+	callee := calleeOf(w.p, call)
+	for argIdx, arg := range call.Args {
+		t := typeOf(w.p, arg)
+		if !isWaitGroup(t) {
+			continue
+		}
+		id := wgArgIdent(arg)
+		if id == nil {
+			continue
+		}
+		key := id.Name
+		in := w.infoFor(key, id)
+		summary := -2 // unknown callee: the group escapes this walk's view
+		if callee != nil {
+			if dones, ok := w.a.wgDones[callee]; ok {
+				if c, ok := dones[argIdx]; ok {
+					summary = c
+				} else {
+					summary = 0
+				}
+			}
+		}
+		switch {
+		case summary == -2:
+			in.escaped = true
+		case summary == -1:
+			in.doneDyn = true
+		case summary > 0:
+			if loop > 0 || branch > 0 {
+				in.doneDyn = true
+			} else {
+				in.doneCount += summary
+			}
+		}
+		_ = spawned
+	}
+}
+
+// goStmt analyzes a spawned goroutine: closure bodies get per-path Done
+// accounting, named callees contribute their summaries.
+func (w *barrierWalker) goStmt(g *ast.GoStmt, loop int) {
+	if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		w.goClosure(g, fl, loop)
+		for _, arg := range g.Call.Args {
+			w.scanEscapes(arg)
+		}
+		return
+	}
+	w.forwarded(g.Call, loop, 0, true)
+}
+
+// goClosure accounts the Done calls of a go-closure against each captured
+// WaitGroup and reports goroutine-side misuse.
+func (w *barrierWalker) goClosure(g *ast.GoStmt, fl *ast.FuncLit, loop int) {
+	keys := w.capturedWaitGroups(fl)
+	for key, recv := range keys {
+		in := w.infoFor(key, recv)
+		min, max, dyn, addPos := w.doneStats(fl.Body.List, key)
+		if addPos != token.NoPos {
+			w.report("barrierbalance", addPos, fmt.Sprintf(
+				"%s.Add inside the spawned goroutine races the spawner's Wait; Add before the go statement", key))
+		}
+		switch {
+		case dyn:
+			in.doneDyn = true
+		case min != max:
+			w.report("barrierbalance", g.Pos(), fmt.Sprintf(
+				"spawned goroutine calls %s.Done on some paths but not all; the barrier leaks when the silent path runs", key))
+			in.doneDyn = true
+		case loop > 0:
+			if max > 0 {
+				in.doneDyn = true
+			}
+		default:
+			in.doneCount += max
+		}
+	}
+}
+
+// capturedWaitGroups finds WaitGroup variables a closure captures from the
+// enclosing scope, keyed by canonical expression key.
+func (w *barrierWalker) capturedWaitGroups(fl *ast.FuncLit) map[string]ast.Expr {
+	out := map[string]ast.Expr{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := w.p.Info.Uses[id].(*types.Var)
+		if !ok || !isWaitGroup(v.Type()) {
+			return true
+		}
+		if v.Pos() >= fl.Pos() && v.Pos() <= fl.End() {
+			return true // closure-local
+		}
+		out[id.Name] = id
+		return true
+	})
+	return out
+}
+
+// doneStats computes (min, max) Done counts over the paths of a closure
+// body for one WaitGroup key, a dynamic flag for loop-nested Dones, and
+// the position of any Add call inside the closure.
+func (w *barrierWalker) doneStats(list []ast.Stmt, key string) (min, max int, dyn bool, addPos token.Pos) {
+	for _, s := range list {
+		m1, m2, d, a := w.doneStatsStmt(s, key)
+		min += m1
+		max += m2
+		dyn = dyn || d
+		if addPos == token.NoPos {
+			addPos = a
+		}
+	}
+	return min, max, dyn, addPos
+}
+
+func (w *barrierWalker) doneStatsStmt(s ast.Stmt, key string) (min, max int, dyn bool, addPos token.Pos) {
+	count := func(call *ast.CallExpr) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !isWaitGroup(typeOf(w.p, sel.X)) || exprKey(sel.X) != key {
+			return
+		}
+		switch sel.Sel.Name {
+		case "Done":
+			min, max = min+1, max+1
+		case "Add":
+			addPos = call.Pos()
+		}
+	}
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			count(call)
+		}
+	case *ast.DeferStmt:
+		count(s.Call)
+	case *ast.BlockStmt:
+		return w.doneStats(s.List, key)
+	case *ast.LabeledStmt:
+		return w.doneStatsStmt(s.Stmt, key)
+	case *ast.IfStmt:
+		bMin, bMax, bDyn, bAdd := w.doneStats(s.Body.List, key)
+		var eMin, eMax int
+		var eDyn bool
+		var eAdd token.Pos
+		if s.Else != nil {
+			eMin, eMax, eDyn, eAdd = w.doneStatsStmt(s.Else, key)
+		}
+		min = bMin
+		if eMin < bMin {
+			min = eMin
+		}
+		max = bMax
+		if eMax > bMax {
+			max = eMax
+		}
+		dyn = bDyn || eDyn
+		addPos = bAdd
+		if addPos == token.NoPos {
+			addPos = eAdd
+		}
+	case *ast.ForStmt:
+		_, m2, _, a := w.doneStats(s.Body.List, key)
+		if m2 > 0 {
+			dyn = true
+		}
+		addPos = a
+	case *ast.RangeStmt:
+		_, m2, _, a := w.doneStats(s.Body.List, key)
+		if m2 > 0 {
+			dyn = true
+		}
+		addPos = a
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		first := true
+		ast.Inspect(s, func(n ast.Node) bool {
+			var body []ast.Stmt
+			if cc, ok := n.(*ast.CaseClause); ok {
+				body = cc.Body
+			} else if cc, ok := n.(*ast.CommClause); ok {
+				body = cc.Body
+			} else {
+				return true
+			}
+			m1, m2, d, a := w.doneStats(body, key)
+			if first {
+				min, max, first = m1, m2, false
+			} else {
+				if m1 < min {
+					min = m1
+				}
+				if m2 > max {
+					max = m2
+				}
+			}
+			dyn = dyn || d
+			if addPos == token.NoPos {
+				addPos = a
+			}
+			return false
+		})
+		// Non-exhaustiveness: assume a no-op path exists.
+		min = 0
+	}
+	return min, max, dyn, addPos
+}
+
+// scanEscapes marks WaitGroups leaking into unanalyzed contexts: captured
+// by non-go closures, address stored, passed around in expressions.
+func (w *barrierWalker) scanEscapes(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			for key, recv := range w.capturedWaitGroups(n) {
+				w.infoFor(key, recv).escaped = true
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && isWaitGroup(typeOf(w.p, n.X)) {
+				if key := exprKey(n.X); key != "" {
+					w.infoFor(key, n.X).escaped = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// judge applies the whole-lifetime checks to local, non-escaped
+// WaitGroups.
+func (w *barrierWalker) judge() {
+	for key, in := range w.info {
+		if !in.local || in.escaped {
+			continue
+		}
+		hasAdd := in.addConst > 0 || in.addDyn || in.addInLoop
+		if in.waitPos != token.NoPos && !hasAdd && in.doneCount == 0 && !in.doneDyn {
+			w.report("barrierbalance", in.waitPos, fmt.Sprintf(
+				"%s.Wait with no Add anywhere: the barrier opens immediately (or the Adds live in code harplint cannot see)", key))
+			continue
+		}
+		if in.addDyn || in.addInLoop {
+			if !in.doneDyn && in.doneCount == 0 {
+				w.report("barrierbalance", in.addPos, fmt.Sprintf(
+					"%s.Add with a computed count but no Done source; a worker-spawning loop with deferred Done is the expected shape", key))
+			}
+			continue
+		}
+		if in.addConst > 0 && !in.doneDyn && in.addConst != in.doneCount {
+			w.report("barrierbalance", in.addPos, fmt.Sprintf(
+				"%s.Add(%d) does not match the %d Done source(s) visible to harplint; Wait will %s",
+				key, in.addConst, in.doneCount,
+				map[bool]string{true: "block forever", false: "return early"}[in.addConst > in.doneCount]))
+		}
+	}
+}

@@ -1,0 +1,512 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// histLifeAnalysis implements the histlife rule: escape and lifetime
+// dataflow for histogram.Pool buffers. The pool recycles GHSum slabs; a
+// released histogram may be handed to another node's BuildHist at any
+// moment, so the ASYNC mode's correctness rests on three lifetime laws:
+//
+//   - no use-after-Put: once a *histogram.Hist goes back to the pool, the
+//     releasing code must not touch it again (reads would observe another
+//     node's partially accumulated GHSum region);
+//   - no double-Put: releasing the same buffer twice puts it on the free
+//     list twice and two nodes will later accumulate into one slab;
+//   - no escape from the confined write region: a pooled histogram must
+//     not be stored in package-level state, sent on a channel, or captured
+//     by a spawned goroutine — ownership stays inside the worker that
+//     holds the node.
+//
+// The analysis is interprocedural: a function that forwards its
+// *histogram.Hist parameter to Pool.Put (directly or transitively) is
+// summarized as a releaser, and calling it counts as a Put at the call
+// site. Flow-sensitivity is "must" style: a buffer counts as released on a
+// program point only when every live path to it released the buffer, and
+// any reassignment or opaque call involving the buffer clears the state —
+// so every report is a certainty, not a maybe.
+type histLifeAnalysis struct {
+	// releasers maps a function to the set of its parameter indices
+	// (0-based, receiver excluded) that it forwards to Pool.Put.
+	releasers map[*types.Func]map[int]bool
+}
+
+func (*histLifeAnalysis) Rules() []string { return []string{"histlife"} }
+
+// Prepare computes release summaries over the whole module with a fixpoint
+// on the call graph, so `func free(p *Pool, h *Hist) { p.Put(h) }` makes
+// `free(p, h); h.Reset()` a use-after-Put in any package.
+func (a *histLifeAnalysis) Prepare(pkgs []*Package) {
+	a.releasers = make(map[*types.Func]map[int]bool)
+	g := BuildCallGraph(pkgs)
+	funcs := g.Funcs()
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range funcs {
+			params := paramIndex(fi)
+			if len(params) == 0 {
+				continue
+			}
+			inspectLive(fi.Pkg, fi.Decl.Body, true, func(n ast.Node, live bool) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !live {
+					return true
+				}
+				for _, idx := range a.releasedArgs(fi.Pkg, call) {
+					if idx >= len(call.Args) {
+						continue
+					}
+					id, ok := ast.Unparen(call.Args[idx]).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					pi, isParam := params[fi.Pkg.Info.Uses[id]]
+					if !isParam {
+						continue
+					}
+					if a.releasers[fi.Obj] == nil {
+						a.releasers[fi.Obj] = make(map[int]bool)
+					}
+					if !a.releasers[fi.Obj][pi] {
+						a.releasers[fi.Obj][pi] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// paramIndex maps a function's *histogram.Hist parameter objects to their
+// positional index.
+func paramIndex(fi *FuncInfo) map[types.Object]int {
+	sig, _ := fi.Obj.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	out := make(map[types.Object]int)
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if isHistPtr(p.Type()) {
+			out[p] = i
+		}
+	}
+	return out
+}
+
+// releasedArgs returns the argument indices of call that are released to
+// the pool: Pool.Put's first argument, or the summarized parameters of a
+// known releaser function.
+func (a *histLifeAnalysis) releasedArgs(p *Package, call *ast.CallExpr) []int {
+	if isPoolPut(p, call) {
+		return []int{0}
+	}
+	callee := calleeOf(p, call)
+	if callee == nil {
+		return nil
+	}
+	rel := a.releasers[callee]
+	if len(rel) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(rel))
+	for i := range rel {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// isPoolPut recognizes a histogram.Pool Put call.
+func isPoolPut(p *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" {
+		return false
+	}
+	return namedIn(typeOf(p, sel.X), "internal/histogram", "Pool")
+}
+
+// isPoolGet recognizes a histogram.Pool Get call.
+func isPoolGet(p *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	return namedIn(typeOf(p, sel.X), "internal/histogram", "Pool")
+}
+
+// isHistPtr reports whether t is *histogram.Hist.
+func isHistPtr(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := ptr.Elem().(*types.Named)
+	return ok && n.Obj().Name() == "Hist" && n.Obj().Pkg() != nil &&
+		strings.HasSuffix(n.Obj().Pkg().Path(), "internal/histogram")
+}
+
+func (a *histLifeAnalysis) Check(p *Package, report func(rule string, pos token.Pos, msg string)) {
+	for _, f := range p.Files {
+		var roots []*ast.BlockStmt
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				roots = append(roots, fd.Body)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+				roots = append(roots, fl.Body)
+			}
+			return true
+		})
+		for _, body := range roots {
+			w := &histWalker{a: a, p: p, report: report, closure: body}
+			w.stmts(body.List, releasedMap{})
+		}
+		a.checkEscapes(p, f, report)
+	}
+}
+
+// releasedMap tracks buffers that are certainly released at a program
+// point: canonical receiver key -> position of the releasing Put.
+type releasedMap map[string]token.Pos
+
+func (m releasedMap) clone() releasedMap {
+	c := make(releasedMap, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps only keys released in both maps (must-release merge).
+func (m releasedMap) intersect(o releasedMap) releasedMap {
+	out := releasedMap{}
+	for k, v := range m {
+		if _, ok := o[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// killPrefix drops key and every tracked field under it (assigning `ns`
+// invalidates what we know about `ns.hist`).
+func (m releasedMap) killPrefix(key string) {
+	for k := range m {
+		if k == key || strings.HasPrefix(k, key+".") || strings.HasPrefix(key, k+".") {
+			delete(m, k)
+		}
+	}
+}
+
+// histWalker threads released-buffer state through one function body.
+type histWalker struct {
+	a       *histLifeAnalysis
+	p       *Package
+	report  func(rule string, pos token.Pos, msg string)
+	closure *ast.BlockStmt
+	// reported dedups (position, key) so `h.Data[0] + h.Data[1]` is one
+	// finding, not two.
+	reported map[string]bool
+}
+
+func (w *histWalker) stmts(list []ast.Stmt, rel releasedMap) (releasedMap, bool) {
+	for _, s := range list {
+		var term bool
+		rel, term = w.stmt(s, rel)
+		if term {
+			return rel, true
+		}
+	}
+	return rel, false
+}
+
+func (w *histWalker) stmt(s ast.Stmt, rel releasedMap) (releasedMap, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			return w.call(call, rel), false
+		}
+		w.checkUse(s.X, rel)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkUse(e, rel)
+		}
+		for _, lhs := range s.Lhs {
+			// Reassignment gives the name a new referent: whatever we knew
+			// about the old buffer no longer applies to this key.
+			if key := exprKey(lhs); key != "" {
+				rel.killPrefix(key)
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred Put runs at function exit: treat its argument as
+		// released for the rest of the walk would be wrong (the code below
+		// still owns it), so only check the non-Put uses.
+		if len(w.a.releasedArgs(w.p, s.Call)) == 0 {
+			for _, arg := range s.Call.Args {
+				w.checkUse(arg, rel)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkUse(r, rel)
+		}
+		return rel, true
+	case *ast.BranchStmt:
+		return rel, true
+	case *ast.IncDecStmt:
+		w.checkUse(s.X, rel)
+	case *ast.SendStmt:
+		w.checkUse(s.Chan, rel)
+		w.checkUse(s.Value, rel)
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			w.checkUse(arg, rel)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkUse(v, rel)
+					}
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		return w.stmts(s.List, rel)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, rel)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			rel, _ = w.stmt(s.Init, rel)
+		}
+		if pkgConstBool(w.p, s.Cond, false) {
+			if s.Else != nil {
+				return w.stmt(s.Else, rel)
+			}
+			return rel, false
+		}
+		w.checkUse(s.Cond, rel)
+		if pkgConstBool(w.p, s.Cond, true) {
+			return w.stmts(s.Body.List, rel)
+		}
+		bodyRel, bodyTerm := w.stmts(s.Body.List, rel.clone())
+		elseRel, elseTerm := rel.clone(), false
+		if s.Else != nil {
+			elseRel, elseTerm = w.stmt(s.Else, rel.clone())
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return rel, true
+		case bodyTerm:
+			return elseRel, false
+		case elseTerm:
+			return bodyRel, false
+		default:
+			return bodyRel.intersect(elseRel), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			rel, _ = w.stmt(s.Init, rel)
+		}
+		if s.Cond != nil {
+			w.checkUse(s.Cond, rel)
+		}
+		w.stmts(s.Body.List, rel.clone())
+		return rel, false
+	case *ast.RangeStmt:
+		w.checkUse(s.X, rel)
+		w.stmts(s.Body.List, rel.clone())
+		return rel, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Conservative: clauses analyzed against the entry state, results
+		// discarded (no clause is a must-path).
+		ast.Inspect(s, func(n ast.Node) bool {
+			if cc, ok := n.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, rel.clone())
+				return false
+			}
+			if cc, ok := n.(*ast.CommClause); ok {
+				w.stmts(cc.Body, rel.clone())
+				return false
+			}
+			return true
+		})
+		return rel, false
+	}
+	return rel, false
+}
+
+// call handles a statement-level call: Put/releaser calls transition the
+// argument to released, everything else use-checks and havocs.
+func (w *histWalker) call(call *ast.CallExpr, rel releasedMap) releasedMap {
+	released := w.a.releasedArgs(w.p, call)
+	if len(released) > 0 {
+		relArgs := map[int]bool{}
+		for _, i := range released {
+			relArgs[i] = true
+		}
+		for i, arg := range call.Args {
+			if !relArgs[i] {
+				w.checkUse(arg, rel)
+				continue
+			}
+			key := exprKey(arg)
+			if key == "" {
+				continue
+			}
+			if prev, ok := rel[key]; ok {
+				w.report("histlife", call.Pos(), fmt.Sprintf(
+					"%s is released to the histogram pool twice (first Put at line %d); the slab would be handed to two nodes",
+					key, w.p.Fset.Position(prev).Line))
+				continue
+			}
+			rel[key] = call.Pos()
+		}
+		return rel
+	}
+	// Opaque call: any argument (or receiver) aliasing a tracked buffer is
+	// first use-checked, then havocked — the callee may reassign fields.
+	w.checkUse(call, rel)
+	for _, arg := range call.Args {
+		if key := exprKey(arg); key != "" {
+			rel.killPrefix(key)
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if key := exprKey(sel.X); key != "" {
+			rel.killPrefix(key)
+		}
+	}
+	return rel
+}
+
+// checkUse reports reads of certainly-released buffers inside an
+// expression.
+func (w *histWalker) checkUse(e ast.Expr, rel releasedMap) {
+	if len(rel) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate root
+		}
+		ne, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		key := exprKey(ne)
+		if key == "" {
+			return true
+		}
+		for relKey, putPos := range rel {
+			if key == relKey || strings.HasPrefix(key, relKey+".") {
+				w.reportOnce(ne.Pos(), relKey, fmt.Sprintf(
+					"%s is used after being released to the histogram pool (Put at line %d); another node may already own the slab",
+					relKey, w.p.Fset.Position(putPos).Line))
+			}
+		}
+		return false // don't descend: key covered the whole chain
+	})
+}
+
+func (w *histWalker) reportOnce(pos token.Pos, key, msg string) {
+	if w.reported == nil {
+		w.reported = make(map[string]bool)
+	}
+	p := w.p.Fset.Position(pos)
+	id := fmt.Sprintf("%s:%d:%s", p.Filename, p.Line, key)
+	if w.reported[id] {
+		return
+	}
+	w.reported[id] = true
+	w.report("histlife", pos, msg)
+}
+
+// checkEscapes flags pooled histograms leaving the confined write region:
+// stores to package-level variables, channel sends, and capture by spawned
+// goroutines.
+func (a *histLifeAnalysis) checkEscapes(p *Package, f *ast.File, report func(rule string, pos token.Pos, msg string)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if !isHistPtr(typeOf(p, n.Rhs[i])) {
+					continue
+				}
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil {
+					continue
+				}
+				if v, ok := obj.(*types.Var); ok && v.Parent() == p.Types.Scope() {
+					report("histlife", n.Pos(), fmt.Sprintf(
+						"histogram escapes to package-level variable %s; pooled buffers must stay owned by one node's write region", id.Name))
+				}
+			}
+		case *ast.SendStmt:
+			if isHistPtr(typeOf(p, n.Value)) {
+				report("histlife", n.Pos(),
+					"histogram sent on a channel escapes its confined write region; pass node ids and let the owner resolve the buffer")
+			}
+		case *ast.GoStmt:
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				a.checkGoCapture(p, n, fl, report)
+			}
+			for _, arg := range n.Call.Args {
+				if isHistPtr(typeOf(p, arg)) {
+					report("histlife", n.Pos(),
+						"histogram passed to a spawned goroutine escapes its confined write region")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkGoCapture reports *histogram.Hist variables captured by a
+// go-statement closure from the enclosing scope.
+func (a *histLifeAnalysis) checkGoCapture(p *Package, g *ast.GoStmt, fl *ast.FuncLit, report func(rule string, pos token.Pos, msg string)) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || seen[obj] || !isHistPtr(v.Type()) {
+			return true
+		}
+		// Captured iff declared outside the literal's extent.
+		if v.Pos() < fl.Pos() || v.Pos() > fl.End() {
+			seen[obj] = true
+			report("histlife", g.Pos(), fmt.Sprintf(
+				"spawned goroutine captures histogram %s; the buffer escapes its node's confined write region", id.Name))
+		}
+		return true
+	})
+}

@@ -15,6 +15,17 @@
 //   - obshygiene: metric and trace span names must be compile-time
 //     constants so the observability surface is statically enumerable.
 //
+// and three interprocedural passes over a module-wide call graph:
+//
+//   - histlife: histogram.Pool buffer lifetimes — use after Put, double
+//     Put (including through callees that release a *Hist parameter), and
+//     escapes out of the confined BuildHist write region.
+//   - barrierbalance: sync.WaitGroup Add/Done/Wait balance with callee
+//     Done summaries, plus double channel close.
+//   - hotalloc: functions reachable from the BuildHist / FindSplit kernel
+//     roots must not allocate (composite literals, append growth, make,
+//     closure captures, implicit interface conversions).
+//
 // Findings can be suppressed with an inline directive on the offending
 // line or the line above:
 //
@@ -57,6 +68,17 @@ type Analysis interface {
 	Check(p *Package, report func(rule string, pos token.Pos, msg string))
 }
 
+// ModuleAnalysis is an Analysis that needs a module-wide view before the
+// per-package Check calls: the interprocedural passes (histlife,
+// barrierbalance, hotalloc) build a call graph and function summaries over
+// the whole package set here.
+type ModuleAnalysis interface {
+	Analysis
+	// Prepare runs once per Run with every loaded package, before any
+	// Check call.
+	Prepare(pkgs []*Package)
+}
+
 // DeterministicPackages are the module-internal package suffixes that the
 // determinism rule guards: the training path whose outputs must be
 // bit-identical across runs and resumes.
@@ -80,6 +102,9 @@ func DefaultAnalyses(module string) []Analysis {
 		&lockAnalysis{},
 		&determinismAnalysis{packages: det},
 		&obsHygieneAnalysis{},
+		&histLifeAnalysis{},
+		&barrierAnalysis{},
+		NewHotAllocAnalysis(DefaultHotRoots()...),
 	}
 }
 
@@ -120,6 +145,11 @@ func Run(pkgs []*Package, analyses []Analysis) []Finding {
 	for _, a := range analyses {
 		for _, r := range a.Rules() {
 			known[r] = true
+		}
+	}
+	for _, a := range analyses {
+		if ma, ok := a.(ModuleAnalysis); ok {
+			ma.Prepare(pkgs)
 		}
 	}
 	var findings []Finding

@@ -3,6 +3,8 @@ package lint_test
 import (
 	"bufio"
 	"fmt"
+	"go/constant"
+	"go/types"
 	"os"
 	"path/filepath"
 	"sort"
@@ -124,16 +126,85 @@ func TestIgnoreDirectives(t *testing.T) {
 	checkFixture(t, "ignorebad", lint.DefaultAnalyses("harpgbdt"))
 }
 
+func TestHistLifeFixture(t *testing.T) {
+	checkFixture(t, "histbad", lint.DefaultAnalyses("harpgbdt"))
+}
+
+func TestBarrierBalanceFixture(t *testing.T) {
+	checkFixture(t, "barrierbad", lint.DefaultAnalyses("harpgbdt"))
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	// Root the rule at the fixture's kernel* functions, the way
+	// DefaultHotRoots points it at the histogram kernels.
+	checkFixture(t, "hotbad", []lint.Analysis{
+		lint.NewHotAllocAnalysis(lint.HotRoot{PkgSuffix: "hotbad", NamePrefix: "kernel"}),
+	})
+}
+
 // TestRuleNames pins the rule inventory: renaming or dropping a rule is
 // an interface change that must be deliberate.
 func TestRuleNames(t *testing.T) {
 	got := lint.RuleNames(lint.DefaultAnalyses("harpgbdt"))
-	want := []string{"determinism", "directive", "lockbalance", "obshygiene", "spinscope"}
+	want := []string{"barrierbalance", "determinism", "directive", "histlife", "hotalloc", "lockbalance", "obshygiene", "spinscope"}
 	if !sort.StringsAreSorted(got) {
 		t.Errorf("RuleNames not sorted: %v", got)
 	}
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Errorf("RuleNames = %v, want %v", got, want)
+	}
+}
+
+// TestLoaderBuildTags pins the loader's build-configuration handling: the
+// invariant.Enabled constant must fold to false under the default
+// configuration and to true under -tags harpdebug, because the
+// interprocedural analyses prune dead branches on exactly that constant.
+func TestLoaderBuildTags(t *testing.T) {
+	cases := []struct {
+		tags []string
+		want bool
+	}{
+		{nil, false},
+		{[]string{"harpdebug"}, true},
+	}
+	for _, tc := range cases {
+		l, err := lint.NewLoaderTags(moduleRoot, tc.tags...)
+		if err != nil {
+			t.Fatalf("NewLoaderTags(%v): %v", tc.tags, err)
+		}
+		pkgs, err := l.LoadDirs([]string{filepath.Join(moduleRoot, "internal", "invariant")})
+		if err != nil {
+			t.Fatalf("tags %v: LoadDirs: %v", tc.tags, err)
+		}
+		obj := pkgs[0].Types.Scope().Lookup("Enabled")
+		c, ok := obj.(*types.Const)
+		if !ok {
+			t.Fatalf("tags %v: invariant.Enabled is %T, want constant", tc.tags, obj)
+		}
+		if got := constant.BoolVal(c.Val()); got != tc.want {
+			t.Errorf("tags %v: invariant.Enabled = %v, want %v", tc.tags, got, tc.want)
+		}
+	}
+}
+
+// TestRepoCleanHarpdebug lints the harpdebug configuration of the module:
+// the tag-gated invariant layer and every branch it enables must satisfy
+// the same rules as the release configuration.
+func TestRepoCleanHarpdebug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	l, err := lint.NewLoaderTags(moduleRoot, "harpdebug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	findings := lint.Run(pkgs, lint.DefaultAnalyses(l.Module))
+	for _, f := range lint.Unsuppressed(findings) {
+		t.Errorf("unsuppressed finding (harpdebug): %v", f)
 	}
 }
 

@@ -80,17 +80,33 @@ func hasBuildableGo(dir string) bool {
 // module-internal imports transitively, type-check in dependency order.
 // Standard-library (and any other external) imports are served by the
 // toolchain's default importer.
+//
+// A loader analyzes exactly one build configuration: the file set selected
+// by its build tags. Tag-gated code (the harpdebug invariant layer, for
+// example) is dead to a default-config loader; run a second loader with
+// Tags: []string{"harpdebug"} to analyze that configuration too.
 type Loader struct {
-	Root   string // module root (directory containing go.mod)
-	Module string // module path from go.mod
+	Root   string   // module root (directory containing go.mod)
+	Module string   // module path from go.mod
+	Tags   []string // build tags of the analyzed configuration
 
+	ctx    build.Context
 	fset   *token.FileSet
 	std    types.Importer
 	loaded map[string]*Package // by import path; nil entry marks in-progress
 }
 
-// NewLoader prepares a loader for the module rooted at root.
+// NewLoader prepares a loader for the module rooted at root under the
+// default build configuration (no extra tags).
 func NewLoader(root string) (*Loader, error) {
+	return NewLoaderTags(root)
+}
+
+// NewLoaderTags prepares a loader whose package loading and type checking
+// honor the given build tags, so files behind `//go:build tag` lines (and
+// build-tag-selected constants like invariant.Enabled) are analyzed as the
+// tagged build would compile them.
+func NewLoaderTags(root string, tags ...string) (*Loader, error) {
 	abs, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -99,10 +115,14 @@ func NewLoader(root string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx := build.Default
+	ctx.BuildTags = append(ctx.BuildTags[:len(ctx.BuildTags):len(ctx.BuildTags)], tags...)
 	fset := token.NewFileSet()
 	return &Loader{
 		Root:   abs,
 		Module: mod,
+		Tags:   tags,
+		ctx:    ctx,
 		fset:   fset,
 		std:    importer.ForCompiler(fset, "gc", nil),
 		loaded: make(map[string]*Package),
@@ -174,7 +194,7 @@ func (l *Loader) load(path string) (*Package, error) {
 	}
 	l.loaded[path] = nil // in-progress marker for cycle detection
 	dir := l.dirFor(path)
-	bp, err := build.Default.ImportDir(dir, 0)
+	bp, err := l.ctx.ImportDir(dir, 0)
 	if err != nil {
 		return nil, fmt.Errorf("lint: %s: %w", path, err)
 	}

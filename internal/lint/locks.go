@@ -3,7 +3,6 @@ package lint
 import (
 	"fmt"
 	"go/ast"
-	"go/constant"
 	"go/token"
 	"go/types"
 	"sort"
@@ -414,22 +413,9 @@ func (w *lockWalker) typeOf(e ast.Expr) types.Type {
 }
 
 // constBool reports whether cond is statically the given boolean under
-// this build configuration. && and || are folded one level so guards
-// like `if invariant.Enabled && extra` are recognized.
+// this build configuration (see pkgConstBool).
 func (w *lockWalker) constBool(cond ast.Expr, want bool) bool {
-	cond = ast.Unparen(cond)
-	if tv, ok := w.p.Info.Types[cond]; ok && tv.Value != nil && tv.Value.Kind() == constant.Bool {
-		return constant.BoolVal(tv.Value) == want
-	}
-	if be, ok := cond.(*ast.BinaryExpr); ok {
-		switch {
-		case be.Op == token.LAND && !want:
-			return w.constBool(be.X, false) || w.constBool(be.Y, false)
-		case be.Op == token.LOR && want:
-			return w.constBool(be.X, true) || w.constBool(be.Y, true)
-		}
-	}
-	return false
+	return pkgConstBool(w.p, cond, want)
 }
 
 // exprKey canonicalizes a mutex receiver expression (chains of idents and

@@ -1,0 +1,101 @@
+// Package barrierbad is a harplint fixture: WaitGroup and channel barrier
+// bugs the barrierbalance rule must catch, next to the worker-spawning
+// shapes the sched package uses that must stay clean.
+package barrierbad
+
+import "sync"
+
+func waitWithoutAdd() {
+	var wg sync.WaitGroup
+	wg.Wait() // want barrierbalance
+}
+
+func addInsideGoroutine() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		wg.Add(1) // want barrierbalance
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func conditionalDone(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want barrierbalance
+		if n > 0 {
+			wg.Done()
+		}
+	}()
+	wg.Wait()
+}
+
+func constMismatch() {
+	var wg sync.WaitGroup
+	wg.Add(2) // want barrierbalance
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+// worker is summarized as Done-ing its WaitGroup parameter once, so the
+// spawns below count as Done sources interprocedurally.
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+func summaryMismatch() {
+	var wg sync.WaitGroup
+	wg.Add(2) // want barrierbalance
+	go worker(&wg)
+	wg.Wait()
+}
+
+func dynamicAddNoDone(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n) // want barrierbalance
+	wg.Wait()
+}
+
+func doubleClose(ch chan int) {
+	close(ch)
+	close(ch) // want barrierbalance
+}
+
+// --- clean patterns below ---
+
+// fanOut is the sched.RunWorkers shape: computed Add matched by a
+// worker-spawning loop with deferred Done.
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			defer wg.Done()
+			work()
+		}(w)
+	}
+	wg.Wait()
+}
+
+// pairViaSummary balances a constant Add against a summarized callee.
+func pairViaSummary() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go worker(&wg)
+	go worker(&wg)
+	wg.Wait()
+}
+
+// closePerBranch closes once on each exclusive path.
+func closePerBranch(ch chan int, b bool) {
+	if b {
+		close(ch)
+	} else {
+		close(ch)
+	}
+}
+
+func work() {}

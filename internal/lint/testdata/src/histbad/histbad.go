@@ -1,0 +1,112 @@
+// Package histbad is a harplint fixture: histogram.Pool lifetime bugs the
+// histlife rule must catch, next to the release patterns the production
+// tree uses that must stay clean.
+package histbad
+
+import (
+	"harpgbdt/internal/histogram"
+)
+
+// sink is the package-level escape target.
+var sink *histogram.Hist
+
+func useAfterPut(p *histogram.Pool) {
+	h := p.Get()
+	h.Reset()
+	p.Put(h)
+	h.Reset() // want histlife
+}
+
+func useFieldAfterPut(p *histogram.Pool) float64 {
+	h := p.Get()
+	p.Put(h)
+	return h.Data[0].G // want histlife
+}
+
+func doublePut(p *histogram.Pool) {
+	h := p.Get()
+	p.Put(h)
+	p.Put(h) // want histlife
+}
+
+// release forwards its parameter to the pool; harplint summarizes it as a
+// releaser, so the double release in transitiveDouble crosses the call.
+func release(p *histogram.Pool, h *histogram.Hist) {
+	p.Put(h)
+}
+
+func transitiveDouble(p *histogram.Pool) {
+	h := p.Get()
+	release(p, h)
+	p.Put(h) // want histlife
+}
+
+func releasedOnBothBranches(p *histogram.Pool, cond bool) {
+	h := p.Get()
+	if cond {
+		p.Put(h)
+	} else {
+		p.Put(h)
+	}
+	h.Reset() // want histlife
+}
+
+func escapeGlobal(p *histogram.Pool) {
+	sink = p.Get() // want histlife
+}
+
+func escapeChan(p *histogram.Pool, ch chan *histogram.Hist) {
+	h := p.Get()
+	ch <- h // want histlife
+}
+
+func escapeGoArg(p *histogram.Pool) {
+	h := p.Get()
+	go consume(h) // want histlife
+}
+
+func escapeGoCapture(p *histogram.Pool) {
+	h := p.Get()
+	go func() { // want histlife
+		h.Reset()
+	}()
+}
+
+func consume(h *histogram.Hist) { h.Reset() }
+
+// --- clean patterns below: the shapes the production tree uses ---
+
+// putThenClear is the releaseHist shape: Put then nil out the reference.
+func putThenClear(p *histogram.Pool, h *histogram.Hist) {
+	p.Put(h)
+	h = nil
+	_ = h
+}
+
+// putOnOneExitPath releases on an early return; the fallthrough path still
+// owns the buffer.
+func putOnOneExitPath(p *histogram.Pool, cond bool) {
+	h := p.Get()
+	if cond {
+		p.Put(h)
+		return
+	}
+	h.Reset()
+	p.Put(h)
+}
+
+// deferredPut runs at function exit; the body below still owns the buffer.
+func deferredPut(p *histogram.Pool) {
+	h := p.Get()
+	defer p.Put(h)
+	h.Reset()
+}
+
+// recycleReplicas is the DP reduce shape: drain each replica into the root
+// histogram, then recycle it.
+func recycleReplicas(p *histogram.Pool, root *histogram.Hist, reps []*histogram.Hist) {
+	for _, rep := range reps {
+		root.AddHist(rep)
+		p.Put(rep)
+	}
+}

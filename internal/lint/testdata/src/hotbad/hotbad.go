@@ -1,0 +1,72 @@
+// Package hotbad is a harplint fixture: allocations in functions reachable
+// from kernel roots (the fixture analysis roots at the kernel* functions),
+// which the hotalloc rule must flag, next to allocation-free shapes and
+// cold paths that must stay clean.
+package hotbad
+
+import "harpgbdt/internal/invariant"
+
+func kernelScale(dst, src []float64, c float64) {
+	for i := range src {
+		dst[i] = src[i] * c
+	}
+	helper(dst)
+}
+
+// helper is not a root itself but is reachable from kernelScale.
+func helper(dst []float64) {
+	tmp := []float64{1, 2, 3} // want hotalloc
+	copy(dst, tmp)
+}
+
+func kernelAppend(dst []float64, v float64) []float64 {
+	return append(dst, v) // want hotalloc
+}
+
+func kernelClosure(n int) func() int {
+	return func() int { return n } // want hotalloc
+}
+
+func kernelBox(v int) {
+	sink(v) // want hotalloc
+}
+
+func sink(x interface{}) { _ = x }
+
+func kernelMake(n int) []int {
+	return make([]int, n) // want hotalloc
+}
+
+func kernelTable(n int) {
+	m := map[int]int{} // want hotalloc
+	m[1] = n
+}
+
+type config struct{ bins int }
+
+func kernelPtrLit(bins int) *config {
+	return &config{bins: bins} // want hotalloc
+}
+
+// --- clean patterns below ---
+
+type split struct{ gain float64 }
+
+// kernelStruct returns a plain struct literal: stack-allocated, clean.
+func kernelStruct(g float64) split {
+	return split{gain: g}
+}
+
+// kernelGuarded allocates only inside the invariant.Enabled debug layer,
+// which is allowed to allocate in either build configuration.
+func kernelGuarded(dst []float64) {
+	if invariant.Enabled {
+		dst = append(dst, 1)
+	}
+	_ = dst
+}
+
+// coldSetup allocates but is not reachable from any kernel root.
+func coldSetup(n int) []float64 {
+	return make([]float64, n)
+}

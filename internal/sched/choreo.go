@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"sort"
+	"sync"
+)
+
+// Choreo is a cooperative deterministic scheduler for model-checking
+// concurrent worker loops. A fixed set of actors (goroutines) call Yield at
+// annotated schedule points; Choreo serializes them so that exactly one
+// actor — the floor holder — runs between yield points, and a pluggable
+// pick function chooses which parked actor proceeds at every step. Driving
+// the pick function from seeded permutations turns the racy interleaving
+// space of a worker loop into a deterministically enumerable one: the same
+// pick sequence replays the same interleaving, different seeds explore
+// different ones, and the recorded trace identifies each schedule.
+//
+// Rules the instrumented code must follow:
+//
+//   - exactly `actors` goroutines participate, each with a distinct id in
+//     [0, actors); scheduling begins only after every actor has reached
+//     its first Yield (so the explored schedules are independent of
+//     goroutine start-up order);
+//   - yield points must be placed outside critical sections — a parked
+//     actor holds no locks, so the floor holder can always make progress;
+//   - every actor calls Exit when it returns (typically deferred).
+//
+// The schedule checker in internal/core uses this to enumerate
+// interleavings of the ASYNC worker loop and assert that the tree the
+// paper's loosely-coupled mode grows is schedule-independent.
+type Choreo struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	pick    func(step int, runnable []int) int
+	entered map[int]bool
+	parked  map[int]bool
+	exited  map[int]bool
+	floor   int
+	started bool
+	step    int
+	trace   []int
+}
+
+// NewChoreo prepares a scheduler for the given number of actors. pick is
+// called with the current step and the sorted ids of the parked actors and
+// returns the index (modulo the slice length) of the one to run next.
+func NewChoreo(actors int, pick func(step int, runnable []int) int) *Choreo {
+	c := &Choreo{
+		n:       actors,
+		pick:    pick,
+		entered: make(map[int]bool),
+		parked:  make(map[int]bool),
+		exited:  make(map[int]bool),
+		floor:   -1,
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Yield parks the calling actor at a schedule point and blocks until the
+// pick function hands it the floor again.
+func (c *Choreo) Yield(actor int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entered[actor] = true
+	c.parked[actor] = true
+	if !c.started {
+		if len(c.entered) == c.n {
+			c.started = true
+			c.next()
+		}
+	} else if c.floor == actor {
+		c.next()
+	}
+	c.cond.Broadcast()
+	for !c.started || c.floor != actor {
+		c.cond.Wait()
+	}
+	c.parked[actor] = false
+}
+
+// Exit retires the calling actor; if it held the floor, the next parked
+// actor is scheduled.
+func (c *Choreo) Exit(actor int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.exited[actor] = true
+	c.parked[actor] = false
+	c.entered[actor] = true
+	if !c.started {
+		if len(c.entered) == c.n {
+			c.started = true
+			c.next()
+		}
+	} else if c.floor == actor {
+		c.next()
+	}
+	c.cond.Broadcast()
+}
+
+// next hands the floor to a parked, non-exited actor chosen by the pick
+// function. Caller holds mu.
+func (c *Choreo) next() {
+	runnable := make([]int, 0, c.n)
+	for a, parked := range c.parked {
+		if parked && !c.exited[a] {
+			runnable = append(runnable, a)
+		}
+	}
+	if len(runnable) == 0 {
+		c.floor = -1 // every remaining actor has exited
+		return
+	}
+	sort.Ints(runnable)
+	i := c.pick(c.step, runnable)
+	if i < 0 {
+		i = -i
+	}
+	c.floor = runnable[i%len(runnable)]
+	c.step++
+	c.trace = append(c.trace, c.floor)
+}
+
+// Trace returns the sequence of floor grants so far — the identity of the
+// explored interleaving.
+func (c *Choreo) Trace() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.trace...)
+}
