@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test lint sanitize race-sanitize fuzz race fault bench trace clean
+.PHONY: check vet build test lint sanitize race-sanitize fuzz race fault bench benchdiff efficiency baseline trace clean
 
 ## check: the full verification gate (vet + build + harplint + the test
-## suite under race detector *and* harpdebug invariants + fault suite).
+## suite under race detector *and* harpdebug invariants + fault suite +
+## the benchmark regression gate against the committed baseline).
 ## race-sanitize subsumes a plain `make race`: same tests, same -race,
 ## plus the runtime invariant layer compiled in.
-check: vet build lint race-sanitize fault
+check: vet build lint race-sanitize fault benchdiff
 
 vet:
 	$(GO) vet ./...
@@ -64,10 +65,29 @@ fault:
 bench:
 	$(GO) run ./cmd/experiments bench
 
+## benchdiff: the benchmark regression gate — re-run the benchmark at the
+## committed baseline's scale (best of 2) and fail on drift beyond the
+## noise tolerances (see EXPERIMENTS.md for what is gated and why)
+benchdiff:
+	$(GO) run ./cmd/experiments benchdiff
+
+## efficiency: the parallel-efficiency sweep ({DP,MP,SYNC,ASYNC} x TopK x
+## block shape) with per-worker wait-state tables; writes efficiency.json
+efficiency:
+	$(GO) run ./cmd/experiments efficiency
+
+## baseline: refresh the committed benchmark baseline at the gate's
+## canonical scale (large enough that the measured ratios are stable;
+## commit the resulting BENCH_baseline.json)
+baseline:
+	$(GO) run ./cmd/experiments -rows 100000 -rounds 5 -bench-out BENCH_baseline.json bench
+
 ## trace: produce a sample Chrome trace from a small training run
 trace:
 	$(GO) run ./cmd/harpgbdt train -synth higgs -rows 20000 -trees 10 \
 		-model /tmp/harpgbdt-model.json -trace-out trace.json -profile
 
+# BENCH_baseline.json is the committed regression reference — clean only
+# removes the date-stamped run outputs.
 clean:
-	rm -f trace.json BENCH_*.json
+	rm -f trace.json efficiency.json BENCH_2*.json

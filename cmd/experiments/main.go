@@ -34,6 +34,12 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the runs to this file")
 		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /progress and /debug/pprof on this address while experiments run")
 		benchOut   = flag.String("bench-out", "", "output path of the bench experiment's JSON report (default BENCH_<date>.json)")
+		perfOn     = flag.Bool("perf", false, "attach the per-worker wait-state profiler to the bench run (adds a perf section to the JSON report)")
+		effOut     = flag.String("eff-out", "efficiency.json", "output path of the efficiency experiment's JSON report")
+		baseline   = flag.String("baseline", "BENCH_baseline.json", "benchdiff: committed baseline report to compare against")
+		diffRuns   = flag.Int("diff-runs", 2, "benchdiff: benchmark repetitions (the best run is compared)")
+		tolRatio   = flag.Float64("tol", 0, "benchdiff: relative tolerance on measured ratios (0 = default 0.35)")
+		tolTime    = flag.Float64("time-tol", 0, "benchdiff: relative ns/row regression tolerance (0 = wall time not gated)")
 	)
 	flag.Parse()
 	if *list {
@@ -41,6 +47,8 @@ func main() {
 			fmt.Println(n)
 		}
 		fmt.Println("bench")
+		fmt.Println("benchdiff")
+		fmt.Println("efficiency")
 		return
 	}
 	names := flag.Args()
@@ -68,14 +76,19 @@ func main() {
 	}
 	sc := experiments.Scale{
 		Rows: *rows, Rounds: *rounds, ConvRounds: *convRounds,
-		Workers: *workers, Seed: *seed, RealThreads: *real,
+		Workers: *workers, Seed: *seed, RealThreads: *real, Perf: *perfOn,
 	}
 	for _, name := range names {
 		start := time.Now()
 		var err error
-		if name == "bench" {
+		switch name {
+		case "bench":
 			err = runBench(sc, *benchOut)
-		} else {
+		case "efficiency":
+			err = runEfficiency(sc, *effOut)
+		case "benchdiff":
+			err = runBenchDiff(sc, *baseline, *diffRuns, *tolRatio, *tolTime)
+		default:
 			var tables []*experiments.Table
 			tables, err = runExperiment(name, sc)
 			for _, tb := range tables {
@@ -99,6 +112,51 @@ func main() {
 
 func runExperiment(name string, sc experiments.Scale) ([]*experiments.Table, error) {
 	return experiments.Run(name, sc)
+}
+
+// runEfficiency runs the parallel-efficiency sweep, prints the per-worker
+// tables and writes the machine-readable report.
+func runEfficiency(sc experiments.Scale, out string) error {
+	rep, tables, err := experiments.Efficiency(sc)
+	if err != nil {
+		return err
+	}
+	for _, tb := range tables {
+		fmt.Println(tb.String())
+	}
+	if err := rep.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("efficiency report written to %s\n", out)
+	return nil
+}
+
+// runBenchDiff is the regression gate: re-run the benchmark at the
+// committed baseline's scale and fail on drift beyond tolerance.
+func runBenchDiff(sc experiments.Scale, baselinePath string, runs int, tolRatio, tolTime float64) error {
+	base, err := experiments.LoadBenchReport(baselinePath)
+	if err != nil {
+		return fmt.Errorf("load baseline: %w", err)
+	}
+	tol := experiments.DefaultBenchTolerance()
+	if tolRatio > 0 {
+		tol.Ratio = tolRatio
+	}
+	tol.Time = tolTime
+	cur, bad, err := experiments.BenchGate(base, runs, tol)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchdiff: baseline %s (%s), best of %d runs: %.3fs train, %.1f ns/row\n",
+		baselinePath, base.Date, runs, cur.TrainSeconds, cur.NsPerRow)
+	if len(bad) > 0 {
+		for _, m := range bad {
+			fmt.Fprintln(os.Stderr, "benchdiff FAIL:", m)
+		}
+		return fmt.Errorf("%d benchmark regression(s) against %s", len(bad), baselinePath)
+	}
+	fmt.Println("benchdiff: no regressions")
+	return nil
 }
 
 // runBench runs the throughput benchmark and writes the machine-readable

@@ -8,6 +8,7 @@ import (
 	"harpgbdt/internal/grow"
 	"harpgbdt/internal/invariant"
 	"harpgbdt/internal/obs"
+	"harpgbdt/internal/perf"
 	"harpgbdt/internal/profile"
 	"harpgbdt/internal/sched"
 	"harpgbdt/internal/tree"
@@ -55,6 +56,7 @@ func (b *Builder) buildAsync(st *buildState) {
 		}
 		batch := st.queue.PopBatch(k)
 		b.processBatch(st, batch)
+		b.cWarmup.Inc()
 	}
 	if st.queue.Len() == 0 || st.leaves >= maxLeaves {
 		b.drainQueue(st)
@@ -64,12 +66,20 @@ func (b *Builder) buildAsync(st *buildState) {
 	var mu sched.SpinMutex
 	outstanding := 0
 	b.pool.RunWorkers(func(worker int) {
+		// The cursor attributes this worker's whole span by construction:
+		// each transition flushes the elapsed interval into the previous
+		// state, so the per-worker state sums equal the loop's wall time.
+		// Nil (profiling off) makes every call a no-op.
+		cur := b.acc.Cursor(worker)
+		cur.Begin(perf.Work)
+		defer cur.End()
 		defer yieldAsync(worker, "exit")
 		for {
 			yieldAsync(worker, "loop")
 			// Section 1: claim a candidate (or detect completion). Nothing
 			// but queue/counter/table access happens while the lock is held.
 			var toRelease []*nodeState
+			cur.To(perf.SpinWait)
 			mu.Lock()
 			if st.leaves >= maxLeaves {
 				for {
@@ -94,6 +104,8 @@ func (b *Builder) buildAsync(st *buildState) {
 				if done {
 					return
 				}
+				b.cQueueEmpty.Inc()
+				cur.To(perf.QueueWait)
 				runtime.Gosched()
 				continue
 			}
@@ -102,12 +114,14 @@ func (b *Builder) buildAsync(st *buildState) {
 			parent := st.nodes[c.NodeID]
 			qlen := st.queue.Len() //harplint:ignore spinscope -- the queue is the guarded structure
 			mu.Unlock()
+			cur.To(perf.Work)
 			yieldAsync(worker, "claimed")
 
 			// Between sections: everything that needs no shared state.
 			// parent's fields are stable — they were fully written before
 			// the candidate was pushed (the queue mutex orders the two).
 			mNodesSplit.Inc()
+			b.cAsyncNodes.Inc()
 			mQueueDepth.Set(float64(qlen))
 			s := parent.split
 			upper := b.ds.Cuts.UpperBound(int(s.Feature), s.Bin)
@@ -117,14 +131,16 @@ func (b *Builder) buildAsync(st *buildState) {
 
 			// Section 2: graft the children into the shared tree skeleton
 			// and node table.
+			cur.To(perf.SpinWait)
 			mu.Lock()
 			l, r := st.t.AddChildren(c.NodeID, s.Feature, s.Bin, upper, s.DefaultLeft, s.Gain) //harplint:ignore spinscope -- the tree skeleton is the guarded structure
 			st.nodes = append(st.nodes, left, right)                                           //harplint:ignore spinscope -- the node table is the guarded structure; append is amortized
 			mu.Unlock()
+			cur.To(perf.Work)
 			yieldAsync(worker, "grafted")
 
 			nsp := obs.StartSpanTID("node", "ProcessNode", worker+1)
-			b.asyncProcessNode(st, parent, left, right, childDepth)
+			b.asyncProcessNode(st, parent, left, right, childDepth, cur)
 			nsp.End()
 
 			// Weight math and split validity happen before re-acquiring the
@@ -142,6 +158,7 @@ func (b *Builder) buildAsync(st *buildState) {
 			// splittable ones.
 			yieldAsync(worker, "publish")
 			toRelease = toRelease[:0]
+			cur.To(perf.SpinWait)
 			mu.Lock()
 			for i, ns := range children {
 				tn := &st.t.Nodes[ids[i]]
@@ -155,6 +172,7 @@ func (b *Builder) buildAsync(st *buildState) {
 			}
 			outstanding--
 			mu.Unlock()
+			cur.To(perf.Work)
 			for _, ns := range toRelease {
 				b.releaseHist(ns)
 			}
@@ -165,8 +183,12 @@ func (b *Builder) buildAsync(st *buildState) {
 
 // asyncProcessNode does the whole per-node pipeline privately inside one
 // worker: partition the parent's rows, build the needed child histograms
-// (smaller child + subtraction), and evaluate the children's splits.
-func (b *Builder) asyncProcessNode(st *buildState, parent, left, right *nodeState, childDepth int32) {
+// (smaller child + subtraction), and evaluate the children's splits. cur
+// (nil when profiling is off or in virtual mode) tracks the Work-phase
+// transitions alongside the prof.Lap chain.
+func (b *Builder) asyncProcessNode(st *buildState, parent, left, right *nodeState, childDepth int32, cur *perf.Cursor) {
+	cur.SetPhase(perf.PhaseApplySplit)
+	defer cur.SetPhase(perf.PhaseOther)
 	tm := profile.StartTimer()
 	var parentRows engine.RowSet
 	if invariant.Enabled {
@@ -182,6 +204,7 @@ func (b *Builder) asyncProcessNode(st *buildState, parent, left, right *nodeStat
 		invariant.SplitConservation(parent.sum, left.sum, right.sum, "core.asyncProcessNode")
 	}
 	tm = b.prof.Lap(profile.ApplySplit, tm)
+	cur.SetPhase(perf.PhaseBuildHist)
 
 	lNeed := b.canSplitAsync(left, childDepth)
 	rNeed := b.canSplitAsync(right, childDepth)
@@ -246,6 +269,7 @@ func (b *Builder) asyncProcessNode(st *buildState, parent, left, right *nodeStat
 		evals = []*nodeState{need}
 	}
 	tm = b.prof.Lap(profile.BuildHist, tm)
+	cur.SetPhase(perf.PhaseFindSplit)
 	for _, ns := range evals {
 		ns.split = ns.hist.FindBestSplitMasked(b.cfg.Params, ns.sum, 0, m, b.colMask)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"harpgbdt/internal/gh"
 	"harpgbdt/internal/grow"
+	"harpgbdt/internal/perf"
 	"harpgbdt/internal/profile"
 	"harpgbdt/internal/tree"
 )
@@ -29,6 +30,7 @@ func (b *Builder) buildAsyncVirtual(st *buildState) {
 		}
 		batch := st.queue.PopBatch(k)
 		b.processBatch(st, batch)
+		b.cWarmup.Inc()
 	}
 	if st.queue.Len() == 0 || st.leaves >= maxLeaves {
 		b.drainQueue(st)
@@ -50,6 +52,7 @@ func (b *Builder) buildAsyncVirtual(st *buildState) {
 	clocks := make([]int64, workers)
 	busy := make([]int64, workers)
 	lock := b.pool.Cost().SpinLock.Nanoseconds()
+	acc := b.acc
 	var serial, tasks int64
 	for len(pending) > 0 && st.leaves < maxLeaves {
 		// The earliest-free virtual worker pops next.
@@ -75,7 +78,9 @@ func (b *Builder) buildAsyncVirtual(st *buildState) {
 			}
 		}
 		if best < 0 {
-			// Idle until the next candidate arrives.
+			// Idle until the next candidate arrives: simulated queue wait.
+			b.cQueueEmpty.Inc()
+			acc.Add(w, perf.QueueWait, minReady-t)
 			clocks[w] = minReady
 			continue
 		}
@@ -93,7 +98,16 @@ func (b *Builder) buildAsyncVirtual(st *buildState) {
 		right := &nodeState{sum: gh.Pair{G: s.RightG, H: s.RightH}, split: tree.InvalidSplit()}
 		st.nodes = append(st.nodes, left, right)
 		childDepth := it.c.Depth + 1
-		b.asyncProcessNode(st, parent, left, right, childDepth)
+		b.cAsyncNodes.Inc()
+		var profBefore [3]int64
+		if acc != nil {
+			profBefore = [3]int64{
+				b.prof.Nanos(profile.ApplySplit),
+				b.prof.Nanos(profile.BuildHist),
+				b.prof.Nanos(profile.FindSplit),
+			}
+		}
+		b.asyncProcessNode(st, parent, left, right, childDepth, nil)
 		d := tm.Elapsed().Nanoseconds()
 		serial += d
 
@@ -101,6 +115,29 @@ func (b *Builder) buildAsyncVirtual(st *buildState) {
 		done := t + dur
 		clocks[w] = done
 		busy[w] += dur
+		if acc != nil {
+			// Attribute the node's serial duration to the owning virtual
+			// worker, split by the breakdown's phase laps; the (small)
+			// remainder outside the laps is Other. Clamping keeps the
+			// per-worker total exactly d even if another goroutine's laps
+			// interleave (they cannot in virtual mode, but stay safe).
+			rem := d
+			deltas := [3]int64{
+				b.prof.Nanos(profile.ApplySplit) - profBefore[0],
+				b.prof.Nanos(profile.BuildHist) - profBefore[1],
+				b.prof.Nanos(profile.FindSplit) - profBefore[2],
+			}
+			phases := [3]perf.Phase{perf.PhaseApplySplit, perf.PhaseBuildHist, perf.PhaseFindSplit}
+			for i, dp := range deltas {
+				if dp > rem {
+					dp = rem
+				}
+				acc.AddPhased(w, phases[i], dp)
+				rem -= dp
+			}
+			acc.AddPhased(w, perf.PhaseOther, rem)
+			acc.Add(w, perf.SpinWait, 3*lock)
+		}
 		for i, ns := range []*nodeState{left, right} {
 			id := l
 			if i == 1 {
@@ -132,6 +169,14 @@ func (b *Builder) buildAsyncVirtual(st *buildState) {
 	for w := 0; w < workers; w++ {
 		busySum += busy[w]
 		wait += wall - busy[w]
+	}
+	// Per-worker conservation: each worker has accounted exactly clocks[w]
+	// so far (claim durations plus queue-wait jumps); the gap to the region
+	// wall is the end-of-tree barrier.
+	if acc != nil {
+		for w := 0; w < workers; w++ {
+			acc.Add(w, perf.BarrierWait, wall-clocks[w])
+		}
 	}
 	b.pool.RecordExternalRegion(tasks, serial, busySum, wait, wall)
 }

@@ -10,6 +10,7 @@ import (
 	"harpgbdt/internal/histogram"
 	"harpgbdt/internal/invariant"
 	"harpgbdt/internal/obs"
+	"harpgbdt/internal/perf"
 	"harpgbdt/internal/profile"
 	"harpgbdt/internal/sched"
 	"harpgbdt/internal/synth"
@@ -29,6 +30,8 @@ var (
 		"Rows accumulated into node histograms (per histogram build, pre-subtraction).")
 	mQueueDepth = obs.DefaultRegistry().Gauge("queue_depth",
 		"Splittable candidates currently waiting in the grow queue.")
+	mBlockTaskSeconds = obs.DefaultRegistry().Histogram("block_task_seconds",
+		"Duration distribution of scheduled block tasks (hist kernels and split search).", nil)
 )
 
 // Builder is the HarpGBDT tree builder. It is bound to one dataset and one
@@ -42,6 +45,14 @@ type Builder struct {
 	hpool  *histogram.Pool
 	blocks *dataset.ColumnBlocks
 	prof   *profile.Breakdown
+
+	// acc is the per-worker wait-state ledger (nil unless cfg.Perf); the
+	// named counter handles below are cached so hot paths skip the
+	// registry lookup (nil handles are inert).
+	acc         *perf.Accounting
+	cWarmup     *perf.Counter
+	cAsyncNodes *perf.Counter
+	cQueueEmpty *perf.Counter
 
 	// round counts BuildTree calls (drives per-tree column sampling).
 	round int
@@ -85,6 +96,13 @@ func NewBuilder(cfg Config, ds *dataset.Dataset) (*Builder, error) {
 		blocks: dataset.NewColumnBlocks(ds.Binned, fbs),
 		prof:   &profile.Breakdown{},
 	}
+	if cfg.Perf {
+		b.acc = perf.NewAccounting(pool.Workers())
+		pool.SetAccounting(b.acc)
+		b.cWarmup = b.acc.Counter("async_warmup_batches_total")
+		b.cAsyncNodes = b.acc.Counter("async_nodes_total")
+		b.cQueueEmpty = b.acc.Counter("async_queue_empty_total")
+	}
 	return b, nil
 }
 
@@ -103,6 +121,9 @@ func (b *Builder) Config() Config { return b.cfg }
 // HistogramsAllocated reports the peak histogram count, a model-memory
 // footprint metric.
 func (b *Builder) HistogramsAllocated() int { return b.hpool.Allocated() }
+
+// Perf returns the per-worker wait-state ledger (nil unless Config.Perf).
+func (b *Builder) Perf() *perf.Accounting { return b.acc }
 
 // nodeState is the per-node training state: the node's row set, gradient
 // totals, histogram (while alive) and chosen split.
@@ -144,6 +165,7 @@ func (b *Builder) BuildTree(grad gh.Buffer) (*engine.BuiltTree, error) {
 	}
 	bt := b.finish(st)
 	mTreesBuilt.Inc()
+	b.acc.EmitTrace()
 	if sp.Active() {
 		sp.EndWith(obs.Arg{Key: "mode", Value: b.cfg.Mode.String()},
 			obs.Arg{Key: "leaves", Value: st.leaves})
@@ -189,6 +211,10 @@ func (b *Builder) buildBarrier(st *buildState) {
 // processBatch applies the splits of a popped batch and prepares its
 // children: the three barrier phases of one TopK step.
 func (b *Builder) processBatch(st *buildState, batch []grow.Candidate) {
+	var regions0 int64
+	if b.acc != nil {
+		regions0 = b.pool.Stats().Regions
+	}
 	pairs := b.applySplitBatch(st, batch)
 	st.leaves += len(batch)
 	mNodesSplit.Add(int64(len(batch)))
@@ -198,6 +224,18 @@ func (b *Builder) processBatch(st *buildState, batch []grow.Candidate) {
 	b.findSplitBatch(st, evalIDs)
 	for _, id := range evalIDs {
 		b.pushOrFinalize(st, id)
+	}
+	if b.acc != nil && len(batch) > 0 {
+		// Per-depth synchronization count: the barriers this batch cost,
+		// attributed to the deepest node in it (the paper's O(2^D)
+		// barrier-growth measurement).
+		depth := batch[0].Depth
+		for _, c := range batch[1:] {
+			if c.Depth > depth {
+				depth = c.Depth
+			}
+		}
+		b.acc.AddDepthSync(int(depth), b.pool.Stats().Regions-regions0)
 	}
 }
 
@@ -236,6 +274,8 @@ type childPair struct {
 // parallel.
 func (b *Builder) applySplitBatch(st *buildState, batch []grow.Candidate) []childPair {
 	sp := obs.StartSpan("phase", "ApplySplit")
+	prevPhase := b.acc.SetPhase(perf.PhaseApplySplit)
+	defer b.acc.SetPhase(prevPhase)
 	tm := profile.StartTimer()
 	pairs := make([]childPair, len(batch))
 	for i, c := range batch {
@@ -361,6 +401,8 @@ func (b *Builder) applySubtractions(st *buildState, subs []subTask) {
 		return
 	}
 	sp := obs.StartSpan("phase", "SubHist")
+	prevPhase := b.acc.SetPhase(perf.PhaseBuildHist)
+	defer b.acc.SetPhase(prevPhase)
 	tm := profile.StartTimer()
 	tasks := make([]func(int), len(subs))
 	for i := range subs {
@@ -449,6 +491,8 @@ func (b *Builder) findSplitBatch(st *buildState, ids []int32) {
 		return
 	}
 	sp := obs.StartSpan("phase", "FindSplit")
+	prevPhase := b.acc.SetPhase(perf.PhaseFindSplit)
+	defer b.acc.SetPhase(prevPhase)
 	tm := profile.StartTimer()
 	nb := b.blocks.NumBlocks()
 	results := make([]tree.SplitInfo, len(ids)*nb)
@@ -459,8 +503,10 @@ func (b *Builder) findSplitBatch(st *buildState, ids []int32) {
 			i, fb := i, fb
 			tasks = append(tasks, func(w int) {
 				tsp := obs.StartSpanTID("block-task", "find-split", w+1)
+				ttm := profile.StartTimer()
 				fLo, fHi, _ := b.blocks.Block(fb)
 				results[i*nb+fb] = ns.hist.FindBestSplitMasked(b.cfg.Params, ns.sum, fLo, fHi, b.colMask)
+				mBlockTaskSeconds.Observe(ttm.Elapsed().Seconds())
 				tsp.End()
 			})
 		}

@@ -119,6 +119,12 @@ type Config struct {
 	// discrete-event simulation computes the parallel timing. This is the
 	// substitute for the paper's 36-core Xeon on hosts with few cores.
 	Virtual bool
+	// Perf enables the per-worker wait-state accounting (internal/perf):
+	// the builder attaches a perf.Accounting to its pool and attributes
+	// every worker's time to Work / BarrierWait / SpinWait / QueueWait /
+	// Idle, feeding the parallel-efficiency reports. Off by default; the
+	// disabled cost is a nil check per instrumentation site.
+	Perf bool
 	// Cost overrides the virtual machine's cost model (zero = defaults).
 	Cost sched.CostModel
 }

@@ -4,6 +4,7 @@ import (
 	"harpgbdt/internal/histogram"
 	"harpgbdt/internal/invariant"
 	"harpgbdt/internal/obs"
+	"harpgbdt/internal/perf"
 	"harpgbdt/internal/profile"
 )
 
@@ -42,6 +43,8 @@ func (b *Builder) buildHistBatch(st *buildState, ids []int32) {
 		return
 	}
 	sp := obs.StartSpan("phase", "BuildHist")
+	prevPhase := b.acc.SetPhase(perf.PhaseBuildHist)
+	defer b.acc.SetPhase(prevPhase)
 	tm := profile.StartTimer()
 	mode := b.cfg.Mode
 	if mode == Sync || mode == Async {
@@ -136,12 +139,14 @@ func (b *Builder) buildHistDP(st *buildState, ids []int32) {
 					gi, lo, hi, fb, ns := gi, lo, hi, fb, ns
 					tasks = append(tasks, func(w int) {
 						tsp := obs.StartSpanTID("block-task", "hist-dp", w+1)
+						ttm := profile.StartTimer()
 						rep := replicas[w][gi]
 						if rep == nil {
 							rep = b.hpool.Get()
 							replicas[w][gi] = rep
 						}
 						b.accumulate(rep, st, ns, lo, hi, fb, fullBinRange)
+						mBlockTaskSeconds.Observe(ttm.Elapsed().Seconds())
 						tsp.End()
 					})
 				}
@@ -208,10 +213,12 @@ func (b *Builder) buildHistMP(st *buildState, ids []int32) {
 				group, fb, br := group, fb, br
 				tasks = append(tasks, func(w int) {
 					tsp := obs.StartSpanTID("block-task", "hist-mp", w+1)
+					ttm := profile.StartTimer()
 					for _, id := range group {
 						ns := st.nodes[id]
 						b.accumulate(ns.hist, st, ns, 0, ns.rows.Len(), fb, br)
 					}
+					mBlockTaskSeconds.Observe(ttm.Elapsed().Seconds())
 					tsp.End()
 				})
 			}

@@ -117,11 +117,11 @@ func checkConservation(t *testing.T, tr *tree.Tree, n int, seed uint64) {
 // of the 3-worker ASYNC loop and requires every invariant to hold on each.
 func TestAsyncScheduleChecker(t *testing.T) {
 	const (
-		workers       = 3
-		rows          = 600
-		features      = 6
-		wantDistinct  = 100
-		seedCap       = 400
+		workers      = 3
+		rows         = 600
+		features     = 6
+		wantDistinct = 100
+		seedCap      = 400
 	)
 	ds := testDataset(t, rows, features)
 	grad := dyadicGradients(rows, 5)

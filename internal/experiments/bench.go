@@ -8,6 +8,7 @@ import (
 	"harpgbdt/internal/boost"
 	"harpgbdt/internal/core"
 	"harpgbdt/internal/grow"
+	"harpgbdt/internal/perf"
 	"harpgbdt/internal/profile"
 	"harpgbdt/internal/sched"
 	"harpgbdt/internal/synth"
@@ -35,10 +36,13 @@ type BenchReport struct {
 	// Engine is the trainer name (harp-ASYNC etc.).
 	Engine string `json:"engine"`
 	// Headline numbers: total tree-building time, the paper's per-tree
-	// metric, and row throughput (rows x rounds / train_seconds).
+	// metric, and row throughput (rows x rounds / train_seconds). NsPerRow
+	// is the machine-normalized form the regression gate prefers over raw
+	// wall time (it divides out the dataset scale).
 	TrainSeconds float64 `json:"train_seconds"`
 	MsPerTree    float64 `json:"ms_per_tree"`
 	RowsPerSec   float64 `json:"rows_per_sec"`
+	NsPerRow     float64 `json:"ns_per_row"`
 	// Phase breakdown (BuildHist / FindSplit / ApplySplit / Other), as
 	// absolute seconds and as fractions of the total.
 	PhaseSeconds   map[string]float64 `json:"phase_seconds"`
@@ -50,8 +54,12 @@ type BenchReport struct {
 	TasksPerTree    float64 `json:"tasks_per_tree"`
 	// SpinMutex contention over the run (delta of the process-wide
 	// counters, so only meaningful for single-run processes).
-	SpinContendedAcquires int64 `json:"spinmutex_contended_acquires"`
-	SpinGoschedYields     int64 `json:"spinmutex_gosched_yields"`
+	SpinContendedAcquires int64   `json:"spinmutex_contended_acquires"`
+	SpinGoschedYields     int64   `json:"spinmutex_gosched_yields"`
+	SpinSeconds           float64 `json:"spinmutex_spin_seconds"`
+	// Perf is the per-worker wait-state report (present when the run had
+	// Scale.Perf set).
+	Perf *perf.Report `json:"perf,omitempty"`
 	// Model quality and shape, to catch silent correctness regressions in
 	// a perf diff.
 	TrainAUC float64 `json:"train_auc"`
@@ -83,6 +91,7 @@ func Bench(sc Scale) (*BenchReport, *profile.Table, error) {
 		Mode: core.Async, K: 32, Growth: grow.Leafwise, TreeSize: 8,
 		FeatureBlockSize: 4, NodeBlockSize: 32, UseMemBuf: true,
 		Params: params(), Workers: sc.Workers, Virtual: !sc.RealThreads,
+		Perf: sc.Perf,
 	}, ds)
 	if err != nil {
 		return nil, nil, err
@@ -114,11 +123,17 @@ func Bench(sc Scale) (*BenchReport, *profile.Table, error) {
 		TasksPerTree:          perTree(rep.Sched.Tasks, rep.Trees),
 		SpinContendedAcquires: spin1.ContendedAcquires - spin0.ContendedAcquires,
 		SpinGoschedYields:     spin1.Yields - spin0.Yields,
+		SpinSeconds:           float64(spin1.SpinNanos-spin0.SpinNanos) / 1e9,
 		Leaves:                res.TotalLeaves,
 		MaxDepth:              res.MaxDepth,
 	}
-	if trainSec > 0 {
-		r.RowsPerSec = float64(ds.NumRows()) * float64(len(res.PerTree)) / trainSec
+	if rowRounds := float64(ds.NumRows()) * float64(len(res.PerTree)); rowRounds > 0 && trainSec > 0 {
+		r.RowsPerSec = rowRounds / trainSec
+		r.NsPerRow = trainSec * 1e9 / rowRounds
+	}
+	if acc := b.Perf(); acc != nil {
+		pr := acc.Snapshot()
+		r.Perf = &pr
 	}
 	for p := profile.BuildHist; p <= profile.Other; p++ {
 		r.PhaseSeconds[p.String()] = float64(rep.Breakdown.Nanos(p)) / 1e9
@@ -132,6 +147,7 @@ func Bench(sc Scale) (*BenchReport, *profile.Table, error) {
 	tb.AddRow("train seconds", r.TrainSeconds)
 	tb.AddRow("ms/tree", r.MsPerTree)
 	tb.AddRow("rows/sec", r.RowsPerSec)
+	tb.AddRow("ns/row", r.NsPerRow)
 	tb.AddRow("utilization", r.Utilization)
 	tb.AddRow("barrier overhead", r.BarrierOverhead)
 	tb.AddRow("spin contended", r.SpinContendedAcquires)

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// BenchTolerance configures the benchmark regression gate. The defaults
+// are deliberately asymmetric about noise: metrics that are deterministic
+// given the configuration (tree shape, AUC, structural scheduler counts)
+// get tight bounds, measured ratios get a generous one, and raw wall time
+// is opt-in only (Time == 0 disables it) because shared CI runners cannot
+// promise stable clocks.
+type BenchTolerance struct {
+	// Ratio bounds the relative drift of measured ratio metrics
+	// (utilization, barrier overhead, phase fractions).
+	Ratio float64
+	// Structural bounds the relative drift of per-tree scheduler counts
+	// (regions/tree, tasks/tree). For the ASYNC engine these are not fully
+	// deterministic — the barrier-mode warm-up runs until the queue can
+	// feed every worker, and that length depends on measured task
+	// durations — so the bound must absorb the observed ~±6% wobble while
+	// still catching structural regressions (a kernel change doubling the
+	// region count).
+	Structural float64
+	// AUC bounds the absolute drift of the training AUC. Not bit-tight:
+	// the ASYNC engine's loose-TopK pop order depends on measured task
+	// durations, so equal-gain ties (and hence AUC in the 3rd-4th decimal)
+	// are schedule-dependent even on the virtual machine.
+	AUC float64
+	// Time bounds the relative regression of ns/row; 0 disables the
+	// wall-time comparison entirely.
+	Time float64
+}
+
+// DefaultBenchTolerance returns the CI gate's tolerances.
+func DefaultBenchTolerance() BenchTolerance {
+	return BenchTolerance{Ratio: 0.35, Structural: 0.15, AUC: 5e-3}
+}
+
+// LoadBenchReport reads a bench JSON report from disk.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchdiff: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// relDrift returns |cur-base| / |base| (cur vs 0 base counts as infinite
+// drift unless both are 0).
+func relDrift(base, cur float64) float64 {
+	if base == cur {
+		return 0
+	}
+	if base == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(cur-base) / math.Abs(base)
+}
+
+// DiffBench compares a current bench run against the committed baseline
+// and returns one human-readable message per violated tolerance (empty =
+// gate passes). Config mismatches short-circuit: comparing runs of
+// different shapes is meaningless, so the mismatch itself is the failure.
+func DiffBench(base, cur *BenchReport, tol BenchTolerance) []string {
+	var bad []string
+	cfgMismatch := false
+	cfg := func(name string, b, c any) {
+		if b != c {
+			bad = append(bad, fmt.Sprintf("config %s differs: baseline %v, current %v (refresh the baseline, see EXPERIMENTS.md)", name, b, c))
+			cfgMismatch = true
+		}
+	}
+	cfg("engine", base.Engine, cur.Engine)
+	cfg("dataset", base.Dataset, cur.Dataset)
+	cfg("rows", base.Rows, cur.Rows)
+	cfg("features", base.Features, cur.Features)
+	cfg("rounds", base.Rounds, cur.Rounds)
+	cfg("workers", base.Workers, cur.Workers)
+	cfg("virtual", base.Virtual, cur.Virtual)
+	if cfgMismatch {
+		return bad
+	}
+
+	// Model shape: the leaf count is budget-pinned and must match exactly;
+	// the depth of a loose-TopK tree wobbles by one level with the pop
+	// schedule, so only a larger drift signals a real change.
+	if base.Leaves != cur.Leaves {
+		bad = append(bad, fmt.Sprintf("leaves changed: baseline %d, current %d", base.Leaves, cur.Leaves))
+	}
+	if d := cur.MaxDepth - base.MaxDepth; d > 1 || d < -1 {
+		bad = append(bad, fmt.Sprintf("max depth changed: baseline %d, current %d", base.MaxDepth, cur.MaxDepth))
+	}
+	if d := math.Abs(cur.TrainAUC - base.TrainAUC); d > tol.AUC {
+		bad = append(bad, fmt.Sprintf("train AUC drifted %.2e (tolerance %.0e): baseline %.6f, current %.6f", d, tol.AUC, base.TrainAUC, cur.TrainAUC))
+	}
+
+	// Structural scheduler counts: deterministic per configuration.
+	structural := func(name string, b, c float64) {
+		if d := relDrift(b, c); d > tol.Structural {
+			bad = append(bad, fmt.Sprintf("%s drifted %.1f%% (tolerance %.1f%%): baseline %.1f, current %.1f", name, 100*d, 100*tol.Structural, b, c))
+		}
+	}
+	structural("regions/tree", base.RegionsPerTree, cur.RegionsPerTree)
+	structural("tasks/tree", base.TasksPerTree, cur.TasksPerTree)
+
+	// Measured ratios: bounded by the generous Ratio tolerance, with a
+	// small absolute floor so near-zero fractions don't trip the relative
+	// test on noise.
+	measured := func(name string, b, c float64) {
+		if relDrift(b, c) > tol.Ratio && math.Abs(c-b) > 0.10 {
+			bad = append(bad, fmt.Sprintf("%s drifted beyond tolerance: baseline %.3f, current %.3f", name, b, c))
+		}
+	}
+	measured("utilization", base.Utilization, cur.Utilization)
+	measured("barrier overhead", base.BarrierOverhead, cur.BarrierOverhead)
+	for phase, b := range base.PhaseFractions {
+		measured("phase fraction "+phase, b, cur.PhaseFractions[phase])
+	}
+
+	// Wall time: opt-in, regression direction only (a faster run never
+	// fails the gate).
+	if tol.Time > 0 && base.NsPerRow > 0 {
+		if cur.NsPerRow > base.NsPerRow*(1+tol.Time) {
+			bad = append(bad, fmt.Sprintf("ns/row regressed %.1f%% (tolerance %.1f%%): baseline %.1f, current %.1f",
+				100*(cur.NsPerRow/base.NsPerRow-1), 100*tol.Time, base.NsPerRow, cur.NsPerRow))
+		}
+	}
+	return bad
+}
+
+// scaleFor reconstructs the Scale that reproduces a baseline's
+// configuration, so the gate always compares like with like.
+func scaleFor(base *BenchReport) Scale {
+	return Scale{Rows: base.Rows, Rounds: base.Rounds, Workers: base.Workers,
+		RealThreads: !base.Virtual}
+}
+
+// BenchGate is the CI regression gate: it re-runs the benchmark `runs`
+// times at the baseline's own scale, keeps the best run (lowest train
+// time — best-of-N filters scheduler noise, the standard benchmarking
+// practice), and diffs it against the baseline. It returns the kept run
+// and the violations (empty = pass).
+func BenchGate(base *BenchReport, runs int, tol BenchTolerance) (*BenchReport, []string, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	sc := scaleFor(base)
+	var best *BenchReport
+	for i := 0; i < runs; i++ {
+		r, _, err := Bench(sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		if best == nil || r.TrainSeconds < best.TrainSeconds {
+			best = r
+		}
+	}
+	return best, DiffBench(base, best, tol), nil
+}

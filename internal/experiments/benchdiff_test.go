@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diffBase() *BenchReport {
+	return &BenchReport{
+		Workers: 32, Virtual: true,
+		Dataset: "higgs-like-20000x28", Rows: 20000, Features: 28, Rounds: 3,
+		Engine:   "harp-ASYNC",
+		TrainAUC: 0.7312, Leaves: 255, MaxDepth: 9,
+		RegionsPerTree: 12.3, TasksPerTree: 410,
+		Utilization: 0.25, BarrierOverhead: 0.45,
+		PhaseFractions: map[string]float64{"BuildHist": 0.6, "FindSplit": 0.2},
+		NsPerRow:       150,
+	}
+}
+
+func wantViolation(t *testing.T, bad []string, substr string) {
+	t.Helper()
+	for _, m := range bad {
+		if strings.Contains(m, substr) {
+			return
+		}
+	}
+	t.Errorf("no violation mentioning %q in %v", substr, bad)
+}
+
+func TestDiffBenchIdenticalPasses(t *testing.T) {
+	if bad := DiffBench(diffBase(), diffBase(), DefaultBenchTolerance()); len(bad) != 0 {
+		t.Fatalf("identical reports flagged: %v", bad)
+	}
+}
+
+func TestDiffBenchConfigMismatchShortCircuits(t *testing.T) {
+	cur := diffBase()
+	cur.Rows = 40000
+	cur.Leaves = 1 // would also violate, but config mismatch must short-circuit
+	bad := DiffBench(diffBase(), cur, DefaultBenchTolerance())
+	if len(bad) != 1 {
+		t.Fatalf("want exactly the config violation, got %v", bad)
+	}
+	wantViolation(t, bad, "refresh the baseline")
+}
+
+func TestDiffBenchModelShape(t *testing.T) {
+	cur := diffBase()
+	cur.Leaves = 240
+	wantViolation(t, DiffBench(diffBase(), cur, DefaultBenchTolerance()), "leaves")
+
+	// Loose-TopK depth legitimately wobbles one level with the pop order.
+	cur = diffBase()
+	cur.MaxDepth = 10
+	if bad := DiffBench(diffBase(), cur, DefaultBenchTolerance()); len(bad) != 0 {
+		t.Errorf("depth +1 flagged: %v", bad)
+	}
+	cur.MaxDepth = 11
+	wantViolation(t, DiffBench(diffBase(), cur, DefaultBenchTolerance()), "max depth")
+}
+
+func TestDiffBenchAUC(t *testing.T) {
+	cur := diffBase()
+	cur.TrainAUC += 4e-3 // inside the schedule-dependence band
+	if bad := DiffBench(diffBase(), cur, DefaultBenchTolerance()); len(bad) != 0 {
+		t.Errorf("in-band AUC drift flagged: %v", bad)
+	}
+	cur.TrainAUC = diffBase().TrainAUC - 6e-3
+	wantViolation(t, DiffBench(diffBase(), cur, DefaultBenchTolerance()), "AUC")
+}
+
+func TestDiffBenchStructuralCounts(t *testing.T) {
+	cur := diffBase()
+	cur.RegionsPerTree *= 1.10 // inside the warm-up-length wobble
+	if bad := DiffBench(diffBase(), cur, DefaultBenchTolerance()); len(bad) != 0 {
+		t.Errorf("10%% structural drift flagged: %v", bad)
+	}
+	cur.RegionsPerTree = diffBase().RegionsPerTree * 2 // a real structural change
+	wantViolation(t, DiffBench(diffBase(), cur, DefaultBenchTolerance()), "regions/tree")
+	cur = diffBase()
+	cur.TasksPerTree *= 1.5
+	wantViolation(t, DiffBench(diffBase(), cur, DefaultBenchTolerance()), "tasks/tree")
+}
+
+// TestDiffBenchRatioNeedsRelativeAndAbsolute: measured ratios only fail
+// when the drift is large both relatively and absolutely, so near-zero
+// fractions don't trip the relative test on noise.
+func TestDiffBenchRatioNeedsRelativeAndAbsolute(t *testing.T) {
+	base := diffBase()
+	base.BarrierOverhead = 0.05
+	cur := diffBase()
+	cur.BarrierOverhead = 0.12 // rel 1.4x but only 0.07 absolute
+	if bad := DiffBench(base, cur, DefaultBenchTolerance()); len(bad) != 0 {
+		t.Errorf("small absolute ratio drift flagged: %v", bad)
+	}
+	cur.BarrierOverhead = 0.70 // big both ways
+	wantViolation(t, DiffBench(base, cur, DefaultBenchTolerance()), "barrier overhead")
+
+	cur = diffBase()
+	cur.PhaseFractions["BuildHist"] = 0.25
+	wantViolation(t, DiffBench(diffBase(), cur, DefaultBenchTolerance()), "phase fraction BuildHist")
+}
+
+func TestDiffBenchWallTimeOptInAndOneSided(t *testing.T) {
+	cur := diffBase()
+	cur.NsPerRow = 400 // 2.7x slower
+	if bad := DiffBench(diffBase(), cur, DefaultBenchTolerance()); len(bad) != 0 {
+		t.Errorf("wall time compared with Time tolerance disabled: %v", bad)
+	}
+	tol := DefaultBenchTolerance()
+	tol.Time = 0.5
+	wantViolation(t, DiffBench(diffBase(), cur, tol), "ns/row")
+	cur.NsPerRow = 50 // faster never fails
+	if bad := DiffBench(diffBase(), cur, tol); len(bad) != 0 {
+		t.Errorf("speedup flagged as regression: %v", bad)
+	}
+}
+
+func TestLoadBenchReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	base := diffBase()
+	if err := base.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := DiffBench(base, got, DefaultBenchTolerance()); len(bad) != 0 {
+		t.Fatalf("round-tripped report differs: %v", bad)
+	}
+	if _, err := LoadBenchReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("loading a missing baseline did not error")
+	}
+}
+
+// TestBenchGateReplaysBaselineScale: the gate must re-run the benchmark at
+// the baseline's own configuration (not the caller's), so the diff always
+// compares like with like. Tolerance violations are not asserted here —
+// gate stability at the committed scale is exercised by `make benchdiff`.
+func TestBenchGateReplaysBaselineScale(t *testing.T) {
+	base, _, err := Bench(Scale{Rows: 2000, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _, err := BenchGate(base, 1, DefaultBenchTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Rows != base.Rows || best.Rounds != base.Rounds ||
+		best.Workers != base.Workers || best.Virtual != base.Virtual {
+		t.Fatalf("gate ran at %d rows / %d rounds / %d workers (virtual=%v), baseline %d/%d/%d (virtual=%v)",
+			best.Rows, best.Rounds, best.Workers, best.Virtual,
+			base.Rows, base.Rounds, base.Workers, base.Virtual)
+	}
+}

@@ -42,6 +42,10 @@ type Scale struct {
 	RealThreads bool
 	// Seed makes datasets deterministic.
 	Seed uint64
+	// Perf enables the per-worker wait-state profiler (internal/perf) for
+	// experiments that can attach it (Bench); the Efficiency experiment
+	// always enables it.
+	Perf bool
 }
 
 func (s Scale) withDefaults() Scale {

@@ -122,6 +122,10 @@ func TestObsHygieneFixture(t *testing.T) {
 	checkFixture(t, "obsbad", lint.DefaultAnalyses("harpgbdt"))
 }
 
+func TestObsHygienePerfFixture(t *testing.T) {
+	checkFixture(t, "perfbad", lint.DefaultAnalyses("harpgbdt"))
+}
+
 func TestIgnoreDirectives(t *testing.T) {
 	checkFixture(t, "ignorebad", lint.DefaultAnalyses("harpgbdt"))
 }

@@ -42,7 +42,15 @@ var obsFuncs = map[string]constArgSpec{
 	"Histogram":    {args: []int{0}},
 	"CounterFunc":  {args: []int{0}},
 	"GaugeFunc":    {args: []int{0}},
+	"CounterTrack": {args: []int{0, 1}},
 	"Labels":       {args: []int{0}, labelKeys: true},
+}
+
+// perfFuncs extends the same static-schema contract to the perf package's
+// event-counter registry: perf counter names feed the efficiency reports
+// and CI artifact diffs, so they must be grep-able constants too.
+var perfFuncs = map[string]constArgSpec{
+	"Counter": {args: []int{0}},
 }
 
 func (a *obsHygieneAnalysis) Check(p *Package, report func(rule string, pos token.Pos, msg string)) {
@@ -63,7 +71,10 @@ func (a *obsHygieneAnalysis) Check(p *Package, report func(rule string, pos toke
 			}
 			spec, tracked := obsFuncs[sel.Sel.Name]
 			if !tracked || !a.inObsPackage(p, sel.Sel) {
-				return true
+				spec, tracked = perfFuncs[sel.Sel.Name]
+				if !tracked || !a.declaredIn(p, sel.Sel, "internal/perf") {
+					return true
+				}
 			}
 			for _, i := range spec.args {
 				if i >= len(call.Args) {
@@ -93,11 +104,17 @@ func (a *obsHygieneAnalysis) Check(p *Package, report func(rule string, pos toke
 // inObsPackage reports whether the selected function/method is declared
 // in the module's obs package.
 func (a *obsHygieneAnalysis) inObsPackage(p *Package, sel *ast.Ident) bool {
+	return a.declaredIn(p, sel, "internal/obs")
+}
+
+// declaredIn reports whether the selected function/method is declared in
+// the module package with the given path suffix.
+func (a *obsHygieneAnalysis) declaredIn(p *Package, sel *ast.Ident, suffix string) bool {
 	obj := p.Info.Uses[sel]
 	if obj == nil || obj.Pkg() == nil {
 		return false
 	}
-	return strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+	return strings.HasSuffix(obj.Pkg().Path(), suffix)
 }
 
 // constantString reports whether the expression is an untyped or string

@@ -1,0 +1,34 @@
+// Package perfbad is a harplint test fixture for the obshygiene rule's
+// perf extension: perf event-counter names and trace counter-track
+// categories/names must be compile-time constants.
+package perfbad
+
+import (
+	"harpgbdt/internal/obs"
+	"harpgbdt/internal/perf"
+)
+
+const counterName = "nodes_total"
+
+func dynamicCounter(a *perf.Accounting, name string) {
+	a.Counter(name) // want obshygiene
+}
+
+func dynamicTrack(cat string) {
+	obs.CounterTrack(cat, "state-seconds", 1, obs.Arg{Key: "Work", Value: 1.0}) // want obshygiene
+}
+
+func dynamicTrackName(name string) {
+	obs.CounterTrack("perf", name, 1, obs.Arg{Key: "Work", Value: 1.0}) // want obshygiene
+}
+
+// Allowed patterns below must stay silent.
+
+func constCounter(a *perf.Accounting) {
+	a.Counter("async_nodes_total").Inc()
+	a.Counter(counterName).Add(2)
+}
+
+func constTrack() {
+	obs.CounterTrack("perf", "state-seconds", 1, obs.Arg{Key: "Work", Value: 1.0})
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCounterTrackEvents: 'C' samples carry their series values, and
+// per-worker lanes get the lane suffixed into the track name at
+// serialization time so viewers render one stacked chart per worker
+// while call sites keep a constant (lintable) name.
+func TestCounterTrackEvents(t *testing.T) {
+	tr := NewTracer(0)
+	tr.CounterTrack("perf", "state-seconds", 0, Arg{Key: "Work", Value: 1.5})
+	tr.CounterTrack("perf", "state-seconds", 2,
+		Arg{Key: "Work", Value: 0.75}, Arg{Key: "BarrierWait", Value: 0.25})
+
+	doc := decodeTrace(t, tr)
+	byName := map[string]map[string]any{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "C" {
+			continue
+		}
+		if ev.Cat != "perf" {
+			t.Errorf("counter event category %q, want perf", ev.Cat)
+		}
+		byName[ev.Name] = ev.Args
+	}
+	orch, ok := byName["state-seconds"]
+	if !ok {
+		t.Fatalf("lane-0 counter track missing (got %v)", byName)
+	}
+	if orch["Work"] != 1.5 {
+		t.Errorf("lane-0 args = %v", orch)
+	}
+	worker, ok := byName["state-seconds worker-1"]
+	if !ok {
+		t.Fatalf("per-worker counter track not name-suffixed (got %v)", byName)
+	}
+	if worker["Work"] != 0.75 || worker["BarrierWait"] != 0.25 {
+		t.Errorf("worker lane args = %v", worker)
+	}
+}
+
+// TestCounterTrackDegenerate: nil tracers and empty samples record
+// nothing — a counter event with no series would render as a zero-height
+// band and is dropped at the call.
+func TestCounterTrackDegenerate(t *testing.T) {
+	var nilTr *Tracer
+	nilTr.CounterTrack("perf", "state-seconds", 1, Arg{Key: "Work", Value: 1})
+
+	tr := NewTracer(0)
+	tr.CounterTrack("perf", "state-seconds", 1)
+	if n := tr.Len(); n != 0 {
+		t.Errorf("empty-args CounterTrack recorded %d events", n)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le (less-or-equal) bucket
+// convention: a sample exactly on a bound belongs to that bound's
+// bucket, and the exposition renders cumulative counts ending at +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	// Deliberately unsorted bounds: registration must sort them.
+	h := r.Histogram("probe_seconds", "Boundary probe.", []float64{4, 1, 2})
+	for _, v := range []float64{1, 1.5, 2, 4, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 13.5 {
+		t.Fatalf("sum = %g, want 13.5", h.Sum())
+	}
+	out := scrape(t, r)
+	for _, want := range []string{
+		`probe_seconds_bucket{le="1"} 1`,    // the sample exactly on 1
+		`probe_seconds_bucket{le="2"} 3`,    // + 1.5 and the sample on 2
+		`probe_seconds_bucket{le="4"} 4`,    // + the sample on 4
+		`probe_seconds_bucket{le="+Inf"} 5`, // + 5, the overflow sample
+		"probe_seconds_count 5",
+		"probe_seconds_sum 13.5",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative counts must be monotone — the +Inf bucket equals count.
+}
+
+// TestHistogramDefaultBuckets: a nil bucket slice selects the default
+// duration buckets, whose span must cover both a fast block task (sub-ms)
+// and a slow full-tree build (tens of seconds) without overflowing.
+func TestHistogramDefaultBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "Default buckets.", nil)
+	h.Observe(2e-4) // inside the smallest decades
+	h.Observe(50)   // near the top bound, still not +Inf-only
+	out := scrape(t, r)
+	if !strings.Contains(out, `t_seconds_bucket{le="0.0001"} 0`) {
+		t.Errorf("default buckets do not start at 100µs:\n%s", out)
+	}
+	if !strings.Contains(out, "t_seconds_count 2") {
+		t.Errorf("count line missing:\n%s", out)
+	}
+	last := DefTimeBuckets[len(DefTimeBuckets)-1]
+	if last < 50 {
+		t.Errorf("default bucket ceiling %g < 50s: slow builds land in +Inf", last)
+	}
+}

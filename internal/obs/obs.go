@@ -159,3 +159,11 @@ func Instant(cat, name string, tid int) {
 		t.Instant(cat, name, tid)
 	}
 }
+
+// CounterTrack records a counter-track sample on the default tracer (a
+// stacked series chart in the timeline). No-op when tracing is disabled.
+func CounterTrack(cat, name string, tid int, args ...Arg) {
+	if t := defaultTracer.Load(); t != nil {
+		t.CounterTrack(cat, name, tid, args...)
+	}
+}

@@ -22,8 +22,8 @@ type Arg struct {
 }
 
 // event is one recorded trace event (Chrome trace-event "phases": 'X' =
-// complete span, 'i' = instant). Timestamps are nanoseconds since the
-// tracer's epoch.
+// complete span, 'i' = instant, 'C' = counter sample). Timestamps are
+// nanoseconds since the tracer's epoch.
 type event struct {
 	name, cat string
 	ph        byte
@@ -103,6 +103,18 @@ func (t *Tracer) Instant(cat, name string, tid int) {
 		return
 	}
 	t.add(event{name: name, cat: cat, ph: 'i', ts: t.now(), tid: int32(tid)})
+}
+
+// CounterTrack records one sample of a counter track ('C' event): the
+// args are the series values at this instant, rendered by the trace
+// viewer as a stacked area chart on the given lane. Lanes > 0 get the
+// lane suffixed to the track name at serialization time so per-worker
+// tracks stay distinct; call sites keep a constant name. Nil-safe.
+func (t *Tracer) CounterTrack(cat, name string, tid int, args ...Arg) {
+	if t == nil || len(args) == 0 {
+		return
+	}
+	t.add(event{name: name, cat: cat, ph: 'C', ts: t.now(), tid: int32(tid), args: args})
 }
 
 func (t *Tracer) add(ev event) {
@@ -206,6 +218,11 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		}
 		if ev.ph == 'i' {
 			je.S = "t" // thread-scoped instant
+		}
+		if ev.ph == 'C' && ev.tid > 0 {
+			// Counter tracks are grouped by name in the viewer; suffix the
+			// lane so each worker gets its own track.
+			je.Name = ev.name + " worker-" + strconv.Itoa(int(ev.tid)-1)
 		}
 		if len(ev.args) > 0 {
 			je.Args = make(map[string]any, len(ev.args))

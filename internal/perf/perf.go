@@ -1,0 +1,376 @@
+// Package perf is the parallel-efficiency profiler: a low-overhead
+// per-worker state machine that accounts every nanosecond of a training
+// run to one of five wait states (Work, BarrierWait, SpinWait, QueueWait,
+// Idle) and, within Work, to one of the paper's tree-building phases.
+// It is the software substitute for the per-worker VTune breakdown the
+// paper's evaluation rests on: effective CPU utilization, spin time and
+// load imbalance across the DP/MP/SYNC/ASYNC modes (Figs. 4, 7-8), plus
+// the per-depth synchronization counts behind the O(2^D) barrier-growth
+// argument.
+//
+// The package is a leaf (std + obs only) so the scheduler can import it.
+// Like profile.Timer, it is a clock boundary: the determinism-guarded
+// engine packages never read the clock themselves — they drive a Cursor,
+// and the clock reads happen here, feeding profiling state only.
+//
+// Accounting is conservation-by-construction: a Cursor attributes the
+// full interval between Begin and End to exactly one state at a time,
+// and the scheduler attributes each barrier region's full span to every
+// worker (work + barrier wait for participants, idle for the rest), so
+// per-worker state sums reproduce wall time without a separate audit.
+// All entry points are nil-safe; a disabled run pays one nil check per
+// call site and allocates nothing.
+package perf
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is one of the per-worker wait states. Every accounted nanosecond
+// belongs to exactly one state.
+type State int32
+
+const (
+	// Work is time executing engine code (kernels, partition, split
+	// evaluation, queue maintenance). Its phase breakdown is tracked
+	// separately.
+	Work State = iota
+	// BarrierWait is time blocked at an end-of-region barrier: the gap
+	// between a worker finishing its share and the slowest worker
+	// finishing (the paper's "OpenMP barrier overhead").
+	BarrierWait
+	// SpinWait is time acquiring a contended spin mutex (the paper's
+	// "spin time" in the ASYNC mode).
+	SpinWait
+	// QueueWait is time an ASYNC worker found the shared candidate queue
+	// empty and waited for in-flight nodes to publish children.
+	QueueWait
+	// Idle is time a worker was not enlisted in the running region at all
+	// (regions narrower than the pool width).
+	Idle
+	// NumStates is the number of tracked states.
+	NumStates
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Work:
+		return "Work"
+	case BarrierWait:
+		return "BarrierWait"
+	case SpinWait:
+		return "SpinWait"
+	case QueueWait:
+		return "QueueWait"
+	case Idle:
+		return "Idle"
+	default:
+		return "State(?)"
+	}
+}
+
+// Phase subdivides Work time by tree-building phase, mirroring the
+// profile package's breakdown (Fig. 4 of the paper).
+type Phase int32
+
+const (
+	// PhaseBuildHist is histogram accumulation (and subtraction).
+	PhaseBuildHist Phase = iota
+	// PhaseFindSplit is split-gain evaluation.
+	PhaseFindSplit
+	// PhaseApplySplit is tree expansion and row partitioning.
+	PhaseApplySplit
+	// PhaseOther is everything else (queue maintenance, gradient prep).
+	PhaseOther
+	// NumPhases is the number of tracked phases.
+	NumPhases
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseBuildHist:
+		return "BuildHist"
+	case PhaseFindSplit:
+		return "FindSplit"
+	case PhaseApplySplit:
+		return "ApplySplit"
+	case PhaseOther:
+		return "Other"
+	default:
+		return "Phase(?)"
+	}
+}
+
+// maxDepthTrack bounds the per-depth synchronization table (tree depth is
+// capped at 30 by core.Config).
+const maxDepthTrack = 32
+
+// epoch anchors the package's monotonic nanosecond clock.
+var epoch = time.Now()
+
+// nanotime returns monotonic nanoseconds since package init.
+func nanotime() int64 { return time.Since(epoch).Nanoseconds() }
+
+// Counter is a named monotonic event counter owned by an Accounting.
+// Nil-safe, so disabled runs can hold nil handles.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (non-positive deltas are ignored).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Accounting is the per-run efficiency ledger: a workers x states nanos
+// matrix, a workers x phases breakdown of Work, per-depth barrier counts
+// and a registry of named event counters. One Accounting serves one
+// training run (builder + pool); all methods are safe for concurrent use
+// and nil-safe.
+type Accounting struct {
+	workers int
+	phase   atomic.Int32 // current engine phase for barrier-region Work
+	states  []atomic.Int64
+	phases  []atomic.Int64
+	depths  [maxDepthTrack]atomic.Int64
+	cursors []Cursor
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewAccounting returns a ledger for the given worker count.
+func NewAccounting(workers int) *Accounting {
+	if workers < 1 {
+		workers = 1
+	}
+	a := &Accounting{
+		workers:  workers,
+		states:   make([]atomic.Int64, workers*int(NumStates)),
+		phases:   make([]atomic.Int64, workers*int(NumPhases)),
+		cursors:  make([]Cursor, workers),
+		counters: make(map[string]*Counter),
+	}
+	a.phase.Store(int32(PhaseOther))
+	for w := range a.cursors {
+		a.cursors[w].acc = a
+		a.cursors[w].worker = w
+	}
+	return a
+}
+
+// Workers returns the ledger's worker count (0 when nil).
+func (a *Accounting) Workers() int {
+	if a == nil {
+		return 0
+	}
+	return a.workers
+}
+
+// SetPhase sets the engine phase that barrier-region Work is attributed
+// to and returns the previous phase (for restore). The barrier engines
+// bracket each region batch with it; the ASYNC mode uses per-cursor
+// phases instead.
+func (a *Accounting) SetPhase(p Phase) Phase {
+	if a == nil {
+		return PhaseOther
+	}
+	return Phase(a.phase.Swap(int32(p)))
+}
+
+// Add attributes nanos to state s of the given worker. Work time is
+// bucketed under the current engine phase.
+func (a *Accounting) Add(worker int, s State, nanos int64) {
+	if a == nil || nanos <= 0 || worker < 0 || worker >= a.workers {
+		return
+	}
+	a.states[worker*int(NumStates)+int(s)].Add(nanos)
+	if s == Work {
+		a.phases[worker*int(NumPhases)+int(a.phase.Load())].Add(nanos)
+	}
+}
+
+// AddPhased attributes nanos of Work under an explicit phase (bypassing
+// the engine-global phase; used by the ASYNC per-node pipeline).
+func (a *Accounting) AddPhased(worker int, p Phase, nanos int64) {
+	if a == nil || nanos <= 0 || worker < 0 || worker >= a.workers {
+		return
+	}
+	a.states[worker*int(NumStates)+int(Work)].Add(nanos)
+	a.phases[worker*int(NumPhases)+int(p)].Add(nanos)
+}
+
+// AddDepthSync records `regions` barrier synchronizations executed for a
+// batch whose nodes sit at the given tree depth (the paper's O(2^D)
+// barrier-growth measurement). Depths past the table cap clamp.
+func (a *Accounting) AddDepthSync(depth int, regions int64) {
+	if a == nil || regions <= 0 {
+		return
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	if depth >= maxDepthTrack {
+		depth = maxDepthTrack - 1
+	}
+	a.depths[depth].Add(regions)
+}
+
+// Counter returns (registering on first use) the named event counter.
+// Names must be compile-time constants at call sites — harplint's
+// obshygiene rule enforces this, keeping the perf schema grep-able.
+func (a *Accounting) Counter(name string) *Counter {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, ok := a.counters[name]
+	if !ok {
+		c = &Counter{}
+		a.counters[name] = c
+	}
+	return c
+}
+
+// StateNanos returns the accumulated nanos of one worker/state cell.
+func (a *Accounting) StateNanos(worker int, s State) int64 {
+	if a == nil || worker < 0 || worker >= a.workers {
+		return 0
+	}
+	return a.states[worker*int(NumStates)+int(s)].Load()
+}
+
+// PhaseNanos returns the accumulated Work nanos of one worker/phase cell.
+func (a *Accounting) PhaseNanos(worker int, p Phase) int64 {
+	if a == nil || worker < 0 || worker >= a.workers {
+		return 0
+	}
+	return a.phases[worker*int(NumPhases)+int(p)].Load()
+}
+
+// WorkerNanos returns one worker's total across all states.
+func (a *Accounting) WorkerNanos(worker int) int64 {
+	var t int64
+	for s := State(0); s < NumStates; s++ {
+		t += a.StateNanos(worker, s)
+	}
+	return t
+}
+
+// Reset zeroes the ledger (counters keep their identity).
+func (a *Accounting) Reset() {
+	if a == nil {
+		return
+	}
+	for i := range a.states {
+		a.states[i].Store(0)
+	}
+	for i := range a.phases {
+		a.phases[i].Store(0)
+	}
+	for i := range a.depths {
+		a.depths[i].Store(0)
+	}
+	a.mu.Lock()
+	for _, c := range a.counters {
+		c.v.Store(0)
+	}
+	a.mu.Unlock()
+}
+
+// Cursor returns the preallocated cursor of the given worker (nil when
+// the ledger is nil or the worker is out of range), so the ASYNC loop
+// can attribute its own time with no allocation.
+func (a *Accounting) Cursor(worker int) *Cursor {
+	if a == nil || worker < 0 || worker >= a.workers {
+		return nil
+	}
+	return &a.cursors[worker]
+}
+
+// Cursor attributes one worker's time by construction: every nanosecond
+// between Begin and End lands in exactly one state (and, for Work, one
+// phase). A nil cursor is inert, so instrumented loops need no
+// enabled-branches of their own. A cursor must only be driven by its own
+// worker.
+type Cursor struct {
+	acc    *Accounting
+	worker int
+	state  State
+	phase  Phase
+	mark   int64
+	active bool
+}
+
+// Begin opens the cursor in state s (phase Other).
+func (c *Cursor) Begin(s State) {
+	if c == nil {
+		return
+	}
+	c.state = s
+	c.phase = PhaseOther
+	c.mark = nanotime()
+	c.active = true
+}
+
+// flush attributes the interval since the last transition to the current
+// state and re-anchors the clock.
+func (c *Cursor) flush() {
+	t := nanotime()
+	d := t - c.mark
+	c.mark = t
+	if d <= 0 {
+		return
+	}
+	if c.state == Work {
+		c.acc.AddPhased(c.worker, c.phase, d)
+	} else {
+		c.acc.Add(c.worker, c.state, d)
+	}
+}
+
+// To transitions the cursor to state s, attributing the elapsed interval
+// to the previous state.
+func (c *Cursor) To(s State) {
+	if c == nil || !c.active {
+		return
+	}
+	c.flush()
+	c.state = s
+}
+
+// SetPhase switches the Work phase, attributing the elapsed interval to
+// the previous phase (or state, when not in Work).
+func (c *Cursor) SetPhase(p Phase) {
+	if c == nil || !c.active {
+		return
+	}
+	c.flush()
+	c.phase = p
+}
+
+// End closes the cursor, attributing the final interval.
+func (c *Cursor) End() {
+	if c == nil || !c.active {
+		return
+	}
+	c.flush()
+	c.active = false
+}

@@ -1,0 +1,266 @@
+package perf
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var a *Accounting
+	a.Add(0, Work, 100)
+	a.AddPhased(0, PhaseBuildHist, 100)
+	a.AddDepthSync(2, 1)
+	a.SetPhase(PhaseBuildHist)
+	a.Reset()
+	a.EmitTrace()
+	if a.Workers() != 0 {
+		t.Errorf("nil Workers() = %d", a.Workers())
+	}
+	if c := a.Counter("x"); c != nil {
+		t.Errorf("nil Counter() = %v", c)
+	}
+	var cnt *Counter
+	cnt.Inc()
+	cnt.Add(5)
+	if cnt.Value() != 0 {
+		t.Errorf("nil counter value = %d", cnt.Value())
+	}
+	var cur *Cursor
+	cur.Begin(Work)
+	cur.To(SpinWait)
+	cur.SetPhase(PhaseFindSplit)
+	cur.End()
+	r := a.Snapshot()
+	if r.Workers != 0 || r.WallSeconds != 0 {
+		t.Errorf("nil snapshot = %+v", r)
+	}
+}
+
+func TestAddAndBounds(t *testing.T) {
+	a := NewAccounting(2)
+	a.Add(0, Work, 100)
+	a.Add(1, BarrierWait, 50)
+	a.Add(-1, Work, 10) // out of range: dropped
+	a.Add(2, Work, 10)  // out of range: dropped
+	a.Add(0, Work, -5)  // non-positive: dropped
+	if got := a.StateNanos(0, Work); got != 100 {
+		t.Errorf("StateNanos(0, Work) = %d, want 100", got)
+	}
+	if got := a.StateNanos(1, BarrierWait); got != 50 {
+		t.Errorf("StateNanos(1, BarrierWait) = %d, want 50", got)
+	}
+	if got := a.WorkerNanos(0); got != 100 {
+		t.Errorf("WorkerNanos(0) = %d, want 100", got)
+	}
+}
+
+func TestWorkBucketsUnderGlobalPhase(t *testing.T) {
+	a := NewAccounting(1)
+	prev := a.SetPhase(PhaseBuildHist)
+	if prev != PhaseOther {
+		t.Errorf("initial phase = %v, want Other", prev)
+	}
+	a.Add(0, Work, 100)
+	a.SetPhase(PhaseFindSplit)
+	a.Add(0, Work, 40)
+	a.Add(0, BarrierWait, 7) // waits are not phase-bucketed
+	if got := a.PhaseNanos(0, PhaseBuildHist); got != 100 {
+		t.Errorf("PhaseNanos(BuildHist) = %d, want 100", got)
+	}
+	if got := a.PhaseNanos(0, PhaseFindSplit); got != 40 {
+		t.Errorf("PhaseNanos(FindSplit) = %d, want 40", got)
+	}
+	if got := a.StateNanos(0, Work); got != 140 {
+		t.Errorf("StateNanos(Work) = %d, want 140", got)
+	}
+}
+
+func TestAddPhasedCountsAsWork(t *testing.T) {
+	a := NewAccounting(1)
+	a.AddPhased(0, PhaseApplySplit, 30)
+	if got := a.StateNanos(0, Work); got != 30 {
+		t.Errorf("AddPhased did not count as Work: %d", got)
+	}
+	if got := a.PhaseNanos(0, PhaseApplySplit); got != 30 {
+		t.Errorf("PhaseNanos(ApplySplit) = %d, want 30", got)
+	}
+}
+
+func TestSnapshotMath(t *testing.T) {
+	a := NewAccounting(2)
+	// Worker 0: 300ns work, 100ns barrier. Worker 1: 100ns work, 300ns idle.
+	a.Add(0, Work, 300)
+	a.Add(0, BarrierWait, 100)
+	a.Add(1, Work, 100)
+	a.Add(1, Idle, 300)
+	r := a.Snapshot()
+	if r.Workers != 2 {
+		t.Fatalf("workers = %d", r.Workers)
+	}
+	wall := 400e-9
+	if math.Abs(r.WallSeconds-wall) > 1e-15 {
+		t.Errorf("wall = %g, want %g", r.WallSeconds, wall)
+	}
+	// Effective parallelism: (300+100)/400 = 1.0 worker's worth.
+	if math.Abs(r.EffectiveParallelism-1.0) > 1e-9 {
+		t.Errorf("effective parallelism = %g, want 1.0", r.EffectiveParallelism)
+	}
+	// Imbalance: max 300 over mean 200 = 1.5.
+	if math.Abs(r.LoadImbalance-1.5) > 1e-9 {
+		t.Errorf("load imbalance = %g, want 1.5", r.LoadImbalance)
+	}
+	// Work share: 400 of 800 accounted ns.
+	if math.Abs(r.StateShares[Work.String()]-0.5) > 1e-9 {
+		t.Errorf("work share = %g, want 0.5", r.StateShares[Work.String()])
+	}
+	if err := r.ConservationError(); err > 1e-12 {
+		t.Errorf("conservation error = %g on exactly-conserved input", err)
+	}
+}
+
+func TestConservationErrorDetectsGap(t *testing.T) {
+	a := NewAccounting(2)
+	a.Add(0, Work, 1000)
+	a.Add(1, Work, 500) // 50% short of wall
+	if err := a.Snapshot().ConservationError(); math.Abs(err-0.5) > 1e-9 {
+		t.Errorf("conservation error = %g, want 0.5", err)
+	}
+}
+
+func TestDepthSyncsTrimmedAndClamped(t *testing.T) {
+	a := NewAccounting(1)
+	a.AddDepthSync(0, 2)
+	a.AddDepthSync(3, 4)
+	a.AddDepthSync(-5, 1)   // clamps to 0
+	a.AddDepthSync(1000, 1) // clamps to the last slot
+	r := a.Snapshot()
+	if len(r.DepthSyncs) != maxDepthTrack {
+		t.Fatalf("depth syncs len = %d, want %d (clamped entry at the cap)", len(r.DepthSyncs), maxDepthTrack)
+	}
+	if r.DepthSyncs[0] != 3 || r.DepthSyncs[3] != 4 || r.DepthSyncs[maxDepthTrack-1] != 1 {
+		t.Errorf("depth syncs = %v", r.DepthSyncs)
+	}
+	b := NewAccounting(1)
+	b.AddDepthSync(2, 7)
+	if ds := b.Snapshot().DepthSyncs; len(ds) != 3 || ds[2] != 7 {
+		t.Errorf("trimmed depth syncs = %v, want [0 0 7]", ds)
+	}
+}
+
+func TestCountersRegisterAndReset(t *testing.T) {
+	a := NewAccounting(1)
+	c := a.Counter("nodes_total")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Errorf("counter = %d, want 3", c.Value())
+	}
+	if c2 := a.Counter("nodes_total"); c2 != c {
+		t.Error("Counter did not return the registered instance")
+	}
+	if names := a.CounterNames(); len(names) != 1 || names[0] != "nodes_total" {
+		t.Errorf("CounterNames = %v", names)
+	}
+	r := a.Snapshot()
+	if r.Counters["nodes_total"] != 3 {
+		t.Errorf("snapshot counters = %v", r.Counters)
+	}
+	a.Reset()
+	if c.Value() != 0 {
+		t.Errorf("Reset kept counter value %d", c.Value())
+	}
+	if a.StateNanos(0, Work) != 0 {
+		t.Error("Reset kept state nanos")
+	}
+}
+
+// TestCursorConservation is the core invariant: a cursor attributes the
+// whole Begin..End interval, so the worker's state sum equals the wall
+// time of the instrumented section regardless of how many transitions
+// happen in between.
+func TestCursorConservation(t *testing.T) {
+	a := NewAccounting(1)
+	cur := a.Cursor(0)
+	start := time.Now()
+	cur.Begin(Work)
+	cur.SetPhase(PhaseApplySplit)
+	busyFor(200 * time.Microsecond)
+	cur.SetPhase(PhaseBuildHist)
+	busyFor(200 * time.Microsecond)
+	cur.To(SpinWait)
+	busyFor(100 * time.Microsecond)
+	cur.To(Work)
+	cur.SetPhase(PhaseFindSplit)
+	busyFor(100 * time.Microsecond)
+	cur.To(QueueWait)
+	busyFor(100 * time.Microsecond)
+	cur.End()
+	wall := time.Since(start).Nanoseconds()
+
+	total := a.WorkerNanos(0)
+	if total > wall {
+		t.Errorf("accounted %dns > wall %dns", total, wall)
+	}
+	// The only unaccounted time is the instants between the clock reads
+	// inside flush() and the wall-clock reads here: microseconds at most.
+	if slack := wall - total; slack > wall/10 {
+		t.Errorf("accounted %dns misses wall %dns by %.1f%%", total, wall, 100*float64(slack)/float64(wall))
+	}
+	if a.StateNanos(0, SpinWait) == 0 || a.StateNanos(0, QueueWait) == 0 {
+		t.Error("transitions did not land in their states")
+	}
+	var phaseSum int64
+	for p := Phase(0); p < NumPhases; p++ {
+		phaseSum += a.PhaseNanos(0, p)
+	}
+	if work := a.StateNanos(0, Work); phaseSum != work {
+		t.Errorf("phase sum %d != work %d", phaseSum, work)
+	}
+}
+
+func TestCursorInertWithoutBegin(t *testing.T) {
+	a := NewAccounting(1)
+	cur := a.Cursor(0)
+	cur.To(SpinWait) // not active: ignored
+	cur.End()
+	if got := a.WorkerNanos(0); got != 0 {
+		t.Errorf("inactive cursor recorded %dns", got)
+	}
+	if a.Cursor(5) != nil || a.Cursor(-1) != nil {
+		t.Error("out-of-range cursor not nil")
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	a := NewAccounting(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				a.Add(w, Work, 10)
+				a.Counter("events_total").Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 4; w++ {
+		if got := a.StateNanos(w, Work); got != 10000 {
+			t.Errorf("worker %d work = %d, want 10000", w, got)
+		}
+	}
+	if got := a.Counter("events_total").Value(); got != 4000 {
+		t.Errorf("counter = %d, want 4000", got)
+	}
+}
+
+// busyFor spins for roughly d without sleeping (sleeps make the
+// conservation slack scheduler-dependent).
+func busyFor(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}

@@ -1,0 +1,178 @@
+package perf
+
+import (
+	"math"
+	"sort"
+
+	"harpgbdt/internal/obs"
+)
+
+// Report is the machine-readable snapshot of an Accounting: the
+// per-worker wall-time matrices plus the derived efficiency coefficients
+// the paper reads off VTune. All durations are seconds.
+type Report struct {
+	Workers int `json:"workers"`
+	// StateSeconds maps each state name to its per-worker seconds.
+	StateSeconds map[string][]float64 `json:"state_seconds"`
+	// PhaseSeconds maps each phase name to its per-worker Work seconds.
+	PhaseSeconds map[string][]float64 `json:"work_phase_seconds"`
+	// WorkerSeconds is each worker's total across all states; by the
+	// conservation invariant every entry approximates the run's
+	// accounted wall time.
+	WorkerSeconds []float64 `json:"worker_seconds"`
+	// WallSeconds is the accounted wall time (max over WorkerSeconds).
+	WallSeconds float64 `json:"wall_seconds"`
+	// EffectiveParallelism is total Work over wall time: how many workers'
+	// worth of useful computation the run sustained (the paper's
+	// "effective CPU utilization" times the worker count).
+	EffectiveParallelism float64 `json:"effective_parallelism"`
+	// LoadImbalance is max over mean per-worker Work (1.0 = perfectly
+	// balanced).
+	LoadImbalance float64 `json:"load_imbalance"`
+	// WorkCV is the coefficient of variation of per-worker Work.
+	WorkCV float64 `json:"work_cv"`
+	// StateShares maps each state to its share of total accounted time.
+	StateShares map[string]float64 `json:"state_shares"`
+	// DepthSyncs[d] counts barrier synchronizations for batches at tree
+	// depth d (trailing zeros trimmed).
+	DepthSyncs []int64 `json:"depth_syncs,omitempty"`
+	// Counters are the named event counters.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Snapshot captures the ledger into a Report. Safe to call while workers
+// are still recording (values are read atomically per cell).
+func (a *Accounting) Snapshot() Report {
+	if a == nil {
+		return Report{}
+	}
+	r := Report{
+		Workers:       a.workers,
+		StateSeconds:  make(map[string][]float64, NumStates),
+		PhaseSeconds:  make(map[string][]float64, NumPhases),
+		WorkerSeconds: make([]float64, a.workers),
+		StateShares:   make(map[string]float64, NumStates),
+	}
+	stateTotals := make([]float64, NumStates)
+	var grand float64
+	for s := State(0); s < NumStates; s++ {
+		per := make([]float64, a.workers)
+		for w := 0; w < a.workers; w++ {
+			sec := float64(a.StateNanos(w, s)) / 1e9
+			per[w] = sec
+			r.WorkerSeconds[w] += sec
+			stateTotals[s] += sec
+			grand += sec
+		}
+		r.StateSeconds[s.String()] = per
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		per := make([]float64, a.workers)
+		for w := 0; w < a.workers; w++ {
+			per[w] = float64(a.PhaseNanos(w, p)) / 1e9
+		}
+		r.PhaseSeconds[p.String()] = per
+	}
+	for _, t := range r.WorkerSeconds {
+		if t > r.WallSeconds {
+			r.WallSeconds = t
+		}
+	}
+	if grand > 0 {
+		for s := State(0); s < NumStates; s++ {
+			r.StateShares[s.String()] = stateTotals[s] / grand
+		}
+	}
+	work := r.StateSeconds[Work.String()]
+	var workSum, workMax float64
+	for _, v := range work {
+		workSum += v
+		if v > workMax {
+			workMax = v
+		}
+	}
+	if r.WallSeconds > 0 {
+		r.EffectiveParallelism = workSum / r.WallSeconds
+	}
+	if mean := workSum / float64(a.workers); mean > 0 {
+		r.LoadImbalance = workMax / mean
+		var varSum float64
+		for _, v := range work {
+			varSum += (v - mean) * (v - mean)
+		}
+		r.WorkCV = math.Sqrt(varSum/float64(a.workers)) / mean
+	}
+	last := -1
+	for d := 0; d < maxDepthTrack; d++ {
+		if a.depths[d].Load() > 0 {
+			last = d
+		}
+	}
+	if last >= 0 {
+		r.DepthSyncs = make([]int64, last+1)
+		for d := 0; d <= last; d++ {
+			r.DepthSyncs[d] = a.depths[d].Load()
+		}
+	}
+	a.mu.Lock()
+	if len(a.counters) > 0 {
+		r.Counters = make(map[string]int64, len(a.counters))
+		for name, c := range a.counters {
+			r.Counters[name] = c.Value()
+		}
+	}
+	a.mu.Unlock()
+	return r
+}
+
+// BarrierShare returns the BarrierWait share of total accounted time.
+func (r Report) BarrierShare() float64 { return r.StateShares[BarrierWait.String()] }
+
+// ConservationError returns the largest relative deviation of any
+// worker's state sum from the accounted wall time — the invariant the
+// efficiency tables rest on (0 = exact, tests assert <= 1%).
+func (r Report) ConservationError() float64 {
+	if r.WallSeconds <= 0 {
+		return 0
+	}
+	var worst float64
+	for _, t := range r.WorkerSeconds {
+		if dev := math.Abs(t-r.WallSeconds) / r.WallSeconds; dev > worst {
+			worst = dev
+		}
+	}
+	return worst
+}
+
+// EmitTrace writes the current cumulative per-worker state seconds as
+// Chrome trace counter tracks ("C" events) on each worker's lane of the
+// default tracer, so the efficiency timeline renders next to the span
+// timeline in chrome://tracing / Perfetto. No-op when tracing is off.
+func (a *Accounting) EmitTrace() {
+	if a == nil || !obs.TracingEnabled() {
+		return
+	}
+	for w := 0; w < a.workers; w++ {
+		args := make([]obs.Arg, 0, int(NumStates))
+		for s := State(0); s < NumStates; s++ {
+			args = append(args, obs.Arg{Key: s.String(), Value: float64(a.StateNanos(w, s)) / 1e9})
+		}
+		obs.CounterTrack("perf", "state-seconds", w+1, args...)
+	}
+}
+
+// CounterNames returns the registered counter names, sorted (tests and
+// table renderers).
+func (a *Accounting) CounterNames() []string {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	names := make([]string, 0, len(a.counters))
+	for n := range a.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

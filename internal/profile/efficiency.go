@@ -1,0 +1,72 @@
+package profile
+
+import (
+	"fmt"
+
+	"harpgbdt/internal/perf"
+)
+
+// EfficiencyTable renders a perf.Report as the paper-style per-worker
+// efficiency breakdown (the software analog of the per-thread VTune view
+// behind Figs. 7-8): one row per worker with its wait-state split and the
+// phase composition of its Work time, all in milliseconds.
+func EfficiencyTable(title string, r perf.Report) *Table {
+	t := NewTable(title,
+		"worker", "work_ms", "hist_ms", "split_ms", "apply_ms",
+		"barrier_ms", "spin_ms", "queue_ms", "idle_ms", "total_ms")
+	cell := func(m map[string][]float64, key string, w int) float64 {
+		per := m[key]
+		if w < len(per) {
+			return per[w] * 1e3
+		}
+		return 0
+	}
+	for w := 0; w < r.Workers; w++ {
+		total := 0.0
+		if w < len(r.WorkerSeconds) {
+			total = r.WorkerSeconds[w] * 1e3
+		}
+		t.AddRow(w,
+			cell(r.StateSeconds, perf.Work.String(), w),
+			cell(r.PhaseSeconds, perf.PhaseBuildHist.String(), w),
+			cell(r.PhaseSeconds, perf.PhaseFindSplit.String(), w),
+			cell(r.PhaseSeconds, perf.PhaseApplySplit.String(), w),
+			cell(r.StateSeconds, perf.BarrierWait.String(), w),
+			cell(r.StateSeconds, perf.SpinWait.String(), w),
+			cell(r.StateSeconds, perf.QueueWait.String(), w),
+			cell(r.StateSeconds, perf.Idle.String(), w),
+			total)
+	}
+	return t
+}
+
+// EfficiencySummary renders a perf.Report's derived coefficients: the
+// numbers the paper reads off VTune's summary pane (effective CPU
+// utilization, spin time, load imbalance).
+func EfficiencySummary(title string, r perf.Report) *Table {
+	t := NewTable(title, "metric", "value")
+	t.AddRow("workers", r.Workers)
+	t.AddRow("wall seconds", r.WallSeconds)
+	t.AddRow("effective parallelism", r.EffectiveParallelism)
+	t.AddRow("load imbalance (max/mean)", r.LoadImbalance)
+	t.AddRow("work CV", r.WorkCV)
+	for _, s := range []perf.State{perf.Work, perf.BarrierWait, perf.SpinWait, perf.QueueWait, perf.Idle} {
+		t.AddRow(s.String()+" share", fmt.Sprintf("%.2f%%", 100*r.StateShares[s.String()]))
+	}
+	t.AddRow("conservation error", fmt.Sprintf("%.3f%%", 100*r.ConservationError()))
+	return t
+}
+
+// DepthSyncTable renders the per-depth barrier-synchronization counts (the
+// measurement behind the paper's O(2^D) barrier-growth argument). Nil when
+// the report recorded none (pure ASYNC runs past warm-up).
+func DepthSyncTable(title string, r perf.Report) *Table {
+	if len(r.DepthSyncs) == 0 {
+		return nil
+	}
+	t := NewTable(title, "depth", "barrier_regions")
+	for d, n := range r.DepthSyncs {
+		t.AddRow(d, n)
+	}
+	return t
+}

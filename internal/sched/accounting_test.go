@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"harpgbdt/internal/perf"
+)
+
+// spinFor burns CPU for roughly d (sleeping would make barrier shapes
+// scheduler-dependent).
+func spinFor(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// assertConserved checks the accounting invariant the barrier paths
+// guarantee by construction: every worker's state sum equals the
+// accounted wall time (each region contributes its full span to every
+// worker). Pool-side accounting is exact (tol ~0); mixed cursor+pool
+// accounting carries clock-read skew between the two and gets the
+// reports' ±1% budget.
+func assertConserved(t *testing.T, a *perf.Accounting, tol float64) {
+	t.Helper()
+	r := a.Snapshot()
+	if r.WallSeconds <= 0 {
+		t.Fatal("no time accounted")
+	}
+	if err := r.ConservationError(); err > tol {
+		t.Errorf("conservation error %.2e > %g (state sums: %v, wall %g)", err, tol, r.WorkerSeconds, r.WallSeconds)
+	}
+}
+
+func TestParallelForAccounting(t *testing.T) {
+	p := NewPool(4)
+	a := perf.NewAccounting(4)
+	p.SetAccounting(a)
+	var n atomic.Int64
+	p.ParallelFor(64, 1, func(lo, hi, w int) {
+		for i := lo; i < hi; i++ {
+			n.Add(1)
+			spinFor(50 * time.Microsecond)
+		}
+	})
+	if n.Load() != 64 {
+		t.Fatalf("covered %d of 64", n.Load())
+	}
+	assertConserved(t, a, 1e-6)
+	r := a.Snapshot()
+	var work float64
+	for _, v := range r.StateSeconds[perf.Work.String()] {
+		work += v
+	}
+	if work <= 0 {
+		t.Error("no Work accounted")
+	}
+}
+
+func TestParallelForSerialPathAccounting(t *testing.T) {
+	p := NewPool(4)
+	a := perf.NewAccounting(4)
+	p.SetAccounting(a)
+	// A single chunk takes the serial fast path: worker 0 works, the rest
+	// are idle for the same span.
+	p.ParallelFor(1, 1, func(lo, hi, w int) { spinFor(200 * time.Microsecond) })
+	assertConserved(t, a, 1e-6)
+	if a.StateNanos(0, perf.Work) == 0 {
+		t.Error("serial path: worker 0 has no Work")
+	}
+	if a.StateNanos(1, perf.Idle) == 0 {
+		t.Error("serial path: worker 1 not Idle")
+	}
+}
+
+func TestRunTasksAccounting(t *testing.T) {
+	p := NewPool(4)
+	a := perf.NewAccounting(4)
+	p.SetAccounting(a)
+	tasks := make([]func(int), 16)
+	for i := range tasks {
+		tasks[i] = func(w int) { spinFor(50 * time.Microsecond) }
+	}
+	p.RunTasks(tasks)
+	assertConserved(t, a, 1e-6)
+}
+
+// TestRunWorkersBarrierTail: RunWorkers bodies attribute their own time
+// via cursors; the pool completes each span with the launch gap (Idle)
+// and the barrier tail (BarrierWait). A forced straggler must show up as
+// the *other* worker's wait — as BarrierWait when the workers overlap,
+// or as launch-gap Idle when a single CPU serializes them (the fast
+// worker then starts only after the straggler finished), so the test
+// asserts their sum.
+func TestRunWorkersBarrierTail(t *testing.T) {
+	p := NewPool(2)
+	a := perf.NewAccounting(2)
+	p.SetAccounting(a)
+	p.RunWorkers(func(w int) {
+		cur := a.Cursor(w)
+		cur.Begin(perf.Work)
+		defer cur.End()
+		if w == 0 {
+			spinFor(2 * time.Millisecond) // straggler
+		}
+	})
+	wait := func(w int) int64 {
+		return a.StateNanos(w, perf.BarrierWait) + a.StateNanos(w, perf.Idle)
+	}
+	if fast, slow := wait(1), wait(0); fast <= slow {
+		t.Errorf("straggler accounting: fast worker waited %dns, straggler %dns", fast, slow)
+	}
+	if fast := wait(1); fast < (1 * time.Millisecond).Nanoseconds() {
+		t.Errorf("fast worker wait %dns, want >= ~2ms straggler gap", fast)
+	}
+	assertConserved(t, a, 0.01)
+}
+
+func TestVirtualPoolAccounting(t *testing.T) {
+	p := NewVirtualPool(8, DefaultCostModel())
+	a := perf.NewAccounting(8)
+	p.SetAccounting(a)
+	p.ParallelFor(32, 1, func(lo, hi, w int) { spinFor(20 * time.Microsecond) })
+	assertConserved(t, a, 1e-6)
+	r := a.Snapshot()
+	// The simulated region charges fork/join to the wall, so every
+	// participant logs a positive barrier wait.
+	var barrier float64
+	for _, v := range r.StateSeconds[perf.BarrierWait.String()] {
+		barrier += v
+	}
+	if barrier <= 0 {
+		t.Error("virtual region accounted no BarrierWait")
+	}
+}
+
+func TestVirtualNarrowRegionIdle(t *testing.T) {
+	p := NewVirtualPool(8, DefaultCostModel())
+	a := perf.NewAccounting(8)
+	p.SetAccounting(a)
+	// 2 items on an 8-wide pool: 6 workers never enlisted -> Idle.
+	p.ParallelFor(2, 1, func(lo, hi, w int) { spinFor(20 * time.Microsecond) })
+	if a.StateNanos(7, perf.Idle) == 0 {
+		t.Error("unenlisted virtual worker not Idle")
+	}
+	assertConserved(t, a, 1e-6)
+}
+
+func TestAccountingDetached(t *testing.T) {
+	p := NewPool(2)
+	a := perf.NewAccounting(2)
+	p.SetAccounting(a)
+	p.SetAccounting(nil)
+	p.ParallelFor(8, 1, func(lo, hi, w int) {})
+	if got := a.Snapshot().WallSeconds; got != 0 {
+		t.Errorf("detached ledger still accounted %g", got)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"harpgbdt/internal/obs"
+	"harpgbdt/internal/perf"
 )
 
 // Stats accumulates instrumentation over the lifetime of a Pool (or between
@@ -86,6 +87,12 @@ type Pool struct {
 	virtual bool
 	cost    CostModel
 
+	// acc, when non-nil, receives per-worker wait-state accounting for
+	// every region: participants get Work + BarrierWait covering the
+	// region span, non-participants get Idle for the same span, so
+	// per-worker state sums conserve wall time by construction.
+	acc *perf.Accounting
+
 	mu     sync.Mutex
 	stats  Stats
 	vclock int64
@@ -104,6 +111,44 @@ func NewPool(workers int) *Pool {
 
 // Workers reports the parallel width of the pool.
 func (p *Pool) Workers() int { return p.workers }
+
+// SetAccounting attaches a per-worker wait-state ledger (nil detaches).
+// The ledger's worker count should match the pool's.
+func (p *Pool) SetAccounting(a *perf.Accounting) { p.acc = a }
+
+// Accounting returns the attached ledger (nil when accounting is off).
+func (p *Pool) Accounting() *perf.Accounting { return p.acc }
+
+// accountRegion attributes one barrier region to the ledger: the nw
+// participants' finish offsets become Work, the gap to the slowest
+// participant becomes BarrierWait, and non-participating workers are
+// Idle for the whole span.
+func (p *Pool) accountRegion(finish []int64, last int64) {
+	a := p.acc
+	if a == nil {
+		return
+	}
+	for w, f := range finish {
+		a.Add(w, perf.Work, f)
+		a.Add(w, perf.BarrierWait, last-f)
+	}
+	for w := len(finish); w < p.workers; w++ {
+		a.Add(w, perf.Idle, last)
+	}
+}
+
+// accountSerial attributes a serial fallback region: worker 0 works for
+// the whole span, every other worker is idle for it.
+func (p *Pool) accountSerial(busy int64) {
+	a := p.acc
+	if a == nil {
+		return
+	}
+	a.Add(0, perf.Work, busy)
+	for w := 1; w < p.workers; w++ {
+		a.Add(w, perf.Idle, busy)
+	}
+}
 
 // Stats returns a snapshot of the accumulated instrumentation.
 func (p *Pool) Stats() Stats {
@@ -173,6 +218,7 @@ func (p *Pool) ParallelFor(n, chunk int, body func(lo, hi, worker int)) {
 			body(lo, hi, 0)
 		}
 		busy := time.Since(start).Nanoseconds()
+		p.accountSerial(busy)
 		p.record(1, int64(nChunks), busy, 0, busy)
 		return
 	}
@@ -220,6 +266,7 @@ func (p *Pool) ParallelFor(n, chunk int, body func(lo, hi, worker int)) {
 		busy += f
 		wait += last - f
 	}
+	p.accountRegion(finish, last)
 	p.record(1, int64(nChunks), busy, wait, wall)
 	p.rethrow()
 }
@@ -249,6 +296,7 @@ func (p *Pool) RunTasks(tasks []func(worker int)) {
 			t(0)
 		}
 		busy := time.Since(start).Nanoseconds()
+		p.accountSerial(busy)
 		p.record(1, int64(n), busy, 0, busy)
 		return
 	}
@@ -290,6 +338,7 @@ func (p *Pool) RunTasks(tasks []func(worker int)) {
 		busy += f
 		wait += last - f
 	}
+	p.accountRegion(finish, last)
 	p.record(1, int64(n), busy, wait, wall)
 	p.rethrow()
 }
@@ -320,6 +369,7 @@ func (p *Pool) RunWorkers(body func(worker int)) {
 		return
 	}
 	finish := make([]int64, nw)
+	began := make([]int64, nw)
 	start := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(nw)
@@ -327,6 +377,7 @@ func (p *Pool) RunWorkers(body func(worker int)) {
 		go func(w int) {
 			defer wg.Done()
 			defer p.recoverWorker(w)
+			began[w] = time.Since(start).Nanoseconds()
 			body(w)
 			finish[w] = time.Since(start).Nanoseconds()
 		}(w)
@@ -342,6 +393,18 @@ func (p *Pool) RunWorkers(body func(worker int)) {
 	for _, f := range finish {
 		busy += f
 		wait += last - f
+	}
+	// RunWorkers bodies attribute their own time through perf cursors
+	// (the ASYNC loop's Work/SpinWait/QueueWait states); the scheduler
+	// completes each worker's span to the full region: the launch gap
+	// before the goroutine first ran (the whole region, on one core, when
+	// another worker finishes everything first) is Idle, and the tail to
+	// the slowest worker's finish is BarrierWait.
+	if a := p.acc; a != nil {
+		for w, f := range finish {
+			a.Add(w, perf.Idle, began[w])
+			a.Add(w, perf.BarrierWait, last-f)
+		}
 	}
 	p.record(1, int64(nw), busy, wait, wall)
 	p.rethrow()

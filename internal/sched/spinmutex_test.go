@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestSpinMutexExcludes(t *testing.T) {
@@ -56,5 +57,48 @@ func TestSpinStatsCountContention(t *testing.T) {
 	ResetSpinStats()
 	if s := ReadSpinStats(); s.ContendedAcquires != 0 || s.Yields != 0 {
 		t.Fatalf("reset did not clear stats: %+v", s)
+	}
+}
+
+// TestSpinDurationRecorded: a contended acquisition must add its spin
+// duration to the process-wide SpinNanos total (the SpinWait feed).
+func TestSpinDurationRecorded(t *testing.T) {
+	ResetSpinStats()
+	var m SpinMutex
+	m.Lock()
+	acquired := make(chan struct{})
+	go func() {
+		m.Lock() // blocks until the holder releases
+		m.Unlock()
+		close(acquired)
+	}()
+	// Hold long enough that the contender measurably spins.
+	time.Sleep(2 * time.Millisecond)
+	m.Unlock()
+	<-acquired
+	s := ReadSpinStats()
+	if s.ContendedAcquires == 0 {
+		t.Fatal("no contended acquisition recorded")
+	}
+	if s.SpinNanos < (500 * time.Microsecond).Nanoseconds() {
+		t.Errorf("spin nanos = %d, want >= ~2ms hold time", s.SpinNanos)
+	}
+	ResetSpinStats()
+	if ReadSpinStats().SpinNanos != 0 {
+		t.Error("ResetSpinStats kept SpinNanos")
+	}
+}
+
+// TestSpinMutexFastPathAllocFree pins the uncontended Lock/Unlock pair to
+// zero allocations and, implicitly, no clock reads beyond what escapes to
+// the heap: the hot ASYNC sections take this path thousands of times per
+// tree.
+func TestSpinMutexFastPathAllocFree(t *testing.T) {
+	var m SpinMutex
+	if n := testing.AllocsPerRun(1000, func() {
+		m.Lock()
+		m.Unlock()
+	}); n != 0 {
+		t.Errorf("uncontended Lock/Unlock allocates %.1f per op", n)
 	}
 }

@@ -2,6 +2,8 @@ package sched
 
 import (
 	"time"
+
+	"harpgbdt/internal/perf"
 )
 
 // CostModel parameterizes the virtual parallel machine: the synthetic costs
@@ -141,6 +143,18 @@ func (p *Pool) runVirtual(nItems int, body func(i, w int)) {
 	for _, c := range clocks {
 		busy += c
 		wait += wall - c
+	}
+	// Per-worker accounting mirrors the aggregate stats: simulated work
+	// time for participants, barrier wait up to the simulated region
+	// wall, idle for workers the region never enlisted.
+	if a := p.acc; a != nil {
+		for w, c := range clocks {
+			a.Add(w, perf.Work, c)
+			a.Add(w, perf.BarrierWait, wall-c)
+		}
+		for w := nw; w < p.workers; w++ {
+			a.Add(w, perf.Idle, wall)
+		}
 	}
 	p.mu.Lock()
 	p.stats.Regions++

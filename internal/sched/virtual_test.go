@@ -55,25 +55,32 @@ func TestVirtualParallelForCoversRangeSerially(t *testing.T) {
 }
 
 func TestVirtualSpeedupVisible(t *testing.T) {
-	// T equal tasks on T virtual workers must give simulated wall ~ 1 task
-	// duration, i.e. utilization near 100% and speedup near T.
-	p := NewVirtualPool(4, ZeroCostModel())
-	p.RunTasks([]func(int){
-		func(int) { spin(2 * time.Millisecond) },
-		func(int) { spin(2 * time.Millisecond) },
-		func(int) { spin(2 * time.Millisecond) },
-		func(int) { spin(2 * time.Millisecond) },
-	})
-	st := p.Stats()
-	if st.SerialNanos < 7*time.Millisecond.Nanoseconds() {
-		t.Fatalf("serial time %v too small", st.SerialNanos)
+	// Many equal tasks on 4 virtual workers must give simulated wall ~
+	// serial/4, i.e. utilization near 100% and speedup near 4. The tasks
+	// run serially in real time and their *measured* durations feed the
+	// simulator, so an OS preemption or GC spike can inflate any task and
+	// depress one attempt's utilization; retry a few times — noise passes
+	// on a clean attempt, a real scheduling regression fails all of them.
+	var last float64
+	for attempt := 0; attempt < 4; attempt++ {
+		p := NewVirtualPool(4, ZeroCostModel())
+		tasks := make([]func(int), 16)
+		for i := range tasks {
+			tasks[i] = func(int) { spin(500 * time.Microsecond) }
+		}
+		p.RunTasks(tasks)
+		st := p.Stats()
+		if st.SerialNanos < 7*time.Millisecond.Nanoseconds() {
+			t.Fatalf("serial time %v too small", st.SerialNanos)
+		}
+		if st.WallNanos > st.SerialNanos/2 {
+			t.Fatalf("no simulated speedup: wall %v vs serial %v", st.WallNanos, st.SerialNanos)
+		}
+		if last = st.Utilization(4); last >= 0.8 {
+			return
+		}
 	}
-	if st.WallNanos > st.SerialNanos/2 {
-		t.Fatalf("no simulated speedup: wall %v vs serial %v", st.WallNanos, st.SerialNanos)
-	}
-	if u := st.Utilization(4); u < 0.8 {
-		t.Fatalf("utilization %f for perfectly balanced tasks", u)
-	}
+	t.Fatalf("utilization %f for perfectly balanced tasks on every attempt", last)
 }
 
 func TestVirtualImbalanceShowsWait(t *testing.T) {
