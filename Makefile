@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test lint sanitize race-sanitize fuzz race fault bench benchdiff efficiency baseline trace clean
+.PHONY: check vet build test lint sanitize race-sanitize fuzz race fault bench benchdiff efficiency comms baseline trace clean
 
 ## check: the full verification gate (vet + build + harplint + the test
 ## suite under race detector *and* harpdebug invariants + fault suite +
@@ -51,13 +51,15 @@ race-full:
 	$(GO) test -race -timeout 45m ./...
 
 ## fault: the fault-tolerance suite under the race detector (injection
-## registry, panic-safe workers, crash/resume, corrupt files, allreduce
-## failures, CLI crash-resume integration)
+## registry, panic-safe workers, flight-recorder dumps, crash/resume,
+## corrupt files, allreduce failures + comms-ledger conservation, CLI
+## crash-resume integration)
 fault:
 	$(GO) test -race ./internal/fault/ ./internal/safeio/
+	$(GO) test -race -run 'Flight|Logger' ./internal/obs/
 	$(GO) test -race -run 'Panic|Stop|Fault|Injected' ./internal/sched/
 	$(GO) test -race -run 'Resume|Checkpoint|Cancel|Corrupt' ./internal/boost/
-	$(GO) test -race -run 'Allreduce|Failure|Straggler|Nodes' ./internal/dist/
+	$(GO) test -race -run 'Allreduce|Failure|Straggler|Nodes|Ledger|ClusterTrace' ./internal/dist/
 	$(GO) test -race -run 'Reject|Corrupt|Missing' ./internal/dataset/
 	$(GO) test -race -run 'CrashResume|CacheFormat' ./cmd/harpgbdt/
 
@@ -76,6 +78,12 @@ benchdiff:
 efficiency:
 	$(GO) run ./cmd/experiments efficiency
 
+## comms: the distributed communication study — the bench on the simulated
+## cluster with the per-node message/byte ledger; writes comms.json (whose
+## comms section the benchdiff gate pins when committed as a baseline)
+comms:
+	$(GO) run ./cmd/experiments comms
+
 ## baseline: refresh the committed benchmark baseline at the gate's
 ## canonical scale (large enough that the measured ratios are stable;
 ## commit the resulting BENCH_baseline.json)
@@ -90,4 +98,4 @@ trace:
 # BENCH_baseline.json is the committed regression reference — clean only
 # removes the date-stamped run outputs.
 clean:
-	rm -f trace.json efficiency.json BENCH_2*.json
+	rm -f trace.json efficiency.json comms.json cluster-trace.json BENCH_2*.json

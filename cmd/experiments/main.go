@@ -35,6 +35,8 @@ func main() {
 		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /progress and /debug/pprof on this address while experiments run")
 		benchOut   = flag.String("bench-out", "", "output path of the bench experiment's JSON report (default BENCH_<date>.json)")
 		perfOn     = flag.Bool("perf", false, "attach the per-worker wait-state profiler to the bench run (adds a perf section to the JSON report)")
+		distNodes  = flag.Int("dist-nodes", 0, "run the bench experiment on the simulated cluster with this many nodes (adds a comms section to the JSON report)")
+		commsOut   = flag.String("comms-out", "comms.json", "output path of the comms experiment's JSON report")
 		effOut     = flag.String("eff-out", "efficiency.json", "output path of the efficiency experiment's JSON report")
 		baseline   = flag.String("baseline", "BENCH_baseline.json", "benchdiff: committed baseline report to compare against")
 		diffRuns   = flag.Int("diff-runs", 2, "benchdiff: benchmark repetitions (the best run is compared)")
@@ -48,6 +50,7 @@ func main() {
 		}
 		fmt.Println("bench")
 		fmt.Println("benchdiff")
+		fmt.Println("comms")
 		fmt.Println("efficiency")
 		return
 	}
@@ -77,6 +80,7 @@ func main() {
 	sc := experiments.Scale{
 		Rows: *rows, Rounds: *rounds, ConvRounds: *convRounds,
 		Workers: *workers, Seed: *seed, RealThreads: *real, Perf: *perfOn,
+		DistNodes: *distNodes,
 	}
 	for _, name := range names {
 		start := time.Now()
@@ -84,6 +88,8 @@ func main() {
 		switch name {
 		case "bench":
 			err = runBench(sc, *benchOut)
+		case "comms":
+			err = runComms(sc, *commsOut)
 		case "efficiency":
 			err = runEfficiency(sc, *effOut)
 		case "benchdiff":
@@ -156,6 +162,27 @@ func runBenchDiff(sc experiments.Scale, baselinePath string, runs int, tolRatio,
 		return fmt.Errorf("%d benchmark regression(s) against %s", len(bad), baselinePath)
 	}
 	fmt.Println("benchdiff: no regressions")
+	return nil
+}
+
+// runComms runs the distributed communication study: the bench on the
+// simulated cluster, the per-node ledger table, and the machine-readable
+// report (whose comms section the benchdiff gate can later pin).
+func runComms(sc experiments.Scale, out string) error {
+	rep, ledger, tb, err := experiments.Comms(sc)
+	if err != nil {
+		return err
+	}
+	rep.Date = time.Now().Format("2006-01-02")
+	fmt.Println(tb.String())
+	if err := ledger.WriteTable(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := rep.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("comms report written to %s\n", out)
 	return nil
 }
 

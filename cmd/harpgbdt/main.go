@@ -139,9 +139,33 @@ func cmdTrain(args []string) error {
 		ckptEvery = fs.Int("checkpoint-every", 1, "rounds between checkpoints (with -checkpoint-dir)")
 		resume    = fs.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir if one exists")
 		inject    = fs.String("inject", "", "arm fault-injection points for robustness testing, e.g. 'boost.round=panic,after=5'")
+		flightOut = fs.String("flight-out", "", "arm the crash flight recorder: on panic, injected fault or training error, dump the last structured-log events to this checksummed JSON file")
+		logOut    = fs.String("log", "", "write structured JSON logs to this file ('-' = stderr)")
+		logLevel  = fs.String("log-level", "info", "minimum structured-log output level: debug, info, warn, error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *flightOut != "" {
+		harpgbdt.ArmFlightRecorder(*flightOut, 0)
+		defer harpgbdt.ArmFlightRecorder("", 0)
+	}
+	if *logOut != "" {
+		w := os.Stderr
+		if *logOut != "-" {
+			f, err := os.Create(*logOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		lg, err := harpgbdt.NewLogger(w, *logLevel)
+		if err != nil {
+			return err
+		}
+		harpgbdt.SetDefaultLogger(lg)
+		defer harpgbdt.SetDefaultLogger(nil)
 	}
 	if *inject != "" {
 		if err := harpgbdt.EnableFaults(*inject); err != nil {
@@ -196,6 +220,11 @@ func cmdTrain(args []string) error {
 	start := time.Now()
 	res, err := harpgbdt.TrainWith(builder, ds, opts.Boost, nil, nil)
 	if err != nil {
+		// First-dump-wins: a dump written closer to the fault (worker panic,
+		// injected fault) is kept; this is the outermost net.
+		if path, derr := harpgbdt.DumpFlight("training error"); derr == nil && path != "" {
+			fmt.Fprintf(os.Stderr, "flight recorder dumped to %s\n", path)
+		}
 		return err
 	}
 	for _, pt := range res.History {

@@ -119,11 +119,13 @@ func TestCLICrashResume(t *testing.T) {
 	refModel := filepath.Join(dir, "ref.json")
 	runCLI(t, bin, withArgs("-model", refModel)...)
 
-	// Crashing run: an injected panic kills the process after 6 rounds.
+	// Crashing run: an injected panic kills the process after 6 rounds. The
+	// armed flight recorder must leave a checksummed post-mortem artifact.
 	ckpt := filepath.Join(dir, "ckpt")
 	crashModel := filepath.Join(dir, "resumed.json")
+	flight := filepath.Join(dir, "flight.json")
 	out, err := exec.Command(bin, withArgs("-model", crashModel, "-checkpoint-dir", ckpt,
-		"-inject", "boost.round=panic,after=6")...).CombinedOutput()
+		"-flight-out", flight, "-inject", "boost.round=panic,after=6")...).CombinedOutput()
 	if err == nil {
 		t.Fatalf("injected panic did not kill the trainer:\n%s", out)
 	}
@@ -133,6 +135,7 @@ func TestCLICrashResume(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(ckpt, "checkpoint.json")); err != nil {
 		t.Fatalf("no checkpoint survived the crash: %v", err)
 	}
+	assertFlightDump(t, flight)
 
 	// Resume from the checkpoint and finish the remaining rounds.
 	out2 := runCLI(t, bin, withArgs("-model", crashModel, "-checkpoint-dir", ckpt, "-resume")...)
@@ -163,6 +166,60 @@ func TestCLICrashResume(t *testing.T) {
 	}
 	if !bytes.Equal(b1, b2) {
 		t.Fatalf("resumed model diverged from uninterrupted run:\nref:     %q\nresumed: %q", b1, b2)
+	}
+}
+
+// assertFlightDump verifies the crashed run's flight-recorder artifact:
+// the checksum footer must validate, the dump must name the injected
+// panic as its reason (the dump closest to the fault wins), and the
+// retained events must carry the structured run/round keys the schema
+// promises.
+func assertFlightDump(t *testing.T, path string) {
+	t.Helper()
+	dump, err := harpgbdt.ReadFlightDump(path)
+	if err != nil {
+		t.Fatalf("flight dump unreadable: %v", err)
+	}
+	if dump.Reason != "injected panic" {
+		t.Errorf("dump reason %q, want %q (the dump at the fault point must win)", dump.Reason, "injected panic")
+	}
+	if dump.TotalEvents == 0 || len(dump.Events) == 0 {
+		t.Fatalf("empty flight dump: total %d, retained %d", dump.TotalEvents, len(dump.Events))
+	}
+	var sawRound, sawInjected bool
+	for _, ev := range dump.Events {
+		if ev.Msg == "round complete" {
+			if _, ok := ev.Attrs["run"]; !ok {
+				t.Errorf("round event missing run id: %+v", ev)
+			}
+			if _, ok := ev.Attrs["round"]; !ok {
+				t.Errorf("round event missing round key: %+v", ev)
+			}
+			sawRound = true
+		}
+		if ev.Msg == "fault injected" {
+			sawInjected = true
+		}
+	}
+	if !sawRound {
+		t.Error("no round-complete events retained in the flight dump")
+	}
+	if !sawInjected {
+		t.Error("the injected fault's own log event is missing from the dump")
+	}
+
+	// Corrupting the artifact must make verification fail.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	bad := path + ".corrupt"
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := harpgbdt.ReadFlightDump(bad); err == nil {
+		t.Error("corrupted flight dump passed verification")
 	}
 }
 

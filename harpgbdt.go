@@ -24,6 +24,7 @@ package harpgbdt
 import (
 	"fmt"
 	"io"
+	"log/slog"
 
 	"harpgbdt/internal/baseline"
 	"harpgbdt/internal/boost"
@@ -102,6 +103,14 @@ type (
 	// ObsServer is the observability HTTP server (/metrics, /progress,
 	// /trace, /debug/pprof).
 	ObsServer = obs.Server
+	// Logger is the nil-safe structured logger with the stable key schema
+	// (run, node, round, depth, phase, ...).
+	Logger = obs.Logger
+	// FlightRecorder is the bounded lock-free ring of recent structured-log
+	// events, dumped to a checksummed artifact on crash.
+	FlightRecorder = obs.FlightRecorder
+	// FlightDump is the crash post-mortem artifact a flight recorder writes.
+	FlightDump = obs.FlightDump
 	// Callback observes the boosting loop round by round.
 	Callback = boost.Callback
 	// RoundStats is the per-round payload delivered to callbacks.
@@ -237,6 +246,41 @@ func SetDefaultObserver(o *Observer) { obs.SetDefault(o) }
 // ServeObs starts the observability HTTP server on addr (e.g. ":9090" or
 // ":0" for an ephemeral port; see ObsServer).
 func ServeObs(addr string, o *Observer) (*ObsServer, error) { return obs.Serve(addr, o) }
+
+// NewLogger returns a structured JSON logger writing events at or above
+// level ("debug", "info", "warn" or "error") to w. Install it with
+// SetDefaultLogger; events always feed the armed flight recorder
+// regardless of the output level.
+func NewLogger(w io.Writer, level string) (*Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("harpgbdt: log level %q: %w", level, err)
+	}
+	return obs.NewLogger(w, lv), nil
+}
+
+// SetDefaultLogger installs the process-wide structured logger (nil
+// restores the output-less default, which still feeds the flight
+// recorder).
+func SetDefaultLogger(l *Logger) { obs.SetDefaultLogger(l) }
+
+// ArmFlightRecorder installs a process-wide crash flight recorder
+// retaining the last `size` structured-log events (<= 0 selects the
+// default capacity) and dumping them to path — a checksummed artifact —
+// on the first crash (worker panic, injected fault, training error).
+// An empty path disarms.
+func ArmFlightRecorder(path string, size int) *FlightRecorder {
+	return obs.ArmFlightRecorder(path, size)
+}
+
+// DumpFlight dumps the armed flight recorder now (no-op when disarmed).
+// Only the first dump of a recorder wins, so calling this on an error
+// path never overwrites a dump written closer to the fault.
+func DumpFlight(reason string) (string, error) { return obs.DumpFlight(reason) }
+
+// ReadFlightDump loads a flight-recorder dump, verifying its integrity
+// footer.
+func ReadFlightDump(path string) (*FlightDump, error) { return obs.ReadFlightDump(path) }
 
 // NewObsCallback returns a boosting callback publishing per-round spans,
 // per-iteration loss/AUC metrics and live progress through o. Attach it via

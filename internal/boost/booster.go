@@ -14,6 +14,7 @@ import (
 	"harpgbdt/internal/gh"
 	"harpgbdt/internal/metrics"
 	"harpgbdt/internal/objective"
+	"harpgbdt/internal/obs"
 	"harpgbdt/internal/profile"
 	"harpgbdt/internal/sched"
 	"harpgbdt/internal/synth"
@@ -63,6 +64,9 @@ type Config struct {
 	// one exists (a fresh start otherwise). The resumed run produces
 	// bit-identical predictions to an uninterrupted one.
 	Resume bool
+	// RunID correlates the run's structured log events (the "run" key).
+	// Empty selects a fresh unique id.
+	RunID string
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +81,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointDir != "" && c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 1
+	}
+	if c.RunID == "" {
+		// Generated in obs (not here) so the deterministic training
+		// packages stay free of direct clock reads.
+		c.RunID = obs.NewRunID()
 	}
 	return c
 }
@@ -245,6 +254,9 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 			}
 		}
 	}
+	lg := obs.L().With(obs.KeyRun, cfg.RunID, obs.KeyComponent, "boost")
+	lg.Info("train start",
+		"rounds", cfg.Rounds, "objective", cfg.Objective, "resumed_round", st.round)
 	if st.res.StoppedEarly || st.round >= cfg.Rounds {
 		// The checkpointed run had already finished; resume is idempotent.
 		return st.res, nil
@@ -301,6 +313,11 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 		}
 		bt, err := buildTreeSafe(b, grad)
 		if err != nil {
+			// The failing round's event tail is the post-mortem: dump the
+			// armed flight recorder before unwinding (first dump wins, so a
+			// recovery layer closer to the fault is never overwritten).
+			lg.Error("round failed", obs.KeyRound, round+1, obs.KeyError, err.Error())
+			_, _ = obs.DumpFlight("training round failed")
 			return nil, fmt.Errorf("boost: round %d: %w", round, err)
 		}
 		if err := cancelCause(cfg, pool); err != nil {
@@ -376,6 +393,8 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 		for _, cb := range cfg.Callbacks {
 			cb.AfterRound(stats)
 		}
+		lg.Debug("round complete", obs.KeyRound, round+1,
+			"leaves", bt.Tree.NumLeaves(), "tree_nanos", dur.Nanoseconds())
 		st.round = round + 1
 		if cfg.CheckpointDir != "" &&
 			((round+1)%cfg.CheckpointEvery == 0 || round == cfg.Rounds-1 || res.StoppedEarly) {
@@ -387,11 +406,15 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 			if err := SaveCheckpoint(CheckpointPath(cfg.CheckpointDir), st.snapshot(model, rngState)); err != nil {
 				return nil, fmt.Errorf("boost: checkpoint after round %d: %w", round+1, err)
 			}
+			lg.Debug("checkpoint saved", obs.KeyRound, round+1)
 		}
 		if res.StoppedEarly {
+			lg.Info("early stop", obs.KeyRound, round+1)
 			break
 		}
 	}
+	lg.Info("train done",
+		obs.KeyRound, st.round, "trees", len(model.Trees), "leaves", res.TotalLeaves)
 	return res, nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"harpgbdt/internal/gh"
 	"harpgbdt/internal/grow"
 	"harpgbdt/internal/histogram"
+	"harpgbdt/internal/obs"
 	"harpgbdt/internal/profile"
 	"harpgbdt/internal/sched"
 	"harpgbdt/internal/tree"
@@ -161,6 +162,14 @@ type Trainer struct {
 	commNanos     int64
 	retryNanos    int64
 	recoveryNanos int64
+
+	// ledger accounts every simulated message (see ledger.go); clock is the
+	// per-node virtual timeline the trace lanes are drawn on; flowSeq
+	// numbers send→recv flow arrows; named latches lane registration.
+	ledger  *commsLedger
+	clock   []int64
+	flowSeq uint64
+	named   bool
 }
 
 // shard is one node's row range.
@@ -201,6 +210,8 @@ func NewTrainer(cfg Config, ds *dataset.Dataset) (*Trainer, error) {
 		t.alive = append(t.alive, true)
 		t.owner = append(t.owner, i)
 	}
+	t.ledger = newCommsLedger(cfg.Nodes)
+	t.clock = make([]int64, cfg.Nodes)
 	return t, nil
 }
 
@@ -260,6 +271,10 @@ func (t *Trainer) BuildTree(grad gh.Buffer) (*engine.BuiltTree, error) {
 	if len(grad) != t.ds.NumRows() {
 		return nil, fmt.Errorf("dist: %d gradients for %d rows", len(grad), t.ds.NumRows())
 	}
+	t.ledger.beginRound()
+	t.nameLanes()
+	obs.L().Debug("dist round start",
+		obs.KeyComponent, "dist", obs.KeyRound, t.ledger.round, "alive", t.AliveNodes())
 	n := t.ds.NumRows()
 	rootRows := make([][]int32, len(t.shards))
 	var rootSum gh.Pair
@@ -363,7 +378,8 @@ func (t *Trainer) buildHists(st *distBuild, ids []int32) error {
 		perOwner[t.owner[s]] += d
 	}
 	// Within a node, WorkersPerNode threads share the shard work.
-	maxNode := t.nodeWall(perOwner, int64(t.cfg.WorkersPerNode))
+	walls := t.nodeWalls(perOwner, int64(t.cfg.WorkersPerNode))
+	maxNode := t.advancePhase("build-hist", walls)
 	// Histograms were accumulated directly into the shared Hist (the sum a
 	// real allreduce would produce); charge the simulated network cost.
 	histBytes := int64(len(ids)) * int64(t.layout.TotalBins()) * 16
@@ -397,6 +413,13 @@ func (t *Trainer) findSplits(st *distBuild, ids []int32) {
 	if wall < 1 {
 		wall = 1
 	}
+	walls := make([]int64, len(t.alive))
+	for node, a := range t.alive {
+		if a {
+			walls[node] = wall
+		}
+	}
+	t.advancePhase("find-split", walls)
 	t.pool.RecordExternalRegion(int64(len(ids)), serial, serial, 0, wall)
 	t.prof.Add(profile.FindSplit, elapsed)
 }
@@ -428,7 +451,7 @@ func (t *Trainer) applySplit(st *distBuild, id int32) (int32, int32) {
 	}
 	// Shards partition concurrently, one group per owning cluster node.
 	t.pool.RecordExternalRegion(int64(len(t.shards)), serial, serial, 0,
-		max64(t.nodeWall(perOwner, 1), 1))
+		max64(t.advancePhase("apply-split", t.nodeWalls(perOwner, 1)), 1))
 	left.count = int32(left.totalRows())
 	right.count = int32(right.totalRows())
 	ns.rows = nil

@@ -54,24 +54,45 @@ func (t *Trainer) RecoveryNanos() int64 { return t.recoveryNanos }
 // consulting the "dist.allreduce" injection point. Every injected failure
 // costs the step timeout; retries back off exponentially; exhausting
 // MaxRetries kills Config.FailNode and completes the step on the
-// survivors. Returns the simulated nanoseconds the step took.
+// survivors. Every attempt is accounted in the comms ledger (categorized
+// by its outcome) and the completed step is drawn on the per-node trace
+// lanes. Returns the simulated nanoseconds the step took.
 func (t *Trainer) allreduceWithRetry(bytes int64) (int64, error) {
 	var spent int64
 	timeout := int64(t.cfg.StepTimeoutMicros * 1e3)
 	backoff := int64(t.cfg.RetryBackoffMicros * 1e3)
+	base := t.barrierClock()
 	for attempt := 0; ; attempt++ {
 		if err := fault.Point("dist.allreduce"); err == nil {
-			return spent + t.allreduceNanos(bytes), nil
+			lat := t.allreduceNanos(bytes)
+			t.ledger.recordAttempt(t.alive, bytes, attempt, attemptDelivered)
+			t.ledger.recordStep(spent + lat)
+			t.traceAllreduce(base, spent, lat, bytes, attempt+1)
+			t.alignClocks(base, spent+lat)
+			return spent + lat, nil
 		}
 		spent += timeout
 		if attempt >= t.cfg.MaxRetries {
-			// Retries exhausted: declare the configured node dead, degrade
-			// onto the survivors and complete the step among them.
-			if err := t.failNode(t.cfg.FailNode); err != nil {
+			// Retries exhausted: the failed attempt's payload is lost, the
+			// configured node is declared dead, and the step completes among
+			// the survivors (whose final send is what gets delivered).
+			t.ledger.recordAttempt(t.alive, bytes, attempt, attemptLost)
+			t.traceStall(base, spent)
+			if err := t.failNode(t.cfg.FailNode, base+spent); err != nil {
 				return 0, err
 			}
-			return spent + t.allreduceNanos(bytes), nil
+			lat := t.allreduceNanos(bytes)
+			t.ledger.recordAttempt(t.alive, bytes, attempt+1, attemptDelivered)
+			t.ledger.recordStep(spent + lat)
+			// failNode aligned the survivors' clocks past the recovery
+			// window; the final transfer runs from there.
+			b2 := t.barrierClock()
+			t.traceAllreduce(b2, 0, lat, bytes, attempt+2)
+			t.alignClocks(b2, lat)
+			return spent + lat, nil
 		}
+		// The failed attempt's payload will be sent again: retransmitted.
+		t.ledger.recordAttempt(t.alive, bytes, attempt, attemptRetransmitted)
 		mAllreduceRetries.Inc()
 		d := backoff << attempt
 		spent += d
@@ -79,8 +100,9 @@ func (t *Trainer) allreduceWithRetry(bytes int64) (int64, error) {
 	}
 }
 
-// failNode declares a cluster node dead and re-owns its shards.
-func (t *Trainer) failNode(node int) error {
+// failNode declares a cluster node dead at virtual time ts and re-owns its
+// shards onto the survivors.
+func (t *Trainer) failNode(node int, ts int64) error {
 	if sp := obs.StartSpan("dist", "recover-node"); sp.Active() {
 		defer sp.End()
 	}
@@ -102,7 +124,11 @@ func (t *Trainer) failNode(node int) error {
 		return fmt.Errorf("dist: all %d nodes failed, cannot continue", t.cfg.Nodes)
 	}
 	t.alive[node] = false
+	t.ledger.failures++
 	mNodeFailures.Inc()
+	obs.InstantAt("dist-node", "node-death", nodePID(node), 0, ts)
+	obs.L().Warn("dist node died",
+		obs.KeyComponent, "dist", obs.KeyRound, t.ledger.round, obs.KeyNode, node)
 
 	survivors := make([]int, 0, len(t.alive))
 	for i, a := range t.alive {
@@ -128,17 +154,22 @@ func (t *Trainer) failNode(node int) error {
 	rec := int64(float64(bytes)/(t.cfg.BandwidthMBps*1e6)*1e9) +
 		int64(t.cfg.LatencyMicros*1e3)
 	t.recoveryNanos += rec
+	// The survivors spend the recovery window re-reading the dead node's
+	// shard: a visible span on each survivor's lane.
+	for _, s := range survivors {
+		obs.SpanAt("dist-node", "recover-shards", nodePID(s), 0, ts, rec)
+	}
+	t.alignClocks(ts, rec)
 	t.pool.RecordExternalRegion(1, 0, rec, 0, rec)
 	t.prof.Add(profile.Other, time.Duration(rec))
 	return nil
 }
 
-// nodeWall turns per-owner serial compute times into the simulated
-// parallel step time: each alive node divides its load across `workers`
-// threads (stragglers run StragglerFactor slower), and the slowest node
-// bounds the step.
-func (t *Trainer) nodeWall(perOwner []int64, workers int64) int64 {
-	var maxNode int64
+// nodeWalls turns per-owner serial compute times into each alive node's
+// simulated parallel phase time: a node divides its load across `workers`
+// threads, and stragglers run StragglerFactor slower.
+func (t *Trainer) nodeWalls(perOwner []int64, workers int64) []int64 {
+	walls := make([]int64, len(perOwner))
 	for node, d := range perOwner {
 		if d == 0 || !t.alive[node] {
 			continue
@@ -146,10 +177,7 @@ func (t *Trainer) nodeWall(perOwner []int64, workers int64) int64 {
 		if t.cfg.StragglerFactor > 1 && node == t.cfg.StragglerNode {
 			d = int64(float64(d) * t.cfg.StragglerFactor)
 		}
-		dn := d / workers
-		if dn > maxNode {
-			maxNode = dn
-		}
+		walls[node] = d / workers
 	}
-	return maxNode
+	return walls
 }

@@ -7,6 +7,8 @@ import (
 
 	"harpgbdt/internal/boost"
 	"harpgbdt/internal/core"
+	"harpgbdt/internal/dist"
+	"harpgbdt/internal/engine"
 	"harpgbdt/internal/grow"
 	"harpgbdt/internal/perf"
 	"harpgbdt/internal/profile"
@@ -28,13 +30,18 @@ type BenchReport struct {
 	GoMaxProcs int  `json:"gomaxprocs"`
 	Workers    int  `json:"workers"`
 	Virtual    bool `json:"virtual"`
-	// Dataset shape.
+	// Dataset shape. Seed is recorded so the regression gate replays the
+	// exact dataset (absent in old baselines = the default seed).
 	Dataset  string `json:"dataset"`
 	Rows     int    `json:"rows"`
 	Features int    `json:"features"`
 	Rounds   int    `json:"rounds"`
+	Seed     uint64 `json:"seed,omitempty"`
 	// Engine is the trainer name (harp-ASYNC etc.).
 	Engine string `json:"engine"`
+	// DistNodes is the simulated cluster size of a distributed run (0 =
+	// single-node engine).
+	DistNodes int `json:"dist_nodes,omitempty"`
 	// Headline numbers: total tree-building time, the paper's per-tree
 	// metric, and row throughput (rows x rounds / train_seconds). NsPerRow
 	// is the machine-normalized form the regression gate prefers over raw
@@ -60,6 +67,9 @@ type BenchReport struct {
 	// Perf is the per-worker wait-state report (present when the run had
 	// Scale.Perf set).
 	Perf *perf.Report `json:"perf,omitempty"`
+	// Comms is the distributed run's message/byte ledger (present when the
+	// run had Scale.DistNodes > 0).
+	Comms *dist.CommsReport `json:"comms,omitempty"`
 	// Model quality and shape, to catch silent correctness regressions in
 	// a perf diff.
 	TrainAUC float64 `json:"train_auc"`
@@ -87,14 +97,34 @@ func Bench(sc Scale) (*BenchReport, *profile.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	b, err := core.NewBuilder(core.Config{
-		Mode: core.Async, K: 32, Growth: grow.Leafwise, TreeSize: 8,
-		FeatureBlockSize: 4, NodeBlockSize: 32, UseMemBuf: true,
-		Params: params(), Workers: sc.Workers, Virtual: !sc.RealThreads,
-		Perf: sc.Perf,
-	}, ds)
-	if err != nil {
-		return nil, nil, err
+	// DistNodes selects the simulated-cluster trainer; otherwise the paper's
+	// single-node ASYNC engine. Both implement engine.Builder, so the same
+	// boost loop and report plumbing drive either.
+	var (
+		b  engine.Builder
+		cb *core.Builder
+		dt *dist.Trainer
+	)
+	if sc.DistNodes > 0 {
+		dt, err = dist.NewTrainer(dist.Config{
+			Nodes: sc.DistNodes, WorkersPerNode: sc.Workers,
+			TreeSize: 8, K: 32, Params: params(),
+		}, ds)
+		if err != nil {
+			return nil, nil, err
+		}
+		b = dt
+	} else {
+		cb, err = core.NewBuilder(core.Config{
+			Mode: core.Async, K: 32, Growth: grow.Leafwise, TreeSize: 8,
+			FeatureBlockSize: 4, NodeBlockSize: 32, UseMemBuf: true,
+			Params: params(), Workers: sc.Workers, Virtual: !sc.RealThreads,
+			Perf: sc.Perf,
+		}, ds)
+		if err != nil {
+			return nil, nil, err
+		}
+		b = cb
 	}
 	spin0 := sched.ReadSpinStats()
 	res, err := boost.Train(b, ds, boost.Config{Rounds: sc.Rounds, EvalEvery: sc.Rounds}, nil, nil)
@@ -112,6 +142,7 @@ func Bench(sc Scale) (*BenchReport, *profile.Table, error) {
 		Rows:                  ds.NumRows(),
 		Features:              ds.NumFeatures(),
 		Rounds:                len(res.PerTree),
+		Seed:                  sc.Seed,
 		Engine:                b.Name(),
 		TrainSeconds:          trainSec,
 		MsPerTree:             ms(res.AvgTreeTime()),
@@ -131,9 +162,15 @@ func Bench(sc Scale) (*BenchReport, *profile.Table, error) {
 		r.RowsPerSec = rowRounds / trainSec
 		r.NsPerRow = trainSec * 1e9 / rowRounds
 	}
-	if acc := b.Perf(); acc != nil {
-		pr := acc.Snapshot()
-		r.Perf = &pr
+	if cb != nil {
+		if acc := cb.Perf(); acc != nil {
+			pr := acc.Snapshot()
+			r.Perf = &pr
+		}
+	}
+	if dt != nil {
+		r.DistNodes = sc.DistNodes
+		r.Comms = dt.CommsReport()
 	}
 	for p := profile.BuildHist; p <= profile.Other; p++ {
 		r.PhaseSeconds[p.String()] = float64(rep.Breakdown.Nanos(p)) / 1e9
@@ -153,6 +190,12 @@ func Bench(sc Scale) (*BenchReport, *profile.Table, error) {
 	tb.AddRow("spin contended", r.SpinContendedAcquires)
 	tb.AddRow("spin yields", r.SpinGoschedYields)
 	tb.AddRow("train AUC", r.TrainAUC)
+	if r.Comms != nil {
+		ct := r.Comms.Totals
+		tb.AddRow("comms msgs sent", ct.MsgsSent)
+		tb.AddRow("comms sent MB", float64(ct.SentBytes)/1e6)
+		tb.AddRow("comms retries", ct.Retries)
+	}
 	return r, tb, nil
 }
 

@@ -33,11 +33,18 @@ type BenchTolerance struct {
 	// Time bounds the relative regression of ns/row; 0 disables the
 	// wall-time comparison entirely.
 	Time float64
+	// Comms bounds the relative drift of the distributed ledger's payload
+	// volume (sent bytes). The comparison itself is opt-in: it only runs
+	// when the baseline carries a comms section. Message and step counts
+	// are analytic (ring hop count x deterministic tree shape), so they
+	// must match exactly; byte volume moves with the histogram layout and
+	// gets this tolerance.
+	Comms float64
 }
 
 // DefaultBenchTolerance returns the CI gate's tolerances.
 func DefaultBenchTolerance() BenchTolerance {
-	return BenchTolerance{Ratio: 0.35, Structural: 0.15, AUC: 5e-3}
+	return BenchTolerance{Ratio: 0.35, Structural: 0.15, AUC: 5e-3, Comms: 0.05}
 }
 
 // LoadBenchReport reads a bench JSON report from disk.
@@ -85,6 +92,7 @@ func DiffBench(base, cur *BenchReport, tol BenchTolerance) []string {
 	cfg("rounds", base.Rounds, cur.Rounds)
 	cfg("workers", base.Workers, cur.Workers)
 	cfg("virtual", base.Virtual, cur.Virtual)
+	cfg("dist nodes", base.DistNodes, cur.DistNodes)
 	if cfgMismatch {
 		return bad
 	}
@@ -125,6 +133,28 @@ func DiffBench(base, cur *BenchReport, tol BenchTolerance) []string {
 		measured("phase fraction "+phase, b, cur.PhaseFractions[phase])
 	}
 
+	// Distributed comms ledger: opt-in — only compared when the committed
+	// baseline carries a comms section. Message and allreduce step counts
+	// are analytic given the configuration and the (leaf-pinned) tree
+	// shape, so drift there is a communication-pattern change, not noise.
+	if base.Comms != nil {
+		if cur.Comms == nil {
+			bad = append(bad, "comms section missing from current run (baseline has one)")
+		} else {
+			bt, ct := base.Comms.Totals, cur.Comms.Totals
+			if bt.MsgsSent != ct.MsgsSent {
+				bad = append(bad, fmt.Sprintf("comms messages changed: baseline %d, current %d", bt.MsgsSent, ct.MsgsSent))
+			}
+			if bt.Steps != ct.Steps {
+				bad = append(bad, fmt.Sprintf("allreduce steps changed: baseline %d, current %d", bt.Steps, ct.Steps))
+			}
+			if d := relDrift(float64(bt.SentBytes), float64(ct.SentBytes)); d > tol.Comms {
+				bad = append(bad, fmt.Sprintf("comms payload drifted %.1f%% (tolerance %.1f%%): baseline %d bytes, current %d bytes",
+					100*d, 100*tol.Comms, bt.SentBytes, ct.SentBytes))
+			}
+		}
+	}
+
 	// Wall time: opt-in, regression direction only (a faster run never
 	// fails the gate).
 	if tol.Time > 0 && base.NsPerRow > 0 {
@@ -140,7 +170,7 @@ func DiffBench(base, cur *BenchReport, tol BenchTolerance) []string {
 // configuration, so the gate always compares like with like.
 func scaleFor(base *BenchReport) Scale {
 	return Scale{Rows: base.Rows, Rounds: base.Rounds, Workers: base.Workers,
-		RealThreads: !base.Virtual}
+		Seed: base.Seed, RealThreads: !base.Virtual, DistNodes: base.DistNodes}
 }
 
 // BenchGate is the CI regression gate: it re-runs the benchmark `runs`

@@ -46,6 +46,11 @@ type Scale struct {
 	// experiments that can attach it (Bench); the Efficiency experiment
 	// always enables it.
 	Perf bool
+	// DistNodes > 0 switches Bench to the simulated distributed trainer
+	// (internal/dist) with that many cluster nodes; the report then carries
+	// a comms section (per-node message/byte ledger). 0 keeps the
+	// single-node ASYNC engine.
+	DistNodes int
 }
 
 func (s Scale) withDefaults() Scale {

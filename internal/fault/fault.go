@@ -223,8 +223,13 @@ func (r *Registry) Point(name string) error {
 	a.fired.Add(1)
 	r.mu.Unlock()
 	mInjected.Inc()
+	obs.L().Warn("fault injected", obs.KeyComponent, "fault", obs.KeyPoint, name)
 	switch f.Kind {
 	case Panic:
+		// A panic-kind fault may take the whole process down before any
+		// recovery layer runs; dump the flight recorder first so the crash
+		// always leaves a post-mortem artifact.
+		_, _ = obs.DumpFlight("injected panic")
 		panic(&InjectedPanic{Point: name, Message: f.Message})
 	case Delay:
 		time.Sleep(f.Sleep)

@@ -126,6 +126,10 @@ func TestObsHygienePerfFixture(t *testing.T) {
 	checkFixture(t, "perfbad", lint.DefaultAnalyses("harpgbdt"))
 }
 
+func TestObsHygieneLogFixture(t *testing.T) {
+	checkFixture(t, "logbad", lint.DefaultAnalyses("harpgbdt"))
+}
+
 func TestIgnoreDirectives(t *testing.T) {
 	checkFixture(t, "ignorebad", lint.DefaultAnalyses("harpgbdt"))
 }

@@ -9,14 +9,15 @@ import (
 )
 
 // obsHygieneAnalysis keeps the observability surface statically
-// enumerable: every metric name, label key and trace span category/name
-// must be a compile-time constant at the registration or span-start call
-// site. Dynamic names would make dashboards unguessable, explode
-// registry cardinality, and defeat grep-ability of the telemetry schema.
+// enumerable: every metric name, label key, trace span category/name and
+// structured-log message/key must be a compile-time constant at the call
+// site. Dynamic names would make dashboards unguessable, explode registry
+// cardinality, and defeat grep-ability of the telemetry and log schemas.
 //
 // obs.Labels(name, k1, v1, ...) is the sanctioned way to attach dynamic
-// *values*: its base name and label keys must still be constant, the
-// values may vary.
+// metric *values*: its base name and label keys must still be constant,
+// the values may vary. Likewise obs.Logger calls carry dynamic values in
+// the kv tail, but their messages and keys are the static log schema.
 type obsHygieneAnalysis struct{}
 
 func (*obsHygieneAnalysis) Rules() []string { return []string{"obshygiene"} }
@@ -25,9 +26,11 @@ func (*obsHygieneAnalysis) Rules() []string { return []string{"obshygiene"} }
 // constant: indexes into the call's argument list.
 type constArgSpec struct {
 	args []int
-	// labelKeys marks obs.Labels-style variadic calls where every even
-	// variadic position (the label keys) must be constant too.
-	labelKeys bool
+	// kv marks variadic key/value calls (obs.Labels label keys, obs.Logger
+	// structured-log keys): every even variadic position starting at
+	// kvFrom — the keys — must be constant too.
+	kv     bool
+	kvFrom int
 }
 
 // obsFuncs maps function names in the obs package (free functions and
@@ -37,13 +40,23 @@ var obsFuncs = map[string]constArgSpec{
 	"StartSpan":    {args: []int{0, 1}},
 	"StartSpanTID": {args: []int{0, 1}},
 	"Instant":      {args: []int{0, 1}},
+	"SpanAt":       {args: []int{0, 1}},
+	"InstantAt":    {args: []int{0, 1}},
+	"FlowStartAt":  {args: []int{0, 1}},
+	"FlowEndAt":    {args: []int{0, 1}},
 	"Counter":      {args: []int{0}},
 	"Gauge":        {args: []int{0}},
 	"Histogram":    {args: []int{0}},
 	"CounterFunc":  {args: []int{0}},
 	"GaugeFunc":    {args: []int{0}},
 	"CounterTrack": {args: []int{0, 1}},
-	"Labels":       {args: []int{0}, labelKeys: true},
+	"Labels":       {args: []int{0}, kv: true, kvFrom: 1},
+	// obs.Logger: the message and every structured-log key are schema.
+	"Debug": {args: []int{0}, kv: true, kvFrom: 1},
+	"Info":  {args: []int{0}, kv: true, kvFrom: 1},
+	"Warn":  {args: []int{0}, kv: true, kvFrom: 1},
+	"Error": {args: []int{0}, kv: true, kvFrom: 1},
+	"With":  {kv: true, kvFrom: 0},
 }
 
 // perfFuncs extends the same static-schema contract to the perf package's
@@ -86,13 +99,13 @@ func (a *obsHygieneAnalysis) Check(p *Package, report func(rule string, pos toke
 						i+1, sel.Sel.Name))
 				}
 			}
-			if spec.labelKeys {
-				// Variadic kv pairs start after the name: keys at even
-				// offsets within the pairs.
-				for i := 1; i < len(call.Args); i += 2 {
+			if spec.kv {
+				// Variadic kv pairs: keys at even offsets within the pairs.
+				for i := spec.kvFrom; i < len(call.Args); i += 2 {
 					if !a.constantString(p, call.Args[i]) {
 						report("obshygiene", call.Args[i].Pos(), fmt.Sprintf(
-							"label key (argument %d) of obs.Labels must be a compile-time constant", i+1))
+							"key (argument %d) of obs.%s must be a compile-time constant (label and log keys are a static schema)",
+							i+1, sel.Sel.Name))
 					}
 				}
 			}

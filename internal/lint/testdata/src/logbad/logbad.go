@@ -1,0 +1,57 @@
+// Package logbad is a harplint test fixture for the obshygiene rule's
+// structured-logging and explicit-lane tracing coverage: log messages,
+// log keys and trace span names must be compile-time constants.
+package logbad
+
+import "harpgbdt/internal/obs"
+
+const keyExtra = "extra"
+
+func dynamicMessage(msg string) {
+	obs.L().Info(msg, obs.KeyRound, 3) // want obshygiene
+}
+
+func dynamicKey(key string, v int) {
+	obs.L().Warn("node died", key, v) // want obshygiene
+}
+
+func dynamicSecondKey(key string) {
+	obs.L().Error("round failed", obs.KeyError, "boom", key, 1) // want obshygiene
+}
+
+func dynamicWithKey(lg *obs.Logger, key string) *obs.Logger {
+	return lg.With(key, "v") // want obshygiene
+}
+
+func dynamicSpanAt(name string) {
+	obs.SpanAt("dist-node", name, 2, 0, 0, 10) // want obshygiene
+}
+
+func dynamicFlowName(name string) {
+	obs.FlowStartAt("dist-comm", name, 2, 0, 0, 7) // want obshygiene
+	obs.FlowEndAt("dist-comm", name, 3, 0, 5, 7)   // want obshygiene
+}
+
+func dynamicInstantAt(name string) {
+	obs.InstantAt("dist-node", name, 3, 0, 400) // want obshygiene
+}
+
+// Allowed patterns below must stay silent.
+
+func constLogging(lg *obs.Logger, round int, err error) {
+	lg = lg.With(obs.KeyRun, "r1", obs.KeyComponent, "boost")
+	lg.Debug("round complete", obs.KeyRound, round, keyExtra, err)
+	obs.L().Info("train start", "rounds", round)
+}
+
+// Dynamic *values* in the kv tail are the point of structured logging.
+func dynamicValues(node int, state string) {
+	obs.L().Warn("dist node died", obs.KeyNode, node, obs.KeyPhase, state)
+}
+
+func constLanes(node int, ts int64) {
+	obs.SpanAt("dist-node", "build-hist", node+2, 0, ts, 10)
+	obs.InstantAt("dist-node", "node-death", node+2, 0, ts)
+	obs.FlowStartAt("dist-comm", "ghsum", node+2, 0, ts, 1)
+	obs.FlowEndAt("dist-comm", "ghsum", node+3, 0, ts, 1)
+}

@@ -1,0 +1,200 @@
+package obs
+
+// The flight recorder is the crash post-mortem layer: a bounded lock-free
+// ring buffer of the most recent structured log events. Every event the
+// obs.Logger emits is recorded here regardless of the output level, so
+// when a worker panics or an injected fault kills the run, Dump writes the
+// last events — run id, node, round, depth, phase keys intact — to a
+// checksummed safeio artifact that survives the process.
+//
+// Record is wait-free: one atomic counter increment plus one atomic slot
+// store, no locks, so the recorder is safe to feed from panic paths and
+// hot loops alike.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"harpgbdt/internal/safeio"
+)
+
+// DefaultFlightEvents is the default ring capacity — enough to hold many
+// rounds of per-round events while keeping a dump file small.
+const DefaultFlightEvents = 256
+
+// FlightEvent is one recorded structured-log event.
+type FlightEvent struct {
+	// TimeUnixNanos is the wall-clock event time.
+	TimeUnixNanos int64 `json:"t"`
+	// Seq is the event's position in the recorder's total event sequence
+	// (monotonic; dumps of a wrapped ring expose how many events preceded
+	// the retained window).
+	Seq uint64 `json:"seq"`
+	// Level is the slog level string (DEBUG, INFO, WARN, ERROR).
+	Level string `json:"level"`
+	// Msg is the constant event message.
+	Msg string `json:"msg"`
+	// Attrs are the event's key/value annotations (run, node, round, ...).
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// FlightRecorder is the bounded ring. The zero value is unusable; use
+// NewFlightRecorder.
+type FlightRecorder struct {
+	slots  []atomic.Pointer[FlightEvent]
+	cursor atomic.Uint64
+	dumped atomic.Bool
+	path   string
+}
+
+// NewFlightRecorder returns a recorder retaining the last `size` events
+// (<= 0 selects DefaultFlightEvents). path is the Dump destination.
+func NewFlightRecorder(size int, path string) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightEvents
+	}
+	return &FlightRecorder{slots: make([]atomic.Pointer[FlightEvent], size), path: path}
+}
+
+// Path returns the armed dump destination.
+func (r *FlightRecorder) Path() string {
+	if r == nil {
+		return ""
+	}
+	return r.path
+}
+
+// Record stores one event, overwriting the oldest when the ring is full.
+// Wait-free and nil-safe.
+func (r *FlightRecorder) Record(ev FlightEvent) {
+	if r == nil {
+		return
+	}
+	seq := r.cursor.Add(1) - 1
+	ev.Seq = seq
+	r.slots[seq%uint64(len(r.slots))].Store(&ev)
+}
+
+// Len reports how many events are currently retained.
+func (r *FlightRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.cursor.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Events returns the retained events oldest-first. Under concurrent
+// recording the snapshot is best-effort (a slot may be overwritten while
+// the ring is walked), which is exactly the fidelity a crash dump needs.
+func (r *FlightRecorder) Events() []FlightEvent {
+	if r == nil {
+		return nil
+	}
+	n := r.cursor.Load()
+	size := uint64(len(r.slots))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	out := make([]FlightEvent, 0, n-start)
+	for seq := start; seq < n; seq++ {
+		if ev := r.slots[seq%size].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	return out
+}
+
+// FlightDump is the serialized post-mortem artifact.
+type FlightDump struct {
+	// Reason records what triggered the dump (worker panic, injected
+	// fault, training error).
+	Reason string `json:"reason"`
+	// DumpedUnixNanos is the dump wall-clock time.
+	DumpedUnixNanos int64 `json:"dumped_unix_nanos"`
+	// TotalEvents is how many events were recorded over the run; the dump
+	// retains at most the ring capacity of trailing events.
+	TotalEvents uint64 `json:"total_events"`
+	// Events are the retained trailing events, oldest first.
+	Events []FlightEvent `json:"events"`
+}
+
+// Dump writes the post-mortem artifact to the recorder's armed path as a
+// checksummed safeio file. Only the first dump of a recorder wins:
+// cascading failure paths (worker panic → training error → CLI exit) each
+// try to dump, and the one closest to the fault is the one worth keeping.
+// Nil-safe; returns the written path.
+func (r *FlightRecorder) Dump(reason string) (string, error) {
+	if r == nil || r.path == "" {
+		return "", nil
+	}
+	if !r.dumped.CompareAndSwap(false, true) {
+		return r.path, nil
+	}
+	doc := FlightDump{
+		Reason:          reason,
+		DumpedUnixNanos: time.Now().UnixNano(),
+		TotalEvents:     r.cursor.Load(),
+		Events:          r.Events(),
+	}
+	err := safeio.WriteFile(r.path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		return enc.Encode(doc)
+	})
+	if err != nil {
+		return "", err
+	}
+	return r.path, nil
+}
+
+// ReadFlightDump loads and verifies a dump artifact: the safeio checksum
+// footer must be present and valid, and the payload must parse.
+func ReadFlightDump(path string) (*FlightDump, error) {
+	payload, verified, err := safeio.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !verified {
+		return nil, fmt.Errorf("obs: flight dump %s has no integrity footer", path)
+	}
+	var doc FlightDump
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		return nil, fmt.Errorf("obs: flight dump %s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// defaultFlight is the process-wide recorder the crash paths dump.
+var defaultFlight atomic.Pointer[FlightRecorder]
+
+// ArmFlightRecorder installs a process-wide flight recorder dumping to
+// path on the first crash (size <= 0 selects DefaultFlightEvents). Every
+// obs.Logger event is recorded into it from then on. Returns the recorder;
+// passing an empty path disarms.
+func ArmFlightRecorder(path string, size int) *FlightRecorder {
+	if path == "" {
+		defaultFlight.Store(nil)
+		return nil
+	}
+	r := NewFlightRecorder(size, path)
+	defaultFlight.Store(r)
+	return r
+}
+
+// Flight returns the armed process-wide recorder (nil when disarmed).
+func Flight() *FlightRecorder { return defaultFlight.Load() }
+
+// DumpFlight dumps the process-wide recorder (no-op when disarmed).
+// Crash paths — worker panic recovery, injected-fault panics, training
+// error exits — call this so every crash leaves a post-mortem file.
+func DumpFlight(reason string) (string, error) {
+	return defaultFlight.Load().Dump(reason)
+}

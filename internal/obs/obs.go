@@ -23,7 +23,8 @@
 // on "is observability on".
 //
 // The package is intentionally a leaf: it imports only the standard
-// library, so every other internal package may import it freely.
+// library and the (equally leaf) safeio writer the flight recorder dumps
+// through, so every other internal package may import it freely.
 package obs
 
 import (
@@ -165,5 +166,44 @@ func Instant(cat, name string, tid int) {
 func CounterTrack(cat, name string, tid int, args ...Arg) {
 	if t := defaultTracer.Load(); t != nil {
 		t.CounterTrack(cat, name, tid, args...)
+	}
+}
+
+// SpanAt records an explicit-timestamp span on the given (pid, tid) lane
+// of the default tracer. Simulated cluster nodes use this to place their
+// virtual-clock timeline next to the real-time lanes in one merged trace.
+func SpanAt(cat, name string, pid, tid int, ts, dur int64, args ...Arg) {
+	if t := defaultTracer.Load(); t != nil {
+		t.SpanAt(cat, name, pid, tid, ts, dur, args...)
+	}
+}
+
+// InstantAt records an explicit-timestamp instant on the given (pid, tid)
+// lane of the default tracer.
+func InstantAt(cat, name string, pid, tid int, ts int64) {
+	if t := defaultTracer.Load(); t != nil {
+		t.InstantAt(cat, name, pid, tid, ts)
+	}
+}
+
+// FlowStartAt opens a flow arrow (send side) on the default tracer.
+func FlowStartAt(cat, name string, pid, tid int, ts int64, id uint64) {
+	if t := defaultTracer.Load(); t != nil {
+		t.FlowStartAt(cat, name, pid, tid, ts, id)
+	}
+}
+
+// FlowEndAt terminates a flow arrow (receive side) on the default tracer.
+func FlowEndAt(cat, name string, pid, tid int, ts int64, id uint64) {
+	if t := defaultTracer.Load(); t != nil {
+		t.FlowEndAt(cat, name, pid, tid, ts, id)
+	}
+}
+
+// SetProcessName names a pid lane group on the default tracer (no-op when
+// tracing is disabled).
+func SetProcessName(pid int, name string) {
+	if t := defaultTracer.Load(); t != nil {
+		t.SetProcessName(pid, name)
 	}
 }

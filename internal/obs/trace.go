@@ -22,13 +22,17 @@ type Arg struct {
 }
 
 // event is one recorded trace event (Chrome trace-event "phases": 'X' =
-// complete span, 'i' = instant, 'C' = counter sample). Timestamps are
-// nanoseconds since the tracer's epoch.
+// complete span, 'i' = instant, 'C' = counter sample, 's'/'f' = flow
+// start/end). Timestamps are nanoseconds since the tracer's epoch. pid 0
+// is serialized as the in-process default lane group (pid 1); simulated
+// cluster nodes record under their own pid so the merged trace shows one
+// lane group per node.
 type event struct {
 	name, cat string
 	ph        byte
 	ts, dur   int64
-	tid       int32
+	pid, tid  int32
+	flowID    uint64
 	args      []Arg
 }
 
@@ -39,9 +43,10 @@ type Tracer struct {
 	epoch time.Time
 	max   int
 
-	mu      sync.Mutex
-	events  []event
-	dropped int64
+	mu       sync.Mutex
+	events   []event
+	dropped  int64
+	procName map[int]string
 }
 
 // NewTracer returns an enabled tracer holding up to maxEvents events
@@ -117,6 +122,62 @@ func (t *Tracer) CounterTrack(cat, name string, tid int, args ...Arg) {
 	t.add(event{name: name, cat: cat, ph: 'C', ts: t.now(), tid: int32(tid), args: args})
 }
 
+// SetProcessName names a pid lane group in the serialized trace
+// (process_name metadata). The default pid group is named "harpgbdt";
+// simulated cluster nodes register their own pid here so the merged trace
+// shows one named lane group per node. Nil-safe.
+func (t *Tracer) SetProcessName(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.procName == nil {
+		t.procName = make(map[int]string)
+	}
+	t.procName[pid] = name
+	t.mu.Unlock()
+}
+
+// SpanAt records a complete span with an explicit timestamp and duration
+// (nanoseconds on the caller's clock — the simulated cluster records its
+// virtual-clock timeline this way) on the given (pid, tid) lane. Nil-safe.
+func (t *Tracer) SpanAt(cat, name string, pid, tid int, ts, dur int64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.add(event{name: name, cat: cat, ph: 'X', ts: ts, dur: dur, pid: int32(pid), tid: int32(tid), args: args})
+}
+
+// InstantAt records a zero-duration marker at an explicit timestamp on the
+// given (pid, tid) lane. Nil-safe.
+func (t *Tracer) InstantAt(cat, name string, pid, tid int, ts int64) {
+	if t == nil {
+		return
+	}
+	t.add(event{name: name, cat: cat, ph: 'i', ts: ts, pid: int32(pid), tid: int32(tid)})
+}
+
+// FlowStartAt opens one arrow of a flow (Chrome flow-event 's') at an
+// explicit timestamp: the trace viewer draws an arrow from here to the
+// FlowEndAt event recorded with the same id. Used to link a simulated
+// node's allreduce send to the receiving node's lane. Nil-safe.
+func (t *Tracer) FlowStartAt(cat, name string, pid, tid int, ts int64, id uint64) {
+	if t == nil {
+		return
+	}
+	t.add(event{name: name, cat: cat, ph: 's', ts: ts, pid: int32(pid), tid: int32(tid), flowID: id})
+}
+
+// FlowEndAt terminates the flow arrow with the given id on the receiving
+// (pid, tid) lane (Chrome flow-event 'f', bound to the enclosing slice).
+// Nil-safe.
+func (t *Tracer) FlowEndAt(cat, name string, pid, tid int, ts int64, id uint64) {
+	if t == nil {
+		return
+	}
+	t.add(event{name: name, cat: cat, ph: 'f', ts: ts, pid: int32(pid), tid: int32(tid), flowID: id})
+}
+
 func (t *Tracer) add(ev event) {
 	t.mu.Lock()
 	if len(t.events) < t.max {
@@ -158,6 +219,8 @@ type jsonEvent struct {
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -167,9 +230,17 @@ type jsonTrace struct {
 	OtherData       map[string]any `json:"otherData,omitempty"`
 }
 
+// DefaultPID is the pid every implicit-clock event (StartSpan, Instant,
+// CounterTrack) is serialized under; explicit-lane events (SpanAt and
+// friends) pick their own pid, giving each simulated cluster node its own
+// process group in the merged trace.
+const DefaultPID = 1
+
 // WriteJSON serializes the recorded events as a Chrome trace-event JSON
-// object ({"traceEvents": [...]}). Lane 0 is named "orchestrator" and lane
-// n > 0 "worker-<n-1>" via thread_name metadata events.
+// object ({"traceEvents": [...]}). In the default pid group, lane 0 is
+// named "orchestrator" and lane n > 0 "worker-<n-1>" via thread_name
+// metadata events; other pid groups carry the names registered with
+// SetProcessName.
 func (t *Tracer) WriteJSON(w io.Writer) error {
 	if t == nil {
 		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
@@ -179,36 +250,74 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	events := make([]event, len(t.events))
 	copy(events, t.events)
 	dropped := t.dropped
+	procName := make(map[int]string, len(t.procName)+1)
+	for pid, name := range t.procName {
+		procName[pid] = name
+	}
 	t.mu.Unlock()
 
 	sort.SliceStable(events, func(i, j int) bool { return events[i].ts < events[j].ts })
 
-	const pid = 1
+	if _, ok := procName[DefaultPID]; !ok {
+		procName[DefaultPID] = "harpgbdt"
+	}
 	doc := jsonTrace{DisplayTimeUnit: "ms"}
-	doc.TraceEvents = append(doc.TraceEvents, jsonEvent{
-		Name: "process_name", Ph: "M", PID: pid,
-		Args: map[string]any{"name": "harpgbdt"},
-	})
-	lanes := map[int32]bool{}
+	type lane struct{ pid, tid int }
+	lanes := map[lane]bool{}
+	pids := map[int]bool{DefaultPID: true}
 	for _, ev := range events {
-		lanes[ev.tid] = true
+		pid := int(ev.pid)
+		if pid == 0 {
+			pid = DefaultPID
+		}
+		lanes[lane{pid, int(ev.tid)}] = true
+		pids[pid] = true
 	}
-	laneIDs := make([]int, 0, len(lanes))
-	for tid := range lanes {
-		laneIDs = append(laneIDs, int(tid))
+	pidIDs := make([]int, 0, len(pids))
+	for pid := range pids {
+		pidIDs = append(pidIDs, pid)
 	}
-	sort.Ints(laneIDs)
-	for _, tid := range laneIDs {
-		name := "orchestrator"
-		if tid > 0 {
-			name = "worker-" + strconv.Itoa(tid-1)
+	sort.Ints(pidIDs)
+	for _, pid := range pidIDs {
+		name := procName[pid]
+		if name == "" {
+			name = "pid-" + strconv.Itoa(pid)
 		}
 		doc.TraceEvents = append(doc.TraceEvents, jsonEvent{
-			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	laneIDs := make([]lane, 0, len(lanes))
+	for l := range lanes {
+		laneIDs = append(laneIDs, l)
+	}
+	sort.Slice(laneIDs, func(i, j int) bool {
+		if laneIDs[i].pid != laneIDs[j].pid {
+			return laneIDs[i].pid < laneIDs[j].pid
+		}
+		return laneIDs[i].tid < laneIDs[j].tid
+	})
+	for _, l := range laneIDs {
+		var name string
+		switch {
+		case l.pid != DefaultPID && l.tid == 0:
+			name = "timeline"
+		case l.tid == 0:
+			name = "orchestrator"
+		default:
+			name = "worker-" + strconv.Itoa(l.tid-1)
+		}
+		doc.TraceEvents = append(doc.TraceEvents, jsonEvent{
+			Name: "thread_name", Ph: "M", PID: l.pid, TID: l.tid,
 			Args: map[string]any{"name": name},
 		})
 	}
 	for _, ev := range events {
+		pid := int(ev.pid)
+		if pid == 0 {
+			pid = DefaultPID
+		}
 		je := jsonEvent{
 			Name: ev.name, Cat: ev.cat, Ph: string(ev.ph),
 			TS: float64(ev.ts) / 1e3, PID: pid, TID: int(ev.tid),
@@ -218,6 +327,12 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		}
 		if ev.ph == 'i' {
 			je.S = "t" // thread-scoped instant
+		}
+		if ev.ph == 's' || ev.ph == 'f' {
+			je.ID = strconv.FormatUint(ev.flowID, 16)
+			if ev.ph == 'f' {
+				je.BP = "e" // bind the arrow head to the enclosing slice
+			}
 		}
 		if ev.ph == 'C' && ev.tid > 0 {
 			// Counter tracks are grouped by name in the viewer; suffix the

@@ -18,6 +18,8 @@ type parsedTrace struct {
 		Dur  float64        `json:"dur"`
 		PID  int            `json:"pid"`
 		TID  int            `json:"tid"`
+		ID   string         `json:"id"`
+		BP   string         `json:"bp"`
 		Args map[string]any `json:"args"`
 	} `json:"traceEvents"`
 	OtherData map[string]any `json:"otherData"`
@@ -134,6 +136,68 @@ func TestConcurrentSpansNestWellFormed(t *testing.T) {
 						tid, a.s, a.e, b.s, b.e)
 				}
 			}
+		}
+	}
+}
+
+// TestMultiNodeLanesAndFlows exercises the explicit-lane API the simulated
+// cluster uses: per-node pid groups with registered process names, spans
+// and instants at explicit virtual timestamps, and matched send→recv flow
+// arrows across pids.
+func TestMultiNodeLanesAndFlows(t *testing.T) {
+	tr := NewTracer(0)
+	for node := 0; node < 3; node++ {
+		pid := node + 2
+		tr.SetProcessName(pid, "node-"+string(rune('0'+node)))
+		tr.SpanAt("dist-node", "build-hist", pid, 0, int64(node)*100, 50)
+	}
+	tr.InstantAt("dist-node", "node-death", 3, 0, 400)
+	tr.FlowStartAt("dist-comm", "ghsum", 2, 0, 150, 7)
+	tr.FlowEndAt("dist-comm", "ghsum", 3, 0, 180, 7)
+
+	doc := decodeTrace(t, tr)
+	procNames := map[int]string{}
+	var flowStart, flowEnd int
+	flowIDs := map[string][2]int{} // id -> {start pid, end pid}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				procNames[ev.PID] = ev.Args["name"].(string)
+			}
+		case "s":
+			flowStart++
+			ids := flowIDs[ev.ID]
+			ids[0] = ev.PID
+			flowIDs[ev.ID] = ids
+		case "f":
+			flowEnd++
+			if ev.BP != "e" {
+				t.Errorf("flow end missing bp=e binding: %+v", ev)
+			}
+			ids := flowIDs[ev.ID]
+			ids[1] = ev.PID
+			flowIDs[ev.ID] = ids
+		}
+	}
+	if procNames[1] != "harpgbdt" {
+		t.Errorf("default pid not named: %v", procNames)
+	}
+	for node := 0; node < 3; node++ {
+		if got := procNames[node+2]; got != "node-"+string(rune('0'+node)) {
+			t.Errorf("node %d pid name = %q", node, got)
+		}
+	}
+	if flowStart != 1 || flowEnd != 1 {
+		t.Fatalf("flow events: %d starts, %d ends, want 1 each", flowStart, flowEnd)
+	}
+	if ids := flowIDs["7"]; ids[0] != 2 || ids[1] != 3 {
+		t.Fatalf("flow 7 links pids %v, want send on 2, recv on 3", ids)
+	}
+	// Explicit timestamps must round-trip through the µs wire format.
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "node-death" && ev.TS != 0.4 {
+			t.Errorf("node-death at %v µs, want 0.4", ev.TS)
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"harpgbdt/internal/fault"
+	"harpgbdt/internal/obs"
 )
 
 // recoverRegion runs fn and converts a region panic back into an error,
@@ -188,5 +189,44 @@ func TestAsPanicErrorPassthrough(t *testing.T) {
 	got := AsPanicError("raw")
 	if got.Worker != -1 || got.Value != "raw" || len(got.Stack) == 0 {
 		t.Fatalf("bad wrap: %+v", got)
+	}
+}
+
+func TestWorkerPanicDumpsFlightRecorder(t *testing.T) {
+	// A recovered worker panic dumps the armed flight recorder, with the
+	// recent structured-log tail intact.
+	path := t.TempDir() + "/flight.json"
+	obs.ArmFlightRecorder(path, 32)
+	defer obs.ArmFlightRecorder("", 0)
+	obs.L().Info("before the crash", obs.KeyWorker, 2)
+	p := NewPool(4)
+	err := recoverRegion(func() {
+		p.ParallelFor(1000, 1, func(lo, hi, w int) {
+			if lo == 500 {
+				panic("boom")
+			}
+		})
+	})
+	if err == nil {
+		t.Fatal("panic not surfaced")
+	}
+	doc, err := obs.ReadFlightDump(path)
+	if err != nil {
+		t.Fatalf("no readable flight dump after worker panic: %v", err)
+	}
+	if doc.Reason != "worker panic" {
+		t.Fatalf("dump reason %q", doc.Reason)
+	}
+	var sawBefore, sawPanic bool
+	for _, ev := range doc.Events {
+		if ev.Msg == "before the crash" {
+			sawBefore = true
+		}
+		if ev.Msg == "worker panic recovered" {
+			sawPanic = true
+		}
+	}
+	if !sawBefore || !sawPanic {
+		t.Fatalf("dump missing expected events: %+v", doc.Events)
 	}
 }

@@ -117,6 +117,12 @@ func (p *Pool) recoverWorker(worker int) {
 	if !ok {
 		pe = &PanicError{Value: r, Worker: worker, Stack: debug.Stack()}
 	}
+	// Dump the flight recorder from the goroutine closest to the fault:
+	// the ring's tail still holds the events leading up to the panic, and
+	// first-dump-wins keeps this dump even if outer layers dump again.
+	obs.L().Error("worker panic recovered",
+		obs.KeyComponent, "sched", obs.KeyWorker, worker, obs.KeyError, fmt.Sprint(pe.Value))
+	_, _ = obs.DumpFlight("worker panic")
 	p.fail.mu.Lock()
 	if p.fail.firstPanic == nil {
 		p.fail.firstPanic = pe
