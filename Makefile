@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test lint sanitize race-sanitize fuzz race fault bench benchdiff efficiency comms baseline trace clean
+.PHONY: check vet build test lint sanitize race-sanitize fuzz race fault chaos bench benchdiff efficiency comms baseline trace clean
 
 ## check: the full verification gate (vet + build + harplint + the test
 ## suite under race detector *and* harpdebug invariants + fault suite +
@@ -59,9 +59,19 @@ fault:
 	$(GO) test -race -run 'Flight|Logger' ./internal/obs/
 	$(GO) test -race -run 'Panic|Stop|Fault|Injected' ./internal/sched/
 	$(GO) test -race -run 'Resume|Checkpoint|Cancel|Corrupt' ./internal/boost/
-	$(GO) test -race -run 'Allreduce|Failure|Straggler|Nodes|Ledger|ClusterTrace' ./internal/dist/
+	$(GO) test -race -run 'Allreduce|Failure|Straggler|Nodes|Ledger|ClusterTrace|Rejoin|MultiNodeDeath|DeathDuringRecovery|Resume|ApplyChaos' ./internal/dist/
 	$(GO) test -race -run 'Reject|Corrupt|Missing' ./internal/dataset/
 	$(GO) test -race -run 'CrashResume|CacheFormat' ./cmd/harpgbdt/
+	$(GO) test -race -run 'Chaos' ./internal/experiments/
+
+## chaos: the deterministic chaos soak — 50 seeded randomized fault
+## schedules against the elastic distributed trainer, each asserting ledger
+## conservation, GHSum conservation, tree equivalence and clean-failure
+## flight dumps; writes chaos.json (fails on any invariant violation, the
+## failing seed is printed with its bit-for-bit replay command)
+chaos:
+	$(GO) run ./cmd/experiments -rows 4000 -dist-nodes 4 \
+		-chaos-n 50 -chaos-dir chaos-work -chaos-out chaos.json chaos
 
 ## bench: run the throughput benchmark and write BENCH_<date>.json
 bench:
@@ -98,4 +108,5 @@ trace:
 # BENCH_baseline.json is the committed regression reference — clean only
 # removes the date-stamped run outputs.
 clean:
-	rm -f trace.json efficiency.json comms.json cluster-trace.json BENCH_2*.json
+	rm -f trace.json efficiency.json comms.json cluster-trace.json chaos.json BENCH_2*.json
+	rm -rf chaos-work

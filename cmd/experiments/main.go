@@ -39,6 +39,11 @@ func main() {
 		commsOut   = flag.String("comms-out", "comms.json", "output path of the comms experiment's JSON report")
 		effOut     = flag.String("eff-out", "efficiency.json", "output path of the efficiency experiment's JSON report")
 		baseline   = flag.String("baseline", "BENCH_baseline.json", "benchdiff: committed baseline report to compare against")
+		chaosN     = flag.Int("chaos-n", 0, "chaos: number of seeded scenarios to soak (0 = default 50)")
+		chaosSeed  = flag.Uint64("chaos-seed", 0, "chaos: base seed of the scenario sweep (0 = default 1)")
+		chaosDir   = flag.String("chaos-dir", "chaos-work", "chaos: working directory for per-scenario checkpoints and flight dumps")
+		chaosOut   = flag.String("chaos-out", "chaos.json", "chaos: output path of the soak report")
+		chaosRe    = flag.Uint64("chaos-replay", 0, "chaos: replay exactly this seed instead of the sweep (bit-for-bit)")
 		diffRuns   = flag.Int("diff-runs", 2, "benchdiff: benchmark repetitions (the best run is compared)")
 		tolRatio   = flag.Float64("tol", 0, "benchdiff: relative tolerance on measured ratios (0 = default 0.35)")
 		tolTime    = flag.Float64("time-tol", 0, "benchdiff: relative ns/row regression tolerance (0 = wall time not gated)")
@@ -50,6 +55,7 @@ func main() {
 		}
 		fmt.Println("bench")
 		fmt.Println("benchdiff")
+		fmt.Println("chaos")
 		fmt.Println("comms")
 		fmt.Println("efficiency")
 		return
@@ -94,6 +100,11 @@ func main() {
 			err = runEfficiency(sc, *effOut)
 		case "benchdiff":
 			err = runBenchDiff(sc, *baseline, *diffRuns, *tolRatio, *tolTime)
+		case "chaos":
+			err = runChaos(sc, experiments.ChaosConfig{
+				N: *chaosN, BaseSeed: *chaosSeed, Nodes: *distNodes,
+				Dir: *chaosDir, ReplaySeed: *chaosRe,
+			}, *chaosOut)
 		default:
 			var tables []*experiments.Table
 			tables, err = runExperiment(name, sc)
@@ -183,6 +194,36 @@ func runComms(sc experiments.Scale, out string) error {
 		return err
 	}
 	fmt.Printf("comms report written to %s\n", out)
+	return nil
+}
+
+// runChaos soaks the elastic distributed trainer against seeded fault
+// schedules, prints the summary and failing seeds, writes the report, and
+// fails the run on any invariant violation.
+func runChaos(sc experiments.Scale, cc experiments.ChaosConfig, out string) error {
+	rep, err := experiments.Chaos(sc, cc)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Table().String())
+	for _, s := range rep.Scenarios {
+		if len(s.Violations) == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "chaos FAIL seed %d (%s):\n", s.Seed, s.Schedule)
+		for _, v := range s.Violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		fmt.Fprintf(os.Stderr, "  replay with: experiments -dist-nodes %d -chaos-replay %d -chaos-dir %s chaos\n",
+			rep.Nodes, s.Seed, cc.Dir)
+	}
+	if err := rep.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("chaos report written to %s (artifacts under %s)\n", out, cc.Dir)
+	if rep.Violations > 0 {
+		return fmt.Errorf("%d of %d chaos scenarios violated invariants", rep.Violations, len(rep.Scenarios))
+	}
 	return nil
 }
 

@@ -129,6 +129,9 @@ func cmdTrain(args []string) error {
 		fb        = fs.Int("feature-blk", 4, "feature block size (harp engine)")
 		nb        = fs.Int("node-blk", 32, "node block size (harp engine)")
 		workers   = fs.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
+		distNodes = fs.Int("dist-nodes", 0, "train on the simulated distributed cluster with this many nodes (0 = single-node engine; pinned into checkpoints)")
+		rejoinAft = fs.Int("rejoin-after", 0, "with -dist-nodes: automatically readmit a dead node after it sat out this many rounds (0 = no automatic readmission)")
+		failBudg  = fs.Int("failure-budget", 0, "with -dist-nodes: node deaths tolerated before a clean abort (0 = nodes-1, negative = none)")
 		virtual   = fs.Bool("virtual", false, "run on the simulated 32-worker parallel machine")
 		evalEvery = fs.Int("eval-every", 10, "print train AUC every N trees (0 = never)")
 		traceOut  = fs.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run to this file")
@@ -212,7 +215,17 @@ func cmdTrain(args []string) error {
 			fmt.Printf("resuming from checkpoint at round %d\n", ck.Round)
 		}
 	}
-	builder, err := harpgbdt.NewBuilder(opts, ds)
+	var builder harpgbdt.Builder
+	if *distNodes > 0 {
+		// The elastic simulated cluster: deaths walk the degradation ladder,
+		// checkpoints (via -checkpoint-dir) back node readmissions.
+		builder, err = harpgbdt.NewDistTrainer(harpgbdt.DistConfig{
+			Nodes: *distNodes, WorkersPerNode: *workers, TreeSize: *d, K: *k,
+			RejoinAfterRounds: *rejoinAft, FailureBudget: *failBudg,
+		}, ds)
+	} else {
+		builder, err = harpgbdt.NewBuilder(opts, ds)
+	}
 	if err != nil {
 		return err
 	}

@@ -94,6 +94,11 @@ func (c Config) withDefaults() Config {
 // cancelled Config.Ctx) mid-training.
 var ErrStopped = errors.New("boost: training stopped")
 
+// pointRound is the registered injection point at the top of every
+// boosting round.
+var pointRound = fault.RegisterPoint("boost.round",
+	"fires at the start of a boosting round, before gradients are computed")
+
 // cancelCause returns the reason training should stop, or nil.
 func cancelCause(cfg Config, pool *sched.Pool) error {
 	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
@@ -229,12 +234,24 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 	if subsampling {
 		rng = synth.NewRNG(cfg.Seed ^ 0x42535453)
 	}
+	// The elastic-cluster bridge: a cluster-sized builder pins its node
+	// count into every checkpoint (resume rejects a mismatch), and a
+	// checkpoint-observing builder learns where the durable artifact lives
+	// so readmitted nodes can restore from it.
+	distNodes := 0
+	if cs, ok := b.(engine.ClusterSized); ok {
+		distNodes = cs.ClusterNodes()
+	}
+	ckptObserver, _ := b.(engine.CheckpointObserver)
 	st := &trainState{margins: margins, bestMetric: math.Inf(-1), res: res}
 	if ck, err := maybeResume(cfg); err != nil {
 		return nil, err
 	} else if ck != nil {
-		if model, err = st.restore(ck, cfg, n, ds.NumFeatures()); err != nil {
+		if model, err = st.restore(ck, cfg, n, ds.NumFeatures(), distNodes); err != nil {
 			return nil, err
+		}
+		if ckptObserver != nil {
+			ckptObserver.ObserveCheckpoint(CheckpointPath(cfg.CheckpointDir), st.round)
 		}
 		margins = st.margins
 		if rng != nil {
@@ -292,7 +309,7 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 			pool.Stop()
 			return nil, fmt.Errorf("boost: round %d: %w", round, err)
 		}
-		if err := fault.Point("boost.round"); err != nil {
+		if err := fault.Point(pointRound); err != nil {
 			return nil, fmt.Errorf("boost: round %d: %w", round, err)
 		}
 		for _, cb := range cfg.Callbacks {
@@ -403,8 +420,11 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 				s := rng.State()
 				rngState = &s
 			}
-			if err := SaveCheckpoint(CheckpointPath(cfg.CheckpointDir), st.snapshot(model, rngState)); err != nil {
+			if err := SaveCheckpoint(CheckpointPath(cfg.CheckpointDir), st.snapshot(model, rngState, distNodes)); err != nil {
 				return nil, fmt.Errorf("boost: checkpoint after round %d: %w", round+1, err)
+			}
+			if ckptObserver != nil {
+				ckptObserver.ObserveCheckpoint(CheckpointPath(cfg.CheckpointDir), st.round)
 			}
 			lg.Debug("checkpoint saved", obs.KeyRound, round+1)
 		}

@@ -51,6 +51,11 @@ type Checkpoint struct {
 	BestMetric   float64 `json:"best_metric,omitempty"`
 	SinceBest    int     `json:"since_best,omitempty"`
 	StoppedEarly bool    `json:"stopped_early,omitempty"`
+	// DistNodes pins the simulated cluster size of the builder that wrote
+	// the checkpoint (engine.ClusterSized; 0 = single-node builder). Resume
+	// rejects a mismatch: a different sharding would silently change the
+	// simulated cost decomposition the run is measuring.
+	DistNodes int `json:"dist_nodes,omitempty"`
 	// Result bookkeeping so the resumed Result equals the uninterrupted one.
 	History        []EvalPoint `json:"history,omitempty"`
 	PerTreeNanos   []int64     `json:"per_tree_nanos,omitempty"`
@@ -134,7 +139,9 @@ type trainState struct {
 }
 
 // snapshot captures the loop state after st.round completed rounds.
-func (st *trainState) snapshot(model *Model, rngState *[4]uint64) *Checkpoint {
+// distNodes is the builder's simulated cluster size (0 for single-node
+// builders); it is pinned into the checkpoint.
+func (st *trainState) snapshot(model *Model, rngState *[4]uint64, distNodes int) *Checkpoint {
 	per := make([]int64, len(st.res.PerTree))
 	for i, d := range st.res.PerTree {
 		per[i] = d.Nanoseconds()
@@ -142,6 +149,7 @@ func (st *trainState) snapshot(model *Model, rngState *[4]uint64) *Checkpoint {
 	c := &Checkpoint{
 		Version:        CheckpointVersion,
 		Round:          st.round,
+		DistNodes:      distNodes,
 		Model:          model,
 		Margins:        st.margins,
 		SinceBest:      st.sinceBest,
@@ -163,10 +171,15 @@ func (st *trainState) snapshot(model *Model, rngState *[4]uint64) *Checkpoint {
 
 // restore applies a loaded checkpoint to the loop state, replacing the
 // fresh-start initialization. It verifies the checkpoint matches the
-// current dataset/config shape and returns the restored model.
-func (st *trainState) restore(c *Checkpoint, cfg Config, nRows, nFeatures int) (*Model, error) {
+// current dataset/config shape — including the builder's simulated
+// cluster size — and returns the restored model.
+func (st *trainState) restore(c *Checkpoint, cfg Config, nRows, nFeatures, distNodes int) (*Model, error) {
 	if len(c.Margins) != nRows {
 		return nil, fmt.Errorf("boost: checkpoint has %d margins for %d rows", len(c.Margins), nRows)
+	}
+	if c.DistNodes != distNodes {
+		return nil, fmt.Errorf("boost: checkpoint was written by a %d-node cluster, resuming with %d (dist-nodes must match the run that wrote the checkpoint; 0 means single-node)",
+			c.DistNodes, distNodes)
 	}
 	if c.Model.NumFeatures != nFeatures {
 		return nil, fmt.Errorf("boost: checkpoint model has %d features, dataset has %d", c.Model.NumFeatures, nFeatures)

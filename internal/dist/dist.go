@@ -18,10 +18,10 @@ package dist
 
 import (
 	"fmt"
-	"time"
 
 	"harpgbdt/internal/dataset"
 	"harpgbdt/internal/engine"
+	"harpgbdt/internal/fault"
 	"harpgbdt/internal/gh"
 	"harpgbdt/internal/grow"
 	"harpgbdt/internal/histogram"
@@ -69,6 +69,18 @@ type Config struct {
 	// FailNode is the node declared dead when allreduce retries are
 	// exhausted (default 0; if already dead, the next alive node fails).
 	FailNode int
+	// FailureBudget bounds how many node deaths the cluster tolerates over
+	// a run before aborting cleanly (the degradation ladder's budget).
+	// 0 defaults to Nodes-1 — degrade as long as any node survives;
+	// negative tolerates no deaths at all.
+	FailureBudget int
+	// RejoinAfterRounds, when > 0, automatically readmits a dead node once
+	// it has sat out that many rounds: the node restores its state from the
+	// last checkpoint the boosting loop reported (ObserveCheckpoint) plus a
+	// peer replica of its raw shard, with the restore charged to the
+	// virtual clock, and takes its original shard back. 0 disables
+	// automatic readmission (explicit Readmit/chaos rejoins still work).
+	RejoinAfterRounds int
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +111,14 @@ func (c Config) withDefaults() Config {
 	if c.RetryBackoffMicros == 0 {
 		c.RetryBackoffMicros = 100
 	}
+	if c.FailureBudget == 0 {
+		c.FailureBudget = c.Nodes - 1
+	} else if c.FailureBudget < 0 {
+		c.FailureBudget = 0
+	}
+	if c.Params == (tree.SplitParams{}) {
+		c.Params = tree.DefaultSplitParams()
+	}
 	return c
 }
 
@@ -118,6 +138,9 @@ func (c Config) Validate() error {
 	}
 	if c.StragglerFactor < 0 {
 		return fmt.Errorf("dist: negative straggler factor %g", c.StragglerFactor)
+	}
+	if c.RejoinAfterRounds < 0 {
+		return fmt.Errorf("dist: negative rejoin-after-rounds %d", c.RejoinAfterRounds)
 	}
 	if c.Nodes > 0 && (c.FailNode < 0 || c.FailNode >= c.Nodes) {
 		return fmt.Errorf("dist: fail node %d out of range [0, %d)", c.FailNode, c.Nodes)
@@ -152,16 +175,36 @@ type Trainer struct {
 	shards []shard
 
 	// alive[i] reports whether cluster node i is still up; owner[s] is the
-	// node currently responsible for shard s (re-owned on node failure).
+	// node currently responsible for shard s (re-owned on node failure,
+	// handed back on readmission).
 	alive []bool
 	owner []int
 
+	// Degradation-ladder state: deadRound[i] is the 1-based round node i
+	// died in (0 = alive), deaths counts deaths against cfg.FailureBudget.
+	deadRound []int
+	deaths    int
+
+	// Checkpoint bridge (engine.CheckpointObserver): the last durable
+	// checkpoint the boosting loop reported; rejoining nodes restore from
+	// it. ckptRound is the completed round the artifact holds.
+	ckptPath  string
+	ckptRound int
+
+	// chaos is the armed fault schedule (ApplyChaos), applied at the start
+	// of each round; stragFactor/stragUntil carry chaos-driven dynamic
+	// straggler slowdowns (factor > 1 applies through round stragUntil).
+	chaos       *fault.Schedule
+	stragFactor []float64
+	stragUntil  []int
+
 	// commNanos accumulates simulated allreduce time; retryNanos the time
 	// lost to allreduce timeouts/backoff; recoveryNanos the re-sharding
-	// cost of node failures.
+	// cost of node failures; rejoinNanos the restore cost of readmissions.
 	commNanos     int64
 	retryNanos    int64
 	recoveryNanos int64
+	rejoinNanos   int64
 
 	// ledger accounts every simulated message (see ledger.go); clock is the
 	// per-node virtual timeline the trace lanes are drawn on; flowSeq
@@ -212,6 +255,9 @@ func NewTrainer(cfg Config, ds *dataset.Dataset) (*Trainer, error) {
 	}
 	t.ledger = newCommsLedger(cfg.Nodes)
 	t.clock = make([]int64, cfg.Nodes)
+	t.deadRound = make([]int, cfg.Nodes)
+	t.stragFactor = make([]float64, cfg.Nodes)
+	t.stragUntil = make([]int, cfg.Nodes)
 	return t, nil
 }
 
@@ -275,6 +321,11 @@ func (t *Trainer) BuildTree(grad gh.Buffer) (*engine.BuiltTree, error) {
 	t.nameLanes()
 	obs.L().Debug("dist round start",
 		obs.KeyComponent, "dist", obs.KeyRound, t.ledger.round, "alive", t.AliveNodes())
+	// Elastic membership: fire this round's chaos events and readmit nodes
+	// whose rejoin wait elapsed, before any collective step.
+	if err := t.beginRoundElastic(); err != nil {
+		return nil, err
+	}
 	n := t.ds.NumRows()
 	rootRows := make([][]int32, len(t.shards))
 	var rootSum gh.Pair
@@ -357,7 +408,7 @@ func (t *Trainer) buildHists(st *distBuild, ids []int32) error {
 	if len(ids) == 0 {
 		return nil
 	}
-	start := time.Now()
+	tm := profile.StartTimer()
 	bm := t.ds.Binned
 	m := t.ds.NumFeatures()
 	// Local phase: measure each shard's compute serially, accumulate per
@@ -365,7 +416,7 @@ func (t *Trainer) buildHists(st *distBuild, ids []int32) error {
 	perOwner := make([]int64, len(t.shards))
 	var serial int64
 	for s := range t.shards {
-		t0 := time.Now()
+		t0 := profile.StartTimer()
 		for _, id := range ids {
 			ns := st.states[id]
 			if ns.hist == nil {
@@ -373,7 +424,7 @@ func (t *Trainer) buildHists(st *distBuild, ids []int32) error {
 			}
 			ns.hist.AccumulateRows(bm, st.grad, ns.rows[s], 0, m)
 		}
-		d := time.Since(t0).Nanoseconds()
+		d := t0.Elapsed().Nanoseconds()
 		serial += d
 		perOwner[t.owner[s]] += d
 	}
@@ -391,7 +442,7 @@ func (t *Trainer) buildHists(st *distBuild, ids []int32) error {
 	wall := maxNode + comm
 	t.pool.RecordExternalRegion(int64(len(ids)*len(t.shards)), serial,
 		maxNode*int64(t.AliveNodes()), 0, wall)
-	t.prof.Add(profile.BuildHist, time.Since(start))
+	t.prof.Add(profile.BuildHist, tm.Elapsed())
 	return nil
 }
 
@@ -399,13 +450,13 @@ func (t *Trainer) findSplits(st *distBuild, ids []int32) {
 	if len(ids) == 0 {
 		return
 	}
-	start := time.Now()
+	tm := profile.StartTimer()
 	m := t.ds.NumFeatures()
 	for _, id := range ids {
 		ns := st.states[id]
 		ns.split = ns.hist.FindBestSplit(t.cfg.Params, ns.sum, 0, m)
 	}
-	elapsed := time.Since(start)
+	elapsed := tm.Elapsed()
 	// Every cluster node evaluates the same reduced histograms, using its
 	// local threads across (node, feature) tasks.
 	serial := elapsed.Nanoseconds()
@@ -426,7 +477,7 @@ func (t *Trainer) findSplits(st *distBuild, ids []int32) {
 
 // applySplit expands the tree and partitions every shard's row list.
 func (t *Trainer) applySplit(st *distBuild, id int32) (int32, int32) {
-	start := time.Now()
+	tm := profile.StartTimer()
 	ns := st.states[id]
 	s := ns.split
 	l, r := st.tr.AddChildren(id, s.Feature, s.Bin,
@@ -437,7 +488,7 @@ func (t *Trainer) applySplit(st *distBuild, id int32) (int32, int32) {
 	perOwner := make([]int64, len(t.shards))
 	var serial int64
 	for sh := range t.shards {
-		t0 := time.Now()
+		t0 := profile.StartTimer()
 		for _, row := range ns.rows[sh] {
 			if goLeft(row) {
 				left.rows[sh] = append(left.rows[sh], row)
@@ -445,7 +496,7 @@ func (t *Trainer) applySplit(st *distBuild, id int32) (int32, int32) {
 				right.rows[sh] = append(right.rows[sh], row)
 			}
 		}
-		d := time.Since(t0).Nanoseconds()
+		d := t0.Elapsed().Nanoseconds()
 		serial += d
 		perOwner[t.owner[sh]] += d
 	}
@@ -461,7 +512,7 @@ func (t *Trainer) applySplit(st *distBuild, id int32) (int32, int32) {
 	rn.SumG, rn.SumH, rn.Count = right.sum.G, right.sum.H, right.count
 	ln.Weight = t.cfg.Params.CalcWeight(left.sum.G, left.sum.H)
 	rn.Weight = t.cfg.Params.CalcWeight(right.sum.G, right.sum.H)
-	t.prof.Add(profile.ApplySplit, time.Since(start))
+	t.prof.Add(profile.ApplySplit, tm.Elapsed())
 	return l, r
 }
 

@@ -1,0 +1,317 @@
+package dist
+
+// Elastic-membership tests: a node killed mid-run is readmitted from the
+// last durable checkpoint, the final model stays bit-identical to the
+// no-failure run, and the harder failure shapes (simultaneous multi-node
+// death, death during recovery, budget exhaustion) degrade exactly as the
+// ladder specifies.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"harpgbdt/internal/boost"
+	"harpgbdt/internal/fault"
+	"harpgbdt/internal/synth"
+	"harpgbdt/internal/tree"
+)
+
+// elasticConfig is the shared cluster shape of the elastic tests: automatic
+// readmission after two rounds of absence.
+func elasticConfig(nodes int) Config {
+	return Config{Nodes: nodes, TreeSize: 5, K: 8,
+		Params: tree.DefaultSplitParams(), RejoinAfterRounds: 2}
+}
+
+// TestRejoinedNodeProducesIdenticalModel is the acceptance pin: node 2 dies
+// at round 2, is readmitted at round 4 from the round-3 checkpoint, and the
+// final 6-round model is byte-identical to the no-failure run's.
+func TestRejoinedNodeProducesIdenticalModel(t *testing.T) {
+	ds, err := synth.Make(synth.Config{Spec: synth.SynSet, Rows: 3000, Features: 10, Seed: 31}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 6
+	refTrainer, err := NewTrainer(elasticConfig(3), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := boost.Train(refTrainer, ds, boost.Config{Rounds: rounds}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dt, err := NewTrainer(elasticConfig(3), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.ApplyChaos(fault.Schedule{Seed: 42, Rounds: rounds, Nodes: 3,
+		Events: []fault.ChaosEvent{{Round: 2, Kind: fault.ChaosNodeDeath, Node: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := boost.Train(dt, ds, boost.Config{
+		Rounds: rounds, CheckpointDir: t.TempDir(), CheckpointEvery: 1,
+	}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := json.Marshal(refRes.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("model after death+rejoin differs from no-failure model")
+	}
+
+	if dt.AliveNodes() != 3 {
+		t.Fatalf("%d nodes alive after rejoin, want 3", dt.AliveNodes())
+	}
+	if dt.owner[2] != 2 {
+		t.Fatalf("shard 2 owned by node %d after rejoin, want 2 (handed back)", dt.owner[2])
+	}
+	if dt.Deaths() != 1 {
+		t.Fatalf("%d deaths charged, want 1", dt.Deaths())
+	}
+	if dt.RejoinNanos() <= 0 {
+		t.Fatal("readmission charged no simulated restore time")
+	}
+	rep := dt.CommsReport()
+	if err := rep.Conserved(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Rejoins != 1 || rep.Totals.Failures != 1 {
+		t.Fatalf("ledger has %d rejoins / %d failures, want 1 / 1",
+			rep.Totals.Rejoins, rep.Totals.Failures)
+	}
+	// The restore moved the checkpoint plus the shard replica: strictly more
+	// than the raw shard bytes alone.
+	shardBytes := int64(dt.shards[2].hi-dt.shards[2].lo) * int64(ds.NumFeatures()+12)
+	if rep.Totals.RestoreBytes <= shardBytes {
+		t.Fatalf("restore moved %d bytes, want > shard replica %d (checkpoint included)",
+			rep.Totals.RestoreBytes, shardBytes)
+	}
+	if rep.Nodes[2].Rejoins != 1 || rep.Nodes[2].RestoreBytes != rep.Totals.RestoreBytes {
+		t.Fatal("restore traffic not attributed to the rejoined node")
+	}
+}
+
+// TestMultiNodeDeath drives the re-own rung through the hard membership
+// shapes as a table: simultaneous deaths, budget exhaustion, total loss.
+func TestMultiNodeDeath(t *testing.T) {
+	ds, err := synth.Make(synth.Config{Spec: synth.SynSet, Rows: 2000, Features: 8, Seed: 51}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := dyadicGradients(2000, 53)
+	ref, err := NewTrainer(Config{Nodes: 1, TreeSize: 5, K: 8, Params: tree.DefaultSplitParams()}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBT, err := ref.BuildTree(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name      string
+		nodes     int
+		budget    int // 0 = default (nodes-1), negative = none
+		kills     []int
+		wantErr   string
+		wantAlive int
+	}{
+		{name: "two simultaneous of four", nodes: 4, kills: []int{1, 2}, wantAlive: 2},
+		{name: "all but one of four", nodes: 4, kills: []int{0, 1, 3}, wantAlive: 1},
+		{name: "budget exhausted", nodes: 4, budget: -1, kills: []int{1},
+			wantErr: "failure budget exhausted"},
+		{name: "second death over budget one", nodes: 4, budget: 1, kills: []int{1, 2},
+			wantErr: "failure budget exhausted"},
+		{name: "all nodes dead", nodes: 2, kills: []int{1, 0},
+			wantErr: "nodes failed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dt, err := NewTrainer(Config{Nodes: tc.nodes, TreeSize: 5, K: 8,
+				Params: tree.DefaultSplitParams(), FailureBudget: tc.budget}, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var killErr error
+			for _, n := range tc.kills {
+				if killErr = dt.KillNode(n); killErr != nil {
+					break
+				}
+			}
+			if tc.wantErr != "" {
+				if killErr == nil || !strings.Contains(killErr.Error(), tc.wantErr) {
+					t.Fatalf("want error containing %q, got %v", tc.wantErr, killErr)
+				}
+				return
+			}
+			if killErr != nil {
+				t.Fatal(killErr)
+			}
+			if dt.AliveNodes() != tc.wantAlive {
+				t.Fatalf("%d nodes alive, want %d", dt.AliveNodes(), tc.wantAlive)
+			}
+			// Every shard is owned by a survivor; recovery was charged.
+			for s, o := range dt.owner {
+				if !dt.alive[o] {
+					t.Fatalf("shard %d owned by dead node %d", s, o)
+				}
+			}
+			if dt.RecoveryNanos() <= 0 {
+				t.Fatal("deaths charged no recovery time")
+			}
+			// The survivors still produce the exact single-node tree.
+			bt, err := dt.BuildTree(grad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !treesEquivalent(refBT.Tree, bt.Tree) {
+				t.Fatal("tree after multi-node death differs from single-node tree")
+			}
+			if err := dt.CommsReport().Conserved(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDeathDuringRecovery: a restore attempt that fails (injected
+// "dist.rejoin" fault) leaves the node dead and counted as denied — not an
+// error — and a later attempt succeeds.
+func TestDeathDuringRecovery(t *testing.T) {
+	ds, err := synth.Make(synth.Config{Spec: synth.SynSet, Rows: 2000, Features: 8, Seed: 51}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := dyadicGradients(2000, 53)
+	dt, err := NewTrainer(Config{Nodes: 3, TreeSize: 5, K: 8,
+		Params: tree.DefaultSplitParams()}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable("dist.rejoin", fault.Fault{Kind: fault.Error, Times: 1})
+	defer fault.Reset()
+	if err := dt.Readmit(1); err != nil {
+		t.Fatal(err)
+	}
+	if dt.alive[1] {
+		t.Fatal("node readmitted through a failing restore")
+	}
+	if rep := dt.CommsReport(); rep.Totals.RejoinsDenied != 1 || rep.Totals.Rejoins != 0 {
+		t.Fatalf("ledger has %d denied / %d rejoins, want 1 / 0",
+			rep.Totals.RejoinsDenied, rep.Totals.Rejoins)
+	}
+	// The injected fault is consumed; the retried restore succeeds.
+	if err := dt.Readmit(1); err != nil {
+		t.Fatal(err)
+	}
+	if !dt.alive[1] || dt.owner[1] != 1 {
+		t.Fatal("retried readmission did not restore the node and its shard")
+	}
+	if rep := dt.CommsReport(); rep.Totals.Rejoins != 1 {
+		t.Fatalf("ledger has %d rejoins after retry, want 1", rep.Totals.Rejoins)
+	}
+	bt, err := dt.BuildTree(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.CommsReport().Conserved(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResumeRejectsClusterSizeMismatch: a checkpoint written by a 3-node
+// cluster refuses to resume on a 4-node cluster (and on a matching cluster
+// the resumed run finishes identical to the uninterrupted one).
+func TestResumeRejectsClusterSizeMismatch(t *testing.T) {
+	ds, err := synth.Make(synth.Config{Spec: synth.SynSet, Rows: 2000, Features: 8, Seed: 51}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	dt, err := NewTrainer(elasticConfig(3), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := boost.Train(dt, ds, boost.Config{
+		Rounds: 3, CheckpointDir: dir, CheckpointEvery: 1,
+	}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	wrong, err := NewTrainer(elasticConfig(4), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = boost.Train(wrong, ds, boost.Config{
+		Rounds: 6, CheckpointDir: dir, Resume: true,
+	}, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "3-node cluster, resuming with 4") {
+		t.Fatalf("want cluster-size mismatch error, got %v", err)
+	}
+
+	// Positive control: resuming with the matching cluster size finishes
+	// with the exact model of an uninterrupted 6-round run.
+	same, err := NewTrainer(elasticConfig(3), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := boost.Train(same, ds, boost.Config{
+		Rounds: 6, CheckpointDir: dir, Resume: true,
+	}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewTrainer(elasticConfig(3), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRes, err := boost.Train(full, ds, boost.Config{Rounds: 6}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(fullRes.Model)
+	got, _ := json.Marshal(resumed.Model)
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed cluster model differs from uninterrupted run")
+	}
+}
+
+// TestApplyChaosValidation: schedules drawn for a different cluster size or
+// outside the round box are rejected at arm time.
+func TestApplyChaosValidation(t *testing.T) {
+	ds, err := synth.Make(synth.Config{Spec: synth.SynSet, Rows: 500, Features: 4, Seed: 55}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := NewTrainer(Config{Nodes: 2, TreeSize: 4, Params: tree.DefaultSplitParams()}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.ApplyChaos(fault.Schedule{Nodes: 5}); err == nil {
+		t.Fatal("schedule for a different cluster size accepted")
+	}
+	if err := dt.ApplyChaos(fault.Schedule{Nodes: 2, Rounds: 2,
+		Events: []fault.ChaosEvent{{Round: 9, Kind: fault.ChaosNodeDeath}}}); err == nil {
+		t.Fatal("schedule with out-of-box event accepted")
+	}
+	if err := dt.ApplyChaos(fault.GenSchedule(7, 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,17 +1,22 @@
 package dist
 
-// Failure-aware allreduce: the simulated cluster survives injected node
-// failures and stragglers instead of assuming a perfect network.
+// The degradation ladder: the simulated cluster's explicit failure policy.
+// Every allreduce step walks the same ordered rungs, each transition
+// logged via obs.Logger and counted in the comms ledger:
 //
-// Each histogram allreduce step consults the fault registry at point
-// "dist.allreduce". An injected error costs the step timeout, then the
-// step retries with exponential backoff up to Config.MaxRetries times;
-// when retries are exhausted the failing node (Config.FailNode) is
-// declared dead and the cluster degrades gracefully: the dead node's row
-// shards are re-owned round-robin by the survivors, the re-replication of
-// its raw data is charged to the simulated clock (profile.Other), and
-// training continues bit-identically on the survivors — histogram sums
-// never depended on the sharding, only the simulated time breakdown does.
+//	healthy ──deadline exceeded──▶ deadline (timeout charged, ledger Deadlines)
+//	deadline ──attempts left──▶ retry (exponential backoff, bytes RETRANSMITTED)
+//	deadline ──retries exhausted──▶ re-own (node death, bytes LOST, shards
+//	        re-owned round-robin by survivors, recovery bytes re-replicated)
+//	re-own ──budget exceeded / all dead──▶ clean abort (training error)
+//	re-own ──rejoin wait elapsed──▶ readmit (checkpoint-backed restore,
+//	        shards handed back; see rejoin.go)
+//
+// Deaths are governed by Config.FailureBudget: once more nodes have died
+// than the budget tolerates, the cluster aborts with a clean error instead
+// of degrading forever. The ladder only ever changes membership and the
+// simulated timeline — histogram sums never depended on the sharding, so
+// every run that completes is bit-identical to the no-failure run.
 
 import (
 	"fmt"
@@ -29,6 +34,17 @@ var (
 		"Simulated cluster nodes declared dead")
 	mRowsResharded = obs.DefaultRegistry().Counter("dist_rows_resharded_total",
 		"Rows re-owned by surviving nodes after a node failure")
+	mDeadlines = obs.DefaultRegistry().Counter("dist_step_deadlines_total",
+		"Simulated allreduce attempts that exceeded the per-step deadline")
+)
+
+// Registered injection points of the ladder: the collective step itself
+// and the restore path of a readmission (death-during-recovery).
+var (
+	pointAllreduce = fault.RegisterPoint("dist.allreduce",
+		"fires once per simulated allreduce attempt")
+	pointRejoin = fault.RegisterPoint("dist.rejoin",
+		"fires once per node-readmission restore attempt")
 )
 
 // AliveNodes reports how many simulated cluster nodes are still alive.
@@ -51,19 +67,21 @@ func (t *Trainer) RetryNanos() int64 { return t.retryNanos }
 func (t *Trainer) RecoveryNanos() int64 { return t.recoveryNanos }
 
 // allreduceWithRetry performs one simulated allreduce of `bytes`,
-// consulting the "dist.allreduce" injection point. Every injected failure
-// costs the step timeout; retries back off exponentially; exhausting
-// MaxRetries kills Config.FailNode and completes the step on the
-// survivors. Every attempt is accounted in the comms ledger (categorized
-// by its outcome) and the completed step is drawn on the per-node trace
-// lanes. Returns the simulated nanoseconds the step took.
+// walking the degradation ladder: every attempt consults the
+// "dist.allreduce" injection point; a failure is a deadline expiry costing
+// the step timeout; retries back off exponentially up to MaxRetries;
+// exhausting them escalates to the re-own rung (Config.FailNode dies) and
+// the step completes on the survivors. Every attempt is accounted in the
+// comms ledger (categorized by its outcome) and the completed step is
+// drawn on the per-node trace lanes. Returns the simulated nanoseconds
+// the step took.
 func (t *Trainer) allreduceWithRetry(bytes int64) (int64, error) {
 	var spent int64
 	timeout := int64(t.cfg.StepTimeoutMicros * 1e3)
 	backoff := int64(t.cfg.RetryBackoffMicros * 1e3)
 	base := t.barrierClock()
 	for attempt := 0; ; attempt++ {
-		if err := fault.Point("dist.allreduce"); err == nil {
+		if err := fault.Point(pointAllreduce); err == nil {
 			lat := t.allreduceNanos(bytes)
 			t.ledger.recordAttempt(t.alive, bytes, attempt, attemptDelivered)
 			t.ledger.recordStep(spent + lat)
@@ -71,11 +89,19 @@ func (t *Trainer) allreduceWithRetry(bytes int64) (int64, error) {
 			t.alignClocks(base, spent+lat)
 			return spent + lat, nil
 		}
+		// Rung 1, deadline: the attempt did not complete within the per-step
+		// deadline; the timeout is charged to the virtual clock.
 		spent += timeout
+		t.ledger.deadlines++
+		mDeadlines.Inc()
+		obs.L().Warn("dist ladder: step deadline exceeded",
+			obs.KeyComponent, "dist", obs.KeyRound, t.ledger.round,
+			"rung", "deadline", "attempt", attempt)
 		if attempt >= t.cfg.MaxRetries {
-			// Retries exhausted: the failed attempt's payload is lost, the
-			// configured node is declared dead, and the step completes among
-			// the survivors (whose final send is what gets delivered).
+			// Rung 3, re-own: retries exhausted. The failed attempt's payload
+			// is lost, the configured node is declared dead, and the step
+			// completes among the survivors (whose final send is what gets
+			// delivered).
 			t.ledger.recordAttempt(t.alive, bytes, attempt, attemptLost)
 			t.traceStall(base, spent)
 			if err := t.failNode(t.cfg.FailNode, base+spent); err != nil {
@@ -91,17 +117,23 @@ func (t *Trainer) allreduceWithRetry(bytes int64) (int64, error) {
 			t.alignClocks(b2, lat)
 			return spent + lat, nil
 		}
-		// The failed attempt's payload will be sent again: retransmitted.
+		// Rung 2, retry: the failed attempt's payload will be sent again —
+		// retransmitted — after exponential backoff.
 		t.ledger.recordAttempt(t.alive, bytes, attempt, attemptRetransmitted)
 		mAllreduceRetries.Inc()
 		d := backoff << attempt
 		spent += d
 		t.retryNanos += timeout + d
+		obs.L().Info("dist ladder: retrying step",
+			obs.KeyComponent, "dist", obs.KeyRound, t.ledger.round,
+			"rung", "retry", "attempt", attempt, "backoff_nanos", d)
 	}
 }
 
-// failNode declares a cluster node dead at virtual time ts and re-owns its
-// shards onto the survivors.
+// failNode is the ladder's re-own rung: it declares a cluster node dead at
+// virtual time ts and re-owns its shards onto the survivors — unless the
+// failure budget is exhausted or no quorum of survivors remains, in which
+// case training aborts with a clean error.
 func (t *Trainer) failNode(node int, ts int64) error {
 	if sp := obs.StartSpan("dist", "recover-node"); sp.Active() {
 		defer sp.End()
@@ -123,12 +155,22 @@ func (t *Trainer) failNode(node int, ts int64) error {
 	if node < 0 || t.AliveNodes() <= 1 {
 		return fmt.Errorf("dist: all %d nodes failed, cannot continue", t.cfg.Nodes)
 	}
+	if t.deaths+1 > t.cfg.FailureBudget {
+		obs.L().Error("dist ladder: failure budget exhausted",
+			obs.KeyComponent, "dist", obs.KeyRound, t.ledger.round, obs.KeyNode, node,
+			"deaths", t.deaths+1, "budget", t.cfg.FailureBudget)
+		return fmt.Errorf("dist: failure budget exhausted: %d node deaths exceed budget %d",
+			t.deaths+1, t.cfg.FailureBudget)
+	}
 	t.alive[node] = false
+	t.deaths++
+	t.deadRound[node] = t.ledger.round
 	t.ledger.failures++
 	mNodeFailures.Inc()
 	obs.InstantAt("dist-node", "node-death", nodePID(node), 0, ts)
 	obs.L().Warn("dist node died",
-		obs.KeyComponent, "dist", obs.KeyRound, t.ledger.round, obs.KeyNode, node)
+		obs.KeyComponent, "dist", obs.KeyRound, t.ledger.round, obs.KeyNode, node,
+		"rung", "reown", "deaths", t.deaths, "budget", t.cfg.FailureBudget)
 
 	survivors := make([]int, 0, len(t.alive))
 	for i, a := range t.alive {
@@ -167,7 +209,8 @@ func (t *Trainer) failNode(node int, ts int64) error {
 
 // nodeWalls turns per-owner serial compute times into each alive node's
 // simulated parallel phase time: a node divides its load across `workers`
-// threads, and stragglers run StragglerFactor slower.
+// threads, and stragglers (static configuration or chaos-driven) run
+// their slowdown factor slower.
 func (t *Trainer) nodeWalls(perOwner []int64, workers int64) []int64 {
 	walls := make([]int64, len(perOwner))
 	for node, d := range perOwner {
@@ -176,6 +219,9 @@ func (t *Trainer) nodeWalls(perOwner []int64, workers int64) []int64 {
 		}
 		if t.cfg.StragglerFactor > 1 && node == t.cfg.StragglerNode {
 			d = int64(float64(d) * t.cfg.StragglerFactor)
+		}
+		if t.stragFactor[node] > 1 && t.ledger.round <= t.stragUntil[node] {
+			d = int64(float64(d) * t.stragFactor[node])
 		}
 		walls[node] = d / workers
 	}

@@ -77,6 +77,12 @@ type NodeComms struct {
 	// FirstSendBytes is the attempt-0 slice of SentBytes: the intrinsic
 	// dense-histogram volume, independent of faults and retries.
 	FirstSendBytes int64 `json:"first_send_bytes"`
+	// Rejoins/RestoreBytes account readmissions of this node. Restore
+	// traffic is a point-to-point replica read, not an allreduce attempt,
+	// so it lives outside the Sent = Delivered + Retransmitted + Lost
+	// partition and never disturbs conservation.
+	Rejoins      int64 `json:"rejoins,omitempty"`
+	RestoreBytes int64 `json:"restore_bytes,omitempty"`
 }
 
 // RoundComms aggregates one boosting round's communication.
@@ -104,6 +110,15 @@ type CommsTotals struct {
 	Retries    int `json:"retries"`
 	Failures   int `json:"failures"`
 
+	// Degradation-ladder rung counters: Deadlines counts per-step deadline
+	// expiries (ladder rung 1 — every one becomes either a retransmitted
+	// or a lost attempt), Rejoins counts readmissions (rung 4), and
+	// RejoinsDenied counts restore attempts that failed (death during
+	// recovery).
+	Deadlines     int `json:"deadlines"`
+	Rejoins       int `json:"rejoins"`
+	RejoinsDenied int `json:"rejoins_denied"`
+
 	MsgsSent          int64 `json:"msgs_sent"`
 	MsgsDelivered     int64 `json:"msgs_delivered"`
 	MsgsRetransmitted int64 `json:"msgs_retransmitted"`
@@ -115,12 +130,17 @@ type CommsTotals struct {
 	LostBytes       int64 `json:"lost_bytes"`
 	FirstSendBytes  int64 `json:"first_send_bytes"`
 
-	// StepNanos / RetryNanos / RecoveryNanos decompose the virtual-clock
-	// communication time: total allreduce step time, the slice of it lost
-	// to timeouts and backoff, and the re-sharding cost of node failures.
+	// StepNanos / RetryNanos / RecoveryNanos / RejoinNanos decompose the
+	// virtual-clock communication time: total allreduce step time, the
+	// slice of it lost to timeouts and backoff, the re-sharding cost of
+	// node failures, and the restore cost of readmissions. RestoreBytes is
+	// the rejoin traffic (checkpoint + shard replica), outside the Sent
+	// partition.
 	StepNanos     int64 `json:"step_nanos"`
 	RetryNanos    int64 `json:"retry_nanos"`
 	RecoveryNanos int64 `json:"recovery_nanos"`
+	RejoinNanos   int64 `json:"rejoin_nanos"`
+	RestoreBytes  int64 `json:"restore_bytes"`
 }
 
 // CommsReport is the serializable ledger snapshot: per-node table,
@@ -138,6 +158,12 @@ type commsLedger struct {
 	rounds   []RoundComms
 	round    int // current 1-based round; 0 before the first BuildTree
 	failures int
+
+	// Ladder rung counters (see CommsTotals).
+	deadlines     int
+	rejoins       int
+	rejoinsDenied int
+	restoreBytes  int64
 }
 
 func newCommsLedger(nodes int) *commsLedger {
@@ -206,6 +232,17 @@ func (l *commsLedger) recordAttempt(alive []bool, bytes int64, attempt, outcome 
 	}
 }
 
+// recordRejoin accounts one readmission's restore traffic: dedicated
+// columns outside the allreduce attempt partition, so the conservation
+// identity is untouched by construction.
+func (l *commsLedger) recordRejoin(node int, bytes int64) {
+	nc := &l.nodes[node]
+	nc.Rejoins++
+	nc.RestoreBytes += bytes
+	l.rejoins++
+	l.restoreBytes += bytes
+}
+
 // recordStep accounts one completed allreduce step's virtual-clock latency
 // (successful transfer plus any timeout/backoff time spent on the way).
 func (l *commsLedger) recordStep(nanos int64) {
@@ -238,8 +275,13 @@ func (t *Trainer) CommsReport() *CommsReport {
 	tot.Nodes = len(l.nodes)
 	tot.Rounds = l.round
 	tot.Failures = l.failures
+	tot.Deadlines = l.deadlines
+	tot.Rejoins = l.rejoins
+	tot.RejoinsDenied = l.rejoinsDenied
+	tot.RestoreBytes = l.restoreBytes
 	tot.RetryNanos = t.retryNanos
 	tot.RecoveryNanos = t.recoveryNanos
+	tot.RejoinNanos = t.rejoinNanos
 	for i := range rep.Nodes {
 		rep.Nodes[i].Alive = t.alive[i]
 		if t.alive[i] {
@@ -296,9 +338,10 @@ func (r *CommsReport) WriteTable(w io.Writer) error {
 	fmt.Fprintf(tw, "total\t%d/%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\n",
 		t.AliveNodes, t.Nodes, t.MsgsSent, t.MsgsDelivered, t.MsgsRetransmitted, t.MsgsLost,
 		mb(t.SentBytes), mb(t.FirstSendBytes), mb(t.RetransmitBytes), mb(t.LostBytes))
-	fmt.Fprintf(tw, "\nrounds %d  steps %d  retries %d  failures %d\n",
-		t.Rounds, t.Steps, t.Retries, t.Failures)
-	fmt.Fprintf(tw, "step %.3fms  retry %.3fms  recovery %.3fms (virtual clock)\n",
-		float64(t.StepNanos)/1e6, float64(t.RetryNanos)/1e6, float64(t.RecoveryNanos)/1e6)
+	fmt.Fprintf(tw, "\nrounds %d  steps %d  deadlines %d  retries %d  failures %d  rejoins %d  denied %d\n",
+		t.Rounds, t.Steps, t.Deadlines, t.Retries, t.Failures, t.Rejoins, t.RejoinsDenied)
+	fmt.Fprintf(tw, "step %.3fms  retry %.3fms  recovery %.3fms  rejoin %.3fms (virtual clock, restore %.3fMB)\n",
+		float64(t.StepNanos)/1e6, float64(t.RetryNanos)/1e6, float64(t.RecoveryNanos)/1e6,
+		float64(t.RejoinNanos)/1e6, float64(t.RestoreBytes)/1e6)
 	return tw.Flush()
 }

@@ -1,0 +1,210 @@
+package dist
+
+// Readmission — the degradation ladder's final rung. A dead node re-enters
+// the cluster at the start of a later round by restoring its state:
+//
+//  1. it re-reads the last durable checkpoint the boosting loop reported
+//     through the engine.CheckpointObserver bridge (a validated safeio CRC
+//     read — a corrupt or missing artifact denies the rejoin);
+//  2. it re-fetches its raw row shard from a peer replica (the same bytes
+//     the survivors re-replicated when it died);
+//  3. it re-computes gradients for its shard rows from the restored
+//     margins, charged per row to the virtual clock.
+//
+// All three are priced through the cluster's link model and land on the
+// rejoiner's virtual-clock lane, so the trace shows the node coming back
+// late. The restore traffic is point-to-point, not an allreduce attempt,
+// so the ledger accounts it in dedicated rejoin columns outside the
+// Sent = Delivered + Retransmitted + Lost partition — conservation holds
+// untouched. Readmission hands the node its original shard back; sums are
+// sharding-independent, so a run with deaths and rejoins that completes is
+// bit-identical to the no-failure run.
+
+import (
+	"fmt"
+	"time"
+
+	"harpgbdt/internal/fault"
+	"harpgbdt/internal/obs"
+	"harpgbdt/internal/profile"
+	"harpgbdt/internal/safeio"
+)
+
+var (
+	mNodeRejoins = obs.DefaultRegistry().Counter("dist_node_rejoins_total",
+		"Simulated cluster nodes readmitted after a death")
+	mRejoinsDenied = obs.DefaultRegistry().Counter("dist_rejoins_denied_total",
+		"Node readmissions denied (failed restore: injected fault or bad checkpoint)")
+	mRestoreBytes = obs.DefaultRegistry().Counter("dist_restore_bytes_total",
+		"Simulated bytes transferred restoring readmitted nodes")
+)
+
+// gradReplayNanosPerRow prices the rejoining node's gradient
+// re-computation: a margin load, a sigmoid and two multiplies per row,
+// pipelined — single-digit nanoseconds on the simulated hardware.
+const gradReplayNanosPerRow = 8
+
+// ObserveCheckpoint implements engine.CheckpointObserver: the boosting
+// loop reports where it last persisted a durable checkpoint and through
+// how many completed rounds. Rejoining nodes restore from this artifact.
+func (t *Trainer) ObserveCheckpoint(path string, round int) {
+	t.ckptPath, t.ckptRound = path, round
+}
+
+// ClusterNodes implements engine.ClusterSized: the boosting loop pins the
+// cluster size into its checkpoints so a resume with a different sharding
+// is rejected.
+func (t *Trainer) ClusterNodes() int { return t.cfg.Nodes }
+
+// RejoinNanos reports the simulated time spent restoring readmitted nodes.
+func (t *Trainer) RejoinNanos() int64 { return t.rejoinNanos }
+
+// Deaths reports how many node deaths the run has charged against the
+// failure budget.
+func (t *Trainer) Deaths() int { return t.deaths }
+
+// KillNode declares an alive node dead at the current barrier time,
+// walking the same re-own rung an exhausted retry escalation does (budget
+// checked, shards re-owned, recovery charged). Killing a dead node is a
+// no-op. Used by chaos schedules and tests.
+func (t *Trainer) KillNode(node int) error {
+	if node < 0 || node >= len(t.alive) {
+		return fmt.Errorf("dist: kill node %d out of range [0, %d)", node, len(t.alive))
+	}
+	if !t.alive[node] {
+		return nil
+	}
+	return t.failNode(node, t.barrierClock())
+}
+
+// Readmit attempts to rejoin a dead node immediately (the explicit form of
+// the automatic RejoinAfterRounds policy). Readmitting an alive node is a
+// no-op. A denied restore (injected "dist.rejoin" fault, corrupt
+// checkpoint) is not an error: the node simply stays dead, counted in the
+// ledger's RejoinsDenied.
+func (t *Trainer) Readmit(node int) error {
+	if node < 0 || node >= len(t.alive) {
+		return fmt.Errorf("dist: readmit node %d out of range [0, %d)", node, len(t.alive))
+	}
+	if t.alive[node] {
+		return nil
+	}
+	t.tryRejoin(node)
+	return nil
+}
+
+// ApplyChaos arms a deterministic fault schedule: its events fire at the
+// start of their round, before any collective step. Loss bursts and
+// restore faults arm the process-wide fault registry, so concurrent
+// training runs must not share a chaos schedule. Must be called before
+// training starts.
+func (t *Trainer) ApplyChaos(s fault.Schedule) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.Nodes != 0 && s.Nodes != t.cfg.Nodes {
+		return fmt.Errorf("dist: chaos schedule drawn for %d nodes, cluster has %d", s.Nodes, t.cfg.Nodes)
+	}
+	t.chaos = &s
+	return nil
+}
+
+// beginRoundElastic runs the elastic-membership work at the start of each
+// round: this round's chaos events, then the automatic readmission policy.
+// A scheduled death that exhausts the failure budget (or kills the last
+// quorum) aborts training cleanly.
+func (t *Trainer) beginRoundElastic() error {
+	round := t.ledger.round
+	if t.chaos != nil {
+		for _, e := range t.chaos.EventsAt(round) {
+			switch e.Kind {
+			case fault.ChaosNodeDeath:
+				if e.Node < len(t.alive) && t.alive[e.Node] {
+					if err := t.failNode(e.Node, t.barrierClock()); err != nil {
+						return err
+					}
+				}
+			case fault.ChaosRejoin:
+				if e.Node < len(t.alive) && !t.alive[e.Node] {
+					t.tryRejoin(e.Node)
+				}
+			case fault.ChaosLossBurst:
+				fault.Enable(pointAllreduce, fault.Fault{Kind: fault.Error, Times: int64(e.Count)})
+			case fault.ChaosStraggler:
+				t.stragFactor[e.Node] = e.Factor
+				t.stragUntil[e.Node] = round + e.Count - 1
+			case fault.ChaosRejoinFault:
+				fault.Enable(pointRejoin, fault.Fault{Kind: fault.Error, Times: int64(e.Count)})
+			}
+		}
+	}
+	if t.cfg.RejoinAfterRounds > 0 {
+		for node := range t.alive {
+			if !t.alive[node] && round-t.deadRound[node] >= t.cfg.RejoinAfterRounds {
+				t.tryRejoin(node)
+			}
+		}
+	}
+	return nil
+}
+
+// tryRejoin is the readmission rung: restore the node's state, hand its
+// original shard back and put it on the cluster clock. A failed restore
+// (injected fault, unreadable checkpoint) leaves the node dead with its
+// rejoin wait restarted — death during recovery, not an error.
+func (t *Trainer) tryRejoin(node int) {
+	round := t.ledger.round
+	if err := fault.Point(pointRejoin); err != nil {
+		t.denyRejoin(node, round, err)
+		return
+	}
+	// Restore source 1: the last durable checkpoint, CRC-validated; its
+	// payload size prices the transfer.
+	var ckptBytes int64
+	if t.ckptPath != "" {
+		payload, _, err := safeio.ReadFile(t.ckptPath)
+		if err != nil {
+			t.denyRejoin(node, round, fmt.Errorf("checkpoint unreadable: %w", err))
+			return
+		}
+		ckptBytes = int64(len(payload))
+	}
+	// Restore source 2: the raw shard from a peer replica (same per-row
+	// bytes the survivors re-replicated at death), plus the per-row
+	// gradient re-computation from the restored margins.
+	rows := int64(t.shards[node].hi - t.shards[node].lo)
+	shardBytes := rows * int64(t.ds.NumFeatures()+12)
+	bytes := ckptBytes + shardBytes
+	transfer := int64(float64(bytes)/(t.cfg.BandwidthMBps*1e6)*1e9) +
+		int64(t.cfg.LatencyMicros*1e3)
+	dur := transfer + rows*gradReplayNanosPerRow
+
+	ts := t.barrierClock()
+	t.alive[node] = true
+	t.deadRound[node] = 0
+	t.owner[node] = node // the node's original shard comes home
+	t.clock[node] = ts + dur
+	t.rejoinNanos += dur
+	t.ledger.recordRejoin(node, bytes)
+	mNodeRejoins.Inc()
+	mRestoreBytes.Add(bytes)
+	obs.InstantAt("dist-node", "node-rejoin", nodePID(node), 0, ts)
+	obs.SpanAt("dist-node", "restore-state", nodePID(node), 0, ts, dur)
+	t.pool.RecordExternalRegion(1, 0, dur, 0, dur)
+	t.prof.Add(profile.Other, time.Duration(dur))
+	obs.L().Info("dist node rejoined",
+		obs.KeyComponent, "dist", obs.KeyRound, round, obs.KeyNode, node,
+		"rung", "readmit", "restore_bytes", bytes, "restore_nanos", dur,
+		"ckpt_round", t.ckptRound)
+}
+
+// denyRejoin records a failed restore: the node stays dead and its
+// automatic-rejoin wait restarts from this round.
+func (t *Trainer) denyRejoin(node, round int, err error) {
+	t.deadRound[node] = round
+	t.ledger.rejoinsDenied++
+	mRejoinsDenied.Inc()
+	obs.L().Warn("dist rejoin denied",
+		obs.KeyComponent, "dist", obs.KeyRound, round, obs.KeyNode, node,
+		"rung", "readmit", obs.KeyError, err.Error())
+}

@@ -37,6 +37,26 @@ type Builder interface {
 	Profile() *profile.Breakdown
 }
 
+// ClusterSized is optionally implemented by builders that simulate a
+// multi-node cluster (internal/dist). The boosting loop records the node
+// count in its checkpoints so a resume under a different sharding is
+// rejected instead of silently producing a different cost decomposition.
+type ClusterSized interface {
+	// ClusterNodes returns the configured cluster size.
+	ClusterNodes() int
+}
+
+// CheckpointObserver is optionally implemented by builders that want to
+// know where the boosting loop last persisted a durable checkpoint. The
+// dist trainer uses the artifact to price checkpoint-backed restores when
+// a dead node is readmitted.
+type CheckpointObserver interface {
+	// ObserveCheckpoint reports the checkpoint file path and the number of
+	// completed rounds it holds, after every successful save (and once on
+	// resume).
+	ObserveCheckpoint(path string, round int)
+}
+
 // RowSet is the set of training rows in one tree node, in stable order. When
 // the engine enables the MemBuf optimization, Mem carries (rowid, g, h)
 // entries and Rows is nil; otherwise Rows carries bare ids and gradients are

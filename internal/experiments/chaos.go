@@ -1,0 +1,351 @@
+package experiments
+
+// The chaos soak: N seeded randomized fault schedules replayed against the
+// elastic distributed trainer, each scenario asserting the fault-tolerance
+// invariants the design guarantees:
+//
+//   - training either completes or fails cleanly, and a clean failure
+//     leaves a readable flight-recorder dump;
+//   - the comms ledger conserves (Sent = Delivered + Retransmitted + Lost)
+//     no matter what the schedule did to the membership;
+//   - GHSum conservation: every grown tree's root gradient sums equal the
+//     no-failure reference's — no contribution was dropped by deaths,
+//     re-sharding or readmissions;
+//   - tree equivalence: a completed run's model is byte-identical to the
+//     no-failure run; a failed run's checkpointed prefix is byte-identical
+//     to the reference prefix.
+//
+// Every scenario is a pure function of its seed (dataset seed fixed,
+// schedule from fault.GenSchedule, no probabilistic fault triggers), so a
+// failing seed replays bit-for-bit: `chaos -chaos-replay <seed>` re-runs
+// exactly the run that failed.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"harpgbdt/internal/boost"
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/dist"
+	"harpgbdt/internal/fault"
+	"harpgbdt/internal/obs"
+	"harpgbdt/internal/profile"
+	"harpgbdt/internal/synth"
+	"harpgbdt/internal/tree"
+)
+
+// ChaosConfig sizes the soak.
+type ChaosConfig struct {
+	// N is the number of seeded scenarios (default 50).
+	N int
+	// BaseSeed seeds scenario 0; scenario i uses BaseSeed+i (default 1).
+	BaseSeed uint64
+	// Nodes is the simulated cluster size (default 4).
+	Nodes int
+	// Rounds is the boosting rounds per scenario (default 8 — enough for
+	// death, delayed rejoin and re-death ladders to play out).
+	Rounds int
+	// Dir is the working directory for per-scenario checkpoints and
+	// flight-recorder dumps (required).
+	Dir string
+	// ReplaySeed, when non-zero, replays exactly that one seed instead of
+	// the BaseSeed sweep.
+	ReplaySeed uint64
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.N == 0 {
+		c.N = 50
+	}
+	if c.BaseSeed == 0 {
+		c.BaseSeed = 1
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 8
+	}
+	return c
+}
+
+// ChaosScenario is one scenario's verdict.
+type ChaosScenario struct {
+	Seed     uint64 `json:"seed"`
+	Schedule string `json:"schedule"`
+	Events   int    `json:"events"`
+	// Outcome is "completed" or "failed-clean" ("failed-dirty" marks a
+	// failure that broke the clean-failure contract, e.g. no readable
+	// flight dump).
+	Outcome string `json:"outcome"`
+	Error   string `json:"error,omitempty"`
+	// Ladder counters from the comms ledger.
+	Deaths        int `json:"deaths"`
+	Rejoins       int `json:"rejoins"`
+	RejoinsDenied int `json:"rejoins_denied"`
+	Retries       int `json:"retries"`
+	// TreesBuilt is how many trees the scenario durably produced (the full
+	// model on completion, the checkpointed prefix on failure).
+	TreesBuilt int `json:"trees_built"`
+	// Invariant verdicts.
+	LedgerConserved bool `json:"ledger_conserved"`
+	GHSumConserved  bool `json:"ghsum_conserved"`
+	TreesIdentical  bool `json:"trees_identical"`
+	// FlightDump is the post-mortem artifact of a failed scenario.
+	FlightDump string   `json:"flight_dump,omitempty"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// ChaosReport is the machine-readable soak result (chaos.json).
+type ChaosReport struct {
+	BaseSeed  uint64          `json:"base_seed"`
+	Nodes     int             `json:"nodes"`
+	Rounds    int             `json:"rounds"`
+	Rows      int             `json:"rows"`
+	Scenarios []ChaosScenario `json:"scenarios"`
+	// Completed + FailedClean == len(Scenarios) when every scenario upheld
+	// the complete-or-fail-cleanly contract.
+	Completed   int `json:"completed"`
+	FailedClean int `json:"failed_clean"`
+	// Violations counts scenarios that broke any invariant; 0 is the gate.
+	Violations int `json:"violations"`
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *ChaosReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Table renders the soak summary.
+func (r *ChaosReport) Table() *profile.Table {
+	tb := profile.NewTable(fmt.Sprintf("Chaos soak: %d scenarios, %d-node cluster, %d rounds",
+		len(r.Scenarios), r.Nodes, r.Rounds), "metric", "value")
+	tb.AddRow("completed", r.Completed)
+	tb.AddRow("failed clean", r.FailedClean)
+	tb.AddRow("invariant violations", r.Violations)
+	var deaths, rejoins, denied, retries int
+	for _, s := range r.Scenarios {
+		deaths += s.Deaths
+		rejoins += s.Rejoins
+		denied += s.RejoinsDenied
+		retries += s.Retries
+	}
+	tb.AddRow("node deaths", deaths)
+	tb.AddRow("rejoins", rejoins)
+	tb.AddRow("rejoins denied", denied)
+	tb.AddRow("retries", retries)
+	return tb
+}
+
+// chaosRef is the no-failure reference every scenario is judged against:
+// the serialized trees plus their root gradient sums.
+type chaosRef struct {
+	trees [][]byte
+	sums  []rootSum
+}
+
+type rootSum struct {
+	g, h float64
+	n    int32
+}
+
+func newChaosRef(trees []*tree.Tree) (*chaosRef, error) {
+	ref := &chaosRef{}
+	for _, tr := range trees {
+		b, err := json.Marshal(tr)
+		if err != nil {
+			return nil, err
+		}
+		ref.trees = append(ref.trees, b)
+		ref.sums = append(ref.sums, rootSum{g: tr.Nodes[0].SumG, h: tr.Nodes[0].SumH, n: tr.Nodes[0].Count})
+	}
+	return ref, nil
+}
+
+// chaosDistConfig is the trainer configuration every scenario (and the
+// reference run) shares: small trees, automatic readmission after two
+// rounds of absence, one retry before escalation so schedules reach the
+// re-own rung quickly.
+func chaosDistConfig(nodes, workers int) dist.Config {
+	return dist.Config{
+		Nodes: nodes, WorkersPerNode: workers,
+		TreeSize: 5, K: 8, Params: params(),
+		MaxRetries: 1, RejoinAfterRounds: 2,
+	}
+}
+
+// Chaos runs the soak and returns the report. It errs only on setup
+// problems; invariant violations are reported in the result (Violations >
+// 0) so the caller can persist the artifacts before exiting non-zero.
+func Chaos(sc Scale, cc ChaosConfig) (*ChaosReport, error) {
+	if sc.Rows == 0 {
+		sc.Rows = 4000
+	}
+	sc = sc.withDefaults()
+	cc = cc.withDefaults()
+	if cc.Dir == "" {
+		return nil, fmt.Errorf("experiments: chaos needs a working directory")
+	}
+	if err := os.MkdirAll(cc.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	ds, err := makeData(sc, synth.HiggsLike)
+	if err != nil {
+		return nil, err
+	}
+	workers := sc.Workers
+	if workers == 0 {
+		workers = 8
+	}
+
+	// The no-failure reference: the exact model every completing scenario
+	// must reproduce byte-for-byte (faults only move virtual time, never
+	// gradient sums).
+	fault.Reset()
+	refTrainer, err := dist.NewTrainer(chaosDistConfig(cc.Nodes, workers), ds)
+	if err != nil {
+		return nil, err
+	}
+	refRes, err := boost.Train(refTrainer, ds, boost.Config{Rounds: cc.Rounds}, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: chaos reference run: %w", err)
+	}
+	ref, err := newChaosRef(refRes.Model.Trees)
+	if err != nil {
+		return nil, err
+	}
+
+	seeds := make([]uint64, 0, cc.N)
+	if cc.ReplaySeed != 0 {
+		seeds = append(seeds, cc.ReplaySeed)
+	} else {
+		for i := 0; i < cc.N; i++ {
+			seeds = append(seeds, cc.BaseSeed+uint64(i))
+		}
+	}
+	rep := &ChaosReport{BaseSeed: cc.BaseSeed, Nodes: cc.Nodes, Rounds: cc.Rounds, Rows: sc.Rows}
+	for _, seed := range seeds {
+		s, err := runChaosScenario(seed, ds, cc, workers, ref)
+		if err != nil {
+			return nil, err
+		}
+		rep.Scenarios = append(rep.Scenarios, *s)
+		switch s.Outcome {
+		case "completed":
+			rep.Completed++
+		case "failed-clean":
+			rep.FailedClean++
+		}
+		if len(s.Violations) > 0 {
+			rep.Violations++
+		}
+	}
+	return rep, nil
+}
+
+// runChaosScenario replays one seed: generate the schedule, train under
+// it with per-round checkpoints and an armed flight recorder, and judge
+// the invariants against the reference.
+func runChaosScenario(seed uint64, ds *dataset.Dataset, cc ChaosConfig, workers int, ref *chaosRef) (*ChaosScenario, error) {
+	dir := filepath.Join(cc.Dir, fmt.Sprintf("seed-%d", seed))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	schedule := fault.GenSchedule(seed, cc.Rounds, cc.Nodes)
+	s := &ChaosScenario{Seed: seed, Schedule: schedule.String(), Events: len(schedule.Events)}
+
+	// A fresh registry state and a fresh flight recorder per scenario: loss
+	// bursts arm the process-wide registry, and the recorder is
+	// first-dump-wins per arming.
+	fault.Reset()
+	flightPath := filepath.Join(dir, "flight.json")
+	obs.ArmFlightRecorder(flightPath, 0)
+	defer func() {
+		obs.ArmFlightRecorder("", 0)
+		fault.Reset()
+	}()
+
+	dt, err := dist.NewTrainer(chaosDistConfig(cc.Nodes, workers), ds)
+	if err != nil {
+		return nil, err
+	}
+	if err := dt.ApplyChaos(schedule); err != nil {
+		return nil, err
+	}
+	res, trainErr := boost.Train(dt, ds, boost.Config{
+		Rounds: cc.Rounds, CheckpointDir: dir, CheckpointEvery: 1,
+	}, nil, nil)
+
+	ledger := dt.CommsReport()
+	s.Deaths = ledger.Totals.Failures
+	s.Rejoins = ledger.Totals.Rejoins
+	s.RejoinsDenied = ledger.Totals.RejoinsDenied
+	s.Retries = ledger.Totals.Retries
+	s.LedgerConserved = true
+	if err := ledger.Conserved(); err != nil {
+		s.LedgerConserved = false
+		s.Violations = append(s.Violations, fmt.Sprintf("ledger: %v", err))
+	}
+
+	// The trees to judge: the full model on completion, the checkpointed
+	// prefix on failure (the durable state a restarted run resumes from).
+	var grown []*tree.Tree
+	if trainErr == nil {
+		s.Outcome = "completed"
+		grown = res.Model.Trees
+		if len(grown) != cc.Rounds {
+			s.Violations = append(s.Violations,
+				fmt.Sprintf("completed with %d trees, want %d", len(grown), cc.Rounds))
+		}
+	} else {
+		s.Outcome = "failed-clean"
+		s.Error = trainErr.Error()
+		// A clean failure leaves a readable post-mortem dump.
+		if _, err := obs.ReadFlightDump(flightPath); err != nil {
+			s.Outcome = "failed-dirty"
+			s.Violations = append(s.Violations, fmt.Sprintf("flight dump: %v", err))
+		} else {
+			s.FlightDump = flightPath
+		}
+		if ck, err := boost.LoadCheckpoint(boost.CheckpointPath(dir)); err == nil {
+			grown = ck.Model.Trees
+		} else if !os.IsNotExist(err) {
+			s.Violations = append(s.Violations, fmt.Sprintf("checkpoint: %v", err))
+		}
+	}
+	s.TreesBuilt = len(grown)
+
+	// Tree equivalence and GHSum conservation against the reference. Byte
+	// equality subsumes equal root sums; the sums are still checked
+	// separately so a dropped-contribution violation is named as such.
+	s.TreesIdentical, s.GHSumConserved = true, true
+	for i, tr := range grown {
+		if i >= len(ref.trees) {
+			s.TreesIdentical = false
+			s.Violations = append(s.Violations, fmt.Sprintf("tree %d beyond reference", i))
+			break
+		}
+		if got := (rootSum{g: tr.Nodes[0].SumG, h: tr.Nodes[0].SumH, n: tr.Nodes[0].Count}); got != ref.sums[i] {
+			s.GHSumConserved = false
+			s.Violations = append(s.Violations, fmt.Sprintf(
+				"tree %d root GHSum (%g,%g,%d) != reference (%g,%g,%d)",
+				i, got.g, got.h, got.n, ref.sums[i].g, ref.sums[i].h, ref.sums[i].n))
+		}
+		b, err := json.Marshal(tr)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(b, ref.trees[i]) {
+			s.TreesIdentical = false
+			s.Violations = append(s.Violations, fmt.Sprintf("tree %d differs from no-failure reference", i))
+		}
+	}
+	return s, nil
+}

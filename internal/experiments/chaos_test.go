@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestChaosSoak runs a small seeded sweep and requires every scenario to
+// uphold every invariant: clean completion or clean failure, ledger
+// conservation, GHSum conservation and tree equivalence.
+func TestChaosSoak(t *testing.T) {
+	sc := Scale{Rows: 1200, Seed: 11, Workers: 4}
+	cc := ChaosConfig{N: 6, Nodes: 3, Rounds: 5, Dir: t.TempDir()}
+	rep, err := Chaos(sc, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != cc.N {
+		t.Fatalf("%d scenarios, want %d", len(rep.Scenarios), cc.N)
+	}
+	if rep.Violations != 0 {
+		for _, s := range rep.Scenarios {
+			if len(s.Violations) > 0 {
+				t.Errorf("seed %d (%s): %v", s.Seed, s.Schedule, s.Violations)
+			}
+		}
+		t.Fatalf("%d scenarios violated invariants", rep.Violations)
+	}
+	if rep.Completed+rep.FailedClean != cc.N {
+		t.Fatalf("completed %d + failed-clean %d != %d scenarios",
+			rep.Completed, rep.FailedClean, cc.N)
+	}
+	for _, s := range rep.Scenarios {
+		if !s.LedgerConserved || !s.GHSumConserved || !s.TreesIdentical {
+			t.Fatalf("seed %d passed with failing checks: %+v", s.Seed, s)
+		}
+		if s.Outcome == "failed-clean" {
+			if s.FlightDump == "" {
+				t.Fatalf("seed %d failed without a flight dump", s.Seed)
+			}
+			if _, err := os.Stat(s.FlightDump); err != nil {
+				t.Fatalf("seed %d flight dump missing: %v", s.Seed, err)
+			}
+		}
+	}
+	tb := rep.Table()
+	if tb == nil || len(tb.Rows) == 0 {
+		t.Fatal("summary table empty")
+	}
+	out := filepath.Join(cc.Dir, "chaos.json")
+	if err := rep.WriteFile(out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ChaosReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Scenarios) != cc.N {
+		t.Fatal("report did not round-trip through JSON")
+	}
+}
+
+// TestChaosReplayDeterministic: replaying a single seed reproduces the
+// sweep's scenario verdict field for field — the property that makes a
+// failing seed debuggable.
+func TestChaosReplayDeterministic(t *testing.T) {
+	sc := Scale{Rows: 1200, Seed: 11, Workers: 4}
+	base := ChaosConfig{N: 3, Nodes: 3, Rounds: 5, Dir: t.TempDir()}
+	sweep, err := Chaos(sc, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range sweep.Scenarios {
+		replay := base
+		replay.Dir = t.TempDir()
+		replay.ReplaySeed = want.Seed
+		rep, err := Chaos(sc, replay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Scenarios) != 1 {
+			t.Fatalf("replay ran %d scenarios, want 1", len(rep.Scenarios))
+		}
+		got := rep.Scenarios[0]
+		// Paths differ between runs; everything else must be identical.
+		got.FlightDump, want.FlightDump = "", ""
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("replay of seed %d diverged:\n got %+v\nwant %+v", want.Seed, got, want)
+		}
+	}
+}

@@ -21,6 +21,7 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -29,6 +30,47 @@ import (
 
 	"harpgbdt/internal/obs"
 )
+
+// The point vocabulary. Every production injection point self-registers at
+// package init of its owning package (var _ = fault.RegisterPoint(...)), so
+// the registry can validate CLI -inject specs against the set of points
+// that actually exist — a spec naming a typo'd point errors at arm time
+// instead of silently never firing. Programmatic Enable stays permissive:
+// tests arm ad-hoc fixture points freely.
+var (
+	knownMu    sync.Mutex
+	knownDocs  = map[string]string{}
+	knownNames []string // sorted mirror of knownDocs' keys
+)
+
+// RegisterPoint declares a production injection point and returns its name
+// (so owning packages can bind it to a package-level var the Point call
+// sites share). Registering the same name again is a no-op.
+func RegisterPoint(name, doc string) string {
+	knownMu.Lock()
+	defer knownMu.Unlock()
+	if _, dup := knownDocs[name]; !dup {
+		knownDocs[name] = doc
+		knownNames = append(knownNames, name)
+		sort.Strings(knownNames)
+	}
+	return name
+}
+
+// KnownPoints lists every registered production injection point, sorted.
+func KnownPoints() []string {
+	knownMu.Lock()
+	defer knownMu.Unlock()
+	return append([]string(nil), knownNames...)
+}
+
+// IsKnownPoint reports whether name was registered via RegisterPoint.
+func IsKnownPoint(name string) bool {
+	knownMu.Lock()
+	defer knownMu.Unlock()
+	_, ok := knownDocs[name]
+	return ok
+}
 
 // prng is a splitmix64 generator. The package keeps its own tiny PRNG
 // instead of using internal/synth because fault must stay importable from
@@ -322,7 +364,10 @@ func ParseSpec(spec string) (name string, f Fault, err error) {
 }
 
 // EnableSpecs parses a semicolon-separated list of specs (see ParseSpec)
-// and arms each on the process-wide registry.
+// and arms each on the process-wide registry. Every spec's point name is
+// validated against the registered production points (RegisterPoint): an
+// unknown name errors at arm time, listing the known points, instead of
+// arming a fault that can never fire.
 func EnableSpecs(specs string) error {
 	for _, spec := range strings.Split(specs, ";") {
 		spec = strings.TrimSpace(spec)
@@ -332,6 +377,10 @@ func EnableSpecs(specs string) error {
 		name, f, err := ParseSpec(spec)
 		if err != nil {
 			return err
+		}
+		if !IsKnownPoint(name) {
+			return fmt.Errorf("fault: unknown injection point %q (known points: %s)",
+				name, strings.Join(KnownPoints(), ", "))
 		}
 		Enable(name, f)
 	}

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -192,6 +193,9 @@ func TestParseSpec(t *testing.T) {
 
 func TestEnableSpecs(t *testing.T) {
 	defer Reset()
+	// EnableSpecs only arms registered points; declare the fixtures.
+	RegisterPoint("tp.a", "test fixture")
+	RegisterPoint("tp.b", "test fixture")
 	if err := EnableSpecs("tp.a=error,times=1; tp.b=error"); err != nil {
 		t.Fatal(err)
 	}
@@ -203,5 +207,28 @@ func TestEnableSpecs(t *testing.T) {
 	}
 	if err := EnableSpecs("bad spec"); err == nil {
 		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestEnableSpecsRejectsUnknownPoint(t *testing.T) {
+	defer Reset()
+	err := EnableSpecs("tp.nonexistent=error")
+	if err == nil {
+		t.Fatal("spec naming an unregistered point accepted")
+	}
+	if !strings.Contains(err.Error(), "tp.nonexistent") ||
+		!strings.Contains(err.Error(), "known points") {
+		t.Fatalf("error %q does not identify the unknown point and list known ones", err)
+	}
+	// The production points registered by their owning packages are not
+	// visible from this leaf package's tests, but the fixtures from other
+	// tests in this file are; the listing must carry them sorted.
+	RegisterPoint("tp.z-listing", "test fixture")
+	err = EnableSpecs("tp.nonexistent=error")
+	if !strings.Contains(err.Error(), "tp.z-listing") {
+		t.Fatalf("error %q does not list registered points", err)
+	}
+	if Fired("tp.nonexistent") != 0 || Calls("tp.nonexistent") != 0 {
+		t.Fatal("rejected spec left state behind")
 	}
 }

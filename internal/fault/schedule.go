@@ -1,0 +1,229 @@
+package fault
+
+// Deterministic chaos schedules: seeded, randomized sequences of cluster
+// fault events (node deaths, delayed rejoins, allreduce loss bursts,
+// transient stragglers, failed restores) that a fault-tolerant trainer
+// replays round by round. A Schedule is a pure function of
+// (seed, rounds, nodes) — the same seed always yields the same event
+// sequence, so any failing chaos scenario is replayable bit for bit from
+// its recorded seed alone.
+//
+// The package defines only the vocabulary and the generator; applying a
+// schedule (killing nodes, arming the registry's loss bursts) is the
+// consumer's job — see internal/dist.(*Trainer).ApplyChaos.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ChaosKind enumerates the fault-event vocabulary of a chaos schedule.
+type ChaosKind int
+
+const (
+	// ChaosLossBurst arms Count consecutive allreduce failures starting at
+	// the event's round (transient message loss; a burst longer than the
+	// retry budget escalates to a node death).
+	ChaosLossBurst ChaosKind = iota
+	// ChaosNodeDeath kills Node at the start of Round.
+	ChaosNodeDeath
+	// ChaosRejoin readmits Node at the start of Round (a delayed rejoin,
+	// independent of the trainer's automatic readmission policy).
+	ChaosRejoin
+	// ChaosStraggler slows Node's compute by Factor for Count rounds.
+	ChaosStraggler
+	// ChaosRejoinFault fails the next Count restore attempts — a node dies
+	// again while its recovery is in flight.
+	ChaosRejoinFault
+)
+
+// String implements fmt.Stringer.
+func (k ChaosKind) String() string {
+	switch k {
+	case ChaosLossBurst:
+		return "loss-burst"
+	case ChaosNodeDeath:
+		return "node-death"
+	case ChaosRejoin:
+		return "rejoin"
+	case ChaosStraggler:
+		return "straggler"
+	case ChaosRejoinFault:
+		return "rejoin-fault"
+	default:
+		return fmt.Sprintf("ChaosKind(%d)", int(k))
+	}
+}
+
+// ChaosEvent is one scheduled fault.
+type ChaosEvent struct {
+	// Round is the 1-based boosting round the event fires at (events apply
+	// at the start of the round, before any allreduce step).
+	Round int `json:"round"`
+	// Kind selects the fault.
+	Kind ChaosKind `json:"kind"`
+	// Node is the targeted cluster node (deaths, rejoins, stragglers).
+	Node int `json:"node"`
+	// Count sizes the event: burst length, straggler duration in rounds,
+	// failed-restore attempts.
+	Count int `json:"count,omitempty"`
+	// Factor is the straggler slowdown multiplier.
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// String renders one event compactly ("r3 node-death n1").
+func (e ChaosEvent) String() string {
+	s := fmt.Sprintf("r%d %s n%d", e.Round, e.Kind, e.Node)
+	if e.Count > 0 {
+		s += fmt.Sprintf(" x%d", e.Count)
+	}
+	if e.Factor > 0 {
+		s += fmt.Sprintf(" f%.1f", e.Factor)
+	}
+	return s
+}
+
+// Schedule is a deterministic fault schedule over a bounded run.
+type Schedule struct {
+	// Seed reproduces the schedule via GenSchedule(Seed, Rounds, Nodes).
+	Seed uint64 `json:"seed"`
+	// Rounds and Nodes bound the event space the schedule was drawn for.
+	Rounds int `json:"rounds"`
+	Nodes  int `json:"nodes"`
+	// Events are sorted by Round; within a round they apply in slice order.
+	Events []ChaosEvent `json:"events"`
+}
+
+// String summarizes the schedule on one line.
+func (s Schedule) String() string {
+	if len(s.Events) == 0 {
+		return fmt.Sprintf("chaos(seed=%d): no events", s.Seed)
+	}
+	parts := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("chaos(seed=%d): %s", s.Seed, strings.Join(parts, "; "))
+}
+
+// EventsAt returns the events firing at the given round, in order.
+func (s Schedule) EventsAt(round int) []ChaosEvent {
+	var out []ChaosEvent
+	for _, e := range s.Events {
+		if e.Round == round {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Validate rejects schedules whose events fall outside the declared
+// (rounds, nodes) box.
+func (s Schedule) Validate() error {
+	for i, e := range s.Events {
+		if e.Round < 1 || (s.Rounds > 0 && e.Round > s.Rounds) {
+			return fmt.Errorf("fault: event %d (%s) round out of [1, %d]", i, e, s.Rounds)
+		}
+		if e.Node < 0 || (s.Nodes > 0 && e.Node >= s.Nodes) {
+			return fmt.Errorf("fault: event %d (%s) node out of [0, %d)", i, e, s.Nodes)
+		}
+		if i > 0 && e.Round < s.Events[i-1].Round {
+			return fmt.Errorf("fault: events not sorted by round at %d", i)
+		}
+	}
+	return nil
+}
+
+// GenSchedule draws a randomized fault schedule from the seed. The
+// generator tracks simulated membership so events stay adversarial but
+// plausible: deaths target alive nodes, rejoins target dead ones and land
+// strictly after the death, and roughly one seed in six schedules more
+// deaths than a (nodes-1)-death budget tolerates — the clean-failure path
+// must be soaked too. The result is deterministic: equal arguments yield
+// an identical schedule.
+func GenSchedule(seed uint64, rounds, nodes int) Schedule {
+	if rounds < 1 {
+		rounds = 1
+	}
+	if nodes < 2 {
+		nodes = 2
+	}
+	rng := prng(seed ^ 0x9e3779b97f4a7c15)
+	s := Schedule{Seed: seed, Rounds: rounds, Nodes: nodes}
+	// dead[v] is the round node v died in (0 = alive); pendingRejoin marks a
+	// rejoin already scheduled for v.
+	dead := make([]int, nodes)
+	pendingRejoin := make([]bool, nodes)
+	overBudget := rng.Float64() < 1.0/6
+	deaths := 0
+	pick := func(alive bool) int {
+		// Deterministic scan from a random start for a node in the wanted
+		// liveness state; -1 when none qualifies.
+		start := int(rng.Float64() * float64(nodes))
+		for i := 0; i < nodes; i++ {
+			v := (start + i) % nodes
+			if (dead[v] == 0) == alive && !(alive == false && pendingRejoin[v]) {
+				return v
+			}
+		}
+		return -1
+	}
+	for r := 1; r <= rounds; r++ {
+		// Scheduled rejoins land first so a same-round death-after-rejoin
+		// reads as death-during-recovery, not a no-op.
+		for v := 0; v < nodes; v++ {
+			if pendingRejoin[v] && dead[v] > 0 {
+				for _, e := range s.Events {
+					if e.Kind == ChaosRejoin && e.Node == v && e.Round == r {
+						dead[v] = 0
+						pendingRejoin[v] = false
+					}
+				}
+			}
+		}
+		if rng.Float64() < 0.3 {
+			n := 1 + int(rng.Float64()*3)
+			s.Events = append(s.Events, ChaosEvent{Round: r, Kind: ChaosLossBurst, Count: n})
+		}
+		budget := nodes - 1
+		if overBudget {
+			budget = nodes
+		}
+		if deaths < budget && rng.Float64() < 0.22 {
+			if v := pick(true); v >= 0 {
+				s.Events = append(s.Events, ChaosEvent{Round: r, Kind: ChaosNodeDeath, Node: v})
+				dead[v] = r
+				deaths++
+				// Most deaths get a delayed rejoin 1–3 rounds later; the rest
+				// stay down (or rely on the trainer's automatic readmission).
+				if rejoinAt := r + 1 + int(rng.Float64()*3); rejoinAt <= rounds && rng.Float64() < 0.7 {
+					s.Events = append(s.Events, ChaosEvent{Round: rejoinAt, Kind: ChaosRejoin, Node: v})
+					pendingRejoin[v] = true
+				}
+			}
+		}
+		if rng.Float64() < 0.15 {
+			if v := pick(true); v >= 0 {
+				s.Events = append(s.Events, ChaosEvent{Round: r, Kind: ChaosStraggler, Node: v,
+					Count: 1 + int(rng.Float64()*2), Factor: 2 + rng.Float64()*6})
+			}
+		}
+		if rng.Float64() < 0.12 {
+			s.Events = append(s.Events, ChaosEvent{Round: r, Kind: ChaosRejoinFault, Count: 1})
+		}
+	}
+	sortEventsByRound(s.Events)
+	return s
+}
+
+// sortEventsByRound stably orders events by round, preserving the
+// generator's intra-round order (rejoins were appended before same-round
+// deaths of the following iterations by construction).
+func sortEventsByRound(events []ChaosEvent) {
+	// Insertion sort: event lists are tiny and stability matters.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].Round < events[j-1].Round; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestGenScheduleDeterministic: equal (seed, rounds, nodes) yield an
+// identical schedule — the property that makes failing chaos seeds
+// replayable bit for bit.
+func TestGenScheduleDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		a := GenSchedule(seed, 8, 4)
+		b := GenSchedule(seed, 8, 4)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: schedules differ across calls", seed)
+		}
+	}
+	// Distinct seeds draw distinct schedules (not all — some seeds draw no
+	// events — but across a span at least one pair must differ).
+	distinct := false
+	first := GenSchedule(1, 8, 4).String()
+	for seed := uint64(2); seed <= 10; seed++ {
+		if GenSchedule(seed, 8, 4).String() != first {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Fatal("ten consecutive seeds drew identical schedules")
+	}
+}
+
+// TestGenScheduleValid: every drawn schedule passes its own validation —
+// events sorted, rounds and nodes inside the declared box.
+func TestGenScheduleValid(t *testing.T) {
+	for seed := uint64(1); seed <= 200; seed++ {
+		s := GenSchedule(seed, 10, 4)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v (%s)", seed, err, s)
+		}
+		if s.Seed != seed || s.Rounds != 10 || s.Nodes != 4 {
+			t.Fatalf("seed %d: schedule box not recorded", seed)
+		}
+	}
+}
+
+// TestGenScheduleKindCoverage: a modest seed sweep exercises the whole
+// fault vocabulary, including the over-budget death count that soaks the
+// clean-failure path.
+func TestGenScheduleKindCoverage(t *testing.T) {
+	kinds := map[ChaosKind]int{}
+	maxDeaths := 0
+	for seed := uint64(1); seed <= 100; seed++ {
+		s := GenSchedule(seed, 10, 4)
+		deaths := 0
+		for _, e := range s.Events {
+			kinds[e.Kind]++
+			if e.Kind == ChaosNodeDeath {
+				deaths++
+			}
+		}
+		if deaths > maxDeaths {
+			maxDeaths = deaths
+		}
+	}
+	for _, k := range []ChaosKind{ChaosLossBurst, ChaosNodeDeath, ChaosRejoin,
+		ChaosStraggler, ChaosRejoinFault} {
+		if kinds[k] == 0 {
+			t.Errorf("kind %s never drawn in 100 seeds", k)
+		}
+	}
+	if maxDeaths < 4 {
+		t.Errorf("no seed drew an over-budget death count (max %d of 4 nodes)", maxDeaths)
+	}
+}
+
+// TestGenScheduleRejoinsFollowDeaths: rejoins target nodes that died in an
+// earlier round — the generator tracks membership.
+func TestGenScheduleRejoinsFollowDeaths(t *testing.T) {
+	for seed := uint64(1); seed <= 100; seed++ {
+		s := GenSchedule(seed, 10, 4)
+		diedAt := map[int]int{}
+		for _, e := range s.Events {
+			switch e.Kind {
+			case ChaosNodeDeath:
+				diedAt[e.Node] = e.Round
+			case ChaosRejoin:
+				d, ok := diedAt[e.Node]
+				if !ok || e.Round <= d {
+					t.Fatalf("seed %d: rejoin of node %d at r%d without a prior death (%s)",
+						seed, e.Node, e.Round, s)
+				}
+				delete(diedAt, e.Node)
+			}
+		}
+	}
+}
+
+func TestScheduleValidateRejects(t *testing.T) {
+	bad := []Schedule{
+		{Rounds: 4, Nodes: 2, Events: []ChaosEvent{{Round: 0, Kind: ChaosNodeDeath}}},
+		{Rounds: 4, Nodes: 2, Events: []ChaosEvent{{Round: 5, Kind: ChaosNodeDeath}}},
+		{Rounds: 4, Nodes: 2, Events: []ChaosEvent{{Round: 1, Kind: ChaosNodeDeath, Node: 3}}},
+		{Rounds: 4, Nodes: 2, Events: []ChaosEvent{
+			{Round: 3, Kind: ChaosLossBurst}, {Round: 1, Kind: ChaosLossBurst}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schedule %d accepted: %s", i, s)
+		}
+	}
+}
+
+func TestScheduleEventsAtAndString(t *testing.T) {
+	s := Schedule{Seed: 9, Rounds: 4, Nodes: 3, Events: []ChaosEvent{
+		{Round: 1, Kind: ChaosLossBurst, Count: 2},
+		{Round: 2, Kind: ChaosNodeDeath, Node: 1},
+		{Round: 2, Kind: ChaosStraggler, Node: 0, Count: 1, Factor: 3},
+	}}
+	if got := len(s.EventsAt(2)); got != 2 {
+		t.Fatalf("EventsAt(2) returned %d events, want 2", got)
+	}
+	if got := len(s.EventsAt(4)); got != 0 {
+		t.Fatalf("EventsAt(4) returned %d events, want 0", got)
+	}
+	str := s.String()
+	for _, want := range []string{"seed=9", "r2 node-death n1", "loss-burst"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() %q missing %q", str, want)
+		}
+	}
+	if empty := (Schedule{Seed: 3}).String(); !strings.Contains(empty, "no events") {
+		t.Fatalf("empty schedule String() = %q", empty)
+	}
+}

@@ -89,6 +89,11 @@ var DeterministicPackages = []string{
 	"internal/histogram",
 	"internal/tree",
 	"internal/boost",
+	// The virtual-clock layers: simulated-cluster timing and the seeded
+	// fault/chaos machinery must never read the wall clock or the global
+	// rand source, or fault schedules stop being replayable.
+	"internal/dist",
+	"internal/fault",
 }
 
 // DefaultAnalyses returns the standard harplint rule set for the module

@@ -23,11 +23,15 @@ import (
 	"harpgbdt/internal/obs"
 )
 
+// pointWorker is the registered injection point of the worker loop.
+var pointWorker = fault.RegisterPoint("sched.worker",
+	"fires on a real worker goroutine once per claimed chunk/task")
+
 // workerFault is the injection hook evaluated once per claimed chunk/task
 // on real worker goroutines; an injected error panics on the worker (and
 // is then recovered into a *PanicError), an injected panic fires directly.
 // One atomic load when no faults are armed.
-func workerFault() error { return fault.Point("sched.worker") }
+func workerFault() error { return fault.Point(pointWorker) }
 
 // PanicError wraps a panic recovered from a worker goroutine (or from a
 // region body on the orchestrator) so it can travel as an error.
