@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test lint sanitize race-sanitize fuzz race fault chaos bench benchdiff efficiency comms baseline trace clean
+.PHONY: check vet build test lint bce bce-baseline sarif sanitize race-sanitize fuzz race fault chaos bench benchdiff efficiency comms baseline trace clean
 
-## check: the full verification gate (vet + build + harplint + the test
-## suite under race detector *and* harpdebug invariants + fault suite +
-## the benchmark regression gate against the committed baseline).
-## race-sanitize subsumes a plain `make race`: same tests, same -race,
-## plus the runtime invariant layer compiled in.
-check: vet build lint race-sanitize fault benchdiff
+## check: the full verification gate (vet + build + harplint + the
+## compiler-verified bounds-check gate + the test suite under race
+## detector *and* harpdebug invariants + fault suite + the benchmark
+## regression gate against the committed baseline). race-sanitize
+## subsumes a plain `make race`: same tests, same -race, plus the runtime
+## invariant layer compiled in.
+check: vet build lint bce race-sanitize fault benchdiff
 
 vet:
 	$(GO) vet ./...
@@ -19,12 +20,31 @@ test:
 	$(GO) test ./...
 
 ## lint: run the domain-specific static analyzer (spinscope, lockbalance,
-## determinism, obshygiene, histlife, barrierbalance, hotalloc) against
-## both build configurations — the release tree and the harpdebug
+## determinism, obshygiene, histlife, barrierbalance, hotalloc, plus the
+## SSA-lite dataflow rules goroutineleak, errflow, ctxflow, atomicmix)
+## against both build configurations — the release tree and the harpdebug
 ## invariant layer; exits non-zero on unsuppressed findings
 lint:
 	$(GO) run ./cmd/harplint ./...
 	$(GO) run ./cmd/harplint -tags harpdebug ./...
+
+## bce: the compiler-verified bounds-check-elimination gate — build with
+## -gcflags=-d=ssa/check_bce, map the residual IsInBounds/IsSliceInBounds
+## diagnostics into the hot-kernel reach set, and fail on any drift (up
+## or down) against the committed BCE_baseline.txt
+bce:
+	$(GO) run ./cmd/harplint -bce
+
+## bce-baseline: deliberately regenerate BCE_baseline.txt after a kernel
+## change (commit the result; `make bce` pins it)
+bce-baseline:
+	$(GO) run ./cmd/harplint -bce -update
+
+## sarif: write the harplint findings (both build configurations merged
+## by the consumer; this emits the default configuration) as a SARIF
+## 2.1.0 log for code-scanning UIs
+sarif:
+	$(GO) run ./cmd/harplint -sarif harplint.sarif ./...
 
 ## sanitize: the test suite with the harpdebug runtime invariant layer
 ## compiled in (GHSum conservation, partition permutation, bin bounds,
@@ -33,9 +53,13 @@ sanitize:
 	$(GO) test -short -tags harpdebug ./...
 
 ## race-sanitize: invariants and the race detector together — the
-## strictest fast gate
+## strictest fast gate. The three concurrency-heavy packages (the
+## simulated cluster, the fault-injection registry, and the wait-state
+## accounting) additionally run their full suites under -race, not just
+## the -short subset.
 race-sanitize:
 	$(GO) test -race -short -tags harpdebug ./...
+	$(GO) test -race ./internal/dist/ ./internal/fault/ ./internal/perf/
 
 ## fuzz: short fuzz sessions over the dataset loaders
 fuzz:
@@ -108,5 +132,5 @@ trace:
 # BENCH_baseline.json is the committed regression reference — clean only
 # removes the date-stamped run outputs.
 clean:
-	rm -f trace.json efficiency.json comms.json cluster-trace.json chaos.json BENCH_2*.json
+	rm -f trace.json efficiency.json comms.json cluster-trace.json chaos.json harplint.sarif BENCH_2*.json
 	rm -rf chaos-work

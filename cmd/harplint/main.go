@@ -2,7 +2,10 @@
 // module: spin-lock critical-section scope, lock balance, training-path
 // determinism, observability naming hygiene, histogram-pool buffer
 // lifetimes (histlife), WaitGroup/channel barrier balance
-// (barrierbalance), and kernel allocation freedom (hotalloc).
+// (barrierbalance), kernel allocation freedom (hotalloc), and the
+// SSA-lite dataflow rules — goroutine join paths (goroutineleak),
+// persistence error observation (errflow), context honoring (ctxflow),
+// and atomic/plain access mixing (atomicmix).
 //
 // Usage:
 //
@@ -12,10 +15,17 @@
 // flag selects the analyzed build configuration (run once with no tags and
 // once with -tags harpdebug to cover both sides of the invariant layer).
 //
-// Findings print in go vet format (file:line:col: message [rule]). Exit
-// status is 1 when unsuppressed findings exist, 2 on load or type-check
-// errors — a module that does not type-check cannot be analyzed reliably,
-// so type errors are fatal, not warnings.
+// Findings print in go vet format (file:line:col: message [rule]); -sarif
+// additionally writes them as a SARIF 2.1.0 log for code-scanning UIs.
+// Exit status is 1 when unsuppressed findings exist, 2 on load or
+// type-check errors — a module that does not type-check cannot be
+// analyzed reliably, so type errors are fatal, not warnings.
+//
+// -bce runs the bounds-check-elimination gate instead of the AST rules:
+// it compiles the module with -gcflags=-d=ssa/check_bce, maps the
+// compiler's residual IsInBounds/IsSliceInBounds diagnostics into the
+// hot-kernel reach set, and compares the per-function counts against the
+// committed BCE_baseline.txt (regenerate deliberately with -bce -update).
 package main
 
 import (
@@ -34,6 +44,9 @@ func main() {
 		showIgnored = flag.Bool("show-ignored", false, "also print suppressed findings")
 		listRules   = flag.Bool("rules", false, "list rule names and exit")
 		tags        = flag.String("tags", "", "comma-separated build tags of the analyzed configuration")
+		sarifOut    = flag.String("sarif", "", `write findings as SARIF 2.1.0 to this file ("-" for stdout)`)
+		bce         = flag.Bool("bce", false, "run the bounds-check-elimination gate against BCE_baseline.txt and exit")
+		update      = flag.Bool("update", false, "with -bce: regenerate BCE_baseline.txt from the current build")
 	)
 	flag.Parse()
 
@@ -43,6 +56,10 @@ func main() {
 			fatal(err)
 		}
 		*root = r
+	}
+	if *bce {
+		runBCEGate(*root, *update)
+		return
 	}
 	loader, err := lint.NewLoaderTags(*root, splitTags(*tags)...)
 	if err != nil {
@@ -87,6 +104,11 @@ func main() {
 	}
 
 	findings := lint.Run(pkgs, analyses)
+	if *sarifOut != "" {
+		if err := writeSARIF(*sarifOut, findings, lint.RuleNames(analyses), loader.Root); err != nil {
+			fatal(err)
+		}
+	}
 	bad := 0
 	for _, f := range findings {
 		if f.Suppressed {
@@ -102,6 +124,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "harplint: %d finding(s) in %d package(s)\n", bad, len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// writeSARIF renders findings as SARIF 2.1.0 to path ("-" = stdout).
+func writeSARIF(path string, findings []lint.Finding, rules []string, root string) error {
+	data, err := lint.SARIF(findings, rules, root)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// runBCEGate runs the compiler-verified bounds-check gate: measure
+// residual checks in the hot-kernel reach set, then compare against (or
+// with update=true, rewrite) the committed baseline. Exits 1 on drift,
+// 2 on build/parse errors.
+func runBCEGate(root string, update bool) {
+	counts, err := lint.RunBCE(lint.BCEOptions{Root: root})
+	if err != nil {
+		fatal(err)
+	}
+	basePath := filepath.Join(root, "BCE_baseline.txt")
+	if update {
+		if err := os.WriteFile(basePath, lint.FormatBCEBaseline(counts), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("harplint: wrote %s (%d entries)\n", relativize(basePath), len(counts))
+		return
+	}
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		fatal(fmt.Errorf("%v (generate it with `harplint -bce -update`)", err))
+	}
+	base, err := lint.ParseBCEBaseline(data)
+	if err != nil {
+		fatal(err)
+	}
+	diffs := lint.DiffBCE(counts, base)
+	for _, d := range diffs {
+		fmt.Println("bce:", d)
+	}
+	if len(diffs) > 0 {
+		fmt.Fprintf(os.Stderr, "harplint: bce gate failed: %d discrepancy(ies) vs %s\n", len(diffs), relativize(basePath))
+		os.Exit(1)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c.N
+	}
+	fmt.Printf("harplint: bce gate ok (%d residual checks across %d function/kind entries match baseline)\n", total, len(counts))
 }
 
 // vetLine renders a finding the way go vet does: file:line:col: message,

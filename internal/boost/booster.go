@@ -334,7 +334,11 @@ func Train(b engine.Builder, ds *dataset.Dataset, cfg Config, testX *dataset.Den
 			// armed flight recorder before unwinding (first dump wins, so a
 			// recovery layer closer to the fault is never overwritten).
 			lg.Error("round failed", obs.KeyRound, round+1, obs.KeyError, err.Error())
-			_, _ = obs.DumpFlight("training round failed")
+			if _, dumpErr := obs.DumpFlight("training round failed"); dumpErr != nil {
+				// The training error outranks the dump failure, but the
+				// missing post-mortem's cause must reach the log.
+				lg.Error("flight dump failed", obs.KeyRound, round+1, obs.KeyError, dumpErr.Error())
+			}
 			return nil, fmt.Errorf("boost: round %d: %w", round, err)
 		}
 		if err := cancelCause(cfg, pool); err != nil {

@@ -270,8 +270,13 @@ func (r *Registry) Point(name string) error {
 	case Panic:
 		// A panic-kind fault may take the whole process down before any
 		// recovery layer runs; dump the flight recorder first so the crash
-		// always leaves a post-mortem artifact.
-		_, _ = obs.DumpFlight("injected panic")
+		// always leaves a post-mortem artifact. A failed dump cannot stop
+		// the injected panic, but it must not vanish either — the missing
+		// artifact's cause belongs in the log.
+		if _, dumpErr := obs.DumpFlight("injected panic"); dumpErr != nil {
+			obs.L().Error("flight dump failed",
+				obs.KeyComponent, "fault", obs.KeyError, dumpErr.Error())
+		}
 		panic(&InjectedPanic{Point: name, Message: f.Message})
 	case Delay:
 		time.Sleep(f.Sleep)

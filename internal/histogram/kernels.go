@@ -9,16 +9,20 @@ import (
 // bins come from the feature-block panel, gradients are gathered from the
 // per-row gradient buffer (the random-access pattern MemBuf eliminates).
 func (h *Hist) AccumulatePanelRowsGrad(panel []uint8, width int, rows []int32, grad gh.Buffer, fLo, fHi int) {
-	off := h.Layout.Off
+	// Same bounds-check-elimination shape as AccumulatePanelRows: offs
+	// covers exactly the feature window, bins is tied to len(offs), so
+	// only the row slice and the histogram scatter carry checks.
+	offs := h.Layout.Off[fLo:fHi]
+	data := h.Data
 	w := width
 	for _, r := range rows {
-		bins := panel[int(r)*w : int(r)*w+w]
+		bins := panel[int(r)*w:][:len(offs)]
 		p := grad[r]
-		for j, b := range bins[:fHi-fLo] {
+		for j, b := range bins {
 			if b == dataset.MissingBin {
 				continue
 			}
-			c := &h.Data[int(off[fLo+j])+int(b)]
+			c := &data[int(offs[j])+int(b)]
 			c.G += p.G
 			c.H += p.H
 		}
@@ -30,15 +34,16 @@ func (h *Hist) AccumulatePanelRowsGrad(panel []uint8, width int, rows []int32, g
 // of Sec. IV-A. Rows whose bin falls outside the range are read but not
 // accumulated (the extra-read cost the paper attributes to bin blocking).
 func (h *Hist) AccumulatePanelRowsBinRange(panel []uint8, width int, mb gh.MemBuf, fLo, fHi int, binLo, binHi uint8) {
-	off := h.Layout.Off
+	offs := h.Layout.Off[fLo:fHi]
+	data := h.Data
 	w := width
 	for _, e := range mb {
-		bins := panel[int(e.Row)*w : int(e.Row)*w+w]
-		for j, b := range bins[:fHi-fLo] {
+		bins := panel[int(e.Row)*w:][:len(offs)]
+		for j, b := range bins {
 			if b < binLo || b >= binHi || b == dataset.MissingBin {
 				continue
 			}
-			c := &h.Data[int(off[fLo+j])+int(b)]
+			c := &data[int(offs[j])+int(b)]
 			c.G += e.G
 			c.H += e.H
 		}
@@ -48,16 +53,17 @@ func (h *Hist) AccumulatePanelRowsBinRange(panel []uint8, width int, mb gh.MemBu
 // AccumulatePanelRowsGradBinRange combines the gathered-gradient and
 // bin-range variants.
 func (h *Hist) AccumulatePanelRowsGradBinRange(panel []uint8, width int, rows []int32, grad gh.Buffer, fLo, fHi int, binLo, binHi uint8) {
-	off := h.Layout.Off
+	offs := h.Layout.Off[fLo:fHi]
+	data := h.Data
 	w := width
 	for _, r := range rows {
-		bins := panel[int(r)*w : int(r)*w+w]
+		bins := panel[int(r)*w:][:len(offs)]
 		p := grad[r]
-		for j, b := range bins[:fHi-fLo] {
+		for j, b := range bins {
 			if b < binLo || b >= binHi || b == dataset.MissingBin {
 				continue
 			}
-			c := &h.Data[int(off[fLo+j])+int(b)]
+			c := &data[int(offs[j])+int(b)]
 			c.G += p.G
 			c.H += p.H
 		}

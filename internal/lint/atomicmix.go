@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// atomicMixAnalysis implements the atomicmix rule: a field or variable
+// accessed through sync/atomic function calls (atomic.AddInt64(&x.f, …))
+// in one place and with plain loads/stores in another is a data race that
+// the race detector only catches under contention — exactly the failure
+// mode of the perf ledger's wait-state matrices, which are written from
+// every worker on the hot path and read by the reporting side. The fix is
+// either the typed atomics (atomic.Int64 et al., immune by construction:
+// the plain value is not addressable through the API) or atomic accesses
+// everywhere.
+//
+// The pass is module-wide: Prepare records, for every package-level
+// variable and struct field, the sites that touch it atomically and the
+// sites that touch it plainly; Check reports the plain sites of any
+// object that has both. Two narrow exemptions keep the rule must-
+// semantics: composite-literal keys (construction happens-before
+// sharing) and accesses inside functions the loader marked dead under
+// the analyzed build configuration are not counted as plain touches.
+type atomicMixAnalysis struct {
+	atomicSites map[types.Object][]token.Pos
+	plainSites  map[types.Object][]token.Pos
+	// objPkg remembers which loaded package owns each recorded site so
+	// Check can report findings under the right file set.
+	sitePkg map[token.Pos]*Package
+}
+
+func (*atomicMixAnalysis) Rules() []string { return []string{"atomicmix"} }
+
+// atomicFuncs are the sync/atomic package-level functions whose first
+// argument is the address of the word being operated on.
+func isAtomicAddrFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch {
+	case fn.Name() == "AddInt32", fn.Name() == "AddInt64",
+		fn.Name() == "AddUint32", fn.Name() == "AddUint64", fn.Name() == "AddUintptr",
+		fn.Name() == "LoadInt32", fn.Name() == "LoadInt64",
+		fn.Name() == "LoadUint32", fn.Name() == "LoadUint64", fn.Name() == "LoadUintptr", fn.Name() == "LoadPointer",
+		fn.Name() == "StoreInt32", fn.Name() == "StoreInt64",
+		fn.Name() == "StoreUint32", fn.Name() == "StoreUint64", fn.Name() == "StoreUintptr", fn.Name() == "StorePointer",
+		fn.Name() == "SwapInt32", fn.Name() == "SwapInt64",
+		fn.Name() == "SwapUint32", fn.Name() == "SwapUint64", fn.Name() == "SwapUintptr", fn.Name() == "SwapPointer",
+		fn.Name() == "CompareAndSwapInt32", fn.Name() == "CompareAndSwapInt64",
+		fn.Name() == "CompareAndSwapUint32", fn.Name() == "CompareAndSwapUint64",
+		fn.Name() == "CompareAndSwapUintptr", fn.Name() == "CompareAndSwapPointer":
+		return true
+	}
+	return false
+}
+
+// addrTargetObj resolves `&expr` (the first argument of an atomic call)
+// to the variable object it addresses: a struct field (via the selector)
+// or a named variable. Index expressions (&s[i]) resolve to the slice
+// variable — mixing atomic and plain element access is the matrix case
+// the rule exists for.
+func addrTargetObj(p *Package, arg ast.Expr) types.Object {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	return lvalueObj(p, u.X)
+}
+
+func lvalueObj(p *Package, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := p.Info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			return v
+		}
+	case *ast.IndexExpr:
+		return lvalueObj(p, e.X)
+	}
+	return nil
+}
+
+// Prepare scans every package for atomic and plain touches of candidate
+// objects. Only objects that are ever touched atomically matter, so the
+// scan runs in two passes: collect the atomic set, then the plain sites
+// of exactly those objects.
+func (a *atomicMixAnalysis) Prepare(pkgs []*Package) {
+	a.atomicSites = make(map[types.Object][]token.Pos)
+	a.plainSites = make(map[types.Object][]token.Pos)
+	a.sitePkg = make(map[token.Pos]*Package)
+	// Pass 1: atomic touches.
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !isAtomicAddrFunc(calleeOf(p, call)) || len(call.Args) == 0 {
+					return true
+				}
+				if obj := addrTargetObj(p, call.Args[0]); obj != nil {
+					a.atomicSites[obj] = append(a.atomicSites[obj], call.Pos())
+					a.sitePkg[call.Pos()] = p
+				}
+				return true
+			})
+		}
+	}
+	if len(a.atomicSites) == 0 {
+		return
+	}
+	// Pass 2: plain touches of the atomic set. Identifier mentions inside
+	// the atomic calls themselves (and under & in them) are excluded.
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			a.scanPlain(p, f)
+		}
+	}
+}
+
+func (a *atomicMixAnalysis) scanPlain(p *Package, f *ast.File) {
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isAtomicAddrFunc(calleeOf(p, n)) && len(n.Args) > 0 {
+				// The addressed word is the atomic touch already recorded;
+				// other arguments (old/new values) are plain reads.
+				for _, arg := range n.Args[1:] {
+					ast.Inspect(arg, visit)
+				}
+				ast.Inspect(n.Fun, visit)
+				return false
+			}
+		case *ast.KeyValueExpr:
+			// Composite-literal construction happens-before sharing.
+			if _, isIdent := n.Key.(*ast.Ident); isIdent {
+				ast.Inspect(n.Value, visit)
+				return false
+			}
+		case *ast.Ident:
+			if v, ok := p.Info.Uses[n].(*types.Var); ok {
+				if _, isAtomic := a.atomicSites[v]; isAtomic {
+					a.plainSites[v] = append(a.plainSites[v], n.Pos())
+					a.sitePkg[n.Pos()] = p
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(f, visit)
+}
+
+func (a *atomicMixAnalysis) Check(p *Package, report func(rule string, pos token.Pos, msg string)) {
+	objs := make([]types.Object, 0, len(a.atomicSites))
+	for obj := range a.atomicSites {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		plains := a.plainSites[obj]
+		if len(plains) == 0 {
+			continue
+		}
+		atomicPos := a.atomicSites[obj][0]
+		for _, pos := range plains {
+			if a.sitePkg[pos] != p {
+				continue
+			}
+			report("atomicmix", pos, fmt.Sprintf(
+				"%s is accessed plainly here but atomically at %s; mixed access is a data race — use typed atomics (atomic.Int64) or atomic ops everywhere",
+				obj.Name(), a.positionOf(atomicPos)))
+		}
+	}
+}
+
+func (a *atomicMixAnalysis) positionOf(pos token.Pos) string {
+	if p := a.sitePkg[pos]; p != nil {
+		position := p.Fset.Position(pos)
+		return fmt.Sprintf("%s:%d", position.Filename, position.Line)
+	}
+	return "?"
+}
+
+var _ ModuleAnalysis = (*atomicMixAnalysis)(nil)

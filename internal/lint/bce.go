@@ -1,0 +1,329 @@
+package lint
+
+// Bounds-check-elimination gate (the bce pass).
+//
+// The paper's throughput argument assumes the histogram accumulation and
+// split-finding kernels compile to straight-line loads and fused adds; a
+// bounds check inside the row loop is a branch per (row, feature) that the
+// block-wise decomposition cannot amortize. The Go compiler already proves
+// most checks away (the prove pass) and will tell us exactly which ones it
+// could not: building with -gcflags=-d=ssa/check_bce prints one diagnostic
+// per residual IsInBounds / IsSliceInBounds operation.
+//
+// The bce pass turns that into a regression gate:
+//
+//  1. run `go build -gcflags=-d=ssa/check_bce <patterns>` at the module
+//     root and parse the diagnostics STRICTLY (an unrecognized line is an
+//     error, not a skip — compiler output format drift must fail loudly,
+//     never silently pass an empty gate);
+//  2. load the module with the lint loader, compute the hot-kernel reach
+//     set (the same BFS over live call edges that the hotalloc rule uses,
+//     rooted at DefaultHotRoots), and map every diagnostic to the
+//     enclosing function by file:line;
+//  3. aggregate residual checks per (function, kind) and compare against
+//     the committed BCE_baseline.txt.
+//
+// Counts are keyed by function label, not by line number, so ordinary
+// edits elsewhere in a file do not invalidate the baseline; any change to
+// the number of residual checks inside a hot function — a regression or an
+// improvement — fails the gate until the baseline is regenerated
+// deliberately (harplint -bce -update).
+//
+// Unlike the AST rules, bce needs the compiler, so it is not part of
+// DefaultAnalyses: it runs via `harplint -bce` and `make bce`.
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BCEDiag is one parsed compiler diagnostic: a bounds check the prove pass
+// could not eliminate.
+type BCEDiag struct {
+	File string // path as printed by the compiler (relative to the build dir)
+	Line int
+	Col  int
+	Kind string // "IsInBounds" or "IsSliceInBounds"
+}
+
+// BCECount is the number of residual bounds checks of one kind inside one
+// hot function — the unit the baseline is keyed on.
+type BCECount struct {
+	Func string // function label (package.Recv.Name)
+	Kind string // "IsInBounds" or "IsSliceInBounds"
+	N    int
+}
+
+// BCEOptions configures a bce gate run.
+type BCEOptions struct {
+	// Root is the module root; `go build` runs there and relative
+	// diagnostic paths resolve against it.
+	Root string
+	// Packages are the go build patterns; default is {"./..."}.
+	Packages []string
+	// Dirs, when non-empty, restricts the loaded source to these
+	// directories (fixture runs); default loads the whole module.
+	Dirs []string
+	// Roots are the kernel root selectors; default is DefaultHotRoots.
+	Roots []HotRoot
+}
+
+// RunBCE executes the bounds-check-elimination gate and returns the
+// residual check counts inside the hot-kernel reach set, sorted by
+// function label then kind.
+func RunBCE(opts BCEOptions) ([]BCECount, error) {
+	if len(opts.Packages) == 0 {
+		opts.Packages = []string{"./..."}
+	}
+	if opts.Roots == nil {
+		opts.Roots = DefaultHotRoots()
+	}
+	out, err := buildWithBCE(opts.Root, opts.Packages)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := ParseBCEOutput(out)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := NewLoader(opts.Root)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	if len(opts.Dirs) > 0 {
+		pkgs, err = loader.LoadDirs(opts.Dirs)
+	} else {
+		pkgs, err = loader.LoadModule()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return CountBCE(loader, pkgs, diags, opts.Roots), nil
+}
+
+// buildWithBCE compiles the patterns with the check_bce debug flag and
+// returns the compiler's stderr. The flag applies to the named packages
+// only (not dependencies), and the build cache replays the diagnostics on
+// cached builds, so repeated runs stay cheap.
+func buildWithBCE(root string, patterns []string) ([]byte, error) {
+	args := append([]string{"build", "-gcflags=-d=ssa/check_bce"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return out, nil
+}
+
+// ParseBCEOutput parses `go build -gcflags=-d=ssa/check_bce` output into
+// diagnostics. The parser is deliberately strict: it understands exactly
+// the `# package` headers and `file:line:col: Found <kind>` lines the
+// compiler emits today, and fails on anything else. If a toolchain update
+// changes the format, the gate must break loudly rather than report a
+// silently empty check set.
+func ParseBCEOutput(out []byte) ([]BCEDiag, error) {
+	var diags []BCEDiag
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		// Compiler-synthesized wrapper methods (promoted-method and
+		// interface thunks) report as `<autogenerated>:1: Found ...`.
+		// They have no source location to map, so they are recognized
+		// and dropped — but only this exact shape; anything else
+		// unrecognized is still an error.
+		if rest, ok := strings.CutPrefix(line, "<autogenerated>:"); ok {
+			if i := strings.IndexByte(rest, ':'); i > 0 {
+				if _, err := strconv.Atoi(rest[:i]); err == nil &&
+					(rest[i+1:] == " Found IsInBounds" || rest[i+1:] == " Found IsSliceInBounds") {
+					continue
+				}
+			}
+		}
+		d, err := parseBCELine(line)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, d)
+	}
+	return diags, nil
+}
+
+// parseBCELine parses one `file:line:col: Found <kind>` diagnostic.
+func parseBCELine(line string) (BCEDiag, error) {
+	fail := func() (BCEDiag, error) {
+		return BCEDiag{}, fmt.Errorf("lint: unrecognized check_bce diagnostic %q (compiler output format drift? the bce gate refuses to guess)", line)
+	}
+	loc, found, ok := strings.Cut(line, ": ")
+	if !ok {
+		return fail()
+	}
+	kind, ok := strings.CutPrefix(found, "Found ")
+	if !ok || (kind != "IsInBounds" && kind != "IsSliceInBounds") {
+		return fail()
+	}
+	// loc is file:line:col; the file part may itself contain colons on
+	// some platforms, so split from the right.
+	i := strings.LastIndexByte(loc, ':')
+	if i < 0 {
+		return fail()
+	}
+	col, err := strconv.Atoi(loc[i+1:])
+	if err != nil || col <= 0 {
+		return fail()
+	}
+	loc = loc[:i]
+	i = strings.LastIndexByte(loc, ':')
+	if i < 0 {
+		return fail()
+	}
+	ln, err := strconv.Atoi(loc[i+1:])
+	if err != nil || ln <= 0 {
+		return fail()
+	}
+	file := loc[:i]
+	if file == "" {
+		return fail()
+	}
+	return BCEDiag{File: file, Line: ln, Col: col, Kind: kind}, nil
+}
+
+// bceFuncRange is the source extent of one hot function.
+type bceFuncRange struct {
+	startLine, endLine int
+	label              string
+}
+
+// CountBCE maps diagnostics into the hot-kernel reach set (the hotalloc
+// BFS from roots over live call edges) and aggregates residual checks per
+// (function, kind). Diagnostics outside hot functions are dropped: the
+// gate protects the kernels, not cold setup code. Checks the compiler
+// attributes to an inlined callee's call site count against the caller —
+// which is exactly the function whose loop carries the branch.
+func CountBCE(loader *Loader, pkgs []*Package, diags []BCEDiag, roots []HotRoot) []BCECount {
+	hot := &hotAllocAnalysis{roots: roots}
+	hot.Prepare(pkgs)
+	ranges := make(map[string][]bceFuncRange)
+	g := BuildCallGraph(pkgs)
+	for _, fi := range g.Funcs() {
+		if _, ok := hot.reach[fi.Obj]; !ok {
+			continue
+		}
+		start := loader.Fset().Position(fi.Decl.Pos())
+		end := loader.Fset().Position(fi.Decl.End())
+		ranges[start.Filename] = append(ranges[start.Filename], bceFuncRange{
+			startLine: start.Line,
+			endLine:   end.Line,
+			label:     funcLabel(fi.Obj),
+		})
+	}
+	counts := make(map[BCECount]int)
+	for _, d := range diags {
+		file := d.File
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(loader.Root, file)
+		}
+		for _, r := range ranges[file] {
+			if d.Line >= r.startLine && d.Line <= r.endLine {
+				counts[BCECount{Func: r.label, Kind: d.Kind}]++
+				break
+			}
+		}
+	}
+	out := make([]BCECount, 0, len(counts))
+	for k, n := range counts {
+		k.N = n
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Func != out[j].Func {
+			return out[i].Func < out[j].Func
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// FormatBCEBaseline renders counts in the committed baseline format.
+func FormatBCEBaseline(counts []BCECount) []byte {
+	var b strings.Builder
+	b.WriteString("# BCE baseline: bounds checks the Go compiler still emits inside the\n")
+	b.WriteString("# hot-kernel reach set (go build -gcflags=-d=ssa/check_bce, mapped to\n")
+	b.WriteString("# enclosing functions by the harplint bce pass). Every entry is a\n")
+	b.WriteString("# data-dependent check that cannot be proven away — row slicing and\n")
+	b.WriteString("# histogram scatter writes. Any drift, up or down, fails `make bce`;\n")
+	b.WriteString("# regenerate deliberately with `harplint -bce -update`.\n")
+	for _, c := range counts {
+		fmt.Fprintf(&b, "%s %s %d\n", c.Func, c.Kind, c.N)
+	}
+	return []byte(b.String())
+}
+
+// ParseBCEBaseline parses a committed baseline file. Strict, like the
+// diagnostic parser: unknown kinds or malformed lines are errors.
+func ParseBCEBaseline(data []byte) ([]BCECount, error) {
+	var out []BCECount
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("lint: BCE baseline line %d: want `func kind count`, got %q", i+1, line)
+		}
+		if f[1] != "IsInBounds" && f[1] != "IsSliceInBounds" {
+			return nil, fmt.Errorf("lint: BCE baseline line %d: unknown check kind %q", i+1, f[1])
+		}
+		n, err := strconv.Atoi(f[2])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("lint: BCE baseline line %d: bad count %q", i+1, f[2])
+		}
+		out = append(out, BCECount{Func: f[0], Kind: f[1], N: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Func != out[j].Func {
+			return out[i].Func < out[j].Func
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out, nil
+}
+
+// DiffBCE compares measured counts against the baseline and returns one
+// human-readable line per discrepancy; empty means the gate passes.
+func DiffBCE(got, want []BCECount) []string {
+	key := func(c BCECount) BCECount { c.N = 0; return c }
+	wantN := make(map[BCECount]int, len(want))
+	for _, c := range want {
+		wantN[key(c)] = c.N
+	}
+	var diffs []string
+	seen := make(map[BCECount]bool, len(got))
+	for _, c := range got {
+		seen[key(c)] = true
+		base, ok := wantN[key(c)]
+		switch {
+		case !ok:
+			diffs = append(diffs, fmt.Sprintf("%s: %d %s check(s) not in baseline (new bounds checks in a hot kernel)", c.Func, c.N, c.Kind))
+		case c.N > base:
+			diffs = append(diffs, fmt.Sprintf("%s: %s regressed %d -> %d", c.Func, c.Kind, base, c.N))
+		case c.N < base:
+			diffs = append(diffs, fmt.Sprintf("%s: %s improved %d -> %d (baseline stale; regenerate)", c.Func, c.Kind, base, c.N))
+		}
+	}
+	for _, c := range want {
+		if !seen[key(c)] {
+			diffs = append(diffs, fmt.Sprintf("%s: baseline lists %d %s check(s), none measured (baseline stale; regenerate)", c.Func, c.N, c.Kind))
+		}
+	}
+	sort.Strings(diffs)
+	return diffs
+}

@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxFlowAnalysis implements the ctxflow rule: a function that accepts a
+// context.Context must actually honor it. The booster's cancellation
+// contract (BoostConfig.Ctx bridged to the pool, context.Cause surfaced
+// as the training error) only holds if every layer that takes a context
+// consults it — a context parameter that is accepted and then ignored is
+// a cancellation black hole: callers believe the subtree is cancellable
+// and it is not.
+//
+// Three must-checks, each a certainty rather than a heuristic:
+//
+//   - a context.Context parameter never mentioned in the body (the
+//     accepted-but-ignored case);
+//   - an unconditional `for { ... }` loop with no exit (no break, return,
+//     goto out, or panic) in a function holding a context that the loop
+//     body never consults — the function spins forever regardless of
+//     cancellation;
+//   - a bare blocking channel receive (statement or assignment, outside
+//     any select) in a function holding a context — the receive should be
+//     a select over the channel and ctx.Done(), or the context cannot
+//     interrupt the wait.
+//
+// Functions without a context parameter are out of scope here: whether
+// they *should* accept one is a design question the goroutineleak rule's
+// join-path demand already forces into the open.
+type ctxFlowAnalysis struct{}
+
+func (*ctxFlowAnalysis) Rules() []string { return []string{"ctxflow"} }
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// ctxParams returns the context.Context parameters of a function
+// declaration (by object), or nil.
+func ctxParams(p *Package, ft *ast.FuncType) []*types.Var {
+	if ft == nil || ft.Params == nil {
+		return nil
+	}
+	var out []*types.Var
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if v, ok := p.Info.Defs[name].(*types.Var); ok && isContextType(v.Type()) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func (a *ctxFlowAnalysis) Check(p *Package, report func(rule string, pos token.Pos, msg string)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.checkFunc(p, fd.Type, fd.Body, report)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+				a.checkFunc(p, fl.Type, fl.Body, report)
+			}
+			return true
+		})
+	}
+}
+
+func (a *ctxFlowAnalysis) checkFunc(p *Package, ft *ast.FuncType, body *ast.BlockStmt, report func(rule string, pos token.Pos, msg string)) {
+	ctxs := ctxParams(p, ft)
+	if len(ctxs) == 0 {
+		return
+	}
+	for _, v := range ctxs {
+		if v.Name() == "_" {
+			continue // explicitly discarded; interface-shaped signatures do this on purpose
+		}
+		if !mentionsVar(p, body, v) {
+			report("ctxflow", v.Pos(), fmt.Sprintf(
+				"context parameter %s is never consulted; callers believe this call tree is cancellable and it is not (name it _ if the signature is interface-imposed)", v.Name()))
+		}
+	}
+	a.checkBlocking(p, body, ctxs, report)
+}
+
+// mentionsVar reports whether the body (closures included — handing the
+// context to a spawned worker honors it) mentions v at all.
+func mentionsVar(p *Package, body ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == v {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkBlocking walks the body (not descending into closures — each
+// closure is its own context-holding scope, checked via its own FuncType)
+// for unconditional infinite loops and bare channel receives that ignore
+// the held context.
+func (a *ctxFlowAnalysis) checkBlocking(p *Package, body *ast.BlockStmt, ctxs []*types.Var, report func(rule string, pos token.Pos, msg string)) {
+	var walk func(n ast.Node, inSelect bool)
+	walk = func(n ast.Node, inSelect bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SelectStmt:
+				// Comm clauses may legitimately receive; the select itself is
+				// where ctx.Done belongs and its absence in a *blocking*
+				// select is the loop check's business, not a per-receive one.
+				for _, st := range m.Body.List {
+					if cc, ok := st.(*ast.CommClause); ok {
+						if cc.Comm != nil {
+							walk(cc.Comm, true)
+						}
+						for _, s := range cc.Body {
+							walk(s, false)
+						}
+					}
+				}
+				return false
+			case *ast.ForStmt:
+				if m.Cond == nil && !loopHasExit(m) && !loopConsults(p, m, ctxs) {
+					report("ctxflow", m.Pos(),
+						"unconditional loop never consults the held context and has no exit; cancellation cannot stop it")
+				}
+				return true
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW && !inSelect && !isCtxDoneRecv(p, m) {
+					report("ctxflow", m.Pos(),
+						"bare channel receive in a context-holding function; select over the channel and ctx.Done() so cancellation can interrupt the wait")
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+}
+
+// loopHasExit reports whether a `for { ... }` body can leave the loop:
+// an unlabeled break at this nesting level, any return/goto/labeled
+// break, or a statement-level panic.
+func loopHasExit(loop *ast.ForStmt) bool {
+	exit := false
+	depth := 0
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if exit {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				if m == ast.Node(loop) {
+					return true
+				}
+				depth++
+				switch mm := m.(type) {
+				case *ast.ForStmt:
+					walk(mm.Body)
+				case *ast.RangeStmt:
+					walk(mm.Body)
+				case *ast.SwitchStmt:
+					walk(mm.Body)
+				case *ast.TypeSwitchStmt:
+					walk(mm.Body)
+				case *ast.SelectStmt:
+					walk(mm.Body)
+				}
+				depth--
+				return false
+			case *ast.ReturnStmt:
+				exit = true
+			case *ast.BranchStmt:
+				switch m.Tok {
+				case token.GOTO:
+					exit = true // assume the label is outside; must-semantics
+				case token.BREAK:
+					if m.Label != nil || depth == 0 {
+						exit = true
+					}
+				}
+			case *ast.ExprStmt:
+				if isPanicCall(m.X) {
+					exit = true
+				}
+			}
+			return true
+		})
+	}
+	walk(loop.Body)
+	return exit
+}
+
+// loopConsults reports whether the loop body mentions any held context —
+// a ctx.Err() poll, a ctx.Done() receive, or passing ctx to a callee that
+// may return on cancellation all count.
+func loopConsults(p *Package, loop *ast.ForStmt, ctxs []*types.Var) bool {
+	for _, v := range ctxs {
+		if mentionsVar(p, loop.Body, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCtxDoneRecv recognizes `<-ctx.Done()` on any context value (the held
+// parameter or one derived from it) — already the honoring shape, not a
+// finding.
+func isCtxDoneRecv(p *Package, recv *ast.UnaryExpr) bool {
+	call, ok := ast.Unparen(recv.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return isContextType(typeOf(p, sel.X))
+}

@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the value half of the SSA-lite engine: def-use chains over
+// the CFG of one function body, and the first-event (use-before-loss)
+// analysis errflow is built on. A "def" is any statement that binds or
+// overwrites a variable; a "use" is any other mention. The engine never
+// renames (no phi nodes) — instead queries are phrased per definition
+// site and answered by walking the CFG, which is exactly enough for the
+// must-semantics rules harplint commits to: a report means some concrete
+// path certainly loses the value.
+
+// DefUse wraps one function body's CFG with the type information needed
+// to classify statements as defs or uses of a variable.
+type DefUse struct {
+	CFG  *CFG
+	Info *types.Info
+	// bodyPos/bodyEnd bound the analyzed body; objects declared outside
+	// (captured variables, fields) are judged conservatively.
+	bodyPos, bodyEnd token.Pos
+}
+
+// NewDefUse builds the def-use view of one function or closure body.
+func NewDefUse(body *ast.BlockStmt, info *types.Info) *DefUse {
+	return &DefUse{CFG: BuildCFG(body), Info: info, bodyPos: body.Pos(), bodyEnd: body.End()}
+}
+
+// Local reports whether v is declared inside the analyzed body — only
+// locals support whole-lifetime judgments; anything else outlives the CFG.
+func (d *DefUse) Local(v *types.Var) bool {
+	return v.Pos() >= d.bodyPos && v.Pos() <= d.bodyEnd
+}
+
+// exprUses reports whether expression e mentions v as a value (reads it,
+// takes its address, captures it in a closure).
+func (d *DefUse) exprUses(e ast.Expr, v *types.Var) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && d.Info.Uses[id] == v {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// stmtEvent classifies what one statement does to variable v, seen from a
+// first-event walk: a use (the value is consumed — the good outcome), a
+// redefinition (the value is lost — the bad outcome), or neither.
+type stmtEvent int
+
+const (
+	eventNone stmtEvent = iota
+	eventUse
+	eventLoss
+)
+
+// eventOf classifies statement s with respect to v. A statement that both
+// reads and overwrites v (`err = wrap(err)`) counts as a use: the old
+// value flowed somewhere before being replaced.
+func (d *DefUse) eventOf(s ast.Stmt, v *types.Var) (stmtEvent, token.Pos) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if d.exprUses(rhs, v) {
+				return eventUse, s.Pos()
+			}
+		}
+		for _, lhs := range s.Lhs {
+			// Index/selector targets (m[k] = v, x.f = v) read their base.
+			if _, isIdent := ast.Unparen(lhs).(*ast.Ident); !isIdent {
+				if d.exprUses(lhs, v) {
+					return eventUse, s.Pos()
+				}
+				continue
+			}
+			id := ast.Unparen(lhs).(*ast.Ident)
+			if d.Info.Uses[id] == v || d.Info.Defs[id] == v {
+				return eventLoss, id.Pos()
+			}
+		}
+		return eventNone, token.NoPos
+	case *ast.RangeStmt:
+		if d.exprUses(s.X, v) {
+			return eventUse, s.Pos()
+		}
+		for _, lhs := range []ast.Expr{s.Key, s.Value} {
+			if lhs == nil {
+				continue
+			}
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if d.Info.Uses[id] == v || d.Info.Defs[id] == v {
+					return eventLoss, id.Pos()
+				}
+			}
+		}
+		return eventNone, token.NoPos
+	case *ast.IncDecStmt:
+		if d.exprUses(s.X, v) {
+			return eventUse, s.Pos()
+		}
+		return eventNone, token.NoPos
+	default:
+		// Every other statement kind only reads: expression statements,
+		// returns, sends, go/defer calls, declarations with initializers.
+		used := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			if used {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && d.Info.Uses[id] == v {
+				used = true
+			}
+			return true
+		})
+		if used {
+			return eventUse, s.Pos()
+		}
+		return eventNone, token.NoPos
+	}
+}
+
+// Loss describes how a tracked value is lost on some path.
+type Loss struct {
+	Pos  token.Pos
+	Kind string // "overwritten" or "dropped"
+}
+
+// UsedBeforeLoss reports whether, starting right after statement index
+// `from` in block `b`, every path through the CFG consumes v before
+// overwriting it or reaching function exit. When some path loses the
+// value first, the returned Loss names the earliest offending point.
+//
+// Cycles resolve optimistically (a back edge in progress counts as a use),
+// which keeps the analysis must-style: a loop that might use the value on
+// a later iteration never produces a finding.
+func (d *DefUse) UsedBeforeLoss(v *types.Var, b *Block, from int) (bool, Loss) {
+	const (
+		unknown = iota
+		inProgress
+		usedAll
+		lost
+	)
+	memo := make(map[*Block]int)
+	losses := make(map[*Block]Loss)
+
+	var walkBlock func(blk *Block, start int) (bool, Loss)
+	walkBlock = func(blk *Block, start int) (bool, Loss) {
+		if start == 0 {
+			switch memo[blk] {
+			case usedAll, inProgress:
+				return true, Loss{}
+			case lost:
+				return false, losses[blk]
+			}
+			memo[blk] = inProgress
+		}
+		decided := func(ok bool, l Loss) (bool, Loss) {
+			if start == 0 {
+				if ok {
+					memo[blk] = usedAll
+				} else {
+					memo[blk] = lost
+					losses[blk] = l
+				}
+			}
+			return ok, l
+		}
+		for i := start; i < len(blk.Stmts); i++ {
+			switch ev, pos := d.eventOf(blk.Stmts[i], v); ev {
+			case eventUse:
+				return decided(true, Loss{})
+			case eventLoss:
+				return decided(false, Loss{Pos: pos, Kind: "overwritten"})
+			}
+		}
+		// The branch condition is evaluated after the block's statements.
+		if blk.Cond != nil && d.exprUses(blk.Cond, v) {
+			return decided(true, Loss{})
+		}
+		if len(blk.Succs) == 0 || blk == d.CFG.Exit {
+			// Function exit: deferred statements run now; a deferred use
+			// (defer wg.Done-style cleanup reading v) still consumes it.
+			for _, df := range d.CFG.Defers {
+				if ev, _ := d.eventOf(df, v); ev == eventUse {
+					return decided(true, Loss{})
+				}
+			}
+			return decided(false, Loss{Pos: d.bodyEnd, Kind: "dropped"})
+		}
+		for _, s := range blk.Succs {
+			if ok, l := walkBlock(s, 0); !ok {
+				return decided(false, l)
+			}
+		}
+		return decided(true, Loss{})
+	}
+	return walkBlock(b, from)
+}
+
+// FindDefs visits every statement of the CFG with its block coordinates,
+// letting rules locate definition sites to query. The visit order is
+// deterministic (block index, then statement index).
+func (d *DefUse) FindDefs(visit func(b *Block, i int, s ast.Stmt)) {
+	for _, blk := range d.CFG.Blocks {
+		for i, s := range blk.Stmts {
+			visit(blk, i, s)
+		}
+	}
+}
+
+// assignedVar resolves the variable bound by the idx-th left-hand side of
+// an assignment, for both = and := forms. Returns nil for blank, non-ident
+// or non-variable targets.
+func assignedVar(info *types.Info, lhs ast.Expr) *types.Var {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}

@@ -26,6 +26,28 @@
 //     roots must not allocate (composite literals, append growth, make,
 //     closure captures, implicit interface conversions).
 //
+// and four flow-sensitive rules built on the SSA-lite engine (per-function
+// CFGs with def-use chains and branch-condition tracking, cfg.go +
+// dataflow.go):
+//
+//   - goroutineleak: every go statement has a provable join path —
+//     WaitGroup Done, channel close/send/receive, or a context bridge,
+//     interprocedurally through module callees.
+//   - errflow: errors originating in the safeio persistence layer (and
+//     everything that forwards them: checkpoints, flight dumps, dist
+//     restore) are never discarded or shadowed, and are wrapped with %w.
+//   - ctxflow: a function holding a context.Context honors it — no
+//     ignored context parameters, no uncancellable infinite loops, no
+//     bare blocking receives outside select.
+//   - atomicmix: no field is touched both atomically (sync/atomic calls)
+//     and plainly — the perf-ledger-matrix data race the race detector
+//     only sees under contention.
+//
+// A bounds-check-elimination gate (bce.go) runs the real compiler with
+// -gcflags=-d=ssa/check_bce and diffs the bounds checks inside the hot
+// kernels against a committed baseline; it is a build-level pass driven by
+// cmd/harplint -bce and make bce rather than an Analysis.
+//
 // Findings can be suppressed with an inline directive on the offending
 // line or the line above:
 //
@@ -110,6 +132,10 @@ func DefaultAnalyses(module string) []Analysis {
 		&histLifeAnalysis{},
 		&barrierAnalysis{},
 		NewHotAllocAnalysis(DefaultHotRoots()...),
+		&goroutineLeakAnalysis{},
+		&errFlowAnalysis{},
+		&ctxFlowAnalysis{},
+		&atomicMixAnalysis{},
 	}
 }
 

@@ -150,11 +150,27 @@ func TestHotAllocFixture(t *testing.T) {
 	})
 }
 
+func TestGoroutineLeakFixture(t *testing.T) {
+	checkFixture(t, "leakbad", lint.DefaultAnalyses("harpgbdt"))
+}
+
+func TestErrFlowFixture(t *testing.T) {
+	checkFixture(t, "errbad", lint.DefaultAnalyses("harpgbdt"))
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	checkFixture(t, "ctxbad", lint.DefaultAnalyses("harpgbdt"))
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	checkFixture(t, "atomicbad", lint.DefaultAnalyses("harpgbdt"))
+}
+
 // TestRuleNames pins the rule inventory: renaming or dropping a rule is
 // an interface change that must be deliberate.
 func TestRuleNames(t *testing.T) {
 	got := lint.RuleNames(lint.DefaultAnalyses("harpgbdt"))
-	want := []string{"barrierbalance", "determinism", "directive", "histlife", "hotalloc", "lockbalance", "obshygiene", "spinscope"}
+	want := []string{"atomicmix", "barrierbalance", "ctxflow", "determinism", "directive", "errflow", "goroutineleak", "histlife", "hotalloc", "lockbalance", "obshygiene", "spinscope"}
 	if !sort.StringsAreSorted(got) {
 		t.Errorf("RuleNames not sorted: %v", got)
 	}
@@ -213,6 +229,28 @@ func TestRepoCleanHarpdebug(t *testing.T) {
 	findings := lint.Run(pkgs, lint.DefaultAnalyses(l.Module))
 	for _, f := range lint.Unsuppressed(findings) {
 		t.Errorf("unsuppressed finding (harpdebug): %v", f)
+	}
+}
+
+// TestRepoCleanRace lints the race-detector build configuration: the
+// files and constant branches selected by the race tag (the
+// instrumentation-detection layer) must satisfy the same rules as the
+// other two configurations.
+func TestRepoCleanRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	l, err := lint.NewLoaderTags(moduleRoot, "race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	findings := lint.Run(pkgs, lint.DefaultAnalyses(l.Module))
+	for _, f := range lint.Unsuppressed(findings) {
+		t.Errorf("unsuppressed finding (race): %v", f)
 	}
 }
 

@@ -1,0 +1,139 @@
+package lint
+
+// SARIF 2.1.0 export. CI uploads the harplint findings as a SARIF
+// artifact so code-scanning UIs can render them inline; the structs below
+// cover exactly the subset of the format the findings need (tool driver,
+// rules, results with one physical location each, in-source
+// suppressions). Suppressed findings are included with a suppression
+// record — SARIF consumers show them as reviewed, not as failures.
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// ruleDescriptions maps rule names to one-line SARIF descriptions. A rule
+// without an entry still exports (the name alone identifies it).
+var ruleDescriptions = map[string]string{
+	"spinscope":      "spin-lock critical sections must stay short, bounded, and call-free",
+	"lockbalance":    "every lock acquisition pairs with exactly one release on every path",
+	"determinism":    "training-path code must not iterate maps or use time/rand nondeterminism",
+	"obshygiene":     "metrics, spans, and log fields follow the observability naming contract",
+	"histlife":       "pooled histogram buffers are released exactly once and never used after",
+	"barrierbalance": "WaitGroup Add/Done and channel barrier protocols balance on every path",
+	"hotalloc":       "the histogram/split kernels and their callees must not allocate",
+	"directive":      "harplint:ignore directives must name a known rule and carry a reason",
+	"goroutineleak":  "every go statement needs a provable join path back to its spawner",
+	"errflow":        "errors from persistence layers are never discarded, shadowed, or unwrapped",
+	"ctxflow":        "functions holding a context must consult it on blocking paths",
+	"atomicmix":      "a field touched atomically is never also accessed plainly",
+}
+
+// SARIF renders findings as a SARIF 2.1.0 log. File URIs are written
+// relative to root (the repository checkout CI scans); rules lists every
+// known rule so consumers can show docs even for clean runs.
+func SARIF(findings []Finding, rules []string, root string) ([]byte, error) {
+	sorted := append([]string(nil), rules...)
+	sort.Strings(sorted)
+	var sr []sarifRule
+	for _, r := range sorted {
+		desc := ruleDescriptions[r]
+		if desc == "" {
+			desc = r
+		}
+		sr = append(sr, sarifRule{ID: r, ShortDescription: sarifMessage{Text: desc}})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		uri := f.Pos.Filename
+		if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
+			uri = filepath.ToSlash(rel)
+		}
+		res := sarifResult{
+			RuleID:  f.Rule,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Msg},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: uri},
+				Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			}}},
+		}
+		if f.Suppressed {
+			res.Level = "note"
+			res.Suppressions = []sarifSuppression{{Kind: "inSource", Justification: f.Reason}}
+		}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "harplint", Rules: sr}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}

@@ -1,0 +1,45 @@
+// Package atomicbad exercises the atomicmix rule: a field touched both
+// through sync/atomic calls and with plain loads/stores is a data race.
+package atomicbad
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+	all  int64
+}
+
+func (c *counter) hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// read touches hits plainly: a race with hit that the race detector only
+// sees under contention.
+func (c *counter) read() int64 {
+	return c.hits // want atomicmix
+}
+
+// all is accessed atomically everywhere: clean.
+func (c *counter) bump()        { atomic.AddInt64(&c.all, 1) }
+func (c *counter) total() int64 { return atomic.LoadInt64(&c.all) }
+
+// gauge uses the typed atomics: immune by construction, the plain value
+// is not addressable through the API.
+type gauge struct{ v atomic.Int64 }
+
+func (g *gauge) set(x int64) { g.v.Store(x) }
+func (g *gauge) get() int64  { return g.v.Load() }
+
+// matrix is the perf-ledger shape: atomic scatter into elements mixed
+// with a plain read of the same backing store.
+type matrix struct {
+	cells []int64
+}
+
+func (m *matrix) inc(i int) {
+	atomic.AddInt64(&m.cells[i], 1)
+}
+
+func (m *matrix) row(i int) int64 {
+	return m.cells[i] // want atomicmix
+}

@@ -1,0 +1,70 @@
+// Package ctxbad exercises the ctxflow rule: a function holding a
+// context.Context must honor it — no ignored context parameters, no
+// uncancellable infinite loops, no bare blocking receives.
+package ctxbad
+
+import "context"
+
+func step() {}
+
+// ignores accepts a context it never consults (the marker sits on the
+// parameter's line).
+func ignores(ctx context.Context, n int) int { // want ctxflow
+	return n + 1
+}
+
+// spins consults the context once, then loops forever without it:
+// cancellation cannot stop the loop.
+func spins(ctx context.Context) {
+	_ = ctx.Err()
+	for { // want ctxflow
+		step()
+	}
+}
+
+// waits blocks on a bare receive the held context cannot interrupt.
+func waits(ctx context.Context, ch chan int) int {
+	_ = ctx.Err()
+	return <-ch // want ctxflow
+}
+
+// blocksOnDone is the honoring shape itself: exempt.
+func blocksOnDone(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// selects races the channel against cancellation: clean.
+func selects(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// polls is an infinite loop with a cancellation exit: clean.
+func polls(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+			step()
+		}
+	}
+}
+
+// derived consults a context derived from the parameter: clean.
+func derived(ctx context.Context, ch chan int) {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for {
+		select {
+		case <-sub.Done():
+			return
+		case <-ch:
+			step()
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package errbad exercises the errflow rule: persistence-layer errors
+// (safeio and everything that forwards them) must never be discarded or
+// shadowed, and must be wrapped with %w on propagation.
+package errbad
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"harpgbdt/internal/safeio"
+)
+
+func payload(w io.Writer) error { return nil }
+
+// discards throws the write error into the blank identifier.
+func discards(path string) {
+	_ = safeio.WriteFile(path, payload) // want errflow
+}
+
+// drops loses the error at statement level.
+func drops(path string) {
+	safeio.WriteFile(path, payload) // want errflow
+}
+
+// shadows overwrites the held error before any path reads it.
+func shadows(path string) error {
+	err := safeio.WriteFile(path, payload)
+	err = errors.New("other") // want errflow
+	return err
+}
+
+// readsBlank discards the multi-result error position.
+func readsBlank(path string) []byte {
+	data, _, _ := safeio.ReadFile(path) // want errflow
+	return data
+}
+
+// wrapsWrong propagates with %v: errors.Is can no longer see
+// safeio.ErrCorrupt through the wrap.
+func wrapsWrong(path string) error {
+	if err := safeio.WriteFile(path, payload); err != nil {
+		return fmt.Errorf("save failed: %v", err) // want errflow
+	}
+	return nil
+}
+
+// save forwards the persistence error properly — and thereby becomes a
+// tracked propagator itself.
+func save(path string) error {
+	if err := safeio.WriteFile(path, payload); err != nil {
+		return fmt.Errorf("save: %w", err)
+	}
+	return nil
+}
+
+// discardsPropagated drops the propagator's error: same finding as the
+// origin, proven through the Prepare fixpoint.
+func discardsPropagated(path string) {
+	_ = save(path) // want errflow
+}
+
+// spawns makes the error unobservable (and, separately, the goroutine
+// unjoinable).
+func spawns(path string) {
+	go save(path) // want errflow goroutineleak
+}
+
+// handled consumes the error on every path: clean.
+func handled(path string) error {
+	err := safeio.WriteFile(path, payload)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// handledBranchy consumes it on both arms of a branch: clean, because the
+// first-event analysis follows every CFG path.
+func handledBranchy(path string, retry bool) error {
+	err := safeio.WriteFile(path, payload)
+	if retry {
+		return fmt.Errorf("first attempt: %w", err)
+	}
+	return err
+}

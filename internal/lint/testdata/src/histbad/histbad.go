@@ -62,12 +62,12 @@ func escapeChan(p *histogram.Pool, ch chan *histogram.Hist) {
 
 func escapeGoArg(p *histogram.Pool) {
 	h := p.Get()
-	go consume(h) // want histlife
+	go consume(h) // want histlife goroutineleak
 }
 
 func escapeGoCapture(p *histogram.Pool) {
 	h := p.Get()
-	go func() { // want histlife
+	go func() { // want histlife goroutineleak
 		h.Reset()
 	}()
 }

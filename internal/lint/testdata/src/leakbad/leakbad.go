@@ -1,0 +1,92 @@
+// Package leakbad exercises the goroutineleak rule: a go statement with
+// no provable join path fires; the WaitGroup, watcher-close, channel and
+// summarized-callee shapes do not.
+package leakbad
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func work() {}
+
+// fireAndForget spawns a goroutine nobody can wait for.
+func fireAndForget() {
+	go func() { // want goroutineleak
+		work()
+	}()
+}
+
+// opaqueSpawn spawns an external function: no loaded body, no channel or
+// WaitGroup argument, hence no provable join.
+func opaqueSpawn() {
+	go time.Sleep(time.Millisecond) // want goroutineleak
+}
+
+// localNoJoin spawns a module-local callee whose summary carries no join
+// evidence either.
+func silentWorker() {
+	work()
+}
+
+func localNoJoinSpawn() {
+	go silentWorker() // want goroutineleak
+}
+
+// joinedByWaitGroup is the canonical barrier shape.
+func joinedByWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// joinedByClose is the booster's watcher-join idiom: the goroutine
+// closes its exit channel, the spawner receives the close.
+func joinedByClose(quit chan struct{}) {
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		<-quit
+	}()
+	close(quit)
+	<-exited
+}
+
+// bridged parks on the context's Done channel: cancellation is the join.
+func bridged(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+// runWorker carries its join evidence in its summary; the spawn below is
+// proven interprocedurally.
+func runWorker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+func spawnsSummarized() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go runWorker(&wg)
+	wg.Wait()
+}
+
+// pump terminates when the producer closes the channel (range evidence);
+// handing a goroutine a channel is handing it half of a join protocol.
+func pump(ch chan int) {
+	for range ch {
+		work()
+	}
+}
+
+func spawnsPump(ch chan int) {
+	go pump(ch)
+}

@@ -46,7 +46,7 @@ func sendUnderLock(g *guarded) {
 
 func goUnderLock(g *guarded) {
 	g.mu.Lock()
-	go work() // want spinscope
+	go work() // want spinscope goroutineleak
 	g.mu.Unlock()
 }
 

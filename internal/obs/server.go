@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -20,6 +21,10 @@ import (
 type Server struct {
 	srv *http.Server
 	ln  net.Listener
+	// serveErr carries the Serve goroutine's exit error to Close — the
+	// join path: Serve always returns after srv.Close, so the receive in
+	// Close provably terminates the goroutine's observable lifetime.
+	serveErr chan error
 }
 
 // Serve starts the observability HTTP server on addr (":0" picks a free
@@ -65,13 +70,29 @@ func Serve(addr string, o *Observer) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}, ln: ln}
-	go s.srv.Serve(ln)
+	s := &Server{
+		srv:      &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:       ln,
+		serveErr: make(chan error, 1),
+	}
+	go func() {
+		s.serveErr <- s.srv.Serve(ln)
+	}()
 	return s, nil
 }
 
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down immediately.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the server down immediately and joins the Serve goroutine,
+// surfacing any serve-side failure the run would otherwise never see.
+// The http.ErrServerClosed the join delivers on a clean shutdown is the
+// expected outcome, not an error.
+func (s *Server) Close() error {
+	closeErr := s.srv.Close()
+	serveErr := <-s.serveErr
+	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return closeErr
+}

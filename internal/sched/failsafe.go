@@ -126,7 +126,12 @@ func (p *Pool) recoverWorker(worker int) {
 	// first-dump-wins keeps this dump even if outer layers dump again.
 	obs.L().Error("worker panic recovered",
 		obs.KeyComponent, "sched", obs.KeyWorker, worker, obs.KeyError, fmt.Sprint(pe.Value))
-	_, _ = obs.DumpFlight("worker panic")
+	if _, dumpErr := obs.DumpFlight("worker panic"); dumpErr != nil {
+		// The panic is already being propagated; a failed post-mortem dump
+		// must surface in the log rather than disappear into _.
+		obs.L().Error("flight dump failed",
+			obs.KeyComponent, "sched", obs.KeyWorker, worker, obs.KeyError, dumpErr.Error())
+	}
 	p.fail.mu.Lock()
 	if p.fail.firstPanic == nil {
 		p.fail.firstPanic = pe
