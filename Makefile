@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test lint bce bce-baseline sarif sanitize race-sanitize fuzz race fault chaos bench benchdiff efficiency comms baseline trace clean
+.PHONY: check vet build test lint gates bce bce-baseline escape escape-baseline inline inline-baseline sarif sanitize race-sanitize fuzz race fault chaos bench benchdiff efficiency comms baseline trace clean
 
-## check: the full verification gate (vet + build + harplint + the
-## compiler-verified bounds-check gate + the test suite under race
-## detector *and* harpdebug invariants + fault suite + the benchmark
-## regression gate against the committed baseline). race-sanitize
-## subsumes a plain `make race`: same tests, same -race, plus the runtime
-## invariant layer compiled in.
-check: vet build lint bce race-sanitize fault benchdiff
+## check: the full verification gate (vet + build + harplint + the three
+## compiler-contract gates + the test suite under race detector *and*
+## harpdebug invariants + fault suite + the benchmark regression gate
+## against the committed baseline). race-sanitize subsumes a plain
+## `make race`: same tests, same -race, plus the runtime invariant layer
+## compiled in.
+check: vet build lint gates race-sanitize fault benchdiff
 
 vet:
 	$(GO) vet ./...
@@ -20,13 +20,19 @@ test:
 	$(GO) test ./...
 
 ## lint: run the domain-specific static analyzer (spinscope, lockbalance,
-## determinism, obshygiene, histlife, barrierbalance, hotalloc, plus the
-## SSA-lite dataflow rules goroutineleak, errflow, ctxflow, atomicmix)
-## against both build configurations — the release tree and the harpdebug
-## invariant layer; exits non-zero on unsuppressed findings
+## determinism, obshygiene, histlife, barrierbalance, hotalloc, the
+## SSA-lite dataflow rules goroutineleak, errflow, ctxflow, atomicmix,
+## plus the lockset race rule locksetrace) against both build
+## configurations — the release tree and the harpdebug invariant layer;
+## exits non-zero on unsuppressed findings
 lint:
 	$(GO) run ./cmd/harplint ./...
 	$(GO) run ./cmd/harplint -tags harpdebug ./...
+
+## gates: all three compiler-contract gates — bounds checks, heap
+## escapes, and inliner verdicts across the hot-kernel reach set, each
+## pinned to its committed baseline
+gates: bce escape inline
 
 ## bce: the compiler-verified bounds-check-elimination gate — build with
 ## -gcflags=-d=ssa/check_bce, map the residual IsInBounds/IsSliceInBounds
@@ -39,6 +45,31 @@ bce:
 ## change (commit the result; `make bce` pins it)
 bce-baseline:
 	$(GO) run ./cmd/harplint -bce -update
+
+## escape: the escape-analysis gate — build with -gcflags=-m=1, keep the
+## "escapes to heap" / "moved to heap" diagnostics inside the hot-kernel
+## reach set, and fail on any drift against the committed
+## ESCAPE_baseline.txt (every reach-set function is listed, so the reach
+## set itself is pinned too — all zeros today)
+escape:
+	$(GO) run ./cmd/harplint -escape
+
+## escape-baseline: deliberately regenerate ESCAPE_baseline.txt after a
+## kernel change (commit the result; `make escape` pins it)
+escape-baseline:
+	$(GO) run ./cmd/harplint -escape -update
+
+## inline: the inlining gate — build with -gcflags=-m=1 and pin, per
+## hot-kernel-reach-set function, whether the inliner accepts it and how
+## many of its call sites collapse, against the committed
+## INLINE_baseline.txt
+inline:
+	$(GO) run ./cmd/harplint -inline
+
+## inline-baseline: deliberately regenerate INLINE_baseline.txt after a
+## kernel change (commit the result; `make inline` pins it)
+inline-baseline:
+	$(GO) run ./cmd/harplint -inline -update
 
 ## sarif: write the harplint findings (both build configurations merged
 ## by the consumer; this emits the default configuration) as a SARIF

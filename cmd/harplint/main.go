@@ -5,7 +5,9 @@
 // (barrierbalance), kernel allocation freedom (hotalloc), and the
 // SSA-lite dataflow rules — goroutine join paths (goroutineleak),
 // persistence error observation (errflow), context honoring (ctxflow),
-// and atomic/plain access mixing (atomicmix).
+// and atomic/plain access mixing (atomicmix) — plus the lockset race
+// rule (locksetrace): mutex-guarded fields stay guarded on concurrent
+// paths, disciplines never mix, and lock acquisition order is acyclic.
 //
 // Usage:
 //
@@ -26,6 +28,17 @@
 // compiler's residual IsInBounds/IsSliceInBounds diagnostics into the
 // hot-kernel reach set, and compares the per-function counts against the
 // committed BCE_baseline.txt (regenerate deliberately with -bce -update).
+//
+// -escape and -inline run the other two compiler-contract gates: both
+// compile with -gcflags=-m=1 and diff the optimizer's diagnostics across
+// the kernel reach set against ESCAPE_baseline.txt (heap escapes and
+// moved-to-heap variables — all zero today) and INLINE_baseline.txt
+// (which functions the inliner accepts and how many call sites it
+// inlined). Regenerate deliberately with -escape -update / -inline
+// -update.
+//
+// -stats appends a per-rule finding table and per-analysis wall-time
+// breakdown after a normal run, so lint cost stays visible as rules grow.
 package main
 
 import (
@@ -34,6 +47,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"harpgbdt/internal/lint"
 )
@@ -46,7 +60,10 @@ func main() {
 		tags        = flag.String("tags", "", "comma-separated build tags of the analyzed configuration")
 		sarifOut    = flag.String("sarif", "", `write findings as SARIF 2.1.0 to this file ("-" for stdout)`)
 		bce         = flag.Bool("bce", false, "run the bounds-check-elimination gate against BCE_baseline.txt and exit")
-		update      = flag.Bool("update", false, "with -bce: regenerate BCE_baseline.txt from the current build")
+		escape      = flag.Bool("escape", false, "run the escape-analysis gate against ESCAPE_baseline.txt and exit")
+		inline      = flag.Bool("inline", false, "run the inlining gate against INLINE_baseline.txt and exit")
+		update      = flag.Bool("update", false, "with -bce/-escape/-inline: regenerate the gate's baseline from the current build")
+		stats       = flag.Bool("stats", false, "print per-rule finding counts and per-analysis wall time")
 	)
 	flag.Parse()
 
@@ -59,6 +76,14 @@ func main() {
 	}
 	if *bce {
 		runBCEGate(*root, *update)
+		return
+	}
+	if *escape {
+		runEscapeGate(*root, *update)
+		return
+	}
+	if *inline {
+		runInlineGate(*root, *update)
 		return
 	}
 	loader, err := lint.NewLoaderTags(*root, splitTags(*tags)...)
@@ -103,7 +128,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	findings := lint.Run(pkgs, analyses)
+	findings, analysisStats := lint.RunWithStats(pkgs, analyses)
 	if *sarifOut != "" {
 		if err := writeSARIF(*sarifOut, findings, lint.RuleNames(analyses), loader.Root); err != nil {
 			fatal(err)
@@ -119,6 +144,9 @@ func main() {
 		}
 		bad++
 		fmt.Println(vetLine(f))
+	}
+	if *stats {
+		printStats(findings, analysisStats, lint.RuleNames(analyses))
 	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "harplint: %d finding(s) in %d package(s)\n", bad, len(pkgs))
@@ -178,6 +206,120 @@ func runBCEGate(root string, update bool) {
 		total += c.N
 	}
 	fmt.Printf("harplint: bce gate ok (%d residual checks across %d function/kind entries match baseline)\n", total, len(counts))
+}
+
+// runEscapeGate runs the compiler-verified escape gate: measure heap
+// diagnostics in the hot-kernel reach set, then compare against (or with
+// update=true, rewrite) the committed baseline. Exits 1 on drift, 2 on
+// build/parse errors.
+func runEscapeGate(root string, update bool) {
+	counts, err := lint.RunEscape(lint.GateOptions{Root: root})
+	if err != nil {
+		fatal(err)
+	}
+	basePath := filepath.Join(root, "ESCAPE_baseline.txt")
+	if update {
+		if err := os.WriteFile(basePath, lint.FormatEscapeBaseline(counts), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("harplint: wrote %s (%d entries)\n", relativize(basePath), len(counts))
+		return
+	}
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		fatal(fmt.Errorf("%v (generate it with `harplint -escape -update`)", err))
+	}
+	base, err := lint.ParseEscapeBaseline(data)
+	if err != nil {
+		fatal(err)
+	}
+	diffs := lint.DiffEscape(counts, base)
+	for _, d := range diffs {
+		fmt.Println("escape:", d)
+	}
+	if len(diffs) > 0 {
+		fmt.Fprintf(os.Stderr, "harplint: escape gate failed: %d discrepancy(ies) vs %s\n", len(diffs), relativize(basePath))
+		os.Exit(1)
+	}
+	escapes, moved := 0, 0
+	for _, c := range counts {
+		escapes += c.Escapes
+		moved += c.Moved
+	}
+	fmt.Printf("harplint: escape gate ok (%d escapes, %d moved-to-heap across %d hot functions match baseline)\n", escapes, moved, len(counts))
+}
+
+// runInlineGate runs the compiler-verified inlining gate, mirroring the
+// bce and escape gates against INLINE_baseline.txt.
+func runInlineGate(root string, update bool) {
+	counts, err := lint.RunInline(lint.GateOptions{Root: root})
+	if err != nil {
+		fatal(err)
+	}
+	basePath := filepath.Join(root, "INLINE_baseline.txt")
+	if update {
+		if err := os.WriteFile(basePath, lint.FormatInlineBaseline(counts), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("harplint: wrote %s (%d entries)\n", relativize(basePath), len(counts))
+		return
+	}
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		fatal(fmt.Errorf("%v (generate it with `harplint -inline -update`)", err))
+	}
+	base, err := lint.ParseInlineBaseline(data)
+	if err != nil {
+		fatal(err)
+	}
+	diffs := lint.DiffInline(counts, base)
+	for _, d := range diffs {
+		fmt.Println("inline:", d)
+	}
+	if len(diffs) > 0 {
+		fmt.Fprintf(os.Stderr, "harplint: inline gate failed: %d discrepancy(ies) vs %s\n", len(diffs), relativize(basePath))
+		os.Exit(1)
+	}
+	inlinable, calls := 0, 0
+	for _, c := range counts {
+		if c.CanInline {
+			inlinable++
+		}
+		calls += c.InlinedCalls
+	}
+	fmt.Printf("harplint: inline gate ok (%d/%d hot functions inlinable, %d inlined call sites match baseline)\n", inlinable, len(counts), calls)
+}
+
+// printStats renders the -stats table: per-rule finding counts
+// (suppressed counted separately) and per-analysis wall time.
+func printStats(findings []lint.Finding, stats []lint.AnalysisStat, rules []string) {
+	byRule := make(map[string]*[2]int, len(rules))
+	for _, r := range rules {
+		byRule[r] = &[2]int{}
+	}
+	for _, f := range findings {
+		c, ok := byRule[f.Rule]
+		if !ok {
+			c = &[2]int{}
+			byRule[f.Rule] = c
+		}
+		if f.Suppressed {
+			c[1]++
+		} else {
+			c[0]++
+		}
+	}
+	fmt.Printf("%-16s %9s %10s\n", "rule", "findings", "suppressed")
+	for _, r := range rules {
+		c := byRule[r]
+		fmt.Printf("%-16s %9d %10d\n", r, c[0], c[1])
+	}
+	var total time.Duration
+	for _, s := range stats {
+		total += s.Elapsed
+		fmt.Printf("analysis %-30s %12s\n", strings.Join(s.Rules, ","), s.Elapsed.Round(time.Microsecond))
+	}
+	fmt.Printf("analysis %-30s %12s\n", "total", total.Round(time.Microsecond))
 }
 
 // vetLine renders a finding the way go vet does: file:line:col: message,

@@ -34,6 +34,7 @@ package lint
 
 import (
 	"fmt"
+	"go/types"
 	"os/exec"
 	"path/filepath"
 	"sort"
@@ -58,8 +59,8 @@ type BCECount struct {
 	N    int
 }
 
-// BCEOptions configures a bce gate run.
-type BCEOptions struct {
+// GateOptions configures a compiler-gate run (bce, escape, inline).
+type GateOptions struct {
 	// Root is the module root; `go build` runs there and relative
 	// diagnostic paths resolve against it.
 	Root string
@@ -72,27 +73,22 @@ type BCEOptions struct {
 	Roots []HotRoot
 }
 
-// RunBCE executes the bounds-check-elimination gate and returns the
-// residual check counts inside the hot-kernel reach set, sorted by
-// function label then kind.
-func RunBCE(opts BCEOptions) ([]BCECount, error) {
+// BCEOptions is the historical name of GateOptions, kept because the bce
+// gate predates the escape and inline gates that share its shape.
+type BCEOptions = GateOptions
+
+// loadGate fills option defaults and loads the analyzed package set the
+// way every compiler gate does.
+func loadGate(opts *GateOptions) (*Loader, []*Package, error) {
 	if len(opts.Packages) == 0 {
 		opts.Packages = []string{"./..."}
 	}
 	if opts.Roots == nil {
 		opts.Roots = DefaultHotRoots()
 	}
-	out, err := buildWithBCE(opts.Root, opts.Packages)
-	if err != nil {
-		return nil, err
-	}
-	diags, err := ParseBCEOutput(out)
-	if err != nil {
-		return nil, err
-	}
 	loader, err := NewLoader(opts.Root)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var pkgs []*Package
 	if len(opts.Dirs) > 0 {
@@ -101,9 +97,35 @@ func RunBCE(opts BCEOptions) ([]BCECount, error) {
 		pkgs, err = loader.LoadModule()
 	}
 	if err != nil {
+		return nil, nil, err
+	}
+	return loader, pkgs, nil
+}
+
+// RunBCE executes the bounds-check-elimination gate and returns the
+// residual check counts inside the hot-kernel reach set, sorted by
+// function label then kind.
+func RunBCE(opts BCEOptions) ([]BCECount, error) {
+	out, err := buildWithBCE(opts.Root, firstNonEmpty(opts.Packages))
+	if err != nil {
+		return nil, err
+	}
+	diags, err := ParseBCEOutput(out)
+	if err != nil {
+		return nil, err
+	}
+	loader, pkgs, err := loadGate(&opts)
+	if err != nil {
 		return nil, err
 	}
 	return CountBCE(loader, pkgs, diags, opts.Roots), nil
+}
+
+func firstNonEmpty(patterns []string) []string {
+	if len(patterns) == 0 {
+		return []string{"./..."}
+	}
+	return patterns
 }
 
 // buildWithBCE compiles the patterns with the check_bce debug flag and
@@ -195,10 +217,77 @@ func parseBCELine(line string) (BCEDiag, error) {
 	return BCEDiag{File: file, Line: ln, Col: col, Kind: kind}, nil
 }
 
-// bceFuncRange is the source extent of one hot function.
-type bceFuncRange struct {
+// hotFuncRange is the source extent of one function in the hot-kernel
+// reach set, shared by the bce, escape and inline gates.
+type hotFuncRange struct {
 	startLine, endLine int
 	label              string
+	// cname is the function's name the way compiler diagnostics spell it:
+	// Name, Recv.Name, or (*Recv).Name.
+	cname string
+}
+
+// hotRanges computes the source extents of every function in the
+// hot-kernel reach set (the hotalloc BFS from roots over live call
+// edges), keyed by absolute filename, plus the sorted labels of the whole
+// set — for baselines that must account for every kernel-reach-set
+// function even when it produced no diagnostics.
+func hotRanges(loader *Loader, pkgs []*Package, roots []HotRoot) (map[string][]hotFuncRange, []string) {
+	hot := &hotAllocAnalysis{roots: roots}
+	hot.Prepare(pkgs)
+	ranges := make(map[string][]hotFuncRange)
+	var labels []string
+	g := BuildCallGraph(pkgs)
+	for _, fi := range g.Funcs() {
+		if _, ok := hot.reach[fi.Obj]; !ok {
+			continue
+		}
+		start := loader.Fset().Position(fi.Decl.Pos())
+		end := loader.Fset().Position(fi.Decl.End())
+		label := funcLabel(fi.Obj)
+		ranges[start.Filename] = append(ranges[start.Filename], hotFuncRange{
+			startLine: start.Line,
+			endLine:   end.Line,
+			label:     label,
+			cname:     compilerFuncName(fi.Obj),
+		})
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	return ranges, labels
+}
+
+// compilerFuncName renders a function's name the way -m and check_bce
+// diagnostics spell it: plain functions print bare, methods print as
+// Recv.Name (value receiver) or (*Recv).Name (pointer receiver).
+func compilerFuncName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			if n, ok := p.Elem().(*types.Named); ok {
+				return "(*" + n.Obj().Name() + ")." + fn.Name()
+			}
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// hotRangeAt returns the hot function whose extent covers file:line, if
+// any. Relative diagnostic paths resolve against the module root.
+func hotRangeAt(loader *Loader, ranges map[string][]hotFuncRange, file string, line int) (hotFuncRange, bool) {
+	if !filepath.IsAbs(file) {
+		file = filepath.Join(loader.Root, file)
+	}
+	for _, r := range ranges[file] {
+		if line >= r.startLine && line <= r.endLine {
+			return r, true
+		}
+	}
+	return hotFuncRange{}, false
 }
 
 // CountBCE maps diagnostics into the hot-kernel reach set (the hotalloc
@@ -208,33 +297,11 @@ type bceFuncRange struct {
 // attributes to an inlined callee's call site count against the caller —
 // which is exactly the function whose loop carries the branch.
 func CountBCE(loader *Loader, pkgs []*Package, diags []BCEDiag, roots []HotRoot) []BCECount {
-	hot := &hotAllocAnalysis{roots: roots}
-	hot.Prepare(pkgs)
-	ranges := make(map[string][]bceFuncRange)
-	g := BuildCallGraph(pkgs)
-	for _, fi := range g.Funcs() {
-		if _, ok := hot.reach[fi.Obj]; !ok {
-			continue
-		}
-		start := loader.Fset().Position(fi.Decl.Pos())
-		end := loader.Fset().Position(fi.Decl.End())
-		ranges[start.Filename] = append(ranges[start.Filename], bceFuncRange{
-			startLine: start.Line,
-			endLine:   end.Line,
-			label:     funcLabel(fi.Obj),
-		})
-	}
+	ranges, _ := hotRanges(loader, pkgs, roots)
 	counts := make(map[BCECount]int)
 	for _, d := range diags {
-		file := d.File
-		if !filepath.IsAbs(file) {
-			file = filepath.Join(loader.Root, file)
-		}
-		for _, r := range ranges[file] {
-			if d.Line >= r.startLine && d.Line <= r.endLine {
-				counts[BCECount{Func: r.label, Kind: d.Kind}]++
-				break
-			}
+		if r, ok := hotRangeAt(loader, ranges, d.File, d.Line); ok {
+			counts[BCECount{Func: r.label, Kind: d.Kind}]++
 		}
 	}
 	out := make([]BCECount, 0, len(counts))

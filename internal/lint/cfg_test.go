@@ -1,0 +1,257 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"harpgbdt/internal/lint"
+)
+
+// buildCFG parses one function body out of src and builds its CFG.
+func buildCFG(t *testing.T, src string) *lint.CFG {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "cfg_test.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return lint.BuildCFG(fd.Body)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// blockCalling finds the block whose statements include a call to the
+// named function.
+func blockCalling(t *testing.T, cfg *lint.CFG, name string) *lint.Block {
+	t.Helper()
+	for _, blk := range cfg.Blocks {
+		for _, s := range blk.Stmts {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					return blk
+				}
+			}
+		}
+	}
+	t.Fatalf("no block calls %s", name)
+	return nil
+}
+
+// blockWithCond finds the block branching on a binary condition whose
+// left operand is the named identifier and right operand the literal.
+func blockWithCond(t *testing.T, cfg *lint.CFG, lhs, rhs string) *lint.Block {
+	t.Helper()
+	for _, blk := range cfg.Blocks {
+		be, ok := blk.Cond.(*ast.BinaryExpr)
+		if !ok {
+			continue
+		}
+		x, ok1 := be.X.(*ast.Ident)
+		y, ok2 := be.Y.(*ast.BasicLit)
+		if ok1 && ok2 && x.Name == lhs && y.Value == rhs {
+			return blk
+		}
+	}
+	t.Fatalf("no block with cond %s <op> %s", lhs, rhs)
+	return nil
+}
+
+func hasEdge(from, to *lint.Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// reaches reports whether to is reachable from from over successor edges.
+func reaches(from, to *lint.Block) bool {
+	seen := map[*lint.Block]bool{}
+	stack := []*lint.Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+// TestCFGSelectDefault pins select shape: every case (the default
+// included) is a successor of the head, the join is reachable only
+// through the clauses, and — unlike a default-less select — control
+// cannot block forever.
+func TestCFGSelectDefault(t *testing.T) {
+	cfg := buildCFG(t, `
+func f(ch chan int) {
+	select {
+	case <-ch:
+		recv()
+	default:
+		idle()
+	}
+	after()
+}`)
+	recv := blockCalling(t, cfg, "recv")
+	idle := blockCalling(t, cfg, "idle")
+	after := blockCalling(t, cfg, "after")
+	if !hasEdge(cfg.Entry, recv) || !hasEdge(cfg.Entry, idle) {
+		t.Errorf("select head must edge to both clauses; entry succs: %d", len(cfg.Entry.Succs))
+	}
+	if hasEdge(cfg.Entry, after) {
+		t.Error("select join must not be a direct successor of the head: the default clause is a real block, not a fallthrough")
+	}
+	if !hasEdge(recv, after) || !hasEdge(idle, after) {
+		t.Error("both select clauses must join at the statement after the select")
+	}
+	if !reaches(cfg.Entry, cfg.Exit) {
+		t.Error("select with default cannot block forever; exit must stay reachable")
+	}
+
+	// The degenerate `select {}` blocks forever: its only edge is the
+	// synthetic exit (no live continuation).
+	empty := buildCFG(t, `
+func g() {
+	select {}
+	after()
+}`)
+	after = blockCalling(t, empty, "after")
+	if len(after.Preds) != 0 {
+		t.Errorf("code after `select {}` is unreachable, got %d preds", len(after.Preds))
+	}
+}
+
+// TestCFGLabeledBranches pins labeled break and continue across nested
+// loops: break outer jumps past both loops, continue outer jumps to the
+// outer loop's post statement — not the inner loop's.
+func TestCFGLabeledBranches(t *testing.T) {
+	cfg := buildCFG(t, `
+func f() {
+outer:
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if j == 5 {
+				break outer
+			}
+			if j == 3 {
+				continue outer
+			}
+			body()
+		}
+	}
+	done()
+}`)
+	done := blockCalling(t, cfg, "done")
+	body := blockCalling(t, cfg, "body")
+
+	// The true edge of `j == 5` holds the break: it must edge straight
+	// to the block after the OUTER loop, skipping the inner loop's join.
+	breakBlk := blockWithCond(t, cfg, "j", "5").Succs[0]
+	if !hasEdge(breakBlk, done) {
+		t.Errorf("break outer must edge to the post-outer-loop block; succs of break block: %v", blockIndexes(breakBlk.Succs))
+	}
+	// The true edge of `j == 3` holds the continue: it must edge to the
+	// outer loop's post block (the one running i++), not j++'s.
+	contBlk := blockWithCond(t, cfg, "j", "3").Succs[0]
+	iPost := blockWithIncDec(t, cfg, "i")
+	jPost := blockWithIncDec(t, cfg, "j")
+	if !hasEdge(contBlk, iPost) {
+		t.Errorf("continue outer must edge to the outer post block (i++); succs: %v", blockIndexes(contBlk.Succs))
+	}
+	if hasEdge(contBlk, jPost) {
+		t.Error("continue outer must not edge to the inner post block (j++)")
+	}
+	// The straight-line body still loops through the inner post.
+	if !hasEdge(body, jPost) {
+		t.Error("fallthrough body must edge to the inner post block (j++)")
+	}
+	if !reaches(cfg.Entry, done) {
+		t.Error("done() must be reachable")
+	}
+}
+
+// TestCFGGotoIntoBlock pins goto resolution when the label sits inside a
+// nested block: the forward goto and the sequential fall-in must land on
+// the same label block.
+func TestCFGGotoIntoBlock(t *testing.T) {
+	cfg := buildCFG(t, `
+func f(c bool) {
+	if c {
+		goto inner
+	}
+	{
+		prep()
+	inner:
+		work()
+	}
+	fin()
+}`)
+	prep := blockCalling(t, cfg, "prep")
+	work := blockCalling(t, cfg, "work")
+	fin := blockCalling(t, cfg, "fin")
+	if !hasEdge(prep, work) {
+		t.Error("sequential fall-in must edge prep -> label block")
+	}
+	// The goto lives on the true edge of the if head.
+	var ifHead *lint.Block
+	for _, blk := range cfg.Blocks {
+		if id, ok := blk.Cond.(*ast.Ident); ok && id.Name == "c" {
+			ifHead = blk
+		}
+	}
+	if ifHead == nil {
+		t.Fatal("no if head branching on c")
+	}
+	gotoBlk := ifHead.Succs[0]
+	if !reaches(gotoBlk, work) || reaches(gotoBlk, prep) {
+		t.Error("goto inner must land on the label block without passing through prep")
+	}
+	if len(work.Preds) < 2 {
+		t.Errorf("label block needs both the goto and the fall-in as preds, got %d", len(work.Preds))
+	}
+	// Falling out of the nested block is straight-line control: fin()
+	// continues in the label block itself (or a direct successor).
+	if fin != work && !hasEdge(work, fin) {
+		t.Error("label block must continue to the statement after the enclosing block")
+	}
+}
+
+func blockIndexes(blocks []*lint.Block) []int {
+	out := make([]int, len(blocks))
+	for i, b := range blocks {
+		out[i] = b.Index
+	}
+	return out
+}
+
+// blockWithIncDec finds the block containing `name++`.
+func blockWithIncDec(t *testing.T, cfg *lint.CFG, name string) *lint.Block {
+	t.Helper()
+	for _, blk := range cfg.Blocks {
+		for _, s := range blk.Stmts {
+			if inc, ok := s.(*ast.IncDecStmt); ok {
+				if id, ok := inc.X.(*ast.Ident); ok && id.Name == name {
+					return blk
+				}
+			}
+		}
+	}
+	t.Fatalf("no block with %s++", name)
+	return nil
+}

@@ -1,0 +1,153 @@
+package lint
+
+// Escape-analysis gate (the escape pass).
+//
+// hotalloc proves syntactically that the histogram/split kernels contain
+// no allocating constructs, but the compiler is the only authority on
+// what actually reaches the heap: an innocuous refactor can defeat escape
+// analysis (a method value, a widened interface, a pointer that outlives
+// its frame) without adding any construct hotalloc recognizes. This pass
+// asks the compiler directly: build with -gcflags=-m=1, keep the
+// "escapes to heap" and "moved to heap" diagnostics, intersect them with
+// the hot-kernel reach set (the same BFS the hotalloc rule and the bce
+// gate use), and pin the per-function counts to the committed
+// ESCAPE_baseline.txt.
+//
+// Unlike the bce baseline, every kernel-reach-set function appears in the
+// file — zero-count entries included — so the baseline doubles as the
+// authoritative list of functions under the compiler contract: a function
+// entering or leaving the reach set is itself drift that fails the gate.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EscapeCount is the per-hot-function escape summary the baseline pins.
+type EscapeCount struct {
+	Func    string // function label (package.Recv.Name)
+	Escapes int    // `... escapes to heap` diagnostics inside the function
+	Moved   int    // `moved to heap: ...` diagnostics inside the function
+}
+
+// RunEscape executes the escape gate: compile with -m=1, map the heap
+// diagnostics into the hot-kernel reach set, and return one entry per
+// hot function (zero counts included), sorted by label.
+func RunEscape(opts GateOptions) ([]EscapeCount, error) {
+	out, err := buildWithM(opts.Root, firstNonEmpty(opts.Packages))
+	if err != nil {
+		return nil, err
+	}
+	diags, err := ParseMOutput(out)
+	if err != nil {
+		return nil, err
+	}
+	loader, pkgs, err := loadGate(&opts)
+	if err != nil {
+		return nil, err
+	}
+	return CountEscapes(loader, pkgs, diags, opts.Roots), nil
+}
+
+// CountEscapes aggregates heap diagnostics per hot function. Every
+// function in the reach set gets an entry; diagnostics outside the reach
+// set are dropped (cold setup code is allowed to allocate).
+func CountEscapes(loader *Loader, pkgs []*Package, diags []MDiag, roots []HotRoot) []EscapeCount {
+	ranges, labels := hotRanges(loader, pkgs, roots)
+	byFunc := make(map[string]*EscapeCount, len(labels))
+	out := make([]EscapeCount, len(labels))
+	for i, l := range labels {
+		out[i] = EscapeCount{Func: l}
+		byFunc[l] = &out[i]
+	}
+	for _, d := range diags {
+		if d.Kind != MEscapes && d.Kind != MMovedToHeap {
+			continue
+		}
+		r, ok := hotRangeAt(loader, ranges, d.File, d.Line)
+		if !ok {
+			continue
+		}
+		c := byFunc[r.label]
+		if d.Kind == MEscapes {
+			c.Escapes++
+		} else {
+			c.Moved++
+		}
+	}
+	return out
+}
+
+// FormatEscapeBaseline renders counts in the committed baseline format.
+func FormatEscapeBaseline(counts []EscapeCount) []byte {
+	var b strings.Builder
+	b.WriteString("# ESCAPE baseline: heap diagnostics the Go compiler emits inside the\n")
+	b.WriteString("# hot-kernel reach set (go build -gcflags=-m=1, mapped to enclosing\n")
+	b.WriteString("# functions by the harplint escape pass). Every kernel-reach-set\n")
+	b.WriteString("# function is listed, zero counts included, so the reach set itself is\n")
+	b.WriteString("# pinned. Any drift — new escapes, removed functions, reach-set growth —\n")
+	b.WriteString("# fails `make escape`; regenerate deliberately with `harplint -escape -update`.\n")
+	for _, c := range counts {
+		fmt.Fprintf(&b, "%s escapes %d moved %d\n", c.Func, c.Escapes, c.Moved)
+	}
+	return []byte(b.String())
+}
+
+// ParseEscapeBaseline parses a committed baseline file. Strict, like the
+// diagnostic parser: malformed lines are errors.
+func ParseEscapeBaseline(data []byte) ([]EscapeCount, error) {
+	var out []EscapeCount
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 5 || f[1] != "escapes" || f[3] != "moved" {
+			return nil, fmt.Errorf("lint: ESCAPE baseline line %d: want `func escapes N moved M`, got %q", i+1, line)
+		}
+		esc, err := strconv.Atoi(f[2])
+		if err != nil || esc < 0 {
+			return nil, fmt.Errorf("lint: ESCAPE baseline line %d: bad escape count %q", i+1, f[2])
+		}
+		moved, err := strconv.Atoi(f[4])
+		if err != nil || moved < 0 {
+			return nil, fmt.Errorf("lint: ESCAPE baseline line %d: bad moved count %q", i+1, f[4])
+		}
+		out = append(out, EscapeCount{Func: f[0], Escapes: esc, Moved: moved})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Func < out[j].Func })
+	return out, nil
+}
+
+// DiffEscape compares measured counts against the baseline and returns
+// one human-readable line per discrepancy; empty means the gate passes.
+func DiffEscape(got, want []EscapeCount) []string {
+	wantBy := make(map[string]EscapeCount, len(want))
+	for _, c := range want {
+		wantBy[c.Func] = c
+	}
+	var diffs []string
+	seen := make(map[string]bool, len(got))
+	for _, c := range got {
+		seen[c.Func] = true
+		base, ok := wantBy[c.Func]
+		switch {
+		case !ok:
+			diffs = append(diffs, fmt.Sprintf("%s: entered the kernel reach set (escapes %d, moved %d) but is not in baseline", c.Func, c.Escapes, c.Moved))
+		case c.Escapes > base.Escapes || c.Moved > base.Moved:
+			diffs = append(diffs, fmt.Sprintf("%s: heap diagnostics regressed escapes %d -> %d, moved %d -> %d", c.Func, base.Escapes, c.Escapes, base.Moved, c.Moved))
+		case c.Escapes < base.Escapes || c.Moved < base.Moved:
+			diffs = append(diffs, fmt.Sprintf("%s: heap diagnostics improved escapes %d -> %d, moved %d -> %d (baseline stale; regenerate)", c.Func, base.Escapes, c.Escapes, base.Moved, c.Moved))
+		}
+	}
+	for _, c := range want {
+		if !seen[c.Func] {
+			diffs = append(diffs, fmt.Sprintf("%s: in baseline but no longer in the kernel reach set (baseline stale; regenerate)", c.Func))
+		}
+	}
+	sort.Strings(diffs)
+	return diffs
+}

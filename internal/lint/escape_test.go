@@ -1,0 +1,167 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"harpgbdt/internal/lint"
+)
+
+// TestParseEscapeBaseline round-trips the committed-file format and
+// rejects malformed entries.
+func TestParseEscapeBaseline(t *testing.T) {
+	in := []lint.EscapeCount{
+		{Func: "core.Builder.accumulate", Escapes: 0, Moved: 0},
+		{Func: "histogram.Hist.AddHist", Escapes: 1, Moved: 2},
+	}
+	got, err := lint.ParseEscapeBaseline(lint.FormatEscapeBaseline(in))
+	if err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("round-trip lost entries: %v", got)
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], in[i])
+		}
+	}
+	for _, bad := range []string{
+		"histogram.Hist.AddHist escapes 1",
+		"histogram.Hist.AddHist leaks 1 moved 0",
+		"histogram.Hist.AddHist escapes one moved 0",
+		"histogram.Hist.AddHist escapes -1 moved 0",
+		"histogram.Hist.AddHist escapes 1 shifted 0",
+		"histogram.Hist.AddHist escapes 1 moved x",
+	} {
+		if _, err := lint.ParseEscapeBaseline([]byte(bad + "\n")); err == nil {
+			t.Errorf("ParseEscapeBaseline accepted %q", bad)
+		}
+	}
+}
+
+// TestDiffEscape covers the four discrepancy classes: regression,
+// improvement (stale baseline), reach-set entry, reach-set exit.
+func TestDiffEscape(t *testing.T) {
+	base := []lint.EscapeCount{
+		{Func: "a.f", Escapes: 0, Moved: 0},
+		{Func: "a.g", Escapes: 1, Moved: 0},
+	}
+	if d := lint.DiffEscape(base, base); len(d) != 0 {
+		t.Errorf("identical counts should pass, got %v", d)
+	}
+	got := []lint.EscapeCount{
+		{Func: "a.f", Escapes: 0, Moved: 2}, // regression
+		{Func: "a.h", Escapes: 0, Moved: 0}, // entered reach set
+	}
+	d := lint.DiffEscape(got, base)
+	if len(d) != 3 { // regression + entered + baseline-only a.g
+		t.Fatalf("want 3 diffs, got %v", d)
+	}
+	joined := strings.Join(d, "\n")
+	for _, frag := range []string{
+		"regressed escapes 0 -> 0, moved 0 -> 2",
+		"entered the kernel reach set",
+		"no longer in the kernel reach set",
+	} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("diffs missing %q:\n%s", frag, joined)
+		}
+	}
+	improved := []lint.EscapeCount{
+		{Func: "a.f", Escapes: 0, Moved: 0},
+		{Func: "a.g", Escapes: 0, Moved: 0},
+	}
+	d = lint.DiffEscape(improved, base)
+	if len(d) != 1 || !strings.Contains(d[0], "improved") || !strings.Contains(d[0], "stale") {
+		t.Errorf("improvement should fail as stale baseline, got %v", d)
+	}
+}
+
+// TestRunEscapeFixture runs the full gate against the escbad fixture:
+// the compiler is the oracle. kernelMoved and kernelNew must show their
+// heap diagnostics, kernelClean must be present with zero counts, and
+// coldMoved — escaping identically outside the reach set — must be
+// invisible. A kernel that allocates against a clean baseline must fail
+// the gate.
+func TestRunEscapeFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go compiler; skipped in -short mode")
+	}
+	dir := filepath.Join("testdata", "src", "escbad")
+	counts, err := lint.RunEscape(lint.GateOptions{
+		Root:     moduleRoot,
+		Packages: []string{"./internal/lint/" + filepath.ToSlash(dir)},
+		Dirs:     []string{dir},
+		Roots:    []lint.HotRoot{{PkgSuffix: "escbad", NamePrefix: "kernel"}},
+	})
+	if err != nil {
+		t.Fatalf("RunEscape: %v", err)
+	}
+	byFunc := make(map[string]lint.EscapeCount, len(counts))
+	for _, c := range counts {
+		if strings.Contains(c.Func, "coldMoved") {
+			t.Errorf("coldMoved is outside the reach set but was counted: %+v", c)
+		}
+		byFunc[c.Func] = c
+	}
+	if c := byFunc["escbad.kernelMoved"]; c.Moved == 0 {
+		t.Errorf("kernelMoved forces a local to the heap; gate saw %+v", c)
+	}
+	if c := byFunc["escbad.kernelNew"]; c.Escapes == 0 {
+		t.Errorf("kernelNew heap-allocates; gate saw %+v", c)
+	}
+	if c, ok := byFunc["escbad.kernelClean"]; !ok || c.Escapes != 0 || c.Moved != 0 {
+		t.Errorf("kernelClean must be listed with zero counts, got %+v (present=%v)", c, ok)
+	}
+	// The measured counts must agree with themselves through the baseline
+	// format round-trip: this is exactly how `make escape` gates.
+	back, err := lint.ParseEscapeBaseline(lint.FormatEscapeBaseline(counts))
+	if err != nil {
+		t.Fatalf("baseline round-trip: %v", err)
+	}
+	if d := lint.DiffEscape(counts, back); len(d) != 0 {
+		t.Errorf("self-diff through baseline format should pass, got %v", d)
+	}
+	// An allocation-free baseline must reject the allocating kernels:
+	// this is the "mutate a kernel to allocate, gate fails" contract.
+	clean := make([]lint.EscapeCount, len(counts))
+	for i, c := range counts {
+		clean[i] = lint.EscapeCount{Func: c.Func}
+	}
+	d := lint.DiffEscape(counts, clean)
+	if len(d) != 2 {
+		t.Fatalf("allocating kernels vs clean baseline: want 2 regressions, got %v", d)
+	}
+	for _, line := range d {
+		if !strings.Contains(line, "regressed") {
+			t.Errorf("diff should report a regression, got %q", line)
+		}
+	}
+}
+
+// TestRepoEscapeBaseline is the committed-baseline gate as a test: the
+// kernel reach set must show exactly the heap diagnostics
+// ESCAPE_baseline.txt lists — today, none at all.
+func TestRepoEscapeBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module; skipped in -short mode")
+	}
+	counts, err := lint.RunEscape(lint.GateOptions{Root: moduleRoot})
+	if err != nil {
+		t.Fatalf("RunEscape: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(moduleRoot, "ESCAPE_baseline.txt"))
+	if err != nil {
+		t.Fatalf("read ESCAPE_baseline.txt: %v", err)
+	}
+	base, err := lint.ParseEscapeBaseline(data)
+	if err != nil {
+		t.Fatalf("ParseEscapeBaseline: %v", err)
+	}
+	for _, d := range lint.DiffEscape(counts, base) {
+		t.Errorf("escape: %s", d)
+	}
+}

@@ -1,0 +1,173 @@
+package lint
+
+// Inlining gate (the inline pass).
+//
+// The paper's kernel decomposition assumes the block loops compile flat:
+// AddRange folded into Accumulate, the per-bin helpers folded into
+// FindBestSplit. The Go inliner decides that by cost budget, and a
+// refactor that pushes a kernel helper over budget (an extra defer, a
+// call the inliner cannot analyze) silently reintroduces call overhead
+// per (row, feature) — invisible to every AST rule.
+//
+// This pass pins the inliner's verdict: build with -gcflags=-m=1, and for
+// every function in the hot-kernel reach set record (a) whether the
+// compiler judged it inlinable (`can inline`; at -m=1 the inliner is
+// silent about functions it rejects, so absence of the diagnostic IS the
+// rejection) and (b) how many call sites inside its body were replaced by
+// callee bodies (`inlining call to`). The per-function records are
+// committed as INLINE_baseline.txt; like the escape baseline, every
+// reach-set function is listed so the contract surface is pinned too.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// InlineCount is the per-hot-function inlining summary the baseline pins.
+type InlineCount struct {
+	Func string // function label (package.Recv.Name)
+	// CanInline reports whether the inliner judged the function itself
+	// inlinable into its callers.
+	CanInline bool
+	// InlinedCalls is the number of call sites inside the function that
+	// the inliner replaced with the callee's body.
+	InlinedCalls int
+}
+
+// RunInline executes the inline gate: compile with -m=1, map the inliner
+// diagnostics into the hot-kernel reach set, and return one entry per
+// hot function, sorted by label.
+func RunInline(opts GateOptions) ([]InlineCount, error) {
+	out, err := buildWithM(opts.Root, firstNonEmpty(opts.Packages))
+	if err != nil {
+		return nil, err
+	}
+	diags, err := ParseMOutput(out)
+	if err != nil {
+		return nil, err
+	}
+	loader, pkgs, err := loadGate(&opts)
+	if err != nil {
+		return nil, err
+	}
+	return CountInline(loader, pkgs, diags, opts.Roots), nil
+}
+
+// CountInline aggregates inliner diagnostics per hot function. A
+// `can inline` diagnostic marks a function inlinable only when it sits on
+// the function's declaration line and names the function itself — the
+// inliner also reports synthesized closures (`f.func1`, `f.deferwrap1`)
+// at positions inside the enclosing body, and those must not count.
+func CountInline(loader *Loader, pkgs []*Package, diags []MDiag, roots []HotRoot) []InlineCount {
+	ranges, labels := hotRanges(loader, pkgs, roots)
+	byFunc := make(map[string]*InlineCount, len(labels))
+	out := make([]InlineCount, len(labels))
+	for i, l := range labels {
+		out[i] = InlineCount{Func: l}
+		byFunc[l] = &out[i]
+	}
+	for _, d := range diags {
+		switch d.Kind {
+		case MCanInline:
+			r, ok := hotRangeAt(loader, ranges, d.File, d.Line)
+			if !ok || d.Line != r.startLine || baseDiagName(d.Detail) != r.cname {
+				continue
+			}
+			byFunc[r.label].CanInline = true
+		case MInlineCall:
+			if r, ok := hotRangeAt(loader, ranges, d.File, d.Line); ok {
+				byFunc[r.label].InlinedCalls++
+			}
+		}
+	}
+	return out
+}
+
+// FormatInlineBaseline renders counts in the committed baseline format.
+func FormatInlineBaseline(counts []InlineCount) []byte {
+	var b strings.Builder
+	b.WriteString("# INLINE baseline: the Go inliner's verdict over the hot-kernel reach\n")
+	b.WriteString("# set (go build -gcflags=-m=1, mapped to declarations by the harplint\n")
+	b.WriteString("# inline pass). can-inline pins whether the function itself stays under\n")
+	b.WriteString("# the inlining budget; inlined-calls pins how many of its call sites\n")
+	b.WriteString("# collapse into it. Every kernel-reach-set function is listed. Any\n")
+	b.WriteString("# drift fails `make inline`; regenerate deliberately with\n")
+	b.WriteString("# `harplint -inline -update`.\n")
+	for _, c := range counts {
+		fmt.Fprintf(&b, "%s can-inline %s inlined-calls %d\n", c.Func, yesno(c.CanInline), c.InlinedCalls)
+	}
+	return []byte(b.String())
+}
+
+func yesno(v bool) string {
+	if v {
+		return "yes"
+	}
+	return "no"
+}
+
+// ParseInlineBaseline parses a committed baseline file. Strict, like the
+// diagnostic parser: malformed lines are errors.
+func ParseInlineBaseline(data []byte) ([]InlineCount, error) {
+	var out []InlineCount
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 5 || f[1] != "can-inline" || f[3] != "inlined-calls" {
+			return nil, fmt.Errorf("lint: INLINE baseline line %d: want `func can-inline yes|no inlined-calls N`, got %q", i+1, line)
+		}
+		var can bool
+		switch f[2] {
+		case "yes":
+			can = true
+		case "no":
+			can = false
+		default:
+			return nil, fmt.Errorf("lint: INLINE baseline line %d: bad can-inline value %q", i+1, f[2])
+		}
+		n, err := strconv.Atoi(f[4])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("lint: INLINE baseline line %d: bad inlined-calls count %q", i+1, f[4])
+		}
+		out = append(out, InlineCount{Func: f[0], CanInline: can, InlinedCalls: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Func < out[j].Func })
+	return out, nil
+}
+
+// DiffInline compares measured counts against the baseline and returns
+// one human-readable line per discrepancy; empty means the gate passes.
+func DiffInline(got, want []InlineCount) []string {
+	wantBy := make(map[string]InlineCount, len(want))
+	for _, c := range want {
+		wantBy[c.Func] = c
+	}
+	var diffs []string
+	seen := make(map[string]bool, len(got))
+	for _, c := range got {
+		seen[c.Func] = true
+		base, ok := wantBy[c.Func]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: entered the kernel reach set (can-inline %s, inlined-calls %d) but is not in baseline", c.Func, yesno(c.CanInline), c.InlinedCalls))
+			continue
+		}
+		if c.CanInline != base.CanInline {
+			diffs = append(diffs, fmt.Sprintf("%s: can-inline changed %s -> %s", c.Func, yesno(base.CanInline), yesno(c.CanInline)))
+		}
+		if c.InlinedCalls != base.InlinedCalls {
+			diffs = append(diffs, fmt.Sprintf("%s: inlined-calls changed %d -> %d", c.Func, base.InlinedCalls, c.InlinedCalls))
+		}
+	}
+	for _, c := range want {
+		if !seen[c.Func] {
+			diffs = append(diffs, fmt.Sprintf("%s: in baseline but no longer in the kernel reach set (baseline stale; regenerate)", c.Func))
+		}
+	}
+	sort.Strings(diffs)
+	return diffs
+}

@@ -1,0 +1,157 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"harpgbdt/internal/lint"
+)
+
+// TestParseInlineBaseline round-trips the committed-file format and
+// rejects malformed entries.
+func TestParseInlineBaseline(t *testing.T) {
+	in := []lint.InlineCount{
+		{Func: "core.Builder.accumulate", CanInline: false, InlinedCalls: 2},
+		{Func: "histogram.Hist.AddHist", CanInline: true, InlinedCalls: 1},
+	}
+	got, err := lint.ParseInlineBaseline(lint.FormatInlineBaseline(in))
+	if err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("round-trip lost entries: %v", got)
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], in[i])
+		}
+	}
+	for _, bad := range []string{
+		"histogram.Hist.AddHist can-inline yes",
+		"histogram.Hist.AddHist inlinable yes inlined-calls 1",
+		"histogram.Hist.AddHist can-inline maybe inlined-calls 1",
+		"histogram.Hist.AddHist can-inline yes inlined 1",
+		"histogram.Hist.AddHist can-inline yes inlined-calls -1",
+		"histogram.Hist.AddHist can-inline yes inlined-calls x",
+	} {
+		if _, err := lint.ParseInlineBaseline([]byte(bad + "\n")); err == nil {
+			t.Errorf("ParseInlineBaseline accepted %q", bad)
+		}
+	}
+}
+
+// TestDiffInline covers the discrepancy classes: verdict flip, call-count
+// change, reach-set entry, reach-set exit.
+func TestDiffInline(t *testing.T) {
+	base := []lint.InlineCount{
+		{Func: "a.f", CanInline: true, InlinedCalls: 3},
+		{Func: "a.g", CanInline: false, InlinedCalls: 0},
+	}
+	if d := lint.DiffInline(base, base); len(d) != 0 {
+		t.Errorf("identical counts should pass, got %v", d)
+	}
+	got := []lint.InlineCount{
+		{Func: "a.f", CanInline: false, InlinedCalls: 1}, // flip + count change
+		{Func: "a.h", CanInline: true, InlinedCalls: 0},  // entered reach set
+	}
+	d := lint.DiffInline(got, base)
+	if len(d) != 4 { // flip + count + entered + baseline-only a.g
+		t.Fatalf("want 4 diffs, got %v", d)
+	}
+	joined := strings.Join(d, "\n")
+	for _, frag := range []string{
+		"can-inline changed yes -> no",
+		"inlined-calls changed 3 -> 1",
+		"entered the kernel reach set",
+		"no longer in the kernel reach set",
+	} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("diffs missing %q:\n%s", frag, joined)
+		}
+	}
+}
+
+// TestRunInlineFixture runs the full gate against the inlinebad fixture:
+// the compiler is the oracle. kernelTiny must be inlinable, the
+// recursive kernelBig must not be, kernelCalls must show inlined call
+// sites, and coldCalls — inlining the same callee outside the reach set
+// — must be invisible. A baseline claiming the recursive kernel inlines
+// must fail the gate.
+func TestRunInlineFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go compiler; skipped in -short mode")
+	}
+	dir := filepath.Join("testdata", "src", "inlinebad")
+	counts, err := lint.RunInline(lint.GateOptions{
+		Root:     moduleRoot,
+		Packages: []string{"./internal/lint/" + filepath.ToSlash(dir)},
+		Dirs:     []string{dir},
+		Roots:    []lint.HotRoot{{PkgSuffix: "inlinebad", NamePrefix: "kernel"}},
+	})
+	if err != nil {
+		t.Fatalf("RunInline: %v", err)
+	}
+	byFunc := make(map[string]lint.InlineCount, len(counts))
+	for _, c := range counts {
+		if strings.Contains(c.Func, "coldCalls") {
+			t.Errorf("coldCalls is outside the reach set but was counted: %+v", c)
+		}
+		byFunc[c.Func] = c
+	}
+	if c := byFunc["inlinebad.kernelTiny"]; !c.CanInline {
+		t.Errorf("kernelTiny is trivially inlinable; gate saw %+v", c)
+	}
+	if c := byFunc["inlinebad.kernelBig"]; c.CanInline {
+		t.Errorf("recursive kernelBig must not be inlinable; gate saw %+v", c)
+	}
+	if c := byFunc["inlinebad.kernelCalls"]; c.InlinedCalls == 0 {
+		t.Errorf("kernelCalls must show inlined call sites; gate saw %+v", c)
+	}
+	// Round-trip self-agreement: exactly how `make inline` gates.
+	back, err := lint.ParseInlineBaseline(lint.FormatInlineBaseline(counts))
+	if err != nil {
+		t.Fatalf("baseline round-trip: %v", err)
+	}
+	if d := lint.DiffInline(counts, back); len(d) != 0 {
+		t.Errorf("self-diff through baseline format should pass, got %v", d)
+	}
+	// A baseline that claims the recursive kernel inlines must fail:
+	// this is the "block a kernel's inlining, gate fails" contract.
+	wrong := make([]lint.InlineCount, len(counts))
+	copy(wrong, counts)
+	for i := range wrong {
+		if wrong[i].Func == "inlinebad.kernelBig" {
+			wrong[i].CanInline = true
+		}
+	}
+	d := lint.DiffInline(counts, wrong)
+	if len(d) != 1 || !strings.Contains(d[0], "can-inline changed yes -> no") {
+		t.Fatalf("recursive kernel vs inlinable baseline: want one verdict flip, got %v", d)
+	}
+}
+
+// TestRepoInlineBaseline is the committed-baseline gate as a test: the
+// kernel reach set must show exactly the inliner verdicts
+// INLINE_baseline.txt lists.
+func TestRepoInlineBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module; skipped in -short mode")
+	}
+	counts, err := lint.RunInline(lint.GateOptions{Root: moduleRoot})
+	if err != nil {
+		t.Fatalf("RunInline: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(moduleRoot, "INLINE_baseline.txt"))
+	if err != nil {
+		t.Fatalf("read INLINE_baseline.txt: %v", err)
+	}
+	base, err := lint.ParseInlineBaseline(data)
+	if err != nil {
+		t.Fatalf("ParseInlineBaseline: %v", err)
+	}
+	for _, d := range lint.DiffInline(counts, base) {
+		t.Errorf("inline: %s", d)
+	}
+}

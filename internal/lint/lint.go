@@ -43,10 +43,26 @@
 //     and plainly — the perf-ledger-matrix data race the race detector
 //     only sees under contention.
 //
-// A bounds-check-elimination gate (bce.go) runs the real compiler with
-// -gcflags=-d=ssa/check_bce and diffs the bounds checks inside the hot
-// kernels against a committed baseline; it is a build-level pass driven by
-// cmd/harplint -bce and make bce rather than an Analysis.
+// and a lockset data-race rule on the same lock-state walker
+// (locksetrace.go):
+//
+//   - locksetrace: every struct field guarded by a same-struct mutex
+//     somewhere must be guarded everywhere it is touched on a concurrent
+//     path (goroutine or sched.Pool worker reach), atomic and mutex
+//     disciplines must not mix on one field, and lock acquisition order
+//     must be cycle-free across the interprocedural call graph.
+//
+// Three compiler-contract gates diff real compiler diagnostics against
+// committed baselines; they are build-level passes driven by cmd/harplint
+// flags and make targets rather than Analyses:
+//
+//   - bce (bce.go, -gcflags=-d=ssa/check_bce): residual bounds checks
+//     inside the hot kernels vs BCE_baseline.txt.
+//   - escape (escape.go, -gcflags=-m=1): heap escapes and moved-to-heap
+//     variables across the kernel reach set vs ESCAPE_baseline.txt.
+//   - inline (inline.go, -gcflags=-m=1): which kernel-reach-set functions
+//     the inliner accepts, and how many calls are inlined, vs
+//     INLINE_baseline.txt.
 //
 // Findings can be suppressed with an inline directive on the offending
 // line or the line above:
@@ -60,6 +76,7 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"time"
 )
 
 // Finding is one diagnostic produced by a rule.
@@ -136,6 +153,7 @@ func DefaultAnalyses(module string) []Analysis {
 		&errFlowAnalysis{},
 		&ctxFlowAnalysis{},
 		&atomicMixAnalysis{},
+		NewLocksetAnalysis(),
 	}
 }
 
@@ -167,20 +185,38 @@ func RuleNames(analyses []Analysis) []string {
 	return out
 }
 
+// AnalysisStat is the measured cost of one analysis across a Run: the
+// rules it emits and the wall time its Prepare plus every Check took.
+type AnalysisStat struct {
+	Rules   []string
+	Elapsed time.Duration
+}
+
 // Run executes the analyses over the packages, applies ignore directives,
 // and returns all findings (suppressed ones included, marked) sorted by
 // position. Unused and malformed directives are reported under the
 // "directive" rule.
 func Run(pkgs []*Package, analyses []Analysis) []Finding {
+	findings, _ := RunWithStats(pkgs, analyses)
+	return findings
+}
+
+// RunWithStats is Run plus per-analysis timing, so lint cost stays
+// visible as the rule set grows (cmd/harplint -stats).
+func RunWithStats(pkgs []*Package, analyses []Analysis) ([]Finding, []AnalysisStat) {
 	known := map[string]bool{}
 	for _, a := range analyses {
 		for _, r := range a.Rules() {
 			known[r] = true
 		}
 	}
-	for _, a := range analyses {
+	stats := make([]AnalysisStat, len(analyses))
+	for i, a := range analyses {
+		stats[i].Rules = a.Rules()
 		if ma, ok := a.(ModuleAnalysis); ok {
+			start := time.Now()
 			ma.Prepare(pkgs)
+			stats[i].Elapsed += time.Since(start)
 		}
 	}
 	var findings []Finding
@@ -196,8 +232,10 @@ func Run(pkgs []*Package, analyses []Analysis) []Finding {
 			}
 			findings = append(findings, f)
 		}
-		for _, a := range analyses {
+		for i, a := range analyses {
+			start := time.Now()
 			a.Check(p, report)
+			stats[i].Elapsed += time.Since(start)
 		}
 		findings = append(findings, dirs.problems()...)
 	}
@@ -211,7 +249,7 @@ func Run(pkgs []*Package, analyses []Analysis) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return findings
+	return findings, stats
 }
 
 // Unsuppressed filters findings down to the ones that fail the build.

@@ -166,11 +166,15 @@ func TestAtomicMixFixture(t *testing.T) {
 	checkFixture(t, "atomicbad", lint.DefaultAnalyses("harpgbdt"))
 }
 
+func TestLocksetRaceFixture(t *testing.T) {
+	checkFixture(t, "racebad", []lint.Analysis{lint.NewLocksetAnalysis()})
+}
+
 // TestRuleNames pins the rule inventory: renaming or dropping a rule is
 // an interface change that must be deliberate.
 func TestRuleNames(t *testing.T) {
 	got := lint.RuleNames(lint.DefaultAnalyses("harpgbdt"))
-	want := []string{"atomicmix", "barrierbalance", "ctxflow", "determinism", "directive", "errflow", "goroutineleak", "histlife", "hotalloc", "lockbalance", "obshygiene", "spinscope"}
+	want := []string{"atomicmix", "barrierbalance", "ctxflow", "determinism", "directive", "errflow", "goroutineleak", "histlife", "hotalloc", "lockbalance", "locksetrace", "obshygiene", "spinscope"}
 	if !sort.StringsAreSorted(got) {
 		t.Errorf("RuleNames not sorted: %v", got)
 	}

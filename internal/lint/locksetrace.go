@@ -1,0 +1,811 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// locksetAnalysis implements the locksetrace rule: a lockset data-race
+// analysis over the module's concurrent code. The paper's block-parallel
+// scheduler shares state between workers through three disciplines —
+// sched.SpinMutex sections, sync.Mutex/RWMutex sections, and sync/atomic
+// operations — and the race detector only validates the interleavings a
+// test happens to execute. This rule checks the disciplines statically:
+//
+//  1. For every struct field whose struct also carries a mutex field, the
+//     rule computes the set of locks held at every read and write (the
+//     lock-state walker shared with spinscope/lockbalance, observed per
+//     statement). A field accessed under its struct's mutex in one place
+//     and provably without it on a concurrent path — a body reachable
+//     from a `go` statement or a sched.Pool worker closure — is a data
+//     race, reported at the unlocked site.
+//  2. A field accessed through sync/atomic in one place and under a
+//     mutex in another mixes disciplines that do not synchronize with
+//     each other (the atomicmix rule generalized from object identity to
+//     lock consistency), reported at the locked site.
+//  3. Lock acquisitions are collected into an ordering graph — an edge
+//     L1 -> L2 for every site that acquires L2 with L1 held, including
+//     interprocedurally through held-at-entry propagation — and every
+//     edge on a cycle is a latent deadlock, reported at the acquisition.
+//
+// Must-semantics, like histlife and hotalloc: the rule only reports what
+// it can prove on the analyzed configuration, at the cost of known blind
+// spots. Lock/field association is same-struct only (a local mutex
+// guarding a struct it is not a field of establishes no discipline);
+// "certainly unlocked" additionally requires the enclosing body's entry
+// lock context to be fully known — closures that are not goroutine or
+// worker roots, address-taken functions, and everything they call are
+// assumed to possibly run under locks and never reported; construction
+// writes through composite-literal keys are exempt (they happen before
+// sharing).
+type locksetAnalysis struct {
+	bodies  map[*ast.BlockStmt]*lockBody
+	byFunc  map[*types.Func]*lockBody
+	sites   map[*types.Var][]lockAccess
+	atomics map[*types.Var][]lockSite
+	acqs    []lockAcq
+	// findings are fully computed in Prepare; Check filters per package.
+	results []lockFinding
+}
+
+// lockBody is one analyzed function or closure body.
+type lockBody struct {
+	p     *Package
+	fn    *types.Func // nil for closures
+	block *ast.BlockStmt
+	pos   token.Pos
+	// concurrent marks bodies reachable from a go statement or a
+	// sched.Pool worker closure over resolved call edges.
+	concurrent bool
+	// entryUnknown is the lock context top: the body may be invoked with
+	// arbitrary locks held (non-root closures, address-taken functions,
+	// callees of either). mayEntry is the set of mutex objects some
+	// caller may hold at entry when the context IS known.
+	entryUnknown bool
+	mayEntry     map[types.Object]bool
+	calls        []lockCall
+}
+
+// heldEntry is a snapshot of one held mutex at a program point.
+type heldEntry struct {
+	key  string
+	obj  types.Object // nil when the receiver expression resolves to no variable
+	kind int
+}
+
+type lockCall struct {
+	callee *types.Func
+	held   []heldEntry
+}
+
+type lockSite struct {
+	p   *Package
+	pos token.Pos
+}
+
+// lockAccess is one read or write of a tracked struct field.
+type lockAccess struct {
+	body  *lockBody
+	pos   token.Pos
+	write bool
+	owner string // named struct type, for messages
+	// lockedBy is the struct's own mutex field when it is held with a
+	// receiver base matching the access (certainly locked); lockedKey is
+	// its tracking key for messages.
+	lockedBy  types.Object
+	lockedKey string
+	// structLockHeld reports whether ANY mutex field of the owning struct
+	// is held at the access, base match or not — aliasing makes such a
+	// site merely unproven, not provably unlocked.
+	structLockHeld bool
+	// mutexFields are the owning struct's mutex field objects.
+	mutexFields []types.Object
+}
+
+// lockAcq is one Lock/RLock acquisition site.
+type lockAcq struct {
+	body *lockBody
+	p    *Package
+	pos  token.Pos
+	obj  types.Object
+	key  string
+	held []heldEntry
+}
+
+type lockFinding struct {
+	p   *Package
+	pos token.Pos
+	msg string
+}
+
+func NewLocksetAnalysis() Analysis { return &locksetAnalysis{} }
+
+func (*locksetAnalysis) Rules() []string { return []string{"locksetrace"} }
+
+// Prepare runs the whole analysis: walk every body with the lock-state
+// walker, find concurrency roots, propagate reachability and entry lock
+// contexts over the call graph, then classify.
+func (a *locksetAnalysis) Prepare(pkgs []*Package) {
+	a.bodies = make(map[*ast.BlockStmt]*lockBody)
+	a.byFunc = make(map[*types.Func]*lockBody)
+	a.sites = make(map[*types.Var][]lockAccess)
+	a.atomics = make(map[*types.Var][]lockSite)
+	a.acqs = nil
+	a.results = nil
+
+	litBodies := make(map[*ast.FuncLit]*lockBody)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				b := &lockBody{p: p, fn: fn, block: fd.Body, pos: fd.Pos(), mayEntry: map[types.Object]bool{}}
+				a.bodies[fd.Body] = b
+				if fn != nil {
+					a.byFunc[fn] = b
+				}
+			}
+			// Closures under the analyzed configuration. Dead-branch
+			// closures are skipped like every other rule skips them.
+			inspectLive(p, f, true, func(n ast.Node, live bool) bool {
+				if fl, ok := n.(*ast.FuncLit); ok && live && fl.Body != nil {
+					b := &lockBody{p: p, block: fl.Body, pos: fl.Pos(),
+						entryUnknown: true, mayEntry: map[types.Object]bool{}}
+					a.bodies[fl.Body] = b
+					litBodies[fl] = b
+				}
+				return true
+			})
+		}
+	}
+
+	// Walk every body, observing lock state per statement.
+	for _, b := range a.sortedBodies() {
+		a.walkBody(b)
+	}
+
+	// Concurrency roots: go statements and sched.Pool worker closures.
+	var queue []*lockBody
+	markRoot := func(b *lockBody) {
+		if b == nil || b.concurrent {
+			return
+		}
+		b.concurrent = true
+		// A goroutine or worker body starts on a fresh stack: no locks
+		// can be held at its entry.
+		b.entryUnknown = false
+		queue = append(queue, b)
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					switch fun := ast.Unparen(n.Call.Fun).(type) {
+					case *ast.FuncLit:
+						markRoot(litBodies[fun])
+					default:
+						if fn := calleeOf(p, n.Call); fn != nil {
+							markRoot(a.byFunc[fn])
+						}
+					}
+				case *ast.CallExpr:
+					if isPoolWorkerCall(p, n) {
+						for _, arg := range n.Args {
+							if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+								markRoot(litBodies[fl])
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Concurrent reach: BFS over resolved call edges.
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		for _, c := range b.calls {
+			if cb := a.byFunc[c.callee]; cb != nil && !cb.concurrent {
+				cb.concurrent = true
+				queue = append(queue, cb)
+			}
+		}
+	}
+
+	a.propagateEntry(pkgs)
+	a.classify()
+}
+
+// sortedBodies returns the bodies in source order for deterministic
+// walking and recording.
+func (a *locksetAnalysis) sortedBodies() []*lockBody {
+	out := make([]*lockBody, 0, len(a.bodies))
+	for _, b := range a.bodies {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].p != out[j].p {
+			return out[i].p.Types.Path() < out[j].p.Types.Path()
+		}
+		return out[i].pos < out[j].pos
+	})
+	return out
+}
+
+// isPoolWorkerCall reports whether the call is a method on sched.Pool
+// that runs function-literal arguments on worker goroutines.
+func isPoolWorkerCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "ParallelFor", "RunTasks", "RunWorkers":
+	default:
+		return false
+	}
+	return namedIn(typeOf(p, sel.X), "internal/sched", "Pool")
+}
+
+// walkBody threads the lock-state walker through one body and records
+// field accesses, resolved calls, and lock acquisitions.
+func (a *locksetAnalysis) walkBody(b *lockBody) {
+	w := &lockWalker{p: b.p, report: func(string, token.Pos, string) {}}
+	w.onStmt = func(s ast.Stmt, held heldMap) {
+		snap := snapshotHeld(held)
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if _, key, method, obj, ok := w.lockOp(call); ok {
+					if method == "Lock" || method == "RLock" {
+						a.acqs = append(a.acqs, lockAcq{body: b, p: b.p, pos: call.Pos(), obj: obj, key: key, held: snap})
+					}
+					return
+				}
+			}
+			a.extract(b, s.X, false, snap)
+		case *ast.AssignStmt:
+			for _, e := range s.Rhs {
+				a.extract(b, e, false, snap)
+			}
+			for _, e := range s.Lhs {
+				a.extract(b, e, true, snap)
+			}
+		case *ast.IncDecStmt:
+			a.extract(b, s.X, true, snap)
+		case *ast.SendStmt:
+			a.extract(b, s.Chan, false, snap)
+			a.extract(b, s.Value, false, snap)
+		case *ast.ReturnStmt:
+			for _, e := range s.Results {
+				a.extract(b, e, false, snap)
+			}
+		case *ast.IfStmt:
+			a.extract(b, s.Cond, false, snap)
+		case *ast.ForStmt:
+			if s.Cond != nil {
+				a.extract(b, s.Cond, false, snap)
+			}
+		case *ast.RangeStmt:
+			a.extract(b, s.X, false, snap)
+		case *ast.SwitchStmt:
+			if s.Tag != nil {
+				a.extract(b, s.Tag, false, snap)
+			}
+		case *ast.GoStmt:
+			// Spawn-time argument evaluation happens on this goroutine.
+			for _, e := range s.Call.Args {
+				a.extract(b, e, false, snap)
+			}
+		case *ast.DeferStmt:
+			if _, _, method, _, ok := w.lockOp(s.Call); ok && isUnlock(method) {
+				return
+			}
+			a.extract(b, s.Call, false, snap)
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							a.extract(b, v, false, snap)
+						}
+					}
+				}
+			}
+		}
+	}
+	w.stmts(b.block.List, heldMap{})
+}
+
+func snapshotHeld(held heldMap) []heldEntry {
+	if len(held) == 0 {
+		return nil
+	}
+	out := make([]heldEntry, 0, len(held))
+	for k, v := range held {
+		out = append(out, heldEntry{key: k, obj: v.obj, kind: v.kind})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// extract records field accesses and call edges in one expression
+// evaluated under the given lock state. write marks the top-level lvalue.
+func (a *locksetAnalysis) extract(b *lockBody, e ast.Expr, write bool, held []heldEntry) {
+	e = ast.Unparen(e)
+	if write {
+		switch lv := e.(type) {
+		case *ast.SelectorExpr:
+			a.recordSelector(b, lv, true, held)
+			a.extract(b, lv.X, false, held)
+			return
+		case *ast.IndexExpr:
+			// Writing an element writes through the field's backing store.
+			a.extract(b, lv.X, true, held)
+			a.extract(b, lv.Index, false, held)
+			return
+		case *ast.StarExpr:
+			// A write through a dereference targets the pointee, not the
+			// field holding the pointer: the field itself is only read.
+			a.extract(b, lv.X, false, held)
+			return
+		case *ast.Ident:
+			return // locals and package vars: the rule tracks fields only
+		}
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate body, separate lock context
+		case *ast.KeyValueExpr:
+			// Composite-literal construction happens-before sharing.
+			if _, ok := n.Key.(*ast.Ident); ok {
+				a.extract(b, n.Value, false, held)
+				return false
+			}
+		case *ast.CallExpr:
+			// The locking protocol itself (mu.Lock() receivers et al.) is
+			// not a data access.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+				mutexKindOf(typeOf(b.p, sel.X)) != mutexNone {
+				return false
+			}
+			if fn := calleeOf(b.p, n); fn != nil {
+				if isAtomicAddrFunc(fn) && len(n.Args) > 0 {
+					a.recordAtomic(b, n, held)
+					for _, arg := range n.Args[1:] {
+						a.extract(b, arg, false, held)
+					}
+					return false
+				}
+				b.calls = append(b.calls, lockCall{callee: fn, held: held})
+			}
+		case *ast.SelectorExpr:
+			a.recordSelector(b, n, false, held)
+		}
+		return true
+	})
+}
+
+// recordAtomic records the target of an address-taking sync/atomic call,
+// and — when the access happens under the target struct's own mutex —
+// also a locked plain-discipline view for the mixing check.
+func (a *locksetAnalysis) recordAtomic(b *lockBody, call *ast.CallExpr, held []heldEntry) {
+	obj := addrTargetObj(b.p, call.Args[0])
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return
+	}
+	a.atomics[v] = append(a.atomics[v], lockSite{p: b.p, pos: call.Pos()})
+}
+
+// recordSelector records one field access when the field belongs to a
+// struct that carries a mutex field (the only fields with a lock
+// discipline to check).
+func (a *locksetAnalysis) recordSelector(b *lockBody, sel *ast.SelectorExpr, write bool, held []heldEntry) {
+	v, ok := b.p.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() || skipFieldType(v.Type()) {
+		return
+	}
+	ownerName, ownerStruct := fieldOwner(b.p, sel)
+	if ownerStruct == nil {
+		return
+	}
+	mfs := mutexFieldsOf(ownerStruct)
+	if len(mfs) == 0 {
+		return
+	}
+	base := exprKey(sel.X)
+	acc := lockAccess{body: b, pos: sel.Sel.Pos(), write: write, owner: ownerName, mutexFields: mfs}
+	for _, h := range held {
+		if h.obj == nil || !containsObj(mfs, h.obj) {
+			continue
+		}
+		acc.structLockHeld = true
+		if base != "" && h.key == base+"."+h.obj.(*types.Var).Name() {
+			acc.lockedBy = h.obj
+			acc.lockedKey = h.key
+		}
+	}
+	a.sites[v] = append(a.sites[v], acc)
+}
+
+// skipFieldType excludes fields that are themselves synchronization
+// primitives: mutexes, and the sync / sync/atomic types (typed atomics
+// are race-free by construction; WaitGroup et al. have their own rules).
+func skipFieldType(t types.Type) bool {
+	if mutexKindOf(t) != mutexNone {
+		return true
+	}
+	tt := t
+	if p, ok := tt.Underlying().(*types.Pointer); ok {
+		tt = p.Elem()
+	}
+	if n, ok := tt.(*types.Named); ok && n.Obj().Pkg() != nil {
+		switch n.Obj().Pkg().Path() {
+		case "sync", "sync/atomic":
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOwner resolves the struct type that directly declares the selected
+// field, walking the selection's (possibly embedded) index path. Returns
+// the named type's name (empty for anonymous structs) and the struct.
+func fieldOwner(p *Package, sel *ast.SelectorExpr) (string, *types.Struct) {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", nil
+	}
+	t := s.Recv()
+	idx := s.Index()
+	for i, k := range idx {
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		name := ""
+		if n, ok := t.(*types.Named); ok {
+			name = n.Obj().Name()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || k >= st.NumFields() {
+			return "", nil
+		}
+		if i == len(idx)-1 {
+			return name, st
+		}
+		t = st.Field(k).Type()
+	}
+	return "", nil
+}
+
+// mutexFieldsOf returns the struct's spin/sync mutex fields, the locks a
+// same-struct discipline can be keyed on.
+func mutexFieldsOf(st *types.Struct) []types.Object {
+	var out []types.Object
+	for i := 0; i < st.NumFields(); i++ {
+		if mutexKindOf(st.Field(i).Type()) != mutexNone {
+			out = append(out, st.Field(i))
+		}
+	}
+	return out
+}
+
+func containsObj(objs []types.Object, o types.Object) bool {
+	for _, x := range objs {
+		if x == o {
+			return true
+		}
+	}
+	return false
+}
+
+// propagateEntry computes each body's may-held-at-entry lock context: the
+// union over resolved call sites of the caller's held set at the site
+// plus the caller's own entry context. entryUnknown (top) propagates the
+// same way. Address-taken functions get top directly: they can be invoked
+// from anywhere, deferred or stored, under arbitrary lock state.
+func (a *locksetAnalysis) propagateEntry(pkgs []*Package) {
+	for fn := range addressTakenFuncs(pkgs) {
+		if b := a.byFunc[fn]; b != nil {
+			b.entryUnknown = true
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range a.sortedBodies() {
+			for _, c := range b.calls {
+				cb := a.byFunc[c.callee]
+				if cb == nil {
+					continue
+				}
+				if b.entryUnknown {
+					if !cb.entryUnknown {
+						cb.entryUnknown = true
+						changed = true
+					}
+					continue
+				}
+				for _, h := range c.held {
+					if h.obj != nil && !cb.mayEntry[h.obj] {
+						cb.mayEntry[h.obj] = true
+						changed = true
+					}
+				}
+				for o := range b.mayEntry {
+					if !cb.mayEntry[o] {
+						cb.mayEntry[o] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// addressTakenFuncs finds every declared function whose identifier is
+// used as a value (not in call position): such functions can be invoked
+// through indirections the call graph cannot see.
+func addressTakenFuncs(pkgs []*Package) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			callPos := make(map[*ast.Ident]bool)
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					callPos[fun] = true
+				case *ast.SelectorExpr:
+					callPos[fun.Sel] = true
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || callPos[id] {
+					return true
+				}
+				if fn, ok := p.Info.Uses[id].(*types.Func); ok {
+					out[fn] = true
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// classify turns the recorded sites into findings.
+func (a *locksetAnalysis) classify() {
+	a.classifyFields()
+	a.classifyOrdering()
+	sort.Slice(a.results, func(i, j int) bool { return a.results[i].pos < a.results[j].pos })
+}
+
+func (a *locksetAnalysis) classifyFields() {
+	fields := make([]*types.Var, 0, len(a.sites))
+	for v := range a.sites {
+		fields = append(fields, v)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	for _, v := range fields {
+		accs := a.sites[v]
+		var locked []lockAccess
+		lockedWrite := false
+		for _, s := range accs {
+			if s.lockedBy != nil {
+				locked = append(locked, s)
+				lockedWrite = lockedWrite || s.write
+			}
+		}
+		if len(locked) == 0 {
+			continue
+		}
+		ref := locked[0]
+		refPos := ref.body.p.Fset.Position(ref.pos)
+		// Class 2: atomic sites mixed with mutex-guarded plain sites.
+		if atomics := a.atomics[v]; len(atomics) > 0 {
+			at := atomics[0].p.Fset.Position(atomics[0].pos)
+			for _, s := range locked {
+				a.results = append(a.results, lockFinding{p: s.body.p, pos: s.pos, msg: fmt.Sprintf(
+					"%s.%s is accessed under %s here but atomically at %s:%d; a mutex does not synchronize with sync/atomic — use one discipline",
+					s.owner, v.Name(), s.lockedKey, at.Filename, at.Line)})
+			}
+		}
+		// Class 1: provably unlocked access on a concurrent path.
+		for _, s := range accs {
+			if s.lockedBy != nil || s.structLockHeld {
+				continue
+			}
+			b := s.body
+			if !b.concurrent || b.entryUnknown {
+				continue
+			}
+			if anyMutexInEntry(b.mayEntry, s.mutexFields) {
+				continue
+			}
+			if !s.write && !lockedWrite {
+				continue // reads racing reads are not a race
+			}
+			verb := "read"
+			if s.write {
+				verb = "written"
+			}
+			a.results = append(a.results, lockFinding{p: b.p, pos: s.pos, msg: fmt.Sprintf(
+				"%s.%s is %s without a lock on a concurrent path, but guarded by %s at %s:%d — lockset race",
+				s.owner, v.Name(), verb, ref.lockedKey, refPos.Filename, refPos.Line)})
+		}
+	}
+}
+
+func anyMutexInEntry(entry map[types.Object]bool, mfs []types.Object) bool {
+	for _, m := range mfs {
+		if entry[m] {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyOrdering builds the lock-ordering graph and reports every
+// acquisition edge that lies on a cycle.
+func (a *locksetAnalysis) classifyOrdering() {
+	type edge struct{ from, to types.Object }
+	edgeSites := make(map[edge][]lockAcq)
+	addEdge := func(from types.Object, acq lockAcq) {
+		if from == nil || acq.obj == nil || from == acq.obj {
+			return
+		}
+		e := edge{from, acq.obj}
+		edgeSites[e] = append(edgeSites[e], acq)
+	}
+	for _, acq := range a.acqs {
+		for _, h := range acq.held {
+			addEdge(h.obj, acq)
+		}
+		if b := acq.body; b != nil && !b.entryUnknown {
+			for o := range b.mayEntry {
+				addEdge(o, acq)
+			}
+		}
+	}
+	if len(edgeSites) == 0 {
+		return
+	}
+	// Strongly connected components over the lock graph: an edge inside
+	// an SCC lies on a cycle.
+	succs := make(map[types.Object][]types.Object)
+	for e := range edgeSites {
+		succs[e.from] = append(succs[e.from], e.to)
+	}
+	comp := sccOf(succs)
+	edges := make([]edge, 0, len(edgeSites))
+	for e := range edgeSites {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		return edgeSites[edges[i]][0].pos < edgeSites[edges[j]][0].pos
+	})
+	for _, e := range edges {
+		if comp[e.from] == 0 || comp[e.from] != comp[e.to] {
+			continue
+		}
+		// Find the reverse direction's first site for the message.
+		var back *lockAcq
+		if rs := edgeSites[edge{e.to, e.from}]; len(rs) > 0 {
+			back = &rs[0]
+		}
+		for _, acq := range edgeSites[e] {
+			heldName := objName(e.from)
+			msg := fmt.Sprintf("acquiring %s while %s is held is part of a lock-ordering cycle (deadlock risk)", acq.key, heldName)
+			if back != nil {
+				bp := back.p.Fset.Position(back.pos)
+				msg = fmt.Sprintf("acquiring %s while %s is held inverts the acquisition order at %s:%d — lock-ordering cycle (deadlock risk)",
+					acq.key, heldName, bp.Filename, bp.Line)
+			}
+			a.results = append(a.results, lockFinding{p: acq.p, pos: acq.pos, msg: msg})
+		}
+	}
+}
+
+func objName(o types.Object) string {
+	if o == nil {
+		return "?"
+	}
+	return o.Name()
+}
+
+// sccOf assigns nonzero component ids to nodes in strongly connected
+// components of size > 1 (or with a self-loop); acyclic nodes get 0.
+func sccOf(succs map[types.Object][]types.Object) map[types.Object]int {
+	// Iterative Tarjan over a deterministic node order.
+	nodes := make([]types.Object, 0, len(succs))
+	seen := make(map[types.Object]bool)
+	add := func(o types.Object) {
+		if !seen[o] {
+			seen[o] = true
+			nodes = append(nodes, o)
+		}
+	}
+	for from, tos := range succs {
+		add(from)
+		for _, to := range tos {
+			add(to)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Pos() < nodes[j].Pos() })
+
+	index := make(map[types.Object]int)
+	low := make(map[types.Object]int)
+	onStack := make(map[types.Object]bool)
+	comp := make(map[types.Object]int)
+	var stack []types.Object
+	next, compID := 1, 0
+
+	var strongconnect func(v types.Object)
+	strongconnect = func(v types.Object) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succs[v] {
+			if index[w] == 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []types.Object
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) > 1 {
+				compID++
+				for _, m := range members {
+					comp[m] = compID
+				}
+			}
+		}
+	}
+	for _, v := range nodes {
+		if index[v] == 0 {
+			strongconnect(v)
+		}
+	}
+	return comp
+}
+
+func (a *locksetAnalysis) Check(p *Package, report func(rule string, pos token.Pos, msg string)) {
+	for _, r := range a.results {
+		if r.p == p {
+			report("locksetrace", r.pos, r.msg)
+		}
+	}
+}
+
+var _ ModuleAnalysis = (*locksetAnalysis)(nil)

@@ -85,6 +85,7 @@ var ruleDescriptions = map[string]string{
 	"errflow":        "errors from persistence layers are never discarded, shadowed, or unwrapped",
 	"ctxflow":        "functions holding a context must consult it on blocking paths",
 	"atomicmix":      "a field touched atomically is never also accessed plainly",
+	"locksetrace":    "mutex-guarded fields stay guarded on every concurrent path, disciplines never mix, lock order is cycle-free",
 }
 
 // SARIF renders findings as a SARIF 2.1.0 log. File URIs are written

@@ -1,0 +1,136 @@
+// Package racebad is a harplint test fixture for the locksetrace rule:
+// each section violates one of the rule's three classes at the lines
+// marked "// want", or exercises an allowed pattern that must stay
+// silent. It is never imported by production code.
+package racebad
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"harpgbdt/internal/sched"
+)
+
+// --- class 1: field guarded by its struct's sync.Mutex in one place,
+// written without it on a goroutine path ---
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func UnlockedGoroutineWrite() {
+	c := &counter{}
+	go func() {
+		c.n++ // want locksetrace
+	}()
+	c.Inc()
+}
+
+// --- class 1, SpinMutex discipline, interprocedural goroutine reach:
+// the racing body is a named function spawned with go ---
+
+type spinCounter struct {
+	mu   sched.SpinMutex
+	hits int
+}
+
+func bump(s *spinCounter) {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+}
+
+func spinReader(s *spinCounter) {
+	_ = s.hits // want locksetrace
+}
+
+func UnlockedSpinRead(s *spinCounter) {
+	go spinReader(s)
+	bump(s)
+}
+
+// --- class 2: one field, two disciplines — a mutex section does not
+// synchronize with sync/atomic, reported at the locked site ---
+
+type mixed struct {
+	mu  sync.Mutex
+	cnt int64
+}
+
+func (m *mixed) lockedAdd() {
+	m.mu.Lock()
+	m.cnt += 1 // want locksetrace
+	m.mu.Unlock()
+}
+
+func (m *mixed) atomicAdd() {
+	atomic.AddInt64(&m.cnt, 1)
+}
+
+func MixDisciplines(m *mixed) {
+	m.lockedAdd()
+	m.atomicAdd()
+}
+
+// --- class 3: lock-ordering cycle, with one leg acquired through a
+// callee (held-at-entry propagation) ---
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	x int
+}
+
+func (p *pair) left() {
+	p.a.Lock()
+	p.lockB()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) lockB() {
+	p.b.Lock() // want locksetrace
+}
+
+func (p *pair) right() {
+	p.b.Lock()
+	p.a.Lock() // want locksetrace
+	p.x++
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// --- allowed patterns: must stay silent ---
+
+// Locked on every concurrent path: no finding.
+func LockedEverywhere(s *spinCounter) {
+	go func() {
+		s.mu.Lock()
+		s.hits++
+		s.mu.Unlock()
+	}()
+	bump(s)
+}
+
+// A closure handed to an arbitrary caller has an unknown entry lock
+// context (it may run under c.mu); must-semantics stays silent.
+func runCallback(f func()) { f() }
+
+func UnknownContext(c *counter) {
+	runCallback(func() {
+		c.n++
+	})
+	c.Inc()
+}
+
+// Construction through composite-literal keys happens before sharing.
+func Construct() *counter {
+	return &counter{n: 1}
+}
