@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test lint gates bce bce-baseline escape escape-baseline inline inline-baseline sarif sanitize race-sanitize fuzz race fault chaos bench benchdiff efficiency comms baseline trace clean
+.PHONY: check vet build test lint gates bce bce-baseline escape escape-baseline inline inline-baseline sarif sanitize race-sanitize fuzz race fault chaos bench benchdiff efficiency comms baseline serve-gate serving-baseline trace clean
 
 ## check: the full verification gate (vet + build + harplint + the three
 ## compiler-contract gates + the test suite under race detector *and*
-## harpdebug invariants + fault suite + the benchmark regression gate
-## against the committed baseline). race-sanitize subsumes a plain
-## `make race`: same tests, same -race, plus the runtime invariant layer
-## compiled in.
-check: vet build lint gates race-sanitize fault benchdiff
+## harpdebug invariants + fault suite + the benchmark and serving
+## regression gates against their committed baselines). race-sanitize
+## subsumes a plain `make race`: same tests, same -race, plus the runtime
+## invariant layer compiled in.
+check: vet build lint gates race-sanitize fault benchdiff serve-gate
 
 vet:
 	$(GO) vet ./...
@@ -149,6 +149,20 @@ efficiency:
 comms:
 	$(GO) run ./cmd/experiments comms
 
+## serve-gate: the serving regression gate — re-run the Poisson soak at
+## the committed SERVING_baseline.json's scale (best of 2), check the
+## load-generator conservation ledger, the naive-vs-compiled speedup
+## floor, and fail on kernel ns/row or p99 drift beyond tolerance;
+## writes serving.json. Skips with a note when no baseline is committed.
+serve-gate:
+	$(GO) run ./cmd/experiments -serving-out serving.json servediff
+
+## serving-baseline: refresh the committed serving baseline (a 20-tree
+## model so the compiled-kernel speedup is representative of real
+## serving ensembles; commit the resulting SERVING_baseline.json)
+serving-baseline:
+	$(GO) run ./cmd/experiments -rounds 20 -serving-out SERVING_baseline.json loadgen
+
 ## baseline: refresh the committed benchmark baseline at the gate's
 ## canonical scale (large enough that the measured ratios are stable;
 ## commit the resulting BENCH_baseline.json)
@@ -160,8 +174,8 @@ trace:
 	$(GO) run ./cmd/harpgbdt train -synth higgs -rows 20000 -trees 10 \
 		-model /tmp/harpgbdt-model.json -trace-out trace.json -profile
 
-# BENCH_baseline.json is the committed regression reference — clean only
-# removes the date-stamped run outputs.
+# BENCH_baseline.json and SERVING_baseline.json are the committed
+# regression references — clean only removes the date-stamped run outputs.
 clean:
-	rm -f trace.json efficiency.json comms.json cluster-trace.json chaos.json harplint.sarif BENCH_2*.json
+	rm -f trace.json efficiency.json comms.json cluster-trace.json chaos.json harplint.sarif BENCH_2*.json serving.json
 	rm -rf chaos-work

@@ -225,7 +225,8 @@ func BenchmarkTrainPerTree(b *testing.B) {
 	}
 }
 
-// BenchmarkPredict measures single-row prediction latency.
+// BenchmarkPredict measures prediction latency: the naive pointer walk
+// against the compiled serving representation, single-row and batch.
 func BenchmarkPredict(b *testing.B) {
 	train, testX, _, err := SynthesizeTrainTest(SynthConfig{Spec: HiggsLike, Rows: 5000, Seed: 9}, 100, 64)
 	if err != nil {
@@ -235,12 +236,41 @@ func BenchmarkPredict(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	row := testX.Row(0)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = res.Model.Predict(row)
+	flat, err := CompileModel(res.Model)
+	if err != nil {
+		b.Fatal(err)
 	}
+	row := testX.Row(0)
+	scratch := flat.NewScratch()
+	out := make([]float64, testX.N)
+	b.Run("naive-row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = res.Model.Predict(row)
+		}
+	})
+	b.Run("flat-row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = flat.PredictRow(row, scratch)
+		}
+	})
+	b.Run("naive-batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < testX.N; r++ {
+				out[r] = res.Model.Predict(testX.Row(r))
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*testX.N), "ns/row")
+	})
+	b.Run("flat-batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			flat.PredictRangeInto(testX, 0, testX.N, out, scratch)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*testX.N), "ns/row")
+	})
 }
 
 // BenchmarkAUC measures the evaluation metric itself.

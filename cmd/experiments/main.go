@@ -1,6 +1,9 @@
 // Command experiments regenerates the paper's tables and figures as
 // plain-text tables. Each experiment is named after the paper artifact it
-// reproduces (fig4, table1, ... fig16); `all` runs everything.
+// reproduces (fig4, table1, ... fig16); `all` runs everything. Beyond the
+// paper artifacts it hosts the machine-readable CI gates: bench/benchdiff
+// (training throughput), comms, efficiency, chaos, and loadgen/servediff
+// (the serving soak and its regression gate).
 //
 // Usage:
 //
@@ -47,6 +50,13 @@ func main() {
 		diffRuns   = flag.Int("diff-runs", 2, "benchdiff: benchmark repetitions (the best run is compared)")
 		tolRatio   = flag.Float64("tol", 0, "benchdiff: relative tolerance on measured ratios (0 = default 0.35)")
 		tolTime    = flag.Float64("time-tol", 0, "benchdiff: relative ns/row regression tolerance (0 = wall time not gated)")
+		servOut    = flag.String("serving-out", "serving.json", "loadgen: output path of the serving soak report")
+		servBase   = flag.String("serving-baseline", "SERVING_baseline.json", "servediff: committed serving baseline to compare against")
+		servRPS    = flag.Float64("rps", 0, "loadgen: offered request rate (0 = default 200)")
+		servDur    = flag.Float64("serve-duration", 0, "loadgen: soak seconds (0 = default 3)")
+		servWarm   = flag.Float64("serve-warmup", 0, "loadgen: warmup seconds excluded from quantiles (0 = default 0.5)")
+		servBatch  = flag.Int("serve-batch", 0, "loadgen: rows per request (0 = default 16)")
+		servWrk    = flag.Int("serve-workers", 0, "loadgen: serving pool width (0 = default 2)")
 	)
 	flag.Parse()
 	if *list {
@@ -58,6 +68,8 @@ func main() {
 		fmt.Println("chaos")
 		fmt.Println("comms")
 		fmt.Println("efficiency")
+		fmt.Println("loadgen")
+		fmt.Println("servediff")
 		return
 	}
 	names := flag.Args()
@@ -100,6 +112,13 @@ func main() {
 			err = runEfficiency(sc, *effOut)
 		case "benchdiff":
 			err = runBenchDiff(sc, *baseline, *diffRuns, *tolRatio, *tolTime)
+		case "loadgen":
+			err = runLoadGen(sc, experiments.ServingConfig{
+				RPS: *servRPS, DurationSec: *servDur, WarmupSec: *servWarm,
+				BatchRows: *servBatch, Workers: *servWrk,
+			}, *servOut)
+		case "servediff":
+			err = runServeDiff(*servBase, *diffRuns, *servOut)
 		case "chaos":
 			err = runChaos(sc, experiments.ChaosConfig{
 				N: *chaosN, BaseSeed: *chaosSeed, Nodes: *distNodes,
@@ -173,6 +192,57 @@ func runBenchDiff(sc experiments.Scale, baselinePath string, runs int, tolRatio,
 		return fmt.Errorf("%d benchmark regression(s) against %s", len(bad), baselinePath)
 	}
 	fmt.Println("benchdiff: no regressions")
+	return nil
+}
+
+// runLoadGen runs the serving soak: train, compile, arm /predict, hit it
+// with open-loop Poisson load, and write the serving report.
+func runLoadGen(sc experiments.Scale, cfg experiments.ServingConfig, out string) error {
+	rep, tb, err := experiments.Serving(sc, cfg)
+	if err != nil {
+		return err
+	}
+	rep.Date = time.Now().Format("2006-01-02")
+	fmt.Println(tb.String())
+	if err := rep.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("serving report written to %s\n", out)
+	return nil
+}
+
+// runServeDiff is the serving regression gate: re-run the soak at the
+// committed baseline's scale and fail on drift beyond tolerance. A
+// missing baseline file skips the gate with a note, so the gate can land
+// before its first baseline is committed.
+func runServeDiff(baselinePath string, runs int, out string) error {
+	base, err := experiments.LoadServingReport(baselinePath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("servediff: no baseline at %s, skipping (run loadgen and commit the report to arm the gate)\n", baselinePath)
+			return nil
+		}
+		return fmt.Errorf("load baseline: %w", err)
+	}
+	cur, bad, err := experiments.ServeGate(base, runs, experiments.DefaultServingTolerance())
+	if err != nil {
+		return err
+	}
+	cur.Date = time.Now().Format("2006-01-02")
+	if out != "" {
+		if err := cur.WriteFile(out); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("servediff: baseline %s (%s), best of %d runs: p99 %.2fms, kernel %.0f ns/row, speedup %.2fx\n",
+		baselinePath, base.Date, runs, cur.P99*1e3, cur.KernelNsPerRow, cur.Speedup)
+	if len(bad) > 0 {
+		for _, m := range bad {
+			fmt.Fprintln(os.Stderr, "servediff FAIL:", m)
+		}
+		return fmt.Errorf("%d serving regression(s) against %s", len(bad), baselinePath)
+	}
+	fmt.Println("servediff: no regressions")
 	return nil
 }
 

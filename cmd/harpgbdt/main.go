@@ -10,6 +10,7 @@
 //	importance print per-feature importance of a trained model
 //	dump       print a human-readable model dump
 //	stats      print dataset shape statistics (Table III format)
+//	serve      compile a model and serve POST /predict over HTTP
 //
 // Examples:
 //
@@ -20,6 +21,7 @@
 //	harpgbdt cv -synth higgs -rows 50000 -folds 5 -trees 50
 //	harpgbdt importance -model model.json -type gain -top 20
 //	harpgbdt stats -data train.csv -format csv
+//	harpgbdt serve -model model.json -addr :9090
 package main
 
 import (
@@ -27,7 +29,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"harpgbdt"
@@ -54,6 +58,8 @@ func main() {
 		err = cmdCV(os.Args[2:])
 	case "dump":
 		err = cmdDump(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -68,7 +74,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: harpgbdt <train|predict|eval|stats|cv|importance|dump> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: harpgbdt <train|predict|eval|stats|cv|importance|dump|serve> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'harpgbdt <subcommand> -h' for flags")
 }
 
@@ -423,6 +429,60 @@ func cmdDump(args []string) error {
 		return err
 	}
 	return m.DumpText(os.Stdout)
+}
+
+// cmdServe compiles a saved model and serves it: POST /predict plus the
+// full observability surface (/metrics, /healthz, /readyz, /progress,
+// /debug/pprof) on one address, until SIGINT/SIGTERM.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		modelPath = fs.String("model", "model.json", "model path")
+		addr      = fs.String("addr", ":9090", "listen address")
+		queue     = fs.Int("queue", 0, "admission queue depth (0 = default 256; a full queue rejects with 429)")
+		batch     = fs.Int("batch", 0, "max rows coalesced per kernel dispatch (0 = default 512)")
+		lanes     = fs.Int("lanes", 0, "concurrent batch dispatchers (0 = default 1)")
+		workers   = fs.Int("workers", 0, "worker threads per lane (0 = GOMAXPROCS)")
+		logLevel  = fs.String("log-level", "info", "minimum structured-log output level: debug, info, warn, error")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lg, err := harpgbdt.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		return err
+	}
+	harpgbdt.SetDefaultLogger(lg)
+	defer harpgbdt.SetDefaultLogger(nil)
+	m, err := harpgbdt.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	flat, err := harpgbdt.CompileModel(m)
+	if err != nil {
+		return err
+	}
+	svc, err := harpgbdt.NewPredictService(flat, harpgbdt.ServeConfig{
+		QueueDepth: *queue, MaxBatchRows: *batch, Lanes: *lanes, Workers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	srv, err := harpgbdt.ServeObs(*addr, harpgbdt.NewObserver())
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	srv.Mount("/predict", svc)
+	srv.SetReady(svc.Ready)
+	fmt.Printf("serving %s (%d trees, %d nodes, %d KiB compiled) on http://%s/predict\n",
+		*modelPath, flat.NumTrees(), flat.NumNodes(), flat.Bytes()/1024, srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
 }
 
 func cmdStats(args []string) error {

@@ -38,6 +38,7 @@ import (
 	"harpgbdt/internal/obs"
 	"harpgbdt/internal/profile"
 	"harpgbdt/internal/sched"
+	"harpgbdt/internal/serve"
 	"harpgbdt/internal/synth"
 	"harpgbdt/internal/tree"
 )
@@ -424,4 +425,34 @@ func ReadLibSVMRaw(r io.Reader, numFeatures int) (*Dense, []float32, error) {
 		return nil, nil, err
 	}
 	return csr.ToDense(), labels, nil
+}
+
+// Model serving: compiled flat ensembles behind a /predict endpoint.
+type (
+	// FlatModel is a trained ensemble compiled to contiguous arrays for
+	// allocation-free inference, bit-identical to the pointer walk it
+	// replaces (see internal/serve).
+	FlatModel = serve.Flat
+	// PredictService serves a compiled model over HTTP: bounded-queue
+	// admission, batch coalescing, latency histograms, request tracing
+	// and access logs. Mount it on the obs server under /predict.
+	PredictService = serve.Service
+	// ServeConfig sizes the serving pipeline (queue depth, batch cap,
+	// lanes, workers).
+	ServeConfig = serve.Config
+)
+
+// CompileModel flattens a trained model into the serving representation.
+func CompileModel(m *Model) (*FlatModel, error) { return serve.Compile(m) }
+
+// CompileMulticlassModel flattens a trained softmax ensemble into the
+// serving representation.
+func CompileMulticlassModel(m *MulticlassModel) (*FlatModel, error) {
+	return serve.CompileMulticlass(m)
+}
+
+// NewPredictService arms a compiled model behind the serving pipeline
+// and starts its dispatcher lanes; Close releases them.
+func NewPredictService(f *FlatModel, cfg ServeConfig) (*PredictService, error) {
+	return serve.NewService(f, cfg)
 }

@@ -219,13 +219,22 @@ func TrainMulticlass(b engine.Builder, ds *dataset.Dataset, cfg MulticlassConfig
 // softmax returns the normalized exponentials of the margins (numerically
 // stabilized).
 func softmax(margins []float64) []float64 {
+	out := make([]float64, len(margins))
+	Softmax(out, margins)
+	return out
+}
+
+// Softmax writes the numerically-stabilized softmax of margins into out
+// (same length; out may alias margins). The allocation-free form of the
+// transform PredictProba applies, shared with the compiled serving path
+// so both produce bit-identical probabilities.
+func Softmax(out, margins []float64) {
 	maxM := margins[0]
 	for _, m := range margins[1:] {
 		if m > maxM {
 			maxM = m
 		}
 	}
-	out := make([]float64, len(margins))
 	sum := 0.0
 	for i, m := range margins {
 		out[i] = math.Exp(m - maxM)
@@ -234,5 +243,4 @@ func softmax(margins []float64) []float64 {
 	for i := range out {
 		out[i] /= sum
 	}
-	return out
 }

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smallServing returns a soak configuration quick enough for CI.
+func smallServing() (Scale, ServingConfig) {
+	sc := Scale{Rows: 2000, Rounds: 2, Seed: 7}
+	cfg := ServingConfig{
+		RPS: 300, DurationSec: 1.2, WarmupSec: 0.3,
+		BatchRows: 4, Workers: 2, KernelRuns: 2,
+	}
+	return sc, cfg
+}
+
+func TestServingSoak(t *testing.T) {
+	sc, cfg := smallServing()
+	r, tb, err := Serving(sc, cfg)
+	if err != nil {
+		t.Fatalf("Serving: %v", err)
+	}
+	if tb == nil || len(tb.String()) == 0 {
+		t.Error("Serving returned no table")
+	}
+	if got := r.Accepted + r.Rejected + r.Errors; got != r.Offered {
+		t.Errorf("loadgen ledger not conserved: %d + %d + %d = %d, offered %d",
+			r.Accepted, r.Rejected, r.Errors, got, r.Offered)
+	}
+	if r.Accepted == 0 {
+		t.Error("soak accepted no requests")
+	}
+	if r.Errors != 0 {
+		t.Errorf("soak produced %d errors, want 0", r.Errors)
+	}
+	if math.IsNaN(r.P50) || math.IsNaN(r.P99) {
+		t.Errorf("quantiles NaN: p50=%v p99=%v (post-warmup histogram empty?)", r.P50, r.P99)
+	}
+	if r.P50 > r.P99 {
+		t.Errorf("p50 %v > p99 %v", r.P50, r.P99)
+	}
+	if r.KernelNsPerRow <= 0 || r.NaiveNsPerRow <= 0 {
+		t.Errorf("timing not measured: naive=%v kernel=%v", r.NaiveNsPerRow, r.KernelNsPerRow)
+	}
+	if r.TreeCount != sc.Rounds {
+		t.Errorf("TreeCount = %d, want %d", r.TreeCount, sc.Rounds)
+	}
+
+	// Round-trip through disk, then the self-diff must pass the gate.
+	path := filepath.Join(t.TempDir(), "serving.json")
+	r.Date = "2026-01-01"
+	if err := r.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	back, err := LoadServingReport(path)
+	if err != nil {
+		t.Fatalf("LoadServingReport: %v", err)
+	}
+	if *back != *r {
+		t.Errorf("report round-trip mismatch:\n got %+v\nwant %+v", back, r)
+	}
+	tol := DefaultServingTolerance()
+	tol.MinSpeedup = 0 // self-diff checks the plumbing, not this machine's speedup
+	if v := DiffServing(r, back, tol); len(v) != 0 {
+		t.Errorf("self-diff violations: %v", v)
+	}
+}
+
+func TestLoadGenValidation(t *testing.T) {
+	if _, err := LoadGen(LoadGenConfig{}); err == nil {
+		t.Error("LoadGen accepted an empty config")
+	}
+	if _, err := LoadGen(LoadGenConfig{URL: "http://x", RPS: 10, DurationSec: 1}); err == nil {
+		t.Error("LoadGen accepted a config without a feature count")
+	}
+}
+
+// servingFixture is a consistent baseline report for DiffServing tests.
+func servingFixture() ServingReport {
+	return ServingReport{
+		Dataset: "higgs-like", Rows: 2000, Features: 28, Rounds: 2, Seed: 7,
+		TreeCount: 2, NodeCount: 500,
+		RPS: 300, Duration: 1.2, Warmup: 0.3, BatchRows: 4,
+		Offered: 360, Accepted: 360,
+		P50: 0.001, P95: 0.002, P99: 0.004, P999: 0.008,
+		NaiveNsPerRow: 400, KernelNsPerRow: 100, Speedup: 4,
+	}
+}
+
+func TestDiffServing(t *testing.T) {
+	tol := DefaultServingTolerance()
+	base := servingFixture()
+
+	t.Run("identical passes", func(t *testing.T) {
+		cur := servingFixture()
+		if v := DiffServing(&base, &cur, tol); len(v) != 0 {
+			t.Errorf("violations on identical reports: %v", v)
+		}
+	})
+	t.Run("config mismatch short-circuits", func(t *testing.T) {
+		cur := servingFixture()
+		cur.Rows = 9999
+		cur.Errors = 5 // would be a violation, but config gates first
+		v := DiffServing(&base, &cur, tol)
+		if len(v) != 1 || !strings.Contains(v[0], "config mismatch: rows") {
+			t.Errorf("want single rows config violation, got %v", v)
+		}
+	})
+	t.Run("model drift is a config mismatch", func(t *testing.T) {
+		cur := servingFixture()
+		cur.NodeCount++
+		v := DiffServing(&base, &cur, tol)
+		if len(v) != 1 || !strings.Contains(v[0], "node_count") {
+			t.Errorf("want node_count violation, got %v", v)
+		}
+	})
+	t.Run("broken conservation", func(t *testing.T) {
+		cur := servingFixture()
+		cur.Accepted-- // one request vanished
+		v := DiffServing(&base, &cur, tol)
+		if len(v) != 1 || !strings.Contains(v[0], "not conserved") {
+			t.Errorf("want conservation violation, got %v", v)
+		}
+	})
+	t.Run("request errors fail", func(t *testing.T) {
+		cur := servingFixture()
+		cur.Accepted -= 3
+		cur.Errors = 3
+		v := DiffServing(&base, &cur, tol)
+		if len(v) != 1 || !strings.Contains(v[0], "request errors") {
+			t.Errorf("want error-count violation, got %v", v)
+		}
+	})
+	t.Run("speedup floor", func(t *testing.T) {
+		cur := servingFixture()
+		cur.KernelNsPerRow = 600
+		cur.Speedup = cur.NaiveNsPerRow / cur.KernelNsPerRow // 0.67x, floor is 0.8
+		v := DiffServing(&base, &cur, tol)
+		found := false
+		for _, s := range v {
+			if strings.Contains(s, "below the") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("want speedup-floor violation, got %v", v)
+		}
+	})
+	t.Run("kernel regression", func(t *testing.T) {
+		cur := servingFixture()
+		cur.KernelNsPerRow = 250 // 2.5x baseline, tolerance is 2x
+		cur.Speedup = cur.NaiveNsPerRow / cur.KernelNsPerRow
+		v := DiffServing(&base, &cur, tol)
+		if len(v) != 1 || !strings.Contains(v[0], "kernel ns/row regressed") {
+			t.Errorf("want kernel regression violation, got %v", v)
+		}
+	})
+	t.Run("p99 regression", func(t *testing.T) {
+		cur := servingFixture()
+		cur.P99 = base.P99 * 5 // tolerance allows 4x
+		v := DiffServing(&base, &cur, tol)
+		if len(v) != 1 || !strings.Contains(v[0], "p99 latency regressed") {
+			t.Errorf("want p99 regression violation, got %v", v)
+		}
+	})
+	t.Run("faster never fails", func(t *testing.T) {
+		cur := servingFixture()
+		cur.KernelNsPerRow = 10
+		cur.Speedup = 40
+		cur.P99 = base.P99 / 10
+		if v := DiffServing(&base, &cur, tol); len(v) != 0 {
+			t.Errorf("improvement flagged as regression: %v", v)
+		}
+	})
+}

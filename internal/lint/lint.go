@@ -135,6 +135,14 @@ var DeterministicPackages = []string{
 	"internal/fault",
 }
 
+// ServingPackages are the module-internal package suffixes under the
+// serving telemetry namespace discipline: metrics registered there must
+// carry the serve_ prefix and trace events the "serve" category (see
+// obshygiene).
+var ServingPackages = []string{
+	"internal/serve",
+}
+
 // DefaultAnalyses returns the standard harplint rule set for the module
 // with the given module path.
 func DefaultAnalyses(module string) []Analysis {
@@ -142,10 +150,14 @@ func DefaultAnalyses(module string) []Analysis {
 	for _, p := range DeterministicPackages {
 		det[module+"/"+p] = true
 	}
+	srv := make([]string, 0, len(ServingPackages))
+	for _, p := range ServingPackages {
+		srv = append(srv, module+"/"+p)
+	}
 	return []Analysis{
 		&lockAnalysis{},
 		&determinismAnalysis{packages: det},
-		&obsHygieneAnalysis{},
+		NewObsHygieneAnalysis(srv...),
 		&histLifeAnalysis{},
 		&barrierAnalysis{},
 		NewHotAllocAnalysis(DefaultHotRoots()...),
@@ -155,6 +167,18 @@ func DefaultAnalyses(module string) []Analysis {
 		&atomicMixAnalysis{},
 		NewLocksetAnalysis(),
 	}
+}
+
+// NewObsHygieneAnalysis returns the obshygiene rule with the given full
+// import paths under the serving namespace discipline. DefaultAnalyses
+// derives the production set from the module path; tests point this at
+// fixture packages.
+func NewObsHygieneAnalysis(servePaths ...string) Analysis {
+	set := make(map[string]bool, len(servePaths))
+	for _, p := range servePaths {
+		set[p] = true
+	}
+	return &obsHygieneAnalysis{servePkgs: set}
 }
 
 // NewDeterminismAnalysis returns the determinism rule guarding exactly

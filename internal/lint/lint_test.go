@@ -122,6 +122,12 @@ func TestObsHygieneFixture(t *testing.T) {
 	checkFixture(t, "obsbad", lint.DefaultAnalyses("harpgbdt"))
 }
 
+func TestServeHygieneFixture(t *testing.T) {
+	checkFixture(t, "servebad", []lint.Analysis{
+		lint.NewObsHygieneAnalysis("harpgbdt/internal/lint/testdata/src/servebad"),
+	})
+}
+
 func TestObsHygienePerfFixture(t *testing.T) {
 	checkFixture(t, "perfbad", lint.DefaultAnalyses("harpgbdt"))
 }

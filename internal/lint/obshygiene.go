@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
 	"strings"
@@ -18,7 +19,17 @@ import (
 // metric *values*: its base name and label keys must still be constant,
 // the values may vary. Likewise obs.Logger calls carry dynamic values in
 // the kv tail, but their messages and keys are the static log schema.
-type obsHygieneAnalysis struct{}
+//
+// Packages listed in servePkgs (the serving path) additionally follow a
+// naming discipline: every metric registered there must carry the
+// serve_ prefix and every trace span/flow the "serve" category, so the
+// serving telemetry stays one grep-able namespace distinct from the
+// training metrics.
+type obsHygieneAnalysis struct {
+	// servePkgs holds full import paths (exact match) under the serving
+	// namespace discipline.
+	servePkgs map[string]bool
+}
 
 func (*obsHygieneAnalysis) Rules() []string { return []string{"obshygiene"} }
 
@@ -66,6 +77,21 @@ var perfFuncs = map[string]constArgSpec{
 	"Counter": {args: []int{0}},
 }
 
+// metricNameFuncs are the obs entry points whose first argument is a
+// metric name, subject to the serve_ prefix discipline in serve packages.
+var metricNameFuncs = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterFunc": true, "GaugeFunc": true, "Labels": true,
+}
+
+// spanCatFuncs are the obs entry points whose first argument is a trace
+// category, which must be "serve" in serve packages.
+var spanCatFuncs = map[string]bool{
+	"StartSpan": true, "StartSpanTID": true, "Instant": true,
+	"SpanAt": true, "InstantAt": true, "FlowStartAt": true,
+	"FlowEndAt": true, "CounterTrack": true,
+}
+
 func (a *obsHygieneAnalysis) Check(p *Package, report func(rule string, pos token.Pos, msg string)) {
 	// The obs package's own forwarding wrappers (StartSpan delegating to
 	// StartSpanTID, ...) legitimately pass their parameters through.
@@ -82,8 +108,11 @@ func (a *obsHygieneAnalysis) Check(p *Package, report func(rule string, pos toke
 			if !ok {
 				return true
 			}
+			isObs := false
 			spec, tracked := obsFuncs[sel.Sel.Name]
-			if !tracked || !a.inObsPackage(p, sel.Sel) {
+			if tracked && a.inObsPackage(p, sel.Sel) {
+				isObs = true
+			} else {
 				spec, tracked = perfFuncs[sel.Sel.Name]
 				if !tracked || !a.declaredIn(p, sel.Sel, "internal/perf") {
 					return true
@@ -109,6 +138,29 @@ func (a *obsHygieneAnalysis) Check(p *Package, report func(rule string, pos toke
 					}
 				}
 			}
+			// Serving namespace discipline: metric names carry the serve_
+			// prefix and trace events the "serve" category inside serve
+			// packages.
+			if isObs && a.servePkgs[p.Path] && len(call.Args) > 0 {
+				if v, ok := a.stringValue(p, call.Args[0]); ok {
+					switch {
+					case metricNameFuncs[sel.Sel.Name]:
+						base := v
+						if i := strings.IndexByte(base, '{'); i >= 0 {
+							base = base[:i]
+						}
+						if !strings.HasPrefix(base, "serve_") {
+							report("obshygiene", call.Args[0].Pos(), fmt.Sprintf(
+								"metric %q registered from a serving package must use the serve_ prefix", base))
+						}
+					case spanCatFuncs[sel.Sel.Name]:
+						if v != "serve" {
+							report("obshygiene", call.Args[0].Pos(), fmt.Sprintf(
+								"trace category %q in a serving package must be \"serve\"", v))
+						}
+					}
+				}
+			}
 			return true
 		})
 	}
@@ -128,6 +180,18 @@ func (a *obsHygieneAnalysis) declaredIn(p *Package, sel *ast.Ident, suffix strin
 		return false
 	}
 	return strings.HasSuffix(obj.Pkg().Path(), suffix)
+}
+
+// stringValue resolves the compile-time string value of an expression
+// (literal or named constant). The serving namespace checks only fire on
+// resolvable names; dynamic names are already reported by the
+// constant-argument checks.
+func (a *obsHygieneAnalysis) stringValue(p *Package, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
 }
 
 // constantString reports whether the expression is an untyped or string

@@ -1,0 +1,51 @@
+// Package servebad is a harplint test fixture for the obshygiene
+// serving namespace discipline: metrics registered from a serving
+// package must carry the serve_ prefix and trace events the "serve"
+// category.
+package servebad
+
+import "harpgbdt/internal/obs"
+
+const badName = "train_rows_total"
+
+const goodName = "serve_rows_total"
+
+func wrongMetricPrefix(reg *obs.Registry) {
+	reg.Counter("requests_total", "help") // want obshygiene
+	reg.Gauge(badName, "help")            // want obshygiene
+	reg.Histogram(obs.Labels("queue_seconds", "lane", "0"), "help", nil) // want obshygiene
+}
+
+func wrongLabelsPrefix(reg *obs.Registry) {
+	// The Labels call itself carries the non-serve base name.
+	_ = obs.Labels("queue_seconds", "lane", "0") // want obshygiene
+}
+
+func wrongSpanCategory() {
+	sp := obs.StartSpan("sched", "kernel") // want obshygiene
+	sp.End()
+	obs.SpanAt("boost", "batch", 1000, 1, 0, 0) // want obshygiene
+	obs.FlowStartAt("dist", "req", 1000, 0, 0, 7) // want obshygiene
+}
+
+func dynamicNameStillCaught(reg *obs.Registry, name string) {
+	// Dynamic names fall to the base constant-argument rule, not the
+	// prefix rule (which cannot resolve them).
+	reg.Counter(name, "help") // want obshygiene
+}
+
+// Allowed patterns below must stay silent.
+
+func servePrefixedMetrics(reg *obs.Registry) {
+	reg.Counter(goodName, "rows predicted")
+	reg.Gauge("serve_queue_depth", "queue depth")
+	reg.Histogram(obs.Labels("serve_kernel_seconds", "lane", "0"), "kernel time", nil)
+	reg.GaugeFunc("serve_compiled_bytes", "footprint", func() float64 { return 0 })
+}
+
+func serveCategorySpans() {
+	sp := obs.StartSpan("serve", "kernel")
+	sp.End()
+	obs.SpanAt("serve", "batch-assembly", 1000, 1, 0, 0)
+	obs.FlowEndAt("serve", "req", 1000, 1, 0, 7)
+}

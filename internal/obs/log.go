@@ -44,6 +44,12 @@ const (
 	KeyComponent = "component"
 	// KeyError carries an error string.
 	KeyError = "err"
+	// KeyReq is the serving request id within a run.
+	KeyReq = "req"
+	// KeyBatch is the serving batch id a request was coalesced into.
+	KeyBatch = "batch"
+	// KeyRows is the row count of a serving request or batch.
+	KeyRows = "rows"
 )
 
 // Logger is a nil-safe structured logger. A nil *Logger (and the zero

@@ -116,6 +116,35 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// HistogramSnapshot is a point-in-time copy of a histogram's state:
+// per-bucket (non-cumulative) counts aligned with Bounds, plus the
+// overflow bucket at Counts[len(Bounds)].
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observe
+// calls may land between bucket reads (each bucket is individually
+// consistent); quiesce writers first when exact totals matter.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
 // ExpBuckets returns n exponentially growing bucket bounds starting at
 // start and multiplying by factor.
 func ExpBuckets(start, factor float64, n int) []float64 {

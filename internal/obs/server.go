@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,16 +16,24 @@ import (
 //	/metrics        Prometheus text exposition of the observer's registry
 //	/progress       JSON snapshot of the run (round, losses, timings)
 //	/trace          the Chrome trace recorded so far (when tracing is on)
+//	/healthz        liveness (200 as long as the process serves HTTP)
+//	/readyz         readiness (503 until SetReady's probe reports true)
 //	/debug/pprof/*  the standard Go profiling handlers
 //
+// Additional handlers (the serving layer's /predict) attach with Mount.
 // Construct with Serve; the zero value is not usable.
 type Server struct {
+	mux *http.ServeMux
 	srv *http.Server
 	ln  net.Listener
 	// serveErr carries the Serve goroutine's exit error to Close — the
 	// join path: Serve always returns after srv.Close, so the receive in
 	// Close provably terminates the goroutine's observable lifetime.
 	serveErr chan error
+	// ready is the readiness probe behind /readyz. Nil means "no probe
+	// installed" — a pure observability server is ready by definition;
+	// a serving process installs a model-armed probe with SetReady.
+	ready atomic.Pointer[func() bool]
 }
 
 // Serve starts the observability HTTP server on addr (":0" picks a free
@@ -35,6 +44,11 @@ func Serve(addr string, o *Observer) (*Server, error) {
 		o = New()
 	}
 	mux := http.NewServeMux()
+	s := &Server{
+		mux:      mux,
+		srv:      &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		serveErr: make(chan error, 1),
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		o.Registry.WritePrometheus(w)
@@ -54,6 +68,16 @@ func Serve(addr string, o *Observer) (*Server, error) {
 		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
 		o.Tracer.WriteJSON(w)
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if fn := s.ready.Load(); fn != nil && !(*fn)() {
+			http.Error(w, "not ready\n", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "ready\n")
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -64,17 +88,13 @@ func Serve(addr string, o *Observer) (*Server, error) {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "harpgbdt observability\n\n/metrics\n/progress\n/trace\n/debug/pprof/\n")
+		fmt.Fprint(w, "harpgbdt observability\n\n/metrics\n/progress\n/trace\n/healthz\n/readyz\n/debug/pprof/\n")
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{
-		srv:      &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
-		ln:       ln,
-		serveErr: make(chan error, 1),
-	}
+	s.ln = ln
 	go func() {
 		s.serveErr <- s.srv.Serve(ln)
 	}()
@@ -83,6 +103,23 @@ func Serve(addr string, o *Observer) (*Server, error) {
 
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Mount attaches an additional handler (e.g. the serving layer's
+// /predict). http.ServeMux.Handle is safe against concurrent serving;
+// mounting a pattern twice panics, as with any ServeMux.
+func (s *Server) Mount(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+}
+
+// SetReady installs the readiness probe behind /readyz. A nil probe
+// restores the default (always ready).
+func (s *Server) SetReady(fn func() bool) {
+	if fn == nil {
+		s.ready.Store(nil)
+		return
+	}
+	s.ready.Store(&fn)
+}
 
 // Close shuts the server down immediately and joins the Serve goroutine,
 // surfacing any serve-side failure the run would otherwise never see.

@@ -85,6 +85,8 @@ const (
 	PhaseApplySplit
 	// PhaseOther is everything else (queue maintenance, gradient prep).
 	PhaseOther
+	// PhasePredict is inference work in the serving path.
+	PhasePredict
 	// NumPhases is the number of tracked phases.
 	NumPhases
 )
@@ -100,6 +102,8 @@ func (p Phase) String() string {
 		return "ApplySplit"
 	case PhaseOther:
 		return "Other"
+	case PhasePredict:
+		return "Predict"
 	default:
 		return "Phase(?)"
 	}

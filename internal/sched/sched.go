@@ -271,6 +271,27 @@ func (p *Pool) ParallelFor(n, chunk int, body func(lo, hi, worker int)) {
 	p.rethrow()
 }
 
+// ParallelForAtLeast is ParallelFor with a serial fast path for small
+// inputs: when n < minParallel the body runs inline on worker 0 with no
+// goroutine handoff — the serving path uses it so single-row requests
+// skip the fan-out cost while large batches still fill the pool.
+// Virtual pools always take the simulated-parallel path (the virtual
+// clock needs every region to pass through it).
+func (p *Pool) ParallelForAtLeast(n, minParallel, chunk int, body func(lo, hi, worker int)) {
+	if n > 0 && n < minParallel && !p.virtual {
+		if p.fail.stopped.Load() {
+			return
+		}
+		start := time.Now()
+		body(0, n, 0)
+		busy := time.Since(start).Nanoseconds()
+		p.accountSerial(busy)
+		p.record(1, 1, busy, 0, busy)
+		return
+	}
+	p.ParallelFor(n, chunk, body)
+}
+
 // RunTasks executes each task once, dynamically scheduled across the
 // workers, and waits for all (one barrier). The worker index is passed to
 // each task.

@@ -1,0 +1,420 @@
+// Package serve is the inference path of the trainer: it compiles a
+// trained ensemble into a contiguous structure-of-arrays layout (the
+// serving analog of the 1-byte binned representation the engines train
+// on), predicts batch-at-a-time through the sched pool, and wraps the
+// whole path in the observability layer (latency histograms, request
+// spans on a dedicated trace lane, structured access logs, admission
+// control) that the training side already has.
+//
+// The compiled layout mirrors the paper's "Input" structure (Fig. 5):
+// per-feature quantized thresholds plus flat node arrays indexed by bin
+// id. Compilation derives the threshold table from the model itself —
+// the sorted distinct split values the ensemble actually uses per
+// feature — so a compiled model is self-contained (no training-time cut
+// table needed). The layout admits two walks: the binned walk (quantize
+// the row once, then compare 1-byte bin ids — the training
+// representation's semantics) and the value walk (compare the raw
+// float32 against the node's threshold value, no quantization pass).
+// They are provably identical — bin(v) <= b exactly when v <=
+// threshold[b] over sorted distinct thresholds — and a test pins the
+// equivalence bitwise. The serving kernels use the value walk: binning
+// costs O(features x log thresholds) per row, which only amortizes when
+// the ensemble is much deeper than the row is wide.
+//
+// Bit-identity with the pointer walk is a hard invariant, not a
+// tolerance: for every threshold t in the model, v <= t exactly when
+// bin(v) <= bin(t), because bin() is an unclamped lower-bound search
+// over the model's own thresholds; NaN maps to a sentinel driving the
+// DefaultLeft branch; and margins accumulate in the same float64 order
+// (base score, then trees in training order). The equivalence tests pin
+// this across engines, objectives and the multiclass path.
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"harpgbdt/internal/boost"
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/objective"
+	"harpgbdt/internal/tree"
+)
+
+// missingBin is the scratch-buffer sentinel for a missing (NaN) feature
+// value. Scratch bins are uint16 so the sentinel can never collide with
+// a real bin id: a feature has at most 255 distinct thresholds, so real
+// ids (including the above-all-thresholds overflow id) stay <= 255.
+const missingBin = ^uint16(0)
+
+// maxThresholds bounds the per-feature threshold count so node
+// thresholds fit the 1-byte bin ids of the training representation. A
+// model trained on <= 255-bin cuts can never exceed it (its split
+// values are a subset of one cut table per feature).
+const maxThresholds = 255
+
+// Flat is a compiled ensemble: every tree's nodes flattened into shared
+// structure-of-arrays slices, split thresholds quantized to per-feature
+// bin ids, leaf values side by side in float64. Compile once, predict
+// from any number of goroutines (Flat is immutable after compilation;
+// per-row scratch state lives in Scratch).
+type Flat struct {
+	numFeatures int
+	numClass    int       // 1 = binary/regression margin model
+	baseScores  []float64 // length numClass
+	obj         objective.Objective
+
+	// Per-feature threshold table, CSR layout: feature f's sorted
+	// distinct split values are cutVals[cutPtr[f]:cutPtr[f+1]].
+	cutPtr  []int32
+	cutVals []float32
+
+	// Node arrays, all trees concatenated. treeStart[t] is tree t's
+	// root; a node's right child is always left+1 (guaranteed by
+	// tree.AddChildren, verified at compile time), so one child index
+	// suffices. left < 0 marks a leaf carrying weight.
+	treeStart []int32
+	treeClass []int32 // class of each tree's margin accumulator
+	left      []int32
+	feat      []int32
+	bin       []uint8
+	thresh    []float32 // cutVals[cutPtr[feat]+bin], denormalized for the value walk
+	defLeft   []bool
+	weight    []float64
+}
+
+// NumFeatures returns the expected row width.
+func (f *Flat) NumFeatures() int { return f.numFeatures }
+
+// NumClass returns the number of output classes (1 = single margin).
+func (f *Flat) NumClass() int { return f.numClass }
+
+// NumTrees returns the compiled tree count.
+func (f *Flat) NumTrees() int { return len(f.treeStart) }
+
+// NumNodes returns the total flattened node count.
+func (f *Flat) NumNodes() int { return len(f.left) }
+
+// NumThresholds returns the size of the model-implied threshold table.
+func (f *Flat) NumThresholds() int { return len(f.cutVals) }
+
+// Scratch is the per-goroutine mutable state of prediction: one row's
+// binned features and the multiclass margin accumulator. Allocate one
+// per worker with NewScratch; the kernels then allocate nothing.
+type Scratch struct {
+	bins    []uint16
+	margins []float64
+}
+
+// NewScratch allocates scratch state sized for this model.
+func (f *Flat) NewScratch() *Scratch {
+	return &Scratch{
+		bins:    make([]uint16, f.numFeatures),
+		margins: make([]float64, f.numClass),
+	}
+}
+
+// Compile flattens a trained binary/regression model. The model is
+// validated structurally first, so a corrupt model fails here with a
+// clear error instead of mispredicting silently.
+func Compile(m *boost.Model) (*Flat, error) {
+	if m == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	// Model.Predict falls back to the raw margin when the objective is
+	// unknown; mirror that exactly (obj stays nil = identity).
+	obj, _ := objective.New(m.Objective)
+	f := &Flat{
+		numFeatures: m.NumFeatures,
+		numClass:    1,
+		baseScores:  []float64{m.BaseScore},
+		obj:         obj,
+	}
+	trees := make([]treeRef, len(m.Trees))
+	for i, t := range m.Trees {
+		trees[i] = treeRef{t: t, class: 0}
+	}
+	if err := f.flatten(trees); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// CompileMulticlass flattens a trained softmax ensemble. Trees keep
+// their training order (round-major, class within round), so each
+// class's margin accumulates in exactly the order PredictProba uses.
+func CompileMulticlass(m *boost.MulticlassModel) (*Flat, error) {
+	if m == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	if m.NumClass < 2 || len(m.BaseScores) != m.NumClass {
+		return nil, fmt.Errorf("serve: corrupt multiclass model (%d classes, %d base scores)", m.NumClass, len(m.BaseScores))
+	}
+	f := &Flat{
+		numFeatures: m.NumFeatures,
+		numClass:    m.NumClass,
+		baseScores:  append([]float64(nil), m.BaseScores...),
+	}
+	var trees []treeRef
+	for _, round := range m.Trees {
+		if len(round) != m.NumClass {
+			return nil, fmt.Errorf("serve: multiclass round has %d trees, want %d", len(round), m.NumClass)
+		}
+		for c, t := range round {
+			trees = append(trees, treeRef{t: t, class: int32(c)})
+		}
+	}
+	if err := f.flatten(trees); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+type treeRef struct {
+	t     *tree.Tree
+	class int32
+}
+
+// flatten builds the threshold table and node arrays from the trees.
+func (f *Flat) flatten(trees []treeRef) error {
+	// Pass 1: collect the distinct split values each feature uses, and
+	// derive the feature count when the model does not carry one.
+	maxFeat := -1
+	perFeat := map[int32][]float32{}
+	total := 0
+	for ti, tr := range trees {
+		if tr.t == nil || len(tr.t.Nodes) == 0 {
+			return fmt.Errorf("serve: tree %d empty", ti)
+		}
+		total += len(tr.t.Nodes)
+		for i := range tr.t.Nodes {
+			n := &tr.t.Nodes[i]
+			if n.IsLeaf() {
+				continue
+			}
+			if n.Right != n.Left+1 {
+				return fmt.Errorf("serve: tree %d node %d violates right==left+1 (%d, %d)", ti, i, n.Left, n.Right)
+			}
+			if float64(n.SplitValue) != float64(n.SplitValue) {
+				return fmt.Errorf("serve: tree %d node %d has NaN split value", ti, i)
+			}
+			if n.Feature > int32(maxFeat) {
+				maxFeat = int(n.Feature)
+			}
+			vals := perFeat[n.Feature]
+			found := false
+			for _, v := range vals {
+				if v == n.SplitValue {
+					found = true
+					break
+				}
+			}
+			if !found {
+				perFeat[n.Feature] = append(vals, n.SplitValue)
+			}
+		}
+	}
+	if f.numFeatures <= maxFeat {
+		f.numFeatures = maxFeat + 1
+	}
+	f.cutPtr = make([]int32, f.numFeatures+1)
+	for feat := 0; feat < f.numFeatures; feat++ {
+		vals := perFeat[int32(feat)]
+		if len(vals) > maxThresholds {
+			return fmt.Errorf("serve: feature %d uses %d distinct thresholds (max %d)", feat, len(vals), maxThresholds)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		f.cutPtr[feat+1] = f.cutPtr[feat] + int32(len(vals))
+		f.cutVals = append(f.cutVals, vals...)
+	}
+	// Pass 2: node arrays. Node ids equal their slice index (validated),
+	// so a child's flat index is the tree's base plus its id.
+	f.treeStart = make([]int32, 0, len(trees))
+	f.treeClass = make([]int32, 0, len(trees))
+	f.left = make([]int32, 0, total)
+	f.feat = make([]int32, 0, total)
+	f.bin = make([]uint8, 0, total)
+	f.thresh = make([]float32, 0, total)
+	f.defLeft = make([]bool, 0, total)
+	f.weight = make([]float64, 0, total)
+	for _, tr := range trees {
+		base := int32(len(f.left))
+		f.treeStart = append(f.treeStart, base)
+		f.treeClass = append(f.treeClass, tr.class)
+		for i := range tr.t.Nodes {
+			n := &tr.t.Nodes[i]
+			if n.IsLeaf() {
+				f.left = append(f.left, -1)
+				f.feat = append(f.feat, 0)
+				f.bin = append(f.bin, 0)
+				f.thresh = append(f.thresh, 0)
+				f.defLeft = append(f.defLeft, false)
+				f.weight = append(f.weight, n.Weight)
+				continue
+			}
+			lo, hi := f.cutPtr[n.Feature], f.cutPtr[n.Feature+1]
+			idx := sort.Search(int(hi-lo), func(k int) bool {
+				return f.cutVals[int(lo)+k] >= n.SplitValue
+			})
+			if int32(idx) >= hi-lo || f.cutVals[int(lo)+idx] != n.SplitValue {
+				return fmt.Errorf("serve: internal error: threshold %v of feature %d missing from cut table", n.SplitValue, n.Feature)
+			}
+			f.left = append(f.left, base+n.Left)
+			f.feat = append(f.feat, n.Feature)
+			f.bin = append(f.bin, uint8(idx))
+			f.thresh = append(f.thresh, n.SplitValue)
+			f.defLeft = append(f.defLeft, n.DefaultLeft)
+			f.weight = append(f.weight, 0)
+		}
+	}
+	return nil
+}
+
+// binRow quantizes one raw row into scratch bins: NaN becomes the
+// missing sentinel, everything else the unclamped lower-bound index
+// into the feature's threshold table (values above every threshold get
+// the overflow id, one past the last threshold — never clamped, so
+// "goes right of the largest split" survives quantization).
+func (f *Flat) binRow(row []float32, bins []uint16) {
+	for feat := 0; feat < f.numFeatures; feat++ {
+		v := row[feat]
+		if v != v {
+			bins[feat] = missingBin
+			continue
+		}
+		lo, hi := int(f.cutPtr[feat]), int(f.cutPtr[feat+1])
+		// Inline lower bound: first threshold >= v.
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if f.cutVals[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		bins[feat] = uint16(lo - int(f.cutPtr[feat]))
+	}
+}
+
+// marginsInto accumulates every tree's leaf weight into s.margins (one
+// accumulator per class), in training order on top of the base scores —
+// the same float64 additions, in the same order, as the pointer walk.
+// This is the value walk: one contiguous-array compare per node, no
+// quantization pass.
+func (f *Flat) marginsInto(row []float32, s *Scratch) {
+	copy(s.margins, f.baseScores)
+	for t := 0; t < len(f.treeStart); t++ {
+		i := f.treeStart[t]
+		for f.left[i] >= 0 {
+			v := row[f.feat[i]]
+			l := f.left[i]
+			if v != v { // NaN = missing
+				if !f.defLeft[i] {
+					l++
+				}
+			} else if v > f.thresh[i] {
+				l++
+			}
+			i = l
+		}
+		s.margins[f.treeClass[t]] += f.weight[i]
+	}
+}
+
+// marginsBinned is the binned walk over the same node arrays: the row
+// must have been quantized with binRow first. It is the semantic
+// reference the training representation defines — the equivalence test
+// pins marginsInto against it bitwise — and the faster choice only when
+// the ensemble is deep enough to amortize the binning pass.
+func (f *Flat) marginsBinned(s *Scratch) {
+	copy(s.margins, f.baseScores)
+	bins := s.bins
+	for t := 0; t < len(f.treeStart); t++ {
+		i := f.treeStart[t]
+		for f.left[i] >= 0 {
+			b := bins[f.feat[i]]
+			l := f.left[i]
+			switch {
+			case b == missingBin:
+				if !f.defLeft[i] {
+					l++
+				}
+			case b <= uint16(f.bin[i]):
+			default:
+				l++
+			}
+			i = l
+		}
+		s.margins[f.treeClass[t]] += f.weight[i]
+	}
+}
+
+// PredictRow returns the transformed single-class prediction for one
+// raw row (NaN = missing) — bit-identical to Model.Predict. Panics on a
+// multiclass model; use PredictProbaRow there.
+func (f *Flat) PredictRow(row []float32, s *Scratch) float64 {
+	if f.numClass != 1 {
+		panic("serve: PredictRow on a multiclass model")
+	}
+	f.marginsInto(row, s)
+	if f.obj == nil {
+		return s.margins[0]
+	}
+	return f.obj.Transform(s.margins[0])
+}
+
+// PredictProbaRow writes the softmax class probabilities for one raw
+// row into out (length NumClass) — bit-identical to
+// MulticlassModel.PredictProba.
+func (f *Flat) PredictProbaRow(row []float32, s *Scratch, out []float64) {
+	f.marginsInto(row, s)
+	if f.numClass == 1 {
+		if f.obj == nil {
+			out[0] = s.margins[0]
+		} else {
+			out[0] = f.obj.Transform(s.margins[0])
+		}
+		return
+	}
+	boost.Softmax(out, s.margins)
+}
+
+// PredictRangeInto predicts rows [lo, hi) of the matrix into out, which
+// holds NumClass values per row indexed by absolute row
+// (out[i*NumClass+c]). This is the zero-allocation serving kernel: with
+// a preallocated Scratch and output it allocates nothing per batch (the
+// equivalence tests pin AllocsPerRun == 0).
+func (f *Flat) PredictRangeInto(d *dataset.Dense, lo, hi int, out []float64, s *Scratch) {
+	k := f.numClass
+	for i := lo; i < hi; i++ {
+		row := d.Values[i*d.M : (i+1)*d.M]
+		if k == 1 {
+			f.marginsInto(row, s)
+			if f.obj == nil {
+				out[i] = s.margins[0]
+			} else {
+				out[i] = f.obj.Transform(s.margins[0])
+			}
+			continue
+		}
+		f.PredictProbaRow(row, s, out[i*k:(i+1)*k:(i+1)*k])
+	}
+}
+
+// CheckDense validates a matrix's shape against the compiled model.
+func (f *Flat) CheckDense(d *dataset.Dense) error {
+	if d.M != f.numFeatures {
+		return fmt.Errorf("serve: model expects %d features, matrix has %d", f.numFeatures, d.M)
+	}
+	return nil
+}
+
+// Bytes reports the compiled model's memory footprint (the SoA arrays
+// plus the threshold table), for capacity planning and the /progress
+// snapshot.
+func (f *Flat) Bytes() int {
+	n := len(f.left)
+	return n*(4+4+1+4+1+8) + len(f.treeStart)*8 + len(f.cutVals)*4 + len(f.cutPtr)*4 + len(f.baseScores)*8
+}

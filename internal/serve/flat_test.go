@@ -1,0 +1,312 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"harpgbdt/internal/baseline"
+	"harpgbdt/internal/boost"
+	"harpgbdt/internal/core"
+	"harpgbdt/internal/dataset"
+	"harpgbdt/internal/engine"
+	"harpgbdt/internal/grow"
+	"harpgbdt/internal/sched"
+	"harpgbdt/internal/synth"
+	"harpgbdt/internal/tree"
+)
+
+func splitParams() tree.SplitParams {
+	return tree.SplitParams{Lambda: 1, Gamma: 0, MinChildWeight: 1}
+}
+
+// trainTestData builds a deterministic train/test split and salts the
+// test matrix with missing values and out-of-range magnitudes so the
+// equivalence sweep exercises the NaN sentinel and the unclamped
+// overflow bin, not just in-distribution values.
+func trainTestData(t *testing.T, rows int) (*dataset.Dataset, *dataset.Dense) {
+	t.Helper()
+	ds, testX, _, err := synth.MakeTrainTest(
+		synth.Config{Spec: synth.HiggsLike, Rows: rows, Seed: 2019}, 200, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < testX.N; i++ {
+		switch i % 5 {
+		case 1:
+			testX.SetMissing(i, i%testX.M)
+		case 3:
+			testX.Set(i, i%testX.M, 1e9) // above every training cut
+		case 4:
+			testX.Set(i, i%testX.M, -1e9) // below every training cut
+		}
+	}
+	return ds, testX
+}
+
+func engineBuilders(t *testing.T, ds *dataset.Dataset) map[string]engine.Builder {
+	t.Helper()
+	bcfg := func(g grow.Method) baseline.Config {
+		return baseline.Config{Growth: g, TreeSize: 6, Params: splitParams(), Workers: 4, Virtual: true}
+	}
+	harp, err := core.NewBuilder(core.Config{
+		Mode: core.Async, K: 8, Growth: grow.Leafwise, TreeSize: 6,
+		Params: splitParams(), Workers: 4, Virtual: true, UseMemBuf: true,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xd, err := baseline.NewXGBHist(bcfg(grow.Depthwise), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xl, err := baseline.NewXGBHist(bcfg(grow.Leafwise), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xa, err := baseline.NewXGBApprox(bcfg(grow.Depthwise), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := baseline.NewLightGBM(bcfg(grow.Leafwise), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]engine.Builder{
+		"harp": harp, "xgb-depth": xd, "xgb-leaf": xl, "xgb-approx": xa, "lightgbm": lg,
+	}
+}
+
+// TestFlatBitIdentical is the golden equivalence sweep: on every engine
+// and both objectives, the compiled predictor must match the pointer
+// walk bit for bit — row-at-a-time against Model.Predict and
+// batch-at-a-time against PredictDenseParallel.
+func TestFlatBitIdentical(t *testing.T) {
+	ds, testX := trainTestData(t, 3000)
+	for _, objective := range []string{"binary:logistic", "reg:squarederror"} {
+		for name, b := range engineBuilders(t, ds) {
+			res, err := boost.Train(b, ds, boost.Config{Rounds: 6, Objective: objective}, nil, nil)
+			if err != nil {
+				t.Fatalf("%s/%s: train: %v", name, objective, err)
+			}
+			m := res.Model
+			flat, err := Compile(m)
+			if err != nil {
+				t.Fatalf("%s/%s: compile: %v", name, objective, err)
+			}
+			if flat.NumClass() != 1 || flat.NumFeatures() != m.NumFeatures {
+				t.Fatalf("%s/%s: shape %d/%d", name, objective, flat.NumClass(), flat.NumFeatures())
+			}
+			s := flat.NewScratch()
+			for i := 0; i < testX.N; i++ {
+				want := m.Predict(testX.Row(i))
+				got := flat.PredictRow(testX.Row(i), s)
+				if got != want {
+					t.Fatalf("%s/%s row %d: flat %v != walk %v", name, objective, i, got, want)
+				}
+			}
+			pool := sched.NewPool(4)
+			want, err := m.PredictDenseParallel(testX, pool)
+			if err != nil {
+				t.Fatalf("%s/%s: parallel walk: %v", name, objective, err)
+			}
+			got := make([]float64, testX.N)
+			flat.PredictRangeInto(testX, 0, testX.N, got, s)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s/%s batch row %d: flat %v != walk %v", name, objective, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFlatWalkEquivalence pins the two kernels against each other
+// bitwise: the value walk (production) and the binned walk (the
+// training representation's semantics) must route every row — NaN and
+// out-of-range values included — to the same leaf.
+func TestFlatWalkEquivalence(t *testing.T) {
+	ds, testX := trainTestData(t, 2500)
+	b := engineBuilders(t, ds)["harp"]
+	res, err := boost.Train(b, ds, boost.Config{Rounds: 6, Objective: "binary:logistic"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Compile(res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, sb := flat.NewScratch(), flat.NewScratch()
+	for i := 0; i < testX.N; i++ {
+		row := testX.Row(i)
+		flat.marginsInto(row, sv)
+		flat.binRow(row, sb.bins)
+		flat.marginsBinned(sb)
+		if sv.margins[0] != sb.margins[0] {
+			t.Fatalf("row %d: value walk %v != binned walk %v", i, sv.margins[0], sb.margins[0])
+		}
+	}
+}
+
+// TestFlatUnknownObjectiveMirrorsRawMargin pins the fallback contract:
+// Model.Predict returns the raw margin when the objective name is
+// unknown, and the compiled model must do the same.
+func TestFlatUnknownObjectiveMirrorsRawMargin(t *testing.T) {
+	ds, testX := trainTestData(t, 1200)
+	b := engineBuilders(t, ds)["harp"]
+	res, err := boost.Train(b, ds, boost.Config{Rounds: 3}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Model
+	m.Objective = "no-such-objective"
+	flat, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := flat.NewScratch()
+	for i := 0; i < testX.N; i++ {
+		if got, want := flat.PredictRow(testX.Row(i), s), m.Predict(testX.Row(i)); got != want {
+			t.Fatalf("row %d: %v != %v", i, got, want)
+		}
+	}
+}
+
+func blobs3(t *testing.T, n int) (*dataset.Dataset, *dataset.Dense) {
+	t.Helper()
+	d := dataset.NewDense(n, 2)
+	labels := make([]float32, n)
+	state := uint64(7)
+	next := func() float32 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float32(state>>40) / float32(1<<24)
+	}
+	centers := [3][2]float32{{0, 0}, {4, 1}, {1, 5}}
+	for i := 0; i < n; i++ {
+		c := i % 3
+		labels[i] = float32(c)
+		d.Set(i, 0, centers[c][0]+next())
+		d.Set(i, 1, centers[c][1]+next())
+	}
+	ds, err := dataset.FromDense("blobs", d, labels, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, d
+}
+
+// TestFlatMulticlassBitIdentical proves the multiclass path: the
+// compiled model's class probabilities match PredictProba bit for bit,
+// including rows with missing values.
+func TestFlatMulticlassBitIdentical(t *testing.T) {
+	ds, raw := blobs3(t, 900)
+	b, err := core.NewBuilder(core.Config{Mode: core.Sync, K: 8, Growth: grow.Leafwise,
+		TreeSize: 5, UseMemBuf: true, Params: splitParams()}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := boost.TrainMulticlass(b, ds, boost.MulticlassConfig{NumClass: 3, Rounds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Model
+	flat, err := CompileMulticlass(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.NumClass() != 3 {
+		t.Fatalf("numClass %d", flat.NumClass())
+	}
+	raw.SetMissing(5, 1)
+	raw.SetMissing(6, 0)
+	s := flat.NewScratch()
+	out := make([]float64, 3)
+	for i := 0; i < raw.N; i++ {
+		want := m.PredictProba(raw.Row(i))
+		flat.PredictProbaRow(raw.Row(i), s, out)
+		for c := range want {
+			if out[c] != want[c] {
+				t.Fatalf("row %d class %d: %v != %v", i, c, out[c], want[c])
+			}
+		}
+	}
+	got := make([]float64, raw.N*3)
+	flat.PredictRangeInto(raw, 0, raw.N, got, s)
+	for i := 0; i < raw.N; i++ {
+		want := m.PredictProba(raw.Row(i))
+		for c := range want {
+			if got[i*3+c] != want[c] {
+				t.Fatalf("batch row %d class %d: %v != %v", i, c, got[i*3+c], want[c])
+			}
+		}
+	}
+}
+
+// TestFlatZeroAllocKernel pins the serving hot path at zero allocations
+// per batch: with preallocated scratch and output, PredictRangeInto
+// must not touch the heap.
+func TestFlatZeroAllocKernel(t *testing.T) {
+	ds, testX := trainTestData(t, 1500)
+	b := engineBuilders(t, ds)["harp"]
+	res, err := boost.Train(b, ds, boost.Config{Rounds: 4, Objective: "binary:logistic"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Compile(res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := flat.NewScratch()
+	out := make([]float64, testX.N)
+	allocs := testing.AllocsPerRun(10, func() {
+		flat.PredictRangeInto(testX, 0, testX.N, out, s)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictRangeInto allocates %v times per batch, want 0", allocs)
+	}
+}
+
+// TestCompileErrors covers the defensive paths: nil models, corrupt
+// multiclass shapes, NaN thresholds, and sibling layouts the SoA cannot
+// represent.
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile(nil); err == nil {
+		t.Error("nil model compiled")
+	}
+	if _, err := CompileMulticlass(nil); err == nil {
+		t.Error("nil multiclass model compiled")
+	}
+	if _, err := CompileMulticlass(&boost.MulticlassModel{NumClass: 3, BaseScores: []float64{0}}); err == nil {
+		t.Error("corrupt multiclass model compiled")
+	}
+	nanTree := tree.New(0, 0, 1)
+	nanTree.AddChildren(0, 0, 0, float32(math.NaN()), true, 0)
+	bad := &boost.Model{Objective: "binary:logistic", NumFeatures: 1, Trees: []*tree.Tree{nanTree}}
+	if _, err := Compile(bad); err == nil {
+		t.Error("NaN threshold compiled")
+	}
+}
+
+// TestFlatAccessors sanity-checks the reporting surface used by the
+// service and /progress snapshot.
+func TestFlatAccessors(t *testing.T) {
+	ds, _ := trainTestData(t, 1000)
+	b := engineBuilders(t, ds)["harp"]
+	res, err := boost.Train(b, ds, boost.Config{Rounds: 2, Objective: "binary:logistic"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Compile(res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.NumTrees() != 2 {
+		t.Fatalf("trees %d", flat.NumTrees())
+	}
+	if flat.NumNodes() == 0 || flat.NumThresholds() == 0 || flat.Bytes() == 0 {
+		t.Fatalf("empty accessors: nodes=%d thresholds=%d bytes=%d",
+			flat.NumNodes(), flat.NumThresholds(), flat.Bytes())
+	}
+	if err := flat.CheckDense(dataset.NewDense(1, flat.NumFeatures()+1)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"math"
+
+	"harpgbdt/internal/obs"
+)
+
+// LatencyBuckets are the log2 latency buckets of every serving
+// histogram: 1µs doubling up to ~33s. Factor-2 buckets bound the
+// quantile-extraction error — for any quantile q, the reported upper
+// bound is within one doubling of the exact sample quantile (the unit
+// tests pin exact <= reported < 2*exact).
+var LatencyBuckets = obs.ExpBuckets(1e-6, 2, 26)
+
+// BatchRowBuckets are the power-of-two buckets of the batch-size
+// distribution (1 .. 4096 rows).
+var BatchRowBuckets = obs.ExpBuckets(1, 2, 13)
+
+// Quantile extracts the q-quantile (0 < q <= 1) from a histogram
+// snapshot using exact cumulative counts: it returns the upper bound of
+// the first bucket whose cumulative count reaches rank ceil(q*count).
+// The overflow bucket reports +Inf. Returns NaN on an empty histogram.
+func Quantile(s obs.HistogramSnapshot, q float64) float64 {
+	total := int64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	cum := int64(0)
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// DiffSnapshot subtracts an earlier snapshot of the same histogram from
+// a later one, bucket by bucket — the warmup cutoff of the loadgen
+// soak: quantiles of (end - warmup) cover only post-warmup requests.
+// Panics when the snapshots have different bucket layouts.
+func DiffSnapshot(earlier, later obs.HistogramSnapshot) obs.HistogramSnapshot {
+	if len(earlier.Counts) != len(later.Counts) {
+		panic("serve: DiffSnapshot on histograms with different bucket layouts")
+	}
+	d := obs.HistogramSnapshot{
+		Bounds: append([]float64(nil), later.Bounds...),
+		Counts: make([]int64, len(later.Counts)),
+		Count:  later.Count - earlier.Count,
+		Sum:    later.Sum - earlier.Sum,
+	}
+	for i := range d.Counts {
+		d.Counts[i] = later.Counts[i] - earlier.Counts[i]
+	}
+	return d
+}

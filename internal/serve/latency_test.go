@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"harpgbdt/internal/obs"
+)
+
+// exactQuantile is the reference: rank ceil(q*n) of the sorted samples.
+func exactQuantile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantileAgainstExact is the acceptance check for the histogram
+// quantiles: on random latency-like samples, the histogram-extracted
+// quantile must bracket the exact sorted-sample quantile within one
+// factor-2 bucket (exact <= hist < 2*exact).
+func TestQuantileAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := obs.NewRegistry().Histogram("serve_test_seconds", "", LatencyBuckets)
+	samples := make([]float64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		// Log-uniform over the bucket range, plus a heavy tail.
+		v := math.Exp(rng.Float64()*math.Log(1e4)) * 2e-6
+		if rng.Intn(50) == 0 {
+			v *= 100
+		}
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sort.Float64s(samples)
+	snap := h.Snapshot()
+	for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+		exact := exactQuantile(samples, q)
+		got := Quantile(snap, q)
+		if math.IsInf(got, 1) {
+			t.Fatalf("q%.3f: +Inf for in-range samples", q)
+		}
+		if got < exact || got >= exact*2 {
+			t.Errorf("q%.3f: hist %g outside [exact, 2*exact) around exact %g", q, got, exact)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := obs.NewRegistry().Histogram("serve_test_seconds", "", LatencyBuckets)
+	if !math.IsNaN(Quantile(h.Snapshot(), 0.5)) {
+		t.Error("empty histogram quantile not NaN")
+	}
+	h.Observe(1e9) // beyond every bound: overflow bucket
+	if !math.IsInf(Quantile(h.Snapshot(), 0.99), 1) {
+		t.Error("overflow-bucket quantile not +Inf")
+	}
+}
+
+// TestDiffSnapshot pins the warmup-cutoff arithmetic: the diff must see
+// only the samples observed between the two snapshots.
+func TestDiffSnapshot(t *testing.T) {
+	h := obs.NewRegistry().Histogram("serve_test_seconds", "", LatencyBuckets)
+	for i := 0; i < 100; i++ {
+		h.Observe(1e-3) // warmup: fast
+	}
+	warm := h.Snapshot()
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // steady state: slow
+	}
+	d := DiffSnapshot(warm, h.Snapshot())
+	if d.Count != 100 {
+		t.Fatalf("diff count %d", d.Count)
+	}
+	if got := Quantile(d, 0.5); got < 1.5 || got >= 3 {
+		t.Fatalf("diffed median %g should reflect only post-warmup samples", got)
+	}
+	if math.Abs(d.Sum-150) > 1e-9 {
+		t.Fatalf("diff sum %g", d.Sum)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched-layout DiffSnapshot did not panic")
+		}
+	}()
+	DiffSnapshot(obs.HistogramSnapshot{Counts: make([]int64, 3)}, h.Snapshot())
+}
